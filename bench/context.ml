@@ -1,0 +1,75 @@
+(* Shared benchmark context: zoo models, batches, memoized autotuning. *)
+
+module Zoo = Tb_gbt.Zoo
+module Dataset = Tb_data.Dataset
+module Forest = Tb_model.Forest
+module Model_stats = Tb_model.Model_stats
+module Schedule = Tb_hir.Schedule
+module Config = Tb_cpu.Config
+module Lower = Tb_lir.Lower
+module Explore = Tb_core.Explore
+module Perf = Tb_core.Perf
+module Table = Tb_util.Table
+module Stats = Tb_util.Stats
+
+type bench = {
+  entry : Zoo.entry;
+  profiles : Model_stats.tree_profile array;
+  rows_1024 : float array array;
+}
+
+let benches : (string, bench) Hashtbl.t = Hashtbl.create 8
+
+let load name =
+  match Hashtbl.find_opt benches name with
+  | Some b -> b
+  | None ->
+    Printf.printf "[setup] loading %s...\n%!" name;
+    let entry = Zoo.get name in
+    let profiles =
+      Model_stats.profile_forest entry.Zoo.forest
+        entry.Zoo.train_data.Dataset.features
+    in
+    let rows_1024 =
+      Dataset.subsample_rows entry.Zoo.test_data 1024
+        (Tb_util.Prng.create (Hashtbl.hash name))
+    in
+    let b = { entry; profiles; rows_1024 } in
+    Hashtbl.add benches name b;
+    b
+
+let all_names = List.map (fun (s : Zoo.spec) -> s.Zoo.name) Zoo.specs
+
+(* Memoized greedy autotuning per (benchmark, target). *)
+let best_cache : (string * string, Explore.result) Hashtbl.t = Hashtbl.create 16
+
+let best_schedule name (target : Config.t) =
+  let key = (name, target.Config.name) in
+  match Hashtbl.find_opt best_cache key with
+  | Some r -> r
+  | None ->
+    let b = load name in
+    Printf.printf "[setup] autotuning %s on %s...\n%!" name target.Config.name;
+    let r =
+      Explore.greedy ~target ~profiles:b.profiles b.entry.Zoo.forest b.rows_1024
+    in
+    Hashtbl.add best_cache key r;
+    r
+
+let simulate ?threads ?batch name target schedule =
+  let b = load name in
+  let lowered =
+    Lower.lower ~profiles:b.profiles b.entry.Zoo.forest schedule
+  in
+  Perf.simulate ~target ?threads ?batch lowered b.rows_1024
+
+let baseline_perf ?threads ?batch name target =
+  simulate ?threads ?batch name target Schedule.scalar_baseline
+
+let geomean_row label values =
+  label :: List.map (fun v -> Table.cell_fx (Stats.geomean (Array.of_list v))) values
+
+let heading title =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==================================================================\n"

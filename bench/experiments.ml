@@ -1,0 +1,714 @@
+(* One function per paper table/figure. All output is printed as aligned
+   text tables; EXPERIMENTS.md records paper-vs-measured values. *)
+
+open Context
+module Xgboost = Tb_baselines.Xgboost
+module Treelite = Tb_baselines.Treelite
+module Hummingbird = Tb_baselines.Hummingbird
+module Cost_model = Tb_cpu.Cost_model
+module Layout = Tb_lir.Layout
+module Program = Tb_hir.Program
+module Vtune = Tb_cpu.Vtune
+module Multicore = Tb_cpu.Multicore
+
+let intel = Config.intel_rocket_lake
+let amd = Config.amd_ryzen7
+let geomean xs = Stats.geomean (Array.of_list xs)
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  heading "Table I: benchmark datasets and their parameters";
+  let t =
+    Table.create
+      [ "Dataset"; "#Features"; "#Trees"; "Max Depth"; "#Leaf-biased";
+        "(paper #Trees)"; "(paper #Leaf-biased)" ]
+  in
+  List.iter
+    (fun name ->
+      let b = load name in
+      let spec = b.entry.Zoo.spec in
+      let forest = b.entry.Zoo.forest in
+      let biased =
+        Model_stats.num_leaf_biased forest
+          b.entry.Zoo.train_data.Dataset.features ~alpha:0.075 ~beta:0.9
+      in
+      Table.add_row t
+        [
+          name;
+          string_of_int forest.Forest.num_features;
+          string_of_int (Array.length forest.Forest.trees);
+          string_of_int (Forest.max_depth forest);
+          string_of_int biased;
+          string_of_int spec.Zoo.paper_trees;
+          string_of_int spec.Zoo.paper_leaf_biased;
+        ])
+    all_names;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  heading "Table II: space of optimizations explored";
+  let t = Table.create [ "Optimization"; "Configurations" ] in
+  Table.add_row t [ "Loop order"; "one tree at a time / one row at a time" ];
+  Table.add_row t [ "Tile size"; "1, 2, 4, 8" ];
+  Table.add_row t [ "Tiling type"; "basic / probability-based" ];
+  Table.add_row t [ "Tree padding and unrolling"; "yes / no" ];
+  Table.add_row t [ "Tree walk interleaving"; "1, 2, 4, 8" ];
+  Table.add_row t [ "<alpha,beta> for leaf-bias"; "(0.05,0.9) (0.075,0.9) (0.1,0.9)" ];
+  Table.print t;
+  Printf.printf "Total schedules in the exhaustive grid: %d\n"
+    (List.length Schedule.table2_grid);
+  Printf.printf "Schedules probed by the greedy autotuner: ~%d per (model, target)\n"
+    (best_schedule "higgs" intel).Explore.evaluated
+
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  heading "Figure 3: leaf-coverage statistical profiles";
+  List.iter
+    (fun name ->
+      let b = load name in
+      Printf.printf "\n%s: fraction of trees (y) needing at most a fraction (x) of\ntheir leaves to cover a fraction f of training inputs\n" name;
+      let t =
+        Table.create
+          ([ "f \\ x" ] @ List.map (fun x -> Printf.sprintf "%.2f" x)
+             [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.35; 0.5; 0.75; 1.0 ])
+      in
+      List.iter
+        (fun f ->
+          let cdf =
+            Model_stats.coverage_cdf b.entry.Zoo.forest
+              b.entry.Zoo.train_data.Dataset.features ~f
+          in
+          let y_at x =
+            (* fraction of trees whose needed-leaf fraction is <= x *)
+            let n = Array.length cdf in
+            let below = Array.fold_left (fun acc (xi, _) -> if xi <= x then acc + 1 else acc) 0 cdf in
+            float_of_int below /. float_of_int n
+          in
+          Table.add_row t
+            (Printf.sprintf "%.2f" f
+            :: List.map
+                 (fun x -> Table.cell_f (y_at x))
+                 [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.35; 0.5; 0.75; 1.0 ]))
+        [ 0.8; 0.9; 0.95 ];
+      Table.print t)
+    [ "airline-ohe"; "epsilon" ]
+
+(* ------------------------------------------------------------------ *)
+
+let fig7a () =
+  heading
+    "Figure 7a: single-core speedup of TREEBEARD-optimized code over the\n\
+     scalar baseline, batch 1024 (number = optimized us/row)";
+  let t =
+    Table.create
+      [ "benchmark"; "Intel speedup"; "Intel us/row"; "Intel best schedule";
+        "AMD speedup"; "AMD us/row" ]
+  in
+  let intel_sp = ref [] and amd_sp = ref [] in
+  List.iter
+    (fun name ->
+      let row target =
+        let base = baseline_perf name target in
+        let best = best_schedule name target in
+        let sp = base.Perf.cycles_per_row /. best.Explore.perf.Perf.cycles_per_row in
+        (sp, best.Explore.perf.Perf.time_per_row_us, best.Explore.schedule)
+      in
+      let i_sp, i_us, i_sched = row intel in
+      let a_sp, a_us, _ = row amd in
+      intel_sp := i_sp :: !intel_sp;
+      amd_sp := a_sp :: !amd_sp;
+      Table.add_row t
+        [
+          name; Table.cell_fx i_sp; Table.cell_f i_us; Schedule.to_string i_sched;
+          Table.cell_fx a_sp; Table.cell_f a_us;
+        ])
+    all_names;
+  Table.add_sep t;
+  Table.add_row t
+    [ "geomean"; Table.cell_fx (geomean !intel_sp); "";
+      "(paper: 2.45x Intel)"; Table.cell_fx (geomean !amd_sp); "(paper: 2.06x AMD)" ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let fig7b () =
+  heading
+    "Figure 7b: 16-core speedup over the single-core scalar baseline,\n\
+     batch 1024";
+  let t = Table.create [ "benchmark"; "Intel speedup"; "AMD speedup" ] in
+  let intel_sp = ref [] and amd_sp = ref [] in
+  List.iter
+    (fun name ->
+      let speedup target =
+        let base = baseline_perf name target in
+        let best = best_schedule name target in
+        let par = simulate ~threads:16 name target best.Explore.schedule in
+        base.Perf.cycles_per_row /. par.Perf.cycles_per_row
+      in
+      let i = speedup intel and a = speedup amd in
+      intel_sp := i :: !intel_sp;
+      amd_sp := a :: !amd_sp;
+      Table.add_row t [ name; Table.cell_fx i; Table.cell_fx a ])
+    all_names;
+  Table.add_sep t;
+  Table.add_row t
+    [ "geomean"; Table.cell_fx (geomean !intel_sp); Table.cell_fx (geomean !amd_sp) ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let xgb_perf ?(version = Xgboost.V15) ?(threads = 1) name (target : Config.t) =
+  let b = load name in
+  let packed = Xgboost.compile b.entry.Zoo.forest in
+  let sample = Array.sub b.rows_1024 0 48 in
+  let w = Xgboost.profile ~target packed version sample in
+  let breakdown = Cost_model.estimate target w in
+  let single = breakdown.Cost_model.cycles /. float_of_int w.Cost_model.rows in
+  (single /. Multicore.speedup target ~threads (), breakdown, w)
+
+let treelite_perf ?(threads = 1) name (target : Config.t) =
+  let b = load name in
+  let compiled = Treelite.compile b.entry.Zoo.forest in
+  let sample = Array.sub b.rows_1024 0 48 in
+  let w = Treelite.profile ~target compiled sample in
+  let breakdown = Cost_model.estimate target w in
+  let single = breakdown.Cost_model.cycles /. float_of_int w.Cost_model.rows in
+  (single /. Multicore.speedup target ~threads (), breakdown, w)
+
+let hummingbird_perf ?(threads = 1) name (target : Config.t) =
+  let b = load name in
+  let compiled = Hummingbird.compile b.entry.Zoo.forest in
+  Hummingbird.cycles_per_row ~target ~threads compiled
+
+let tb_best_perf ?(threads = 1) name target =
+  let best = best_schedule name target in
+  if threads = 1 then best.Explore.perf.Perf.cycles_per_row
+  else (simulate ~threads name target best.Explore.schedule).Perf.cycles_per_row
+
+let fig8 ~threads () =
+  heading
+    (Printf.sprintf
+       "Figure 8%s: TREEBEARD vs XGBoost and Treelite, batch 1024, %d core(s)\n\
+        (numbers = baseline us/row on Intel)"
+       (if threads = 1 then "a" else "b")
+       threads);
+  let t =
+    Table.create
+      [ "benchmark"; "vs XGBoost (Intel)"; "vs Treelite (Intel)";
+        "XGB us/row"; "TL us/row"; "vs XGBoost (AMD)"; "vs Treelite (AMD)" ]
+  in
+  let accum = Array.make 4 [] in
+  List.iter
+    (fun name ->
+      let per target =
+        let tb = tb_best_perf ~threads name target in
+        let xgb, _, _ = xgb_perf ~threads name target in
+        let tl, _, _ = treelite_perf ~threads name target in
+        (xgb /. tb, tl /. tb, xgb, tl)
+      in
+      let xi, ti, xgb_c, tl_c = per intel in
+      let xa, ta, _, _ = per amd in
+      accum.(0) <- xi :: accum.(0);
+      accum.(1) <- ti :: accum.(1);
+      accum.(2) <- xa :: accum.(2);
+      accum.(3) <- ta :: accum.(3);
+      Table.add_row t
+        [
+          name; Table.cell_fx xi; Table.cell_fx ti;
+          Table.cell_f (xgb_c /. 3500.0); Table.cell_f (tl_c /. 3500.0);
+          Table.cell_fx xa; Table.cell_fx ta;
+        ])
+    all_names;
+  Table.add_sep t;
+  Table.add_row t
+    [
+      "geomean";
+      Table.cell_fx (geomean accum.(0));
+      Table.cell_fx (geomean accum.(1));
+      (if threads = 1 then "(paper: 2.6x" else "(paper: 2.3x");
+      (if threads = 1 then "4.7x)" else "2.7x)");
+      Table.cell_fx (geomean accum.(2));
+      Table.cell_fx (geomean accum.(3));
+    ];
+  Table.print t
+
+let fig8a () = fig8 ~threads:1 ()
+let fig8b () = fig8 ~threads:16 ()
+
+(* ------------------------------------------------------------------ *)
+
+let batch_sizes = [ 64; 128; 256; 512; 1024; 2048; 4096 ]
+
+let fig9 () =
+  heading
+    "Figure 9: geomean speedup of TREEBEARD over XGBoost and Treelite on a\n\
+     single core across batch sizes (Intel)";
+  let t =
+    Table.create
+      ([ "batch" ] @ [ "vs XGBoost"; "vs Treelite" ])
+  in
+  List.iter
+    (fun batch ->
+      let xs = ref [] and ts = ref [] in
+      List.iter
+        (fun name ->
+          let best = best_schedule name intel in
+          let tb = (simulate ~batch name intel best.Explore.schedule).Perf.cycles_per_row in
+          let xgb, _, _ = xgb_perf name intel in
+          let tl, _, _ = treelite_perf name intel in
+          xs := (xgb /. tb) :: !xs;
+          ts := (tl /. tb) :: !ts)
+        all_names;
+      Table.add_row t
+        [ string_of_int batch; Table.cell_fx (geomean !xs); Table.cell_fx (geomean !ts) ])
+    batch_sizes;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  heading
+    "Figure 10: single-core comparison with Hummingbird, batch 1024 (Intel).\n\
+     Bars = per-row time normalized to Hummingbird (lower is better)";
+  let t =
+    Table.create
+      [ "benchmark"; "Hummingbird"; "XGBoost v0.9"; "XGBoost v1.5"; "TREEBEARD";
+        "HB us/row"; "TB us/row" ]
+  in
+  let tb_ratios = ref [] in
+  List.iter
+    (fun name ->
+      let hb = hummingbird_perf name intel in
+      let x09, _, _ = xgb_perf ~version:Xgboost.V09 name intel in
+      let x15, _, _ = xgb_perf ~version:Xgboost.V15 name intel in
+      let tb = tb_best_perf name intel in
+      tb_ratios := (hb /. tb) :: !tb_ratios;
+      Table.add_row t
+        [
+          name; "1.00";
+          Table.cell_f (x09 /. hb);
+          Table.cell_f (x15 /. hb);
+          Table.cell_f (tb /. hb);
+          Table.cell_f (hb /. 3500.0);
+          Table.cell_f (tb /. 3500.0);
+        ])
+    all_names;
+  Table.add_sep t;
+  Table.add_row t
+    [ "geomean TB speedup vs HB"; Table.cell_fx (geomean !tb_ratios);
+      "(paper: 5.4x)"; ""; ""; ""; "" ];
+  Table.print t;
+  Printf.printf
+    "16-core: TREEBEARD vs Hummingbird (HB capped at ~%d effective cores):\n"
+    Hummingbird.effective_core_cap;
+  let ratios =
+    List.map
+      (fun name ->
+        hummingbird_perf ~threads:16 name intel /. tb_best_perf ~threads:16 name intel)
+      all_names
+  in
+  Printf.printf "geomean = %.1fx (paper: 14x)\n" (geomean ratios)
+
+(* ------------------------------------------------------------------ *)
+
+(* Fig 11 schedules: low-level optimizations only (tile + vectorize +
+   layout), mid-level optimizations disabled. *)
+let fig11_base_schedule =
+  {
+    Schedule.default with
+    tile_size = 8;
+    tiling = Schedule.Basic;
+    pad_and_unroll = false;
+    peel = false;
+    interleave = 1;
+    layout = Schedule.Sparse_layout;
+  }
+
+let fig11a () =
+  heading
+    "Figure 11a: tiling algorithm impact at batch 1024 (Intel, tile size 8,\n\
+     mid-level optimizations disabled). Speedup over scalar baseline";
+  let t =
+    Table.create
+      [ "benchmark"; "basic tiling"; "+ probability-based"; "#leaf-biased trees" ]
+  in
+  List.iter
+    (fun name ->
+      let b = load name in
+      let base = baseline_perf name intel in
+      let basic = simulate name intel fig11_base_schedule in
+      let prob =
+        simulate name intel
+          { fig11_base_schedule with Schedule.tiling = Schedule.Probability_based }
+      in
+      let biased =
+        Model_stats.num_leaf_biased b.entry.Zoo.forest
+          b.entry.Zoo.train_data.Dataset.features ~alpha:0.075 ~beta:0.9
+      in
+      Table.add_row t
+        [
+          name;
+          Table.cell_fx (base.Perf.cycles_per_row /. basic.Perf.cycles_per_row);
+          Table.cell_fx (base.Perf.cycles_per_row /. prob.Perf.cycles_per_row);
+          string_of_int biased;
+        ])
+    all_names;
+  Table.print t
+
+let fig11b () =
+  heading
+    "Figure 11b: walk unrolling & interleaving impact at batch 1024 (Intel).\n\
+     Speedup over scalar baseline";
+  let t =
+    Table.create
+      [ "benchmark"; "tiling only"; "+ unroll/peel + interleave(8)" ]
+  in
+  let only = ref [] and full = ref [] in
+  List.iter
+    (fun name ->
+      let base = baseline_perf name intel in
+      let tiled = simulate name intel fig11_base_schedule in
+      let opt =
+        simulate name intel
+          {
+            fig11_base_schedule with
+            Schedule.pad_and_unroll = true;
+            peel = true;
+            interleave = 8;
+          }
+      in
+      let s1 = base.Perf.cycles_per_row /. tiled.Perf.cycles_per_row in
+      let s2 = base.Perf.cycles_per_row /. opt.Perf.cycles_per_row in
+      only := s1 :: !only;
+      full := s2 :: !full;
+      Table.add_row t [ name; Table.cell_fx s1; Table.cell_fx s2 ])
+    all_names;
+  Table.add_sep t;
+  Table.add_row t
+    [ "geomean (paper: 1.5x -> 2.4x)"; Table.cell_fx (geomean !only);
+      Table.cell_fx (geomean !full) ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  heading
+    "Figure 12: single-core geomean speedup of optimized code over the\n\
+     scalar baseline across batch sizes";
+  let t = Table.create [ "batch"; "Intel"; "AMD" ] in
+  List.iter
+    (fun batch ->
+      let sp target =
+        geomean
+          (List.map
+             (fun name ->
+               let base = baseline_perf ~batch name target in
+               let best = best_schedule name target in
+               let opt = (simulate ~batch name target best.Explore.schedule) in
+               base.Perf.cycles_per_row /. opt.Perf.cycles_per_row)
+             all_names)
+      in
+      Table.add_row t
+        [ string_of_int batch; Table.cell_fx (sp intel); Table.cell_fx (sp amd) ])
+    batch_sizes;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  heading
+    "Figure 13: TREEBEARD scaling with core count (speedup over single-core\n\
+     scalar baseline, batch 1024, Intel)";
+  let cores = [ 1; 2; 4; 8; 16 ] in
+  let t =
+    Table.create ([ "benchmark" ] @ List.map (fun c -> Printf.sprintf "%d cores" c) cores)
+  in
+  List.iter
+    (fun name ->
+      let base = baseline_perf name intel in
+      let best = best_schedule name intel in
+      Table.add_row t
+        (name
+        :: List.map
+             (fun c ->
+               let p = simulate ~threads:c name intel best.Explore.schedule in
+               Table.cell_fx (base.Perf.cycles_per_row /. p.Perf.cycles_per_row))
+             cores))
+    all_names;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let sec5b () =
+  heading
+    "Section V-B: model memory footprint by representation (tile size 8,\n\
+     basic tiling). Paper: array ~8x scalar; sparse ~6.8x smaller than\n\
+     array and ~1.16x scalar";
+  let t =
+    Table.create
+      [ "benchmark"; "scalar KB"; "array KB"; "sparse KB"; "array/scalar";
+        "array/sparse"; "sparse/scalar" ]
+  in
+  let r1 = ref [] and r2 = ref [] and r3 = ref [] in
+  List.iter
+    (fun name ->
+      let b = load name in
+      let forest = b.entry.Zoo.forest in
+      let layout_bytes kind tile_size =
+        let schedule =
+          { Schedule.scalar_baseline with tile_size; tiling = Schedule.Basic }
+        in
+        let p = Program.build forest schedule in
+        Layout.memory_bytes (Layout.build_kind kind p)
+      in
+      let scalar = layout_bytes Layout.Sparse_kind 1 in
+      let arr = layout_bytes Layout.Array_kind 8 in
+      let sparse = layout_bytes Layout.Sparse_kind 8 in
+      let f1 = float_of_int arr /. float_of_int scalar in
+      let f2 = float_of_int arr /. float_of_int sparse in
+      let f3 = float_of_int sparse /. float_of_int scalar in
+      r1 := f1 :: !r1;
+      r2 := f2 :: !r2;
+      r3 := f3 :: !r3;
+      Table.add_row t
+        [
+          name;
+          string_of_int (scalar / 1024);
+          string_of_int (arr / 1024);
+          string_of_int (sparse / 1024);
+          Table.cell_fx f1; Table.cell_fx f2; Table.cell_fx f3;
+        ])
+    all_names;
+  Table.add_sep t;
+  Table.add_row t
+    [ "geomean"; ""; ""; ""; Table.cell_fx (geomean !r1); Table.cell_fx (geomean !r2);
+      Table.cell_fx (geomean !r3) ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let sec6e () =
+  heading
+    "Section VI-E: microarchitectural analysis (Intel). Stall attribution\n\
+     per variant, batch 1024";
+  List.iter
+    (fun name ->
+      Printf.printf "\n--- %s ---\n" name;
+      let variant label schedule =
+        let p = simulate name intel schedule in
+        { Vtune.variant = label; breakdown = p.Perf.breakdown;
+          rows = p.Perf.workload.Cost_model.rows }
+      in
+      let scalar_tree =
+        { Schedule.scalar_baseline with loop_order = Schedule.One_tree_at_a_time }
+      in
+      let vector = fig11_base_schedule in
+      let interleaved =
+        { fig11_base_schedule with Schedule.pad_and_unroll = true; peel = true; interleave = 8 }
+      in
+      let rows =
+        [
+          variant "OneRow (scalar, row-major)" Schedule.scalar_baseline;
+          variant "OneTree (scalar, tree-major)" scalar_tree;
+          variant "Vector (nt=8, tree-major)" vector;
+          variant "Interleaved (+unroll, il=8)" interleaved;
+          (let _, breakdown, w = treelite_perf name intel in
+           { Vtune.variant = "Treelite (if-else expansion)"; breakdown;
+             rows = w.Cost_model.rows });
+        ]
+      in
+      Table.print (Vtune.table rows))
+    [ "abalone"; "higgs" ]
+
+(* ------------------------------------------------------------------ *)
+
+let wallclock () =
+  heading
+    "Real wall-clock sanity check (OCaml closure backend; absolute numbers\n\
+     are not comparable to the paper's C++/LLVM builds, shapes should hold)";
+  let t =
+    Table.create
+      [ "benchmark"; "tb-scalar us/row"; "tb-best us/row"; "speedup";
+        "xgboost-style us/row"; "treelite-style us/row" ]
+  in
+  List.iter
+    (fun name ->
+      let b = load name in
+      let forest = b.entry.Zoo.forest in
+      let rows = b.rows_1024 in
+      let n = float_of_int (Array.length rows) in
+      let time f =
+        let r = Tb_util.Timer.measure ~warmup:1 ~min_iters:3 ~min_time_s:0.3 f in
+        r.Tb_util.Timer.mean_s /. n *. 1e6
+      in
+      let scalar =
+        Tb_core.Treebeard.compile ~schedule:Schedule.scalar_baseline forest
+      in
+      let best =
+        Tb_core.Treebeard.compile
+          ~schedule:(best_schedule name intel).Explore.schedule
+          ~profiles:b.profiles forest
+      in
+      let xgb = Xgboost.compile forest in
+      let tl = Treelite.compile forest in
+      let t_scalar = time (fun () -> ignore (Tb_core.Treebeard.predict_forest scalar rows)) in
+      let t_best = time (fun () -> ignore (Tb_core.Treebeard.predict_forest best rows)) in
+      let t_xgb = time (fun () -> ignore (Xgboost.predict_batch xgb Xgboost.V15 rows)) in
+      let t_tl = time (fun () -> ignore (Treelite.predict_batch tl rows)) in
+      Table.add_row t
+        [
+          name;
+          Table.cell_f t_scalar;
+          Table.cell_f t_best;
+          Table.cell_fx (t_scalar /. t_best);
+          Table.cell_f t_xgb;
+          Table.cell_f t_tl;
+        ])
+    [ "abalone"; "airline"; "higgs"; "letter" ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+
+(* Extension beyond the paper's figures: one-axis ablation of the tuned
+   schedule, quantifying how much each optimization contributes on each
+   benchmark (the per-axis analogue of Fig. 11). *)
+let ablation () =
+  heading
+    "Ablation (extension): slowdown from disabling one optimization of the\n\
+     tuned schedule at a time (Intel, batch 1024; 1.00x = no effect)";
+  let t =
+    Table.create
+      [ "benchmark"; "best cyc/row"; "scalar tiles"; "row-major"; "no unroll/peel";
+        "no interleave"; "basic tiling"; "other layout" ]
+  in
+  List.iter
+    (fun name ->
+      let best = best_schedule name intel in
+      let s0 = best.Explore.schedule in
+      let c0 = best.Explore.perf.Perf.cycles_per_row in
+      let flip schedule =
+        match simulate name intel schedule with
+        | p -> Table.cell_fx (p.Perf.cycles_per_row /. c0)
+        | exception Invalid_argument _ -> "n/a"
+      in
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.0f" c0;
+          flip { s0 with Schedule.tile_size = 1; layout = Schedule.Array_layout };
+          flip
+            {
+              s0 with
+              Schedule.loop_order =
+                (match s0.Schedule.loop_order with
+                | Schedule.One_tree_at_a_time -> Schedule.One_row_at_a_time
+                | Schedule.One_row_at_a_time -> Schedule.One_tree_at_a_time);
+            };
+          flip { s0 with Schedule.pad_and_unroll = false; peel = false };
+          flip { s0 with Schedule.interleave = 1 };
+          flip { s0 with Schedule.tiling = Schedule.Basic };
+          flip
+            {
+              s0 with
+              Schedule.layout =
+                (match s0.Schedule.layout with
+                | Schedule.Array_layout -> Schedule.Sparse_layout
+                | Schedule.Sparse_layout -> Schedule.Array_layout);
+            };
+        ])
+    all_names;
+  Table.print t
+
+(* Extension: QuickScorer as an alternative traversal strategy (§VII). *)
+let ext_qs () =
+  heading
+    "Extension: QuickScorer traversal (Lucchese et al.) vs TREEBEARD.\n\
+     QS visits only false nodes via bitvector masks - fast on small\n\
+     models, poor scaling on large ones (the paper's cited limitation)";
+  let t =
+    Table.create
+      [ "benchmark"; "model nodes"; "QS false-nodes/row"; "QS cyc/row";
+        "TB cyc/row"; "XGB cyc/row"; "QS/TB" ]
+  in
+  List.iter
+    (fun name ->
+      let b = load name in
+      let forest = b.entry.Zoo.forest in
+      let qs = Tb_baselines.Quickscorer.compile forest in
+      let sample = Array.sub b.rows_1024 0 48 in
+      let qs_cycles = Tb_baselines.Quickscorer.cycles_per_row ~target:intel qs sample in
+      let tb = tb_best_perf name intel in
+      let xgb, _, _ = xgb_perf name intel in
+      Table.add_row t
+        [
+          name;
+          string_of_int (Forest.total_nodes forest);
+          Printf.sprintf "%.0f" (Tb_baselines.Quickscorer.false_nodes_per_row qs sample);
+          Printf.sprintf "%.0f" qs_cycles;
+          Printf.sprintf "%.0f" tb;
+          Printf.sprintf "%.0f" xgb;
+          Table.cell_fx (qs_cycles /. tb);
+        ])
+    all_names;
+  Table.print t
+
+(* Extension: the DP tilings (optimal expected depth; min-max depth). *)
+let ext_dp () =
+  heading
+    "Extension: DP tilings vs the paper's greedy Algorithm 1 (Intel,\n\
+     tile size 8, mid-level opts disabled). Cells = simulated cycles/row";
+  let t =
+    Table.create
+      [ "benchmark"; "basic"; "greedy prob"; "optimal prob (DP)";
+        "min-max depth (DP)"; "greedy/optimal" ]
+  in
+  List.iter
+    (fun name ->
+      let cost tiling =
+        (simulate name intel { fig11_base_schedule with Schedule.tiling })
+          .Perf.cycles_per_row
+      in
+      let basic = cost Schedule.Basic in
+      let greedy = cost Schedule.Probability_based in
+      let opt = cost Schedule.Optimal_probability_based in
+      let mm = cost Schedule.Min_max_depth in
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.0f" basic;
+          Printf.sprintf "%.0f" greedy;
+          Printf.sprintf "%.0f" opt;
+          Printf.sprintf "%.0f" mm;
+          Table.cell_fx (greedy /. opt);
+        ])
+    [ "abalone"; "airline-ohe"; "covtype"; "higgs" ];
+  Table.print t
+
+let all_experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig3", fig3);
+    ("fig7a", fig7a);
+    ("fig7b", fig7b);
+    ("fig8a", fig8a);
+    ("fig8b", fig8b);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11a", fig11a);
+    ("fig11b", fig11b);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("sec5b", sec5b);
+    ("sec6e", sec6e);
+    ("ablation", ablation);
+    ("ext_qs", ext_qs);
+    ("ext_dp", ext_dp);
+    ("wallclock", wallclock);
+  ]

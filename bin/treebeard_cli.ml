@@ -1,0 +1,262 @@
+(* treebeard — command-line driver for the compiler.
+
+   Subcommands:
+     train    train a benchmark model and serialize it to JSON
+     compile  compile a serialized model and dump its IR
+     predict  run batch inference on a serialized model
+     explore  autotune a schedule for a CPU target *)
+
+open Cmdliner
+module Schedule = Tb_hir.Schedule
+module Config = Tb_cpu.Config
+
+(* ---------------- shared args ---------------- *)
+
+let model_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "m"; "model" ] ~docv:"FILE" ~doc:"Serialized model (JSON).")
+
+let target_arg =
+  let parse s =
+    match Config.by_name s with
+    | t -> Ok t
+    | exception Not_found ->
+      Error (`Msg (Printf.sprintf "unknown target %s (try intel-rocket-lake or amd-ryzen7)" s))
+  in
+  let print fmt (t : Config.t) = Format.fprintf fmt "%s" t.Config.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.intel_rocket_lake
+    & info [ "target" ] ~docv:"CPU" ~doc:"Cost-model target CPU.")
+
+let schedule_term =
+  let tile_size =
+    Arg.(value & opt int 8 & info [ "tile-size" ] ~doc:"Tile size (1-8).")
+  in
+  let tiling =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("basic", Schedule.Basic); ("prob", Schedule.Probability_based);
+               ("prob-opt", Schedule.Optimal_probability_based);
+               ("minmax", Schedule.Min_max_depth) ])
+          Schedule.Basic
+      & info [ "tiling" ] ~doc:"Tiling algorithm: basic, prob, prob-opt or minmax.")
+  in
+  let loop_order =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("tree", Schedule.One_tree_at_a_time); ("row", Schedule.One_row_at_a_time) ])
+          Schedule.One_tree_at_a_time
+      & info [ "loop-order" ] ~doc:"Loop order: tree or row.")
+  in
+  let interleave =
+    Arg.(value & opt int 4 & info [ "interleave" ] ~doc:"Walk interleaving factor.")
+  in
+  let unroll =
+    Arg.(value & flag & info [ "no-unroll" ] ~doc:"Disable padding + unrolling.")
+  in
+  let layout =
+    Arg.(
+      value
+      & opt (enum [ ("array", Schedule.Array_layout); ("sparse", Schedule.Sparse_layout) ])
+          Schedule.Sparse_layout
+      & info [ "layout" ] ~doc:"Memory layout: array or sparse.")
+  in
+  let threads =
+    Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Row-loop parallelism (domains).")
+  in
+  let build tile_size tiling loop_order interleave no_unroll layout threads =
+    {
+      Schedule.default with
+      tile_size;
+      tiling;
+      loop_order;
+      interleave;
+      pad_and_unroll = not no_unroll;
+      peel = not no_unroll;
+      layout;
+      num_threads = threads;
+    }
+  in
+  let schedule_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "schedule-file" ] ~docv:"FILE"
+          ~doc:"Load the schedule from a JSON file (e.g. saved by explore                 --save); overrides the individual schedule flags.")
+  in
+  let finish schedule = function
+    | None -> schedule
+    | Some path -> Schedule.of_file path
+  in
+  Term.(
+    const finish
+    $ (const build $ tile_size $ tiling $ loop_order $ interleave $ unroll
+      $ layout $ threads)
+    $ schedule_file)
+
+(* ---------------- train ---------------- *)
+
+let train_cmd =
+  let benchmark =
+    Arg.(
+      required
+      & opt (some (enum (List.map (fun n -> (n, n)) Tb_data.Generators.names))) None
+      & info [ "b"; "benchmark" ] ~docv:"NAME"
+          ~doc:"Benchmark to train (abalone, airline, airline-ohe, covtype, epsilon, letter, higgs, year).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output path (default <name>.json).")
+  in
+  let run benchmark out =
+    let t0 = Unix.gettimeofday () in
+    let entry = Tb_gbt.Zoo.get benchmark in
+    let path = Option.value out ~default:(benchmark ^ ".json") in
+    Tb_model.Serialize.to_file path entry.Tb_gbt.Zoo.forest;
+    Printf.printf "trained/loaded %s in %.1fs: %d trees, depth %d -> %s\n" benchmark
+      (Unix.gettimeofday () -. t0)
+      (Array.length entry.Tb_gbt.Zoo.forest.Tb_model.Forest.trees)
+      (Tb_model.Forest.max_depth entry.Tb_gbt.Zoo.forest)
+      path
+  in
+  Cmd.v (Cmd.info "train" ~doc:"Train (or load cached) benchmark model")
+    Term.(const run $ benchmark $ out)
+
+(* ---------------- compile ---------------- *)
+
+let compile_cmd =
+  let run model schedule =
+    let compiled = Tb_core.Treebeard.of_file ~schedule model in
+    print_string (Tb_core.Treebeard.dump_ir compiled)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a model and dump its IR (schedule, MIR, LIR, layout)")
+    Term.(const run $ model_arg $ schedule_term)
+
+(* ---------------- predict ---------------- *)
+
+let predict_cmd =
+  let batch =
+    Arg.(value & opt int 1024 & info [ "batch" ] ~docv:"N" ~doc:"Batch size.")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("jit", `Jit); ("interp", `Interp) ]) `Jit
+      & info [ "backend" ]
+          ~doc:"Execution backend: the closure JIT or the register-IR interpreter.")
+  in
+  let run model schedule batch backend =
+    let forest = Tb_model.Serialize.of_file model in
+    let lowered = Tb_lir.Lower.lower forest schedule in
+    let predict =
+      match backend with
+      | `Jit -> Tb_vm.Jit.compile lowered
+      | `Interp -> Tb_vm.Interp.compile lowered
+    in
+    let rng = Tb_util.Prng.create 1 in
+    let rows =
+      Array.init batch (fun _ ->
+          Array.init forest.Tb_model.Forest.num_features (fun _ ->
+              Tb_util.Prng.gaussian rng))
+    in
+    let r =
+      Tb_util.Timer.measure ~warmup:1 ~min_iters:3 ~min_time_s:0.5 (fun () ->
+          ignore (predict rows))
+    in
+    Printf.printf "schedule: %s (%s backend)\n" (Schedule.to_string schedule)
+      (match backend with `Jit -> "jit" | `Interp -> "interp");
+    Printf.printf "batch %d: %.2f ms/batch, %.2f us/row\n" batch
+      (r.Tb_util.Timer.mean_s *. 1e3)
+      (r.Tb_util.Timer.mean_s *. 1e6 /. float_of_int batch)
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Run batch inference and report wall-clock time")
+    Term.(const run $ model_arg $ schedule_term $ batch $ backend)
+
+(* ---------------- explore ---------------- *)
+
+let explore_cmd =
+  let exhaustive =
+    Arg.(value & flag & info [ "exhaustive" ] ~doc:"Search the full Table II grid.")
+  in
+  let save =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the best schedule as JSON.")
+  in
+  let run model target exhaustive save =
+    let forest = Tb_model.Serialize.of_file model in
+    let rng = Tb_util.Prng.create 7 in
+    let rows =
+      Array.init 256 (fun _ ->
+          Array.init forest.Tb_model.Forest.num_features (fun _ ->
+              Tb_util.Prng.gaussian rng))
+    in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      if exhaustive then Tb_core.Explore.exhaustive ~target forest rows
+      else Tb_core.Explore.greedy ~target forest rows
+    in
+    let baseline =
+      Tb_core.Explore.evaluate ~target forest Schedule.scalar_baseline rows
+    in
+    Printf.printf "target          : %s\n" target.Config.name;
+    Printf.printf "best schedule   : %s\n" (Schedule.to_string result.Tb_core.Explore.schedule);
+    Printf.printf "simulated cost  : %.0f cycles/row (baseline %.0f, speedup %.2fx)\n"
+      result.Tb_core.Explore.perf.Tb_core.Perf.cycles_per_row
+      baseline.Tb_core.Perf.cycles_per_row
+      (baseline.Tb_core.Perf.cycles_per_row
+      /. result.Tb_core.Explore.perf.Tb_core.Perf.cycles_per_row);
+    Printf.printf "search          : %d schedules in %.1fs\n"
+      result.Tb_core.Explore.evaluated
+      (Unix.gettimeofday () -. t0);
+    match save with
+    | None -> ()
+    | Some path ->
+      Schedule.to_file path result.Tb_core.Explore.schedule;
+      Printf.printf "saved schedule  : %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Autotune a schedule for a CPU target")
+    Term.(const run $ model_arg $ target_arg $ exhaustive $ save)
+
+(* ---------------- import ---------------- *)
+
+let import_cmd =
+  let dump =
+    Arg.(
+      required & opt (some file) None
+      & info [ "d"; "dump" ] ~docv:"FILE"
+          ~doc:"XGBoost JSON dump (booster.dump_model(..., dump_format=\"json\")).")
+  in
+  let out =
+    Arg.(
+      required & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output model path.")
+  in
+  let run dump out =
+    let forest = Tb_model.Xgb_import.of_dump_file dump in
+    Tb_model.Serialize.to_file out forest;
+    Printf.printf "imported %d trees (max depth %d, %d features) -> %s\n"
+      (Array.length forest.Tb_model.Forest.trees)
+      (Tb_model.Forest.max_depth forest)
+      forest.Tb_model.Forest.num_features out
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Convert an XGBoost JSON dump into a model file")
+    Term.(const run $ dump $ out)
+
+let () =
+  let doc = "TREEBEARD: an optimizing compiler for decision tree inference" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "treebeard" ~version:"1.0.0" ~doc)
+          [ train_cmd; compile_cmd; predict_cmd; explore_cmd; import_cmd ]))

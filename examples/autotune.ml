@@ -1,0 +1,47 @@
+(* Schedule autotuning: the same model gets different optimal schedules on
+   different CPU targets (paper §VI-A).
+
+   Run with: dune exec examples/autotune.exe *)
+
+module Schedule = Tb_hir.Schedule
+module Config = Tb_cpu.Config
+module Explore = Tb_core.Explore
+module Perf = Tb_core.Perf
+
+let () =
+  let rng = Tb_util.Prng.create 3 in
+  let ds = Tb_data.Generators.covtype ~rows:3000 rng in
+  let train, test = Tb_data.Dataset.split ds ~train_fraction:0.8 rng in
+  let params =
+    { Tb_gbt.Train.default_params with
+      num_rounds = 300; max_depth = 9; learning_rate = 0.02;
+      subsample = 0.7; colsample = 0.25; min_child_weight = 0.1 }
+  in
+  let forest = Tb_gbt.Train.fit ~params train in
+  let profiles =
+    Tb_model.Model_stats.profile_forest forest train.Tb_data.Dataset.features
+  in
+  let rows = test.Tb_data.Dataset.features in
+  Printf.printf "model: %d trees, depth %d\n\n"
+    (Array.length forest.Tb_model.Forest.trees)
+    (Tb_model.Forest.max_depth forest);
+  List.iter
+    (fun target ->
+      let baseline =
+        Explore.evaluate ~target forest Schedule.scalar_baseline rows
+      in
+      let t0 = Unix.gettimeofday () in
+      let best = Explore.greedy ~target ~profiles forest rows in
+      Printf.printf "%s:\n" target.Config.name;
+      Printf.printf "  scalar baseline : %8.0f cycles/row\n" baseline.Perf.cycles_per_row;
+      Printf.printf "  best schedule   : %s\n" (Schedule.to_string best.Explore.schedule);
+      Printf.printf "  best cost       : %8.0f cycles/row (%.2fx speedup)\n"
+        best.Explore.perf.Perf.cycles_per_row
+        (baseline.Perf.cycles_per_row /. best.Explore.perf.Perf.cycles_per_row);
+      Printf.printf "  search          : %d schedules in %.1fs\n\n"
+        best.Explore.evaluated (Unix.gettimeofday () -. t0))
+    Config.targets;
+  (* The exhaustive Table II grid is also available when search time does
+     not matter: *)
+  Printf.printf "(exhaustive grid has %d schedules; try Explore.exhaustive)\n"
+    (List.length Schedule.table2_grid)

@@ -1,0 +1,49 @@
+(* Real multicore batch inference over OCaml domains (paper §IV-C).
+
+   TREEBEARD parallelizes the row loop by tiling it across threads; here we
+   measure actual wall-clock scaling of the compiled predictor.
+
+   Run with: dune exec examples/multicore_scaling.exe *)
+
+module Schedule = Tb_hir.Schedule
+module Treebeard = Tb_core.Treebeard
+
+let () =
+  let rng = Tb_util.Prng.create 11 in
+  let ds = Tb_data.Generators.letter ~rows:2000 rng in
+  let params =
+    { Tb_gbt.Train.default_params with num_rounds = 30; max_depth = 7 }
+  in
+  let forest = Tb_gbt.Train.fit ~params ds in
+  let rows = Tb_data.Dataset.subsample_rows ds 8192 rng in
+  Printf.printf "model: %d trees (26-class letter), batch %d\n\n"
+    (Array.length forest.Tb_model.Forest.trees)
+    (Array.length rows);
+  let time_with threads =
+    let compiled =
+      Treebeard.compile ~schedule:(Schedule.with_threads Schedule.default threads) forest
+    in
+    let r =
+      Tb_util.Timer.measure ~warmup:1 ~min_iters:3 ~min_time_s:0.5 (fun () ->
+          ignore (Treebeard.predict_forest compiled rows))
+    in
+    r.Tb_util.Timer.mean_s
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "host reports %d usable core(s)%s\n\n" cores
+    (if cores = 1 then
+       " - domains will serialize; expect ~1x measured speedup"
+     else "");
+  let t1 = time_with 1 in
+  let predicted threads =
+    Tb_cpu.Multicore.speedup Tb_cpu.Config.intel_rocket_lake ~threads ()
+    *. Tb_core.Perf.naive_parallel_efficiency
+  in
+  Printf.printf "%8s %12s %18s %20s\n" "domains" "ms/batch" "measured speedup"
+    "model (8-core CPU)";
+  List.iter
+    (fun threads ->
+      let t = if threads = 1 then t1 else time_with threads in
+      Printf.printf "%8d %12.1f %17.2fx %19.2fx\n" threads (t *. 1e3) (t1 /. t)
+        (if threads = 1 then 1.0 else predicted threads))
+    [ 1; 2; 4; 8 ]

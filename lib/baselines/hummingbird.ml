@@ -1,0 +1,142 @@
+module Forest = Tb_model.Forest
+module Tree = Tb_model.Tree
+module Config = Tb_cpu.Config
+
+(* Dense per-tree tensors. *)
+type tree_tensors = {
+  num_nodes : int;  (* internal *)
+  num_leaves : int;
+  node_feature : int array;  (* A as indices: node j tests feature.(j) *)
+  node_threshold : float array;  (* B *)
+  path : float array array;  (* C: path.(node).(leaf) in {-1,0,+1} *)
+  left_counts : float array;  (* D: left turns on the path to each leaf *)
+  leaf_values : float array;  (* V *)
+}
+
+type t = {
+  trees : tree_tensors array;
+  tree_class : int array;
+  num_outputs : int;
+  base_score : float;
+  num_features : int;
+}
+
+let tensorize tree =
+  let num_nodes = Tree.num_nodes tree in
+  let num_leaves = Tree.num_leaves tree in
+  let node_feature = Array.make (max 1 num_nodes) 0 in
+  let node_threshold = Array.make (max 1 num_nodes) infinity in
+  let path = Array.make_matrix (max 1 num_nodes) num_leaves 0.0 in
+  let left_counts = Array.make num_leaves 0.0 in
+  let leaf_values = Array.make num_leaves 0.0 in
+  let next_node = ref 0 and next_leaf = ref 0 in
+  (* conditions: list of (node index, +1 for left / -1 for right) *)
+  let rec go t conditions =
+    match t with
+    | Tree.Leaf v ->
+      let l = !next_leaf in
+      incr next_leaf;
+      leaf_values.(l) <- v;
+      List.iter
+        (fun (node, sign) ->
+          path.(node).(l) <- sign;
+          if sign > 0.0 then left_counts.(l) <- left_counts.(l) +. 1.0)
+        conditions
+    | Tree.Node { feature; threshold; left; right } ->
+      let j = !next_node in
+      incr next_node;
+      node_feature.(j) <- feature;
+      node_threshold.(j) <- threshold;
+      go left ((j, 1.0) :: conditions);
+      go right ((j, -1.0) :: conditions)
+  in
+  go tree [];
+  { num_nodes; num_leaves; node_feature; node_threshold; path; left_counts; leaf_values }
+
+let compile (forest : Forest.t) =
+  {
+    trees = Array.map tensorize forest.Forest.trees;
+    tree_class = Array.mapi (fun i _ -> Forest.class_of_tree forest i) forest.Forest.trees;
+    num_outputs = Forest.num_outputs forest;
+    base_score = forest.Forest.base_score;
+    num_features = forest.Forest.num_features;
+  }
+
+let predict_tree (tt : tree_tensors) row =
+  if tt.num_nodes = 0 then tt.leaf_values.(0)
+  else begin
+    (* S = (X·A < B): all predicates, dense. *)
+    let s = Array.make tt.num_nodes 0.0 in
+    for j = 0 to tt.num_nodes - 1 do
+      s.(j) <- (if row.(tt.node_feature.(j)) < tt.node_threshold.(j) then 1.0 else 0.0)
+    done;
+    (* E = (S·C == D), using C with ±1 entries: for leaf l the dot product
+       equals left_counts.(l) exactly when every path condition holds. *)
+    let result = ref 0.0 in
+    for l = 0 to tt.num_leaves - 1 do
+      let dot = ref 0.0 in
+      for j = 0 to tt.num_nodes - 1 do
+        let c = tt.path.(j).(l) in
+        if c > 0.0 then dot := !dot +. s.(j)
+        else if c < 0.0 then dot := !dot +. (1.0 -. s.(j)) -. 1.0
+      done;
+      (* dot = (#satisfied left conditions) - (#unsatisfied-right...) ;
+         reaches left_counts.(l) iff all conditions on l's path hold. *)
+      if Float.abs (!dot -. tt.left_counts.(l)) < 0.5 then
+        result := !result +. tt.leaf_values.(l)
+    done;
+    !result
+  end
+
+let predict_batch t rows =
+  let n = Array.length rows in
+  let out = Array.init n (fun _ -> Array.make t.num_outputs t.base_score) in
+  for i = 0 to n - 1 do
+    Array.iteri
+      (fun ti tt ->
+        let cls = t.tree_class.(ti) in
+        out.(i).(cls) <- out.(i).(cls) +. predict_tree tt rows.(i))
+      t.trees
+  done;
+  out
+
+let macs_per_row t =
+  Array.fold_left
+    (fun acc tt ->
+      (* predicate evaluation ~ N MACs (gather+cmp counted as one), path
+         matching N×L, leaf selection L. *)
+      acc
+      +. float_of_int tt.num_nodes
+      +. (float_of_int tt.num_nodes *. float_of_int tt.num_leaves)
+      +. float_of_int tt.num_leaves)
+    0.0 t.trees
+
+let effective_core_cap = 3
+
+(* Hummingbird picks a strategy per tree depth: GEMM for shallow trees,
+   (Perfect)TreeTraversal — a tensorized level-synchronous walk doing
+   gather work for every tree at every level — for deeper ones. We model
+   both and take the cheaper, as HB's heuristic does. *)
+let tree_traversal_cycles_per_row t =
+  let cycles_per_tree_level = 9.0 in
+  Array.fold_left
+    (fun acc tt ->
+      (* levels walked = padded depth ~ log2(leaves); every tree walks its
+         full depth every time (no early exit in the tensor form). *)
+      let depth =
+        ceil (log (float_of_int (max 2 tt.num_leaves)) /. log 2.0)
+      in
+      acc +. (depth *. cycles_per_tree_level))
+    0.0 t.trees
+
+let cycles_per_row ~target ~threads t =
+  (* GEMM path: 8-lane FMA per cycle at ~50% efficiency for these small,
+     skinny matrices. *)
+  let flops_per_cycle = 8.0 *. 0.5 in
+  let gemm = macs_per_row t /. flops_per_cycle in
+  let tt = tree_traversal_cycles_per_row t in
+  let single = Float.min gemm tt in
+  let speedup =
+    Tb_cpu.Multicore.speedup target ~max_effective_cores:effective_core_cap ~threads ()
+  in
+  single /. speedup

@@ -1,0 +1,38 @@
+(** Hummingbird-style baseline: tree inference as dense tensor algebra.
+
+    Implements the GEMM strategy of Nakandala et al. (OSDI'20): for each
+    tree with N internal nodes and L leaves,
+
+    + [S = (X · A < B)] — evaluate {e all} node predicates: [A] is the
+      F×N one-hot feature-selection matrix, [B] the threshold vector;
+    + [E = (S · C == D)] — identify the leaf whose root-to-leaf path
+      conditions all hold: [C] is the N×L path matrix (+1 when the leaf is
+      in a node's left subtree, −1 when in its right subtree, 0 otherwise)
+      and [D_l] counts the left-turns on the path to leaf [l];
+    + [out = E · V] — select the leaf value.
+
+    The arithmetic is dense: O(F·N + N·L) multiply-adds per (row, tree)
+    regardless of the path actually taken — the reason the approach loses
+    to tree walking on CPUs for non-trivial ensembles (§VI-C), and wins
+    only where dense SIMD throughput beats branchy walks (small trees,
+    huge batches). The analytic perf model charges exactly those FLOPs at
+    the target's SIMD throughput and caps multicore scaling at the ~3
+    effective cores the paper measured for Hummingbird. *)
+
+type t
+
+val compile : Tb_model.Forest.t -> t
+
+val predict_batch : t -> float array array -> float array array
+(** Equals {!Tb_model.Forest.predict_batch_raw} up to float tolerance
+    (tested). *)
+
+val macs_per_row : t -> float
+(** Dense multiply-accumulate count per input row (all trees). *)
+
+val cycles_per_row : target:Tb_cpu.Config.t -> threads:int -> t -> float
+(** Analytic cost: MACs at SIMD throughput with GEMM efficiency, capped
+    parallel scaling. *)
+
+val effective_core_cap : int
+(** Observed Hummingbird core utilization on the paper's testbed (3). *)

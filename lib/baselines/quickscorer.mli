@@ -1,0 +1,33 @@
+(** QuickScorer (Lucchese et al., SIGIR'15) — the bitvector traversal the
+    paper names as an integrable alternative strategy (§VII).
+
+    Instead of walking root-to-leaf, QuickScorer visits only the {e false}
+    nodes: every internal node carries a bitvector zeroing the leaves that
+    become unreachable when its predicate fails (the leaves of its left
+    subtree). Nodes are bucketed per feature and sorted by threshold, so
+    for a row the false nodes of feature [f] are exactly the prefix with
+    [threshold <= row.(f)]. ANDing their masks into a per-tree bitvector
+    and taking the leftmost surviving bit yields the exit leaf.
+
+    Fast for small trees (the masks fit one machine word and there are few
+    false nodes); scales poorly to large ensembles — the observation the
+    paper cites from Buschjäger et al. [39], reproduced by the [ext_qs]
+    benchmark experiment. Masks here are arbitrary-width (multi-word), so
+    any tree is supported. *)
+
+type t
+
+val compile : Tb_model.Forest.t -> t
+
+val predict_batch : t -> float array array -> float array array
+(** Equals {!Tb_model.Forest.predict_batch_raw} (tested). *)
+
+val false_nodes_per_row : t -> float array array -> float
+(** Mean number of false-node mask applications per row — QuickScorer's
+    dynamic work metric. *)
+
+val cycles_per_row : target:Tb_cpu.Config.t -> t -> float array array -> float
+(** Analytic cost: mask AND work for the measured false-node count plus
+    per-tree bitvector scan/reset, at the target's issue width. *)
+
+val memory_bytes : t -> int

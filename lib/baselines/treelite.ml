@@ -1,0 +1,101 @@
+module Forest = Tb_model.Forest
+module Tree = Tb_model.Tree
+module Cache = Tb_cpu.Cache
+module Config = Tb_cpu.Config
+module Cost_model = Tb_cpu.Cost_model
+
+type t = {
+  compiled : (float array -> float) array;  (* the if-else closure nests *)
+  tracers : (float array -> (int -> unit) -> int) array;
+      (* same walk, reporting each consulted feature; returns node count *)
+  tree_class : int array;
+  num_outputs : int;
+  base_score : float;
+  code_bytes : int;
+  total_nodes : int;
+}
+
+(* "Code generation": build a closure nest mirroring the emitted if-else
+   chain; every threshold/feature/leaf is a captured immediate. *)
+let rec compile_tree tree =
+  match tree with
+  | Tree.Leaf v -> fun _ -> v
+  | Tree.Node { feature; threshold; left; right } ->
+    let l = compile_tree left and r = compile_tree right in
+    fun row -> if row.(feature) < threshold then l row else r row
+
+let rec compile_tracer tree =
+  match tree with
+  | Tree.Leaf _ -> fun _ _ -> 0
+  | Tree.Node { feature; threshold; left; right } ->
+    let l = compile_tracer left and r = compile_tracer right in
+    fun row visit ->
+      visit feature;
+      1 + (if row.(feature) < threshold then l row visit else r row visit)
+
+let compile (forest : Forest.t) =
+  let nodes = Forest.total_nodes forest in
+  let leaves = Forest.total_leaves forest in
+  {
+    compiled = Array.map compile_tree forest.Forest.trees;
+    tracers = Array.map compile_tracer forest.Forest.trees;
+    tree_class = Array.mapi (fun i _ -> Forest.class_of_tree forest i) forest.Forest.trees;
+    num_outputs = Forest.num_outputs forest;
+    base_score = forest.Forest.base_score;
+    (* ~20B per compare-and-branch, ~8B per leaf return. *)
+    code_bytes = (20 * nodes) + (8 * leaves);
+    total_nodes = nodes;
+  }
+
+let predict_batch t rows =
+  let n = Array.length rows in
+  let out = Array.init n (fun _ -> Array.make t.num_outputs t.base_score) in
+  for i = 0 to n - 1 do
+    Array.iteri
+      (fun ti f ->
+        let cls = t.tree_class.(ti) in
+        out.(i).(cls) <- out.(i).(cls) +. f rows.(i))
+      t.compiled
+  done;
+  out
+
+let code_bytes t = t.code_bytes
+
+let profile ~target t rows =
+  let cache =
+    Cache.create ~line_bytes:target.Config.l1_line_bytes ~ways:target.Config.l1_ways
+      ~size_bytes:target.Config.l1_size_bytes ()
+  in
+  let num_features = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+  let steps = ref 0 in
+  let walks = ref 0 in
+  (* Data traffic is only the row loads: model constants live in the
+     code, so each visited node costs exactly one row-feature access. *)
+  Array.iteri
+    (fun i row ->
+      Array.iter
+        (fun tracer ->
+          let visited =
+            tracer row (fun f ->
+                ignore (Cache.access cache (((i * num_features) + f) * 4)))
+          in
+          steps := !steps + visited;
+          incr walks)
+        t.tracers)
+    rows;
+  {
+    Cost_model.rows = Array.length rows;
+    walks_checked = !walks;
+    walks_unrolled = 0;
+    steps_checked = !steps;
+    steps_unchecked = 0;
+    leaf_fetches = !walks;
+    critical_steps = !steps;
+    l1 = Cache.stats cache;
+    (* The model lives in the instruction stream; the data working set is
+       just the input rows. *)
+    code_bytes = t.code_bytes;
+    model_bytes = 0;
+    tile_size = 1;
+    layout = Tb_lir.Layout.Array_kind;
+  }

@@ -1,0 +1,24 @@
+(** Treelite-style baseline: the model fully expanded into if-else code.
+
+    Treelite compiles every tree into nested if-else statements with the
+    thresholds embedded as immediates. We reproduce that mechanism by
+    compiling each tree into a nest of OCaml closures (the closure tree
+    {e is} the specialized code: constants captured, no model buffers at
+    runtime), and reproduce its microarchitectural failure mode in the
+    profile: code size grows with the model (I-cache misses / front-end
+    bound, §VI-E) while data traffic shrinks to just the input row. *)
+
+type t
+
+val compile : Tb_model.Forest.t -> t
+
+val predict_batch : t -> float array array -> float array array
+(** Equals {!Tb_model.Forest.predict_batch_raw} (tested). *)
+
+val code_bytes : t -> int
+(** Estimated machine-code size of the expanded model (~20 bytes per
+    compare-and-branch plus leaf returns) — the quantity that makes this
+    strategy front-end bound on large ensembles. *)
+
+val profile :
+  target:Tb_cpu.Config.t -> t -> float array array -> Tb_cpu.Cost_model.workload

@@ -1,0 +1,153 @@
+module Forest = Tb_model.Forest
+module Tree = Tb_model.Tree
+module Cache = Tb_cpu.Cache
+module Config = Tb_cpu.Config
+module Cost_model = Tb_cpu.Cost_model
+
+type version = V09 | V15
+
+(* Per-tree node arrays, preorder. Leaves: feature = -1, threshold holds
+   the value. *)
+type packed_tree = {
+  feature : int array;
+  threshold : float array;
+  left : int array;
+  right : int array;
+}
+
+type t = {
+  trees : packed_tree array;
+  tree_class : int array;
+  num_outputs : int;
+  base_score : float;
+}
+
+let node_bytes = 16
+
+let pack_tree tree =
+  let n = Tree.num_nodes tree + Tree.num_leaves tree in
+  let feature = Array.make n (-1) in
+  let threshold = Array.make n 0.0 in
+  let left = Array.make n (-1) in
+  let right = Array.make n (-1) in
+  let next = ref 0 in
+  let rec go t =
+    let id = !next in
+    incr next;
+    (match t with
+    | Tree.Leaf v -> threshold.(id) <- v
+    | Tree.Node { feature = f; threshold = thr; left = l; right = r } ->
+      feature.(id) <- f;
+      threshold.(id) <- thr;
+      left.(id) <- go l;
+      right.(id) <- go r);
+    id
+  in
+  let (_ : int) = go tree in
+  { feature; threshold; left; right }
+
+let compile (forest : Forest.t) =
+  {
+    trees = Array.map pack_tree forest.Forest.trees;
+    tree_class = Array.mapi (fun i _ -> Forest.class_of_tree forest i) forest.Forest.trees;
+    num_outputs = Forest.num_outputs forest;
+    base_score = forest.Forest.base_score;
+  }
+
+let walk_tree (pt : packed_tree) row =
+  let rec go i =
+    let f = pt.feature.(i) in
+    if f < 0 then pt.threshold.(i)
+    else if row.(f) < pt.threshold.(i) then go pt.left.(i)
+    else go pt.right.(i)
+  in
+  go 0
+
+let predict_batch t version rows =
+  let n = Array.length rows in
+  let out = Array.init n (fun _ -> Array.make t.num_outputs t.base_score) in
+  (match version with
+  | V09 ->
+    (* one row at a time *)
+    for i = 0 to n - 1 do
+      Array.iteri
+        (fun ti pt ->
+          let cls = t.tree_class.(ti) in
+          out.(i).(cls) <- out.(i).(cls) +. walk_tree pt rows.(i))
+        t.trees
+    done
+  | V15 ->
+    (* one tree at a time *)
+    Array.iteri
+      (fun ti pt ->
+        let cls = t.tree_class.(ti) in
+        for i = 0 to n - 1 do
+          out.(i).(cls) <- out.(i).(cls) +. walk_tree pt rows.(i)
+        done)
+      t.trees);
+  out
+
+let memory_bytes t =
+  Array.fold_left (fun acc pt -> acc + (node_bytes * Array.length pt.feature)) 0 t.trees
+
+let profile ~target t version rows =
+  let cache =
+    Cache.create ~line_bytes:target.Config.l1_line_bytes ~ways:target.Config.l1_ways
+      ~size_bytes:target.Config.l1_size_bytes ()
+  in
+  (* Flat address map: tree node arrays then the row matrix. *)
+  let tree_base = Array.make (Array.length t.trees) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun ti pt ->
+      tree_base.(ti) <- !total;
+      total := !total + (node_bytes * Array.length pt.feature))
+    t.trees;
+  let rows_base = !total + 4096 in
+  let num_features = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+  let steps = ref 0 in
+  let walks = ref 0 in
+  let traced_walk ti row_idx =
+    let pt = t.trees.(ti) in
+    let row = rows.(row_idx) in
+    let rec go i =
+      Cache.access_range cache (tree_base.(ti) + (i * node_bytes)) node_bytes;
+      let f = pt.feature.(i) in
+      if f < 0 then ()
+      else begin
+        ignore
+          (Cache.access cache (rows_base + (((row_idx * num_features) + f) * 4)));
+        incr steps;
+        if row.(f) < pt.threshold.(i) then go pt.left.(i) else go pt.right.(i)
+      end
+    in
+    go 0;
+    incr walks
+  in
+  (match version with
+  | V09 ->
+    for i = 0 to Array.length rows - 1 do
+      Array.iteri (fun ti _ -> traced_walk ti i) t.trees
+    done
+  | V15 ->
+    Array.iteri
+      (fun ti _ ->
+        for i = 0 to Array.length rows - 1 do
+          traced_walk ti i
+        done)
+      t.trees);
+  {
+    Cost_model.rows = Array.length rows;
+    walks_checked = !walks;
+    walks_unrolled = 0;
+    steps_checked = !steps;
+    steps_unchecked = 0;
+    leaf_fetches = !walks;
+    critical_steps = !steps;
+    l1 = Cache.stats cache;
+    (* Generic interpreter loop: small, I-cache resident. *)
+    code_bytes = 2048;
+    model_bytes = memory_bytes t;
+    tile_size = 1;
+    layout = Tb_lir.Layout.Array_kind;
+  }

@@ -1,0 +1,36 @@
+(** XGBoost-style library inference baseline.
+
+    Reimplements the inference strategy of the XGBoost library: a generic
+    (non-model-specialized) node-array representation walked by a generic
+    scalar loop. Two variants reproduce the paper's comparison points:
+
+    - [V09]: one-row-at-a-time outer loop (XGBoost 0.9);
+    - [V15]: one-tree-at-a-time loop order — the loop interchange that gave
+      XGBoost 1.5 its ~2.8× speedup over 0.9 (§VI-C, [33]).
+
+    The node format mirrors the library's: 16 bytes per node (feature,
+    threshold, left/right indices), leaves inline. *)
+
+type version = V09 | V15
+
+type t
+(** A forest packed into library-style node arrays. *)
+
+val compile : Tb_model.Forest.t -> t
+
+val predict_batch : t -> version -> float array array -> float array array
+(** Equals {!Tb_model.Forest.predict_batch_raw} (tested). *)
+
+val profile :
+  target:Tb_cpu.Config.t ->
+  t ->
+  version ->
+  float array array ->
+  Tb_cpu.Cost_model.workload
+(** Dynamic event counts of the library walk (16-byte nodes through the
+    cache simulator, one checked scalar step per node visited). *)
+
+val node_bytes : int
+(** Bytes per packed node (16). *)
+
+val memory_bytes : t -> int

@@ -1,0 +1,44 @@
+module Forest = Tb_model.Forest
+module Schedule = Tb_hir.Schedule
+module Lower = Tb_lir.Lower
+module Jit = Tb_vm.Jit
+
+type t = {
+  forest : Forest.t;
+  schedule : Schedule.t;
+  lowered : Lower.t;
+  predict : float array array -> float array array;
+}
+
+let compile ?(schedule = Schedule.default) ?profiles forest =
+  let lowered = Lower.lower ?profiles forest schedule in
+  { forest; schedule; lowered; predict = Jit.compile lowered }
+
+let compile_auto ?(target = Tb_cpu.Config.intel_rocket_lake) ?training_rows forest =
+  let profiles =
+    Option.map (Tb_model.Model_stats.profile_forest forest) training_rows
+  in
+  let sample =
+    match training_rows with
+    | Some rows when Array.length rows > 0 -> rows
+    | Some _ | None ->
+      (* No data provided: synthesize a neutral probe batch. *)
+      let rng = Tb_util.Prng.create 7 in
+      Array.init 48 (fun _ ->
+          Array.init forest.Forest.num_features (fun _ ->
+              Tb_util.Prng.gaussian rng))
+  in
+  let result = Explore.greedy ~target ?profiles forest sample in
+  compile ~schedule:result.Explore.schedule ?profiles forest
+
+let predict_forest t rows = t.predict rows
+
+let predict_one t row =
+  match t.predict [| row |] with
+  | [| out |] -> out
+  | _ -> assert false
+
+let of_file ?schedule path =
+  compile ?schedule (Tb_model.Serialize.of_file path)
+
+let dump_ir t = Lower.dump t.lowered

@@ -1,0 +1,60 @@
+(** TREEBEARD — an optimizing compiler for decision-tree ensemble inference.
+
+    This is the library's public entry point. Given a trained (or
+    deserialized) ensemble and a {!Tb_hir.Schedule.t}, {!compile} runs the
+    full pipeline — tiling, padding and reordering on the high-level IR;
+    loop ordering, walk interleaving, peeling/unrolling and
+    parallelization on the mid-level IR; layout selection and vectorized
+    walk lowering on the low-level IR — and returns a batch inference
+    function ([predictForest] in the paper).
+
+    {[
+      let model = Tb_model.Serialize.of_file "model.json" in
+      let compiled = Treebeard.compile model in
+      let predictions = Treebeard.predict_forest compiled rows in
+      ...
+    ]}
+
+    Use {!Explore} to pick the best schedule for a model/CPU pair, and
+    {!Perf} to obtain simulated performance estimates and stall
+    breakdowns. *)
+
+type t = {
+  forest : Tb_model.Forest.t;
+  schedule : Tb_hir.Schedule.t;
+  lowered : Tb_lir.Lower.t;
+  predict : float array array -> float array array;
+}
+
+val compile :
+  ?schedule:Tb_hir.Schedule.t ->
+  ?profiles:Tb_model.Model_stats.tree_profile array ->
+  Tb_model.Forest.t ->
+  t
+(** Compile with an explicit schedule (default {!Tb_hir.Schedule.default}).
+    Pass [profiles] (leaf-probability estimates from training data) to
+    enable probability-based tiling. *)
+
+val compile_auto :
+  ?target:Tb_cpu.Config.t ->
+  ?training_rows:float array array ->
+  Tb_model.Forest.t ->
+  t
+(** Compile with the schedule chosen by the {!Explore} autotuner for the
+    given CPU target (default Intel Rocket Lake). [training_rows] enable
+    leaf-probability profiling (and thus probability-based tiling). *)
+
+val predict_forest : t -> float array array -> float array array
+(** Batch inference: one raw margin vector per row. Feature values must be
+    finite when the schedule enables padding + unrolling (see
+    {!Tb_hir.Padding}). *)
+
+val predict_one : t -> float array -> float array
+
+val of_file :
+  ?schedule:Tb_hir.Schedule.t -> string -> t
+(** Load a serialized ensemble (see {!Tb_model.Serialize}) and compile. *)
+
+val dump_ir : t -> string
+(** The compiled program's IR dump (schedule, MIR loop nest, LIR walk,
+    layout stats). *)

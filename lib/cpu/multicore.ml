@@ -1,0 +1,19 @@
+let speedup (config : Config.t) ?(max_effective_cores = max_int) ~threads () =
+  if threads <= 1 then 1.0
+  else begin
+    let threads = min threads max_effective_cores in
+    let physical = min threads config.Config.cores in
+    let smt_extra =
+      let logical_cap = config.Config.cores * config.Config.smt_threads in
+      let extra = min threads logical_cap - physical in
+      float_of_int (max 0 extra) *. config.Config.smt_yield
+    in
+    let raw = float_of_int physical +. smt_extra in
+    let overhead =
+      1.0 +. (config.Config.parallel_overhead *. log (float_of_int threads) /. log 2.0)
+    in
+    Float.max 1.0 (raw /. overhead)
+  end
+
+let cycles config ?max_effective_cores ~threads single =
+  single /. speedup config ?max_effective_cores ~threads ()

@@ -1,0 +1,12 @@
+(** Multicore scaling model (paper §IV-C, Figs. 7b/8b/13).
+
+    The row loop is tiled across threads; this module converts a
+    single-thread cycle estimate into a multi-thread one, accounting for
+    physical cores, SMT yield, a small fork/join overhead, and an optional
+    cap on usable cores (Hummingbird's observed 3-of-16 utilization). *)
+
+val speedup : Config.t -> ?max_effective_cores:int -> threads:int -> unit -> float
+(** Parallel speedup factor (>= 1 for threads >= 1). *)
+
+val cycles : Config.t -> ?max_effective_cores:int -> threads:int -> float -> float
+(** [cycles config ~threads single_thread_cycles]. *)

@@ -1,0 +1,33 @@
+type row = {
+  variant : string;
+  breakdown : Cost_model.breakdown;
+  rows : int;
+}
+
+let pct (b : Cost_model.breakdown) component =
+  100.0 *. component /. Float.max 1e-9 b.Cost_model.cycles
+
+let table rows =
+  let t =
+    Tb_util.Table.create
+      [
+        "variant"; "cycles/row"; "inst/row"; "retiring%"; "frontend%";
+        "bad-spec%"; "mem-stall%"; "core-stall%";
+      ]
+  in
+  List.iter
+    (fun { variant; breakdown = b; rows } ->
+      let per x = x /. float_of_int (max 1 rows) in
+      Tb_util.Table.add_row t
+        [
+          variant;
+          Printf.sprintf "%.0f" (per b.Cost_model.cycles);
+          Printf.sprintf "%.0f" (per b.Cost_model.instructions);
+          Tb_util.Table.cell_f ~dec:0 (pct b b.Cost_model.retiring);
+          Tb_util.Table.cell_f ~dec:0 (pct b b.Cost_model.frontend);
+          Tb_util.Table.cell_f ~dec:0 (pct b b.Cost_model.bad_speculation);
+          Tb_util.Table.cell_f ~dec:0 (pct b b.Cost_model.backend_memory);
+          Tb_util.Table.cell_f ~dec:0 (pct b b.Cost_model.backend_core);
+        ])
+    rows;
+  t

@@ -1,0 +1,19 @@
+(** VTune-style top-down report rendering (paper §VI-E).
+
+    Formats stall-cycle attributions for a set of code variants the way the
+    paper discusses them: percentage of cycles spent retiring vs stalled in
+    the front-end, on bad speculation, on memory, or on core (dependency)
+    stalls, plus dynamic instruction counts. *)
+
+type row = {
+  variant : string;
+  breakdown : Cost_model.breakdown;
+  rows : int;  (** batch size the breakdown covers, for per-row reporting *)
+}
+
+val table : row list -> Tb_util.Table.t
+(** One table row per variant; cycles and instructions are reported per
+    input row, stall components as percentages of total cycles. *)
+
+val pct : Cost_model.breakdown -> float -> float
+(** [pct b component] as a percentage of [b.cycles]. *)

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  features : float array array;
+  labels : float array;
+  num_features : int;
+  task : Tb_model.Forest.task;
+}
+
+let make ~name ~task features labels =
+  let n = Array.length features in
+  if n = 0 then invalid_arg "Dataset.make: empty dataset";
+  if Array.length labels <> n then invalid_arg "Dataset.make: label count mismatch";
+  let width = Array.length features.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> width then invalid_arg "Dataset.make: ragged rows")
+    features;
+  (match task with
+  | Tb_model.Forest.Multiclass k ->
+    Array.iter
+      (fun l ->
+        if not (Float.is_integer l) || l < 0.0 || l >= float_of_int k then
+          invalid_arg "Dataset.make: class label out of range")
+      labels
+  | Tb_model.Forest.Binary_logistic ->
+    Array.iter
+      (fun l ->
+        if l <> 0.0 && l <> 1.0 then invalid_arg "Dataset.make: binary label not 0/1")
+      labels
+  | Tb_model.Forest.Regression -> ());
+  { name; features; labels; num_features = width; task }
+
+let num_rows t = Array.length t.features
+
+let split t ~train_fraction rng =
+  let n = num_rows t in
+  let order = Array.init n Fun.id in
+  Tb_util.Prng.shuffle rng order;
+  let n_train = int_of_float (train_fraction *. float_of_int n) in
+  let n_train = max 1 (min (n - 1) n_train) in
+  let pick lo hi =
+    let feats = Array.init (hi - lo) (fun i -> t.features.(order.(lo + i))) in
+    let labs = Array.init (hi - lo) (fun i -> t.labels.(order.(lo + i))) in
+    make ~name:t.name ~task:t.task feats labs
+  in
+  (pick 0 n_train, pick n_train n)
+
+let subsample_rows t n rng =
+  Array.init n (fun _ -> t.features.(Tb_util.Prng.int rng (num_rows t)))

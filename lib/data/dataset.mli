@@ -1,0 +1,28 @@
+(** In-memory datasets (feature matrix + labels).
+
+    The paper trains on eight public datasets (Table I). Those downloads are
+    gated, so {!Generators} synthesizes datasets with the same shape
+    (feature count, task type) and — critically for probability-based
+    tiling — the same leaf-bias character once trained. *)
+
+type t = {
+  name : string;
+  features : float array array;  (** row-major: [features.(row).(col)] *)
+  labels : float array;  (** regression target, or class index as a float *)
+  num_features : int;
+  task : Tb_model.Forest.task;
+}
+
+val make :
+  name:string -> task:Tb_model.Forest.task -> float array array -> float array -> t
+(** Checks rectangularity, non-emptiness and (for classification) label
+    range. @raise Invalid_argument on violation. *)
+
+val num_rows : t -> int
+
+val split : t -> train_fraction:float -> Tb_util.Prng.t -> t * t
+(** Shuffled train/test split. *)
+
+val subsample_rows : t -> int -> Tb_util.Prng.t -> float array array
+(** [subsample_rows d n rng] draws [n] rows (with replacement if [n] exceeds
+    the dataset size) — used to build inference batches of arbitrary size. *)

@@ -1,0 +1,411 @@
+module Prng = Tb_util.Prng
+module Forest = Tb_model.Forest
+
+(* Zipf-distributed category sampler: frequency of category i is
+   proportional to 1/(i+1)^s. Heavy skew is what makes one-hot models
+   leaf-biased: the common categories dominate the reached paths. *)
+let zipf_sampler rng cardinality s =
+  let weights =
+    Array.init cardinality (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s)
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make cardinality 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cumulative.(i) <- !acc)
+    weights;
+  fun () ->
+    let u = Prng.uniform rng in
+    let rec find i = if i >= cardinality - 1 || u <= cumulative.(i) then i else find (i + 1) in
+    find 0
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+let bernoulli rng p = if Prng.uniform rng < p then 1.0 else 0.0
+
+(* Head-heavy row sampler. Production categorical traffic is dominated by a
+   small set of recurring feature combinations; we model this by drawing a
+   fraction [head_mass] of rows verbatim from [templates] (with Zipf-skewed
+   template popularity) and the rest from [diffuse ()]. Because template
+   rows are exact duplicates, a trained tree cannot split them apart: each
+   template's mass lands in a single leaf while the diffuse tail fragments
+   into many small leaves. This is precisely the structure that makes trees
+   leaf-biased at the paper's ⟨α = 0.075, β = 0.9⟩ threshold. *)
+let head_heavy_rows rng ~head_mass ~templates ~diffuse rows =
+  let num_templates = Array.length templates in
+  let pick_template = zipf_sampler rng num_templates 1.1 in
+  Array.init rows (fun _ ->
+      if Prng.uniform rng < head_mass then begin
+        let t = pick_template () in
+        let row, label_of = templates.(t) in
+        (Array.copy row, label_of ())
+      end
+      else diffuse ())
+
+(* ------------------------------------------------------------------ *)
+(* abalone: physical measurements of a shellfish; rings (age) target.  *)
+(* ------------------------------------------------------------------ *)
+
+let abalone_measurements rng =
+  (* Lognormal latent size drives correlated physical measurements. *)
+  let size = exp (0.5 *. Prng.gaussian rng) in
+  let sex = float_of_int (Prng.int rng 3) in
+  let row =
+    [|
+      sex;
+      size *. (1.0 +. (0.05 *. Prng.gaussian rng));
+      0.8 *. size *. (1.0 +. (0.05 *. Prng.gaussian rng));
+      0.3 *. size *. (1.0 +. (0.08 *. Prng.gaussian rng));
+      (size ** 2.8) *. (1.0 +. (0.1 *. Prng.gaussian rng));
+      0.45 *. (size ** 2.8) *. (1.0 +. (0.08 *. Prng.gaussian rng));
+      0.22 *. (size ** 2.8) *. (1.0 +. (0.08 *. Prng.gaussian rng));
+      0.28 *. (size ** 2.8) *. (1.0 +. (0.08 *. Prng.gaussian rng));
+    |]
+  in
+  let rings = 3.0 +. (8.0 *. log (1.0 +. size)) +. (0.5 *. sex) in
+  (row, rings)
+
+let abalone ?(rows = 4200) rng =
+  (* Moderate leaf bias (Table I: 438/1000): 93% of the mass comes from a
+     few recurring measurement cohorts (two base cohorts, each with a close
+     variant); the rest is a diffuse continuum that fragments trained trees
+     into many small leaves. Whether a given tree separates a cohort from
+     its variant depends on its feature subsample, which spreads leaf bias
+     over roughly half the forest. *)
+  let base_templates =
+    Array.init 2 (fun _ ->
+        let row, rings = abalone_measurements rng in
+        (row, rings))
+  in
+  (* Each base cohort also appears in a close variant differing in one
+     measurement; whether a tree separates the pair depends on the feature
+     subsample, which is what spreads leaf bias over roughly half the
+     forest. *)
+  let templates =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (row, rings) ->
+              let variant = Array.copy row in
+              variant.(3) <- variant.(3) *. 1.5;
+              [|
+                (row, fun () -> rings +. (0.2 *. Prng.gaussian rng));
+                (variant, fun () -> rings +. 0.8 +. (0.2 *. Prng.gaussian rng));
+              |])
+            base_templates))
+  in
+  let diffuse () =
+    let row, rings = abalone_measurements rng in
+    (row, rings +. Prng.gaussian rng)
+  in
+  let pairs = head_heavy_rows rng ~head_mass:0.93 ~templates ~diffuse rows in
+  Dataset.make ~name:"abalone" ~task:Forest.Regression
+    (Array.map fst pairs) (Array.map snd pairs)
+
+(* ------------------------------------------------------------------ *)
+(* airline: flight-delay prediction. Shared generative process for the *)
+(* integer-coded and one-hot variants.                                 *)
+(* ------------------------------------------------------------------ *)
+
+type flight = {
+  month : int;        (* 12 *)
+  day_of_week : int;  (* 7 *)
+  carrier : int;      (* 18, Zipf *)
+  origin : int;       (* 280, Zipf *)
+  dest : int;         (* 280, Zipf *)
+  cabin : int;        (* 3 *)
+  dep_hour : float;
+  distance : float;
+  taxi : float;
+  age : float;
+  load : float;
+  weather : float;
+  congestion : float;
+}
+
+let flight_cardinalities = [ 12; 7; 18; 280; 280; 3 ]
+
+let gen_flight rng carrier_s origin_s dest_s =
+  let month = Prng.int rng 12 in
+  let day_of_week = Prng.int rng 7 in
+  let carrier = carrier_s () in
+  let origin = origin_s () in
+  let dest = dest_s () in
+  let cabin = Prng.int rng 3 in
+  let dep_hour = 5.0 +. (18.0 *. Prng.uniform rng) in
+  let distance = 100.0 +. (2400.0 *. (Prng.uniform rng ** 2.0)) in
+  let taxi = 5.0 +. (25.0 *. Prng.uniform rng) in
+  let age = 1.0 +. (25.0 *. Prng.uniform rng) in
+  let load = 0.4 +. (0.6 *. Prng.uniform rng) in
+  let weather = Prng.uniform rng in
+  let congestion =
+    (* Big hubs (small Zipf index) are congested. *)
+    (1.0 /. (1.0 +. float_of_int origin)) +. (0.2 *. Prng.uniform rng)
+  in
+  { month; day_of_week; carrier; origin; dest; cabin; dep_hour; distance;
+    taxi; age; load; weather; congestion }
+
+let flight_delay_prob f =
+  let peak = if f.dep_hour > 16.0 && f.dep_hour < 20.0 then 0.8 else 0.0 in
+  let hub = if f.origin < 5 then 0.6 else -0.2 in
+  let carrier_effect = if f.carrier < 3 then -0.4 else 0.3 in
+  let z =
+    -1.2 +. peak +. hub +. carrier_effect +. (1.5 *. f.weather)
+    +. (1.2 *. f.congestion) +. (0.4 *. f.load)
+    +. (0.1 *. float_of_int (f.day_of_week mod 2))
+  in
+  sigmoid z
+
+let airline ?(rows = 4000) rng =
+  let carrier_s = zipf_sampler rng 18 1.1 in
+  let origin_s = zipf_sampler rng 280 1.3 in
+  let dest_s = zipf_sampler rng 280 1.3 in
+  let features = Array.make rows [||] in
+  let labels = Array.make rows 0.0 in
+  for i = 0 to rows - 1 do
+    let f = gen_flight rng carrier_s origin_s dest_s in
+    features.(i) <-
+      [|
+        float_of_int f.month; float_of_int f.day_of_week; float_of_int f.carrier;
+        float_of_int f.origin; float_of_int f.dest; float_of_int f.cabin;
+        f.dep_hour; f.distance; f.taxi; f.age; f.load; f.weather; f.congestion;
+      |];
+    labels.(i) <- bernoulli rng (flight_delay_prob f)
+  done;
+  Dataset.make ~name:"airline" ~task:Forest.Binary_logistic features labels
+
+(* One-hot layout: 12 + 7 + 18 + 280 + 280 + 3 = 600 indicator columns for
+   the categorical fields, then 4 binned indicator groups for dep_hour (24),
+   distance (32), taxi (16), age (16) = 88, plus 4 numeric columns (load,
+   weather, congestion, distance raw) — 692 features total, as in Table I. *)
+let encode_flight_ohe f =
+  let cat_width = List.fold_left ( + ) 0 flight_cardinalities in
+  let width = cat_width + 24 + 32 + 16 + 16 + 4 in
+  assert (width = 692);
+  let row = Array.make width 0.0 in
+  let offset = ref 0 in
+  let one_hot card v =
+    row.(!offset + max 0 (min (card - 1) v)) <- 1.0;
+    offset := !offset + card
+  in
+  one_hot 12 f.month;
+  one_hot 7 f.day_of_week;
+  one_hot 18 f.carrier;
+  one_hot 280 f.origin;
+  one_hot 280 f.dest;
+  one_hot 3 f.cabin;
+  one_hot 24 (int_of_float f.dep_hour);
+  one_hot 32 (int_of_float (f.distance /. 2500.0 *. 32.0));
+  one_hot 16 (int_of_float (f.taxi /. 30.0 *. 16.0));
+  one_hot 16 (int_of_float (f.age /. 26.0 *. 16.0));
+  row.(!offset) <- f.load;
+  row.(!offset + 1) <- f.weather;
+  row.(!offset + 2) <- f.congestion;
+  row.(!offset + 3) <- f.distance;
+  row
+
+let airline_ohe ?(rows = 6000) rng =
+  (* Strong leaf bias (Table I: 976/1000): 94% of the traffic repeats 2
+     common flight profiles (head-heavy categorical traffic); each profile
+     has a near-deterministic delay outcome, so a trained tree keeps each
+     profile's mass in one leaf while the diffuse 8% fragments into many
+     noisy leaves. *)
+  let carrier_s = zipf_sampler rng 18 1.2 in
+  let origin_s = zipf_sampler rng 280 1.4 in
+  let dest_s = zipf_sampler rng 280 1.4 in
+  (* The recurring profiles form a *chain*: variants of one base flight
+     that differ only in their departure-hour bin. One-hot encoding means a
+     split can only peel a single bin at a time, so the trainer needs a
+     chain of splits to tell the variants apart — and because the most
+     common variant's delay rate matches the diffuse traffic's, it is the
+     least distinguishable and its (heavy) leaf ends up deepest. This is
+     the structure that makes probability-based tiling profitable
+     (§III-C): the hot path is long, and Algorithm 1 covers it with few
+     tiles. *)
+  let base = gen_flight rng carrier_s origin_s dest_s in
+  let templates =
+    Array.init 6 (fun i ->
+        let f = { base with dep_hour = 5.5 +. (2.2 *. float_of_int i) } in
+        let p =
+          if i = 0 then 0.3 (* indistinct from the diffuse mean *)
+          else if i mod 2 = 1 then 0.95
+          else 0.02
+        in
+        (encode_flight_ohe f, fun () -> bernoulli rng p))
+  in
+  let diffuse () =
+    let f = gen_flight rng carrier_s origin_s dest_s in
+    (encode_flight_ohe f, bernoulli rng (0.15 +. (0.5 *. f.weather)))
+  in
+  let pairs = head_heavy_rows rng ~head_mass:0.90 ~templates ~diffuse rows in
+  Dataset.make ~name:"airline-ohe" ~task:Forest.Binary_logistic
+    (Array.map fst pairs) (Array.map snd pairs)
+
+(* ------------------------------------------------------------------ *)
+(* covtype: forest cover type from cartographic features (binary       *)
+(* variant, as in LIBSVM's covtype.binary).                            *)
+(* ------------------------------------------------------------------ *)
+
+let covtype_site rng soil_s =
+  let elevation = 1800.0 +. (1600.0 *. Prng.uniform rng) in
+  let aspect = 360.0 *. Prng.uniform rng in
+  let slope = 35.0 *. (Prng.uniform rng ** 1.5) in
+  let h_hydro = 600.0 *. (Prng.uniform rng ** 2.0) in
+  let v_hydro = 150.0 *. Prng.gaussian rng in
+  let h_road = 4000.0 *. Prng.uniform rng in
+  let hill_9 = 180.0 +. (60.0 *. Prng.gaussian rng) in
+  let hill_noon = 220.0 +. (30.0 *. Prng.gaussian rng) in
+  let hill_3 = 150.0 +. (50.0 *. Prng.gaussian rng) in
+  let h_fire = 3000.0 *. Prng.uniform rng in
+  let wilderness = Prng.int rng 4 in
+  let soil = soil_s () in
+  let row = Array.make 54 0.0 in
+  row.(0) <- elevation; row.(1) <- aspect; row.(2) <- slope;
+  row.(3) <- h_hydro; row.(4) <- v_hydro; row.(5) <- h_road;
+  row.(6) <- hill_9; row.(7) <- hill_noon; row.(8) <- hill_3;
+  row.(9) <- h_fire;
+  row.(10 + wilderness) <- 1.0;
+  row.(14 + soil) <- 1.0;
+  let z =
+    ((elevation -. 2600.0) /. 400.0)
+    -. (slope /. 20.0)
+    +. (if wilderness = 0 then 0.7 else -0.3)
+    +. (if soil < 6 then 0.5 else -0.2)
+  in
+  (row, z)
+
+let covtype ?(rows = 4000) rng =
+  (* Moderate leaf bias (Table I: 283/800): cartographic surveys revisit
+     the same map cells — 93% of rows revisit a handful of recurring sites. *)
+  let soil_s = zipf_sampler rng 40 0.9 in
+  let templates =
+    Array.concat
+      (List.init 3 (fun _ ->
+           let row, z = covtype_site rng soil_s in
+           let p = sigmoid (3.0 *. z) in
+           let variant = Array.copy row in
+           variant.(4) <- variant.(4) +. 300.0;
+           let q = sigmoid (3.0 *. (z +. 0.8)) in
+           [| (row, fun () -> bernoulli rng p); (variant, fun () -> bernoulli rng q) |]))
+  in
+  let diffuse () =
+    let row, z = covtype_site rng soil_s in
+    (row, bernoulli rng (sigmoid (z +. (0.3 *. Prng.gaussian rng))))
+  in
+  let pairs = head_heavy_rows rng ~head_mass:0.93 ~templates ~diffuse rows in
+  Dataset.make ~name:"covtype" ~task:Forest.Binary_logistic
+    (Array.map fst pairs) (Array.map snd pairs)
+
+(* ------------------------------------------------------------------ *)
+(* epsilon: dense isotropic gaussian features — deliberately NO leaf   *)
+(* bias (Fig. 3b): every split divides the data roughly in half.       *)
+(* ------------------------------------------------------------------ *)
+
+let epsilon ?(rows = 1200) rng =
+  let width = 2000 in
+  let w = Array.init width (fun _ -> Prng.gaussian rng /. sqrt (float_of_int width)) in
+  let features = Array.make rows [||] in
+  let labels = Array.make rows 0.0 in
+  for i = 0 to rows - 1 do
+    let row = Array.init width (fun _ -> Prng.gaussian rng) in
+    features.(i) <- row;
+    let dot = ref 0.0 in
+    for j = 0 to width - 1 do
+      dot := !dot +. (w.(j) *. row.(j))
+    done;
+    labels.(i) <- bernoulli rng (sigmoid (3.0 *. !dot))
+  done;
+  Dataset.make ~name:"epsilon" ~task:Forest.Binary_logistic features labels
+
+(* ------------------------------------------------------------------ *)
+(* letter: 26-class recognition from 16 roughly uniform integer        *)
+(* features — no leaf bias.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let letter ?(rows = 4000) rng =
+  let num_classes = 26 in
+  let width = 16 in
+  (* A fixed prototype per class; features are noisy integer snaps. *)
+  let protos =
+    Array.init num_classes (fun _ ->
+        Array.init width (fun _ -> 2.0 +. (11.0 *. Prng.uniform rng)))
+  in
+  let features = Array.make rows [||] in
+  let labels = Array.make rows 0.0 in
+  for i = 0 to rows - 1 do
+    let cls = Prng.int rng num_classes in
+    let row =
+      Array.init width (fun j ->
+          let v = protos.(cls).(j) +. (2.2 *. Prng.gaussian rng) in
+          Float.round (max 0.0 (min 15.0 v)))
+    in
+    features.(i) <- row;
+    labels.(i) <- float_of_int cls
+  done;
+  Dataset.make ~name:"letter" ~task:(Forest.Multiclass num_classes) features labels
+
+(* ------------------------------------------------------------------ *)
+(* higgs: particle kinematics (21 low-level + 7 derived features).     *)
+(* ------------------------------------------------------------------ *)
+
+let higgs ?(rows = 4000) rng =
+  let width = 28 in
+  let features = Array.make rows [||] in
+  let labels = Array.make rows 0.0 in
+  for i = 0 to rows - 1 do
+    let signal = Prng.bool rng in
+    let shift = if signal then 0.35 else 0.0 in
+    let row = Array.make width 0.0 in
+    (* 21 low-level: momenta are exponential-tailed, angles uniform. *)
+    for j = 0 to 20 do
+      if j mod 3 = 0 then
+        row.(j) <- -.log (max 1e-12 (Prng.uniform rng)) *. (1.0 +. shift)
+      else row.(j) <- (2.0 *. Prng.uniform rng) -. 1.0 +. (0.1 *. Prng.gaussian rng)
+    done;
+    (* 7 derived invariant masses: gaussian around a mass peak. *)
+    for j = 21 to 27 do
+      let peak = if signal then 1.25 else 1.0 in
+      row.(j) <- peak +. (0.3 *. Prng.gaussian rng)
+    done;
+    features.(i) <- row;
+    labels.(i) <- (if signal then 1.0 else 0.0)
+  done;
+  Dataset.make ~name:"higgs" ~task:Forest.Binary_logistic features labels
+
+(* ------------------------------------------------------------------ *)
+(* year: audio timbre (12 means + 78 covariances) → release year.      *)
+(* ------------------------------------------------------------------ *)
+
+let year ?(rows = 3000) rng =
+  let width = 90 in
+  let w = Array.init width (fun _ -> Prng.gaussian rng) in
+  let features = Array.make rows [||] in
+  let labels = Array.make rows 0.0 in
+  for i = 0 to rows - 1 do
+    let era = Prng.uniform rng in
+    let row =
+      Array.init width (fun j ->
+          let base = if j < 12 then 4.0 *. Prng.gaussian rng else Prng.gaussian rng in
+          base +. (2.0 *. era *. w.(j) /. 10.0))
+    in
+    features.(i) <- row;
+    labels.(i) <- 1960.0 +. (50.0 *. era) +. (3.0 *. Prng.gaussian rng)
+  done;
+  Dataset.make ~name:"year" ~task:Forest.Regression features labels
+
+let names =
+  [ "abalone"; "airline"; "airline-ohe"; "covtype"; "epsilon"; "letter"; "higgs"; "year" ]
+
+let by_name name =
+  match name with
+  | "abalone" -> abalone
+  | "airline" -> airline
+  | "airline-ohe" -> airline_ohe
+  | "covtype" -> covtype
+  | "epsilon" -> epsilon
+  | "letter" -> letter
+  | "higgs" -> higgs
+  | "year" -> year
+  | _ -> raise Not_found

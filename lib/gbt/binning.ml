@@ -1,0 +1,73 @@
+type t = {
+  cuts : float array array;
+  binned : int array array;
+  num_rows : int;
+  num_features : int;
+}
+
+(* Distinct quantile cut points of a column. Cut points are placed *between*
+   distinct values so that equal raw values always share a bin. *)
+let column_cuts max_bins column =
+  let sorted = Array.copy column in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let distinct = ref [] in
+  for i = n - 1 downto 0 do
+    match !distinct with
+    | v :: _ when Float.equal v sorted.(i) -> ()
+    | _ -> distinct := sorted.(i) :: !distinct
+  done;
+  let distinct = Array.of_list !distinct in
+  let d = Array.length distinct in
+  if d <= 1 then [||]
+  else if d <= max_bins then
+    (* One bin per distinct value; cut between consecutive values. *)
+    Array.init (d - 1) (fun i -> (distinct.(i) +. distinct.(i + 1)) /. 2.0)
+  else begin
+    let cuts = ref [] in
+    for q = max_bins - 1 downto 1 do
+      let pos = q * n / max_bins in
+      let v = sorted.(min (n - 1) pos) in
+      (* Midpoint between this quantile value and its successor value, so
+         the cut never equals a data value. *)
+      let next =
+        let rec find i = if i < n && sorted.(i) <= v then find (i + 1) else i in
+        let i = find 0 in
+        if i < n then sorted.(i) else v +. 1.0
+      in
+      let cut = (v +. next) /. 2.0 in
+      match !cuts with
+      | c :: _ when c <= cut -> ()
+      | _ -> cuts := cut :: !cuts
+    done;
+    Array.of_list !cuts
+  end
+
+let bin_of_cuts cuts v =
+  (* Number of cut points <= v, by binary search. *)
+  let lo = ref 0 and hi = ref (Array.length cuts) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cuts.(mid) <= v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let create ?(max_bins = 32) rows =
+  let num_rows = Array.length rows in
+  if num_rows = 0 then invalid_arg "Binning.create: empty matrix";
+  let num_features = Array.length rows.(0) in
+  let cuts =
+    Array.init num_features (fun f ->
+        column_cuts max_bins (Array.init num_rows (fun r -> rows.(r).(f))))
+  in
+  let binned =
+    Array.init num_features (fun f ->
+        Array.init num_rows (fun r -> bin_of_cuts cuts.(f) rows.(r).(f)))
+  in
+  { cuts; binned; num_rows; num_features }
+
+let num_bins t f = Array.length t.cuts.(f) + 1
+
+let threshold_of_bin t ~feature ~bin = t.cuts.(feature).(bin)
+
+let bin_of_value t ~feature v = bin_of_cuts t.cuts.(feature) v

@@ -1,0 +1,31 @@
+(** Feature quantile binning for histogram-based split finding.
+
+    Each feature is discretized at (approximate) quantile cut points; split
+    finding then scans gradient histograms instead of sorted feature values,
+    as in LightGBM / XGBoost 'hist'. *)
+
+type t = {
+  cuts : float array array;
+      (** [cuts.(f)] are feature [f]'s sorted cut points. A value [v] falls
+          in bin [b] = number of cut points <= [v], so feature [f] has
+          [Array.length cuts.(f) + 1] bins. *)
+  binned : int array array;
+      (** column-major: [binned.(f).(row)] is the bin of feature [f] in
+          [row]. *)
+  num_rows : int;
+  num_features : int;
+}
+
+val create : ?max_bins:int -> float array array -> t
+(** [create rows] bins a row-major feature matrix with at most [max_bins]
+    bins per feature (default 32). *)
+
+val num_bins : t -> int -> int
+
+val threshold_of_bin : t -> feature:int -> bin:int -> float
+(** The threshold [thr] such that the predicate [v < thr] separates bins
+    [0..bin] (left) from [bin+1..] (right): the cut point at index [bin].
+    [bin] must be < [Array.length cuts.(feature)]. *)
+
+val bin_of_value : t -> feature:int -> float -> int
+(** Bin index of a raw value under this binning. *)

@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  grad_hess : pred:float -> label:float -> float * float;
+  base_score : labels:float array -> float;
+}
+
+let squared =
+  {
+    name = "squared";
+    grad_hess = (fun ~pred ~label -> (pred -. label, 1.0));
+    base_score = (fun ~labels -> Tb_util.Stats.mean labels);
+  }
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+let logistic_of ~name ~is_positive =
+  {
+    name;
+    grad_hess =
+      (fun ~pred ~label ->
+        let y = if is_positive label then 1.0 else 0.0 in
+        let p = sigmoid pred in
+        (p -. y, max 1e-6 (p *. (1.0 -. p))));
+    base_score =
+      (fun ~labels ->
+        let pos =
+          Array.fold_left (fun acc l -> if is_positive l then acc +. 1.0 else acc) 0.0 labels
+        in
+        let n = float_of_int (Array.length labels) in
+        let p = min 0.999 (max 0.001 (pos /. n)) in
+        log (p /. (1.0 -. p)));
+  }
+
+let logistic = logistic_of ~name:"logistic" ~is_positive:(fun l -> l >= 0.5)
+
+let one_vs_rest ~target_class =
+  logistic_of
+    ~name:(Printf.sprintf "ovr-%d" target_class)
+    ~is_positive:(fun l -> int_of_float l = target_class)

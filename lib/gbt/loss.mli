@@ -1,0 +1,21 @@
+(** Training losses: per-example gradient/hessian of the objective with
+    respect to the current raw margin, in XGBoost's second-order style. *)
+
+type t = {
+  name : string;
+  grad_hess : pred:float -> label:float -> float * float;
+      (** (first derivative, second derivative) at the current margin *)
+  base_score : labels:float array -> float;
+      (** constant initial margin minimizing the loss *)
+}
+
+val squared : t
+(** 1/2 (pred - label)^2 — regression. *)
+
+val logistic : t
+(** log(1 + e^{-y·pred}) with y in {0,1} encoded labels — binary
+    classification. *)
+
+val one_vs_rest : target_class:int -> t
+(** Logistic loss against the indicator [label = target_class] — used per
+    class for multiclass training. *)

@@ -1,0 +1,128 @@
+module Forest = Tb_model.Forest
+module Tree = Tb_model.Tree
+module Dataset = Tb_data.Dataset
+module Prng = Tb_util.Prng
+
+type params = {
+  num_rounds : int;
+  learning_rate : float;
+  max_depth : int;
+  min_child_weight : float;
+  lambda : float;
+  gamma : float;
+  subsample : float;
+  colsample : float;
+  max_bins : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    num_rounds = 100;
+    learning_rate = 0.1;
+    max_depth = 6;
+    min_child_weight = 1.0;
+    lambda = 1.0;
+    gamma = 0.0;
+    subsample = 1.0;
+    colsample = 1.0;
+    max_bins = 32;
+    seed = 42;
+  }
+
+let builder_params p =
+  {
+    Tree_builder.max_depth = p.max_depth;
+    min_child_weight = p.min_child_weight;
+    lambda = p.lambda;
+    gamma = p.gamma;
+    colsample = p.colsample;
+    min_rows = 2;
+    leaf_scale = p.learning_rate;
+  }
+
+let subsample_rows rng fraction n =
+  if fraction >= 1.0 then Array.init n Fun.id
+  else begin
+    let rows = ref [] in
+    for r = n - 1 downto 0 do
+      if Prng.uniform rng < fraction then rows := r :: !rows
+    done;
+    match !rows with
+    | [] -> [| Prng.int rng n |]
+    | rs -> Array.of_list rs
+  end
+
+let fit ?(params = default_params) (ds : Dataset.t) =
+  let rng = Prng.create params.seed in
+  let n = Dataset.num_rows ds in
+  let binning = Binning.create ~max_bins:params.max_bins ds.features in
+  let bp = builder_params params in
+  let losses =
+    match ds.task with
+    | Forest.Regression -> [| Loss.squared |]
+    | Forest.Binary_logistic -> [| Loss.logistic |]
+    | Forest.Multiclass k -> Array.init k (fun c -> Loss.one_vs_rest ~target_class:c)
+  in
+  let num_outputs = Array.length losses in
+  let base_scores =
+    Array.map (fun (loss : Loss.t) -> loss.base_score ~labels:ds.labels) losses
+  in
+  (* One margin vector per output class, updated after each tree. *)
+  let margins = Array.map (fun b -> Array.make n b) base_scores in
+  let grad = Array.make n 0.0 in
+  let hess = Array.make n 0.0 in
+  let trees = ref [] in
+  for _round = 1 to params.num_rounds do
+    for c = 0 to num_outputs - 1 do
+      let loss = losses.(c) in
+      let margin = margins.(c) in
+      for r = 0 to n - 1 do
+        let g, h = loss.grad_hess ~pred:margin.(r) ~label:ds.labels.(r) in
+        grad.(r) <- g;
+        hess.(r) <- h
+      done;
+      let rows = subsample_rows rng params.subsample n in
+      let tree = Tree_builder.build bp binning ~grad ~hess ~rows ~rng in
+      trees := tree :: !trees;
+      for r = 0 to n - 1 do
+        margin.(r) <- margin.(r) +. Tree.predict tree ds.features.(r)
+      done
+    done
+  done;
+  let trees = Array.of_list (List.rev !trees) in
+  (* Multiclass base scores differ per class; fold the shared part into
+     base_score and the per-class remainder into one constant leaf... for
+     simplicity we use a single base_score only when all classes share it,
+     otherwise we prepend per-class constant-leaf trees. *)
+  let all_same =
+    Array.for_all (fun b -> Float.equal b base_scores.(0)) base_scores
+  in
+  if all_same then
+    Forest.make ~name:ds.name ~base_score:base_scores.(0) ~task:ds.task
+      ~num_features:ds.num_features trees
+  else begin
+    let constant_trees = Array.map (fun b -> Tree.Leaf b) base_scores in
+    Forest.make ~name:ds.name ~base_score:0.0 ~task:ds.task
+      ~num_features:ds.num_features
+      (Array.append constant_trees trees)
+  end
+
+let rmse forest (ds : Dataset.t) =
+  let n = Dataset.num_rows ds in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    let p = Forest.predict_single forest ds.features.(r) in
+    let e = p -. ds.labels.(r) in
+    acc := !acc +. (e *. e)
+  done;
+  sqrt (!acc /. float_of_int n)
+
+let accuracy forest (ds : Dataset.t) =
+  let n = Dataset.num_rows ds in
+  let correct = ref 0 in
+  for r = 0 to n - 1 do
+    if Forest.predict_class forest ds.features.(r) = int_of_float ds.labels.(r) then
+      incr correct
+  done;
+  float_of_int !correct /. float_of_int n

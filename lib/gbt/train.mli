@@ -1,0 +1,32 @@
+(** Gradient-boosting driver: fits a {!Tb_model.Forest.t} to a dataset.
+
+    Regression uses squared loss, binary uses logistic loss, and multiclass
+    trains one one-vs-rest tree per class per round (XGBoost's layout, so
+    tree [i] contributes to class [i mod k]). *)
+
+type params = {
+  num_rounds : int;
+      (** boosting rounds; total trees = rounds × classes for multiclass *)
+  learning_rate : float;
+  max_depth : int;
+  min_child_weight : float;
+  lambda : float;
+  gamma : float;
+  subsample : float;  (** row fraction per tree *)
+  colsample : float;  (** feature fraction per tree *)
+  max_bins : int;
+  seed : int;
+}
+
+val default_params : params
+(** 100 rounds, lr 0.1, depth 6, 32 bins, no subsampling, seed 42. *)
+
+val fit : ?params:params -> Tb_data.Dataset.t -> Tb_model.Forest.t
+(** Train on the full dataset. The forest's task, feature count and name are
+    taken from the dataset. *)
+
+val rmse : Tb_model.Forest.t -> Tb_data.Dataset.t -> float
+(** Root-mean-square error of raw margins vs labels (regression). *)
+
+val accuracy : Tb_model.Forest.t -> Tb_data.Dataset.t -> float
+(** Classification accuracy (binary or multiclass). *)

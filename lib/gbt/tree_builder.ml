@@ -1,0 +1,119 @@
+module Tree = Tb_model.Tree
+
+type params = {
+  max_depth : int;
+  min_child_weight : float;
+  lambda : float;
+  gamma : float;
+  colsample : float;
+  min_rows : int;
+  leaf_scale : float;
+}
+
+let default_params =
+  {
+    max_depth = 6;
+    min_child_weight = 1.0;
+    lambda = 1.0;
+    gamma = 0.0;
+    colsample = 1.0;
+    min_rows = 2;
+    leaf_scale = 0.1;
+  }
+
+type split = {
+  feature : int;
+  bin : int;  (** left = bins 0..bin *)
+  gain : float;
+}
+
+let sample_features rng colsample num_features =
+  let k =
+    max 1 (int_of_float (ceil (colsample *. float_of_int num_features)))
+  in
+  if k >= num_features then Array.init num_features Fun.id
+  else begin
+    (* Partial Fisher–Yates: the first k entries are a uniform sample
+       without replacement. *)
+    let idx = Array.init num_features Fun.id in
+    for i = 0 to k - 1 do
+      let j = i + Tb_util.Prng.int rng (num_features - i) in
+      let tmp = idx.(i) in
+      idx.(i) <- idx.(j);
+      idx.(j) <- tmp
+    done;
+    Array.sub idx 0 k
+  end
+
+let build params binning ~grad ~hess ~rows ~rng =
+  let features = sample_features rng params.colsample binning.Binning.num_features in
+  let leaf_value g h = -.g /. (h +. params.lambda) *. params.leaf_scale in
+  let score g h = g *. g /. (h +. params.lambda) in
+  let rec grow depth rows g_total h_total =
+    let n = Array.length rows in
+    if depth >= params.max_depth || n < params.min_rows then
+      Tree.Leaf (leaf_value g_total h_total)
+    else begin
+      let parent_score = score g_total h_total in
+      let best = ref None in
+      Array.iter
+        (fun f ->
+          let nb = Binning.num_bins binning f in
+          if nb > 1 then begin
+            let hist_g = Array.make nb 0.0 in
+            let hist_h = Array.make nb 0.0 in
+            let hist_n = Array.make nb 0 in
+            let col = binning.Binning.binned.(f) in
+            Array.iter
+              (fun r ->
+                let b = col.(r) in
+                hist_g.(b) <- hist_g.(b) +. grad.(r);
+                hist_h.(b) <- hist_h.(b) +. hess.(r);
+                hist_n.(b) <- hist_n.(b) + 1)
+              rows;
+            let gl = ref 0.0 and hl = ref 0.0 and nl = ref 0 in
+            for b = 0 to nb - 2 do
+              gl := !gl +. hist_g.(b);
+              hl := !hl +. hist_h.(b);
+              nl := !nl + hist_n.(b);
+              let gr = g_total -. !gl and hr = h_total -. !hl in
+              let nr = n - !nl in
+              if
+                !nl > 0 && nr > 0
+                && !hl >= params.min_child_weight
+                && hr >= params.min_child_weight
+              then begin
+                let gain = score !gl !hl +. score gr hr -. parent_score in
+                match !best with
+                | Some s when s.gain >= gain -> ()
+                | _ -> best := Some { feature = f; bin = b; gain }
+              end
+            done
+          end)
+        features;
+      match !best with
+      | Some s when s.gain > params.gamma ->
+        let col = binning.Binning.binned.(s.feature) in
+        let left_rows = Array.of_list (List.filter (fun r -> col.(r) <= s.bin) (Array.to_list rows)) in
+        let right_rows = Array.of_list (List.filter (fun r -> col.(r) > s.bin) (Array.to_list rows)) in
+        let sum_gh rs =
+          Array.fold_left
+            (fun (g, h) r -> (g +. grad.(r), h +. hess.(r)))
+            (0.0, 0.0) rs
+        in
+        let gl, hl = sum_gh left_rows in
+        let gr, hr = (g_total -. gl, h_total -. hl) in
+        Tree.Node
+          {
+            feature = s.feature;
+            threshold = Binning.threshold_of_bin binning ~feature:s.feature ~bin:s.bin;
+            left = grow (depth + 1) left_rows gl hl;
+            right = grow (depth + 1) right_rows gr hr;
+          }
+      | Some _ | None -> Tree.Leaf (leaf_value g_total h_total)
+    end
+  in
+  let g_total, h_total =
+    Array.fold_left (fun (g, h) r -> (g +. grad.(r), h +. hess.(r))) (0.0, 0.0) rows
+  in
+  grow 0 rows g_total h_total

@@ -1,0 +1,27 @@
+(** Greedy histogram-based construction of one regression tree on a
+    gradient/hessian vector (one boosting step). *)
+
+type params = {
+  max_depth : int;
+  min_child_weight : float;  (** minimum hessian sum per child *)
+  lambda : float;  (** L2 regularization on leaf weights *)
+  gamma : float;  (** minimum split gain *)
+  colsample : float;  (** fraction of features considered per tree *)
+  min_rows : int;  (** minimum rows to attempt a split *)
+  leaf_scale : float;  (** learning rate applied to leaf weights *)
+}
+
+val default_params : params
+(** depth 6, min_child_weight 1.0, lambda 1.0, gamma 0.0, colsample 1.0,
+    min_rows 2, leaf_scale 0.1. *)
+
+val build :
+  params ->
+  Binning.t ->
+  grad:float array ->
+  hess:float array ->
+  rows:int array ->
+  rng:Tb_util.Prng.t ->
+  Tb_model.Tree.t
+(** Grow one tree over the given row subset. The returned tree predicts
+    (scaled) Newton leaf weights [-G/(H + lambda) * leaf_scale]. *)

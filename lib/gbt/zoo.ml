@@ -1,0 +1,100 @@
+module Dataset = Tb_data.Dataset
+module Generators = Tb_data.Generators
+
+type spec = {
+  name : string;
+  num_rounds : int;
+  max_depth : int;
+  paper_features : int;
+  paper_trees : int;
+  paper_leaf_biased : int;
+  train_params : Train.params;
+  dataset_rows : int;
+}
+
+type entry = {
+  spec : spec;
+  forest : Tb_model.Forest.t;
+  train_data : Dataset.t;
+  test_data : Dataset.t;
+}
+
+let default_cache_dir = "_models"
+
+let mk name ~rounds ~depth ~features ~trees ~biased ~rows
+    ?(lr = 0.1) ?(subsample = 1.0) ?(colsample = 1.0) ?(max_bins = 32)
+    ?(min_child_weight = 1.0) () =
+  {
+    name;
+    num_rounds = rounds;
+    max_depth = depth;
+    paper_features = features;
+    paper_trees = trees;
+    paper_leaf_biased = biased;
+    dataset_rows = rows;
+    train_params =
+      {
+        Train.default_params with
+        num_rounds = rounds;
+        max_depth = depth;
+        learning_rate = lr;
+        subsample;
+        colsample;
+        max_bins;
+        min_child_weight;
+        seed = 1000 + Hashtbl.hash name mod 1000;
+      };
+  }
+
+let specs =
+  [
+    mk "abalone" ~rounds:1000 ~depth:7 ~features:8 ~trees:1000 ~biased:438
+      ~rows:4200 ~lr:0.02 ~subsample:0.9 ~colsample:0.3 ~min_child_weight:0.1 ();
+    mk "airline" ~rounds:100 ~depth:9 ~features:13 ~trees:100 ~biased:8
+      ~rows:4000 ~subsample:0.7 ();
+    mk "airline-ohe" ~rounds:1000 ~depth:9 ~features:692 ~trees:1000 ~biased:976
+      ~rows:6000 ~lr:0.02 ~subsample:0.5 ~colsample:0.12 ~min_child_weight:0.1 ();
+    mk "covtype" ~rounds:800 ~depth:9 ~features:54 ~trees:800 ~biased:283
+      ~rows:4000 ~lr:0.02 ~subsample:0.7 ~colsample:0.25 ~min_child_weight:0.1 ();
+    mk "epsilon" ~rounds:100 ~depth:9 ~features:2000 ~trees:100 ~biased:0
+      ~rows:1200 ~colsample:0.1 ();
+    mk "letter" ~rounds:100 ~depth:7 ~features:16 ~trees:2600 ~biased:0
+      ~rows:4000 ~subsample:0.4 ~colsample:0.6 ();
+    mk "higgs" ~rounds:100 ~depth:9 ~features:28 ~trees:100 ~biased:8
+      ~rows:4000 ~subsample:0.7 ();
+    mk "year" ~rounds:100 ~depth:9 ~features:90 ~trees:100 ~biased:0
+      ~rows:3000 ~colsample:0.5 ();
+  ]
+
+let spec name =
+  match List.find_opt (fun s -> s.name = name) specs with
+  | Some s -> s
+  | None -> raise Not_found
+
+let dataset s =
+  let rng = Tb_util.Prng.create (7 + Hashtbl.hash s.name) in
+  Generators.by_name s.name ~rows:s.dataset_rows rng
+
+let split_entry s forest =
+  let ds = dataset s in
+  let split_rng = Tb_util.Prng.create (31 + Hashtbl.hash s.name) in
+  let train_data, test_data = Dataset.split ds ~train_fraction:0.8 split_rng in
+  { spec = s; forest; train_data; test_data }
+
+let model_path cache_dir s = Filename.concat cache_dir (s.name ^ ".json")
+
+let get ?(cache_dir = default_cache_dir) name =
+  let s = spec name in
+  let path = model_path cache_dir s in
+  if Sys.file_exists path then split_entry s (Tb_model.Serialize.of_file path)
+  else begin
+    let ds = dataset s in
+    let split_rng = Tb_util.Prng.create (31 + Hashtbl.hash s.name) in
+    let train_data, test_data = Dataset.split ds ~train_fraction:0.8 split_rng in
+    let forest = Train.fit ~params:s.train_params train_data in
+    if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
+    Tb_model.Serialize.to_file path forest;
+    { spec = s; forest; train_data; test_data }
+  end
+
+let all ?cache_dir () = List.map (fun s -> get ?cache_dir s.name) specs

@@ -1,0 +1,45 @@
+(** The benchmark-model zoo: the eight Table I models, trained on the
+    synthetic datasets with the paper's model shapes (#trees, max depth) and
+    cached on disk so experiments don't retrain.
+
+    Hyperparameters are chosen per benchmark so that trained models match
+    Table I's #trees and max-depth columns; subsampling keeps training fast
+    without changing the models' structural character. *)
+
+type spec = {
+  name : string;
+  num_rounds : int;
+  max_depth : int;
+  paper_features : int;
+  paper_trees : int;  (** #Trees column of Table I *)
+  paper_leaf_biased : int;  (** last column of Table I, for reference *)
+  train_params : Train.params;
+  dataset_rows : int;
+}
+
+type entry = {
+  spec : spec;
+  forest : Tb_model.Forest.t;
+  train_data : Tb_data.Dataset.t;
+      (** used to estimate leaf probabilities (the paper uses training data
+          for tree statistics, §III-B2) *)
+  test_data : Tb_data.Dataset.t;
+}
+
+val specs : spec list
+(** Table I order: abalone, airline, airline-ohe, covtype, epsilon, letter,
+    higgs, year. *)
+
+val spec : string -> spec
+(** @raise Not_found for unknown benchmark names. *)
+
+val dataset : spec -> Tb_data.Dataset.t
+(** Regenerate the benchmark's dataset (deterministic). *)
+
+val get : ?cache_dir:string -> string -> entry
+(** Load from [cache_dir] (default ["_models"]) or train and cache. The
+    dataset is regenerated deterministically either way. *)
+
+val all : ?cache_dir:string -> unit -> entry list
+
+val default_cache_dir : string

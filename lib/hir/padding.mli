@@ -1,0 +1,30 @@
+(** Tree padding (paper §III-F).
+
+    Padding inserts dummy tiles above shallow leaves so that every
+    (reachable) leaf sits at the same tiled depth. A padded tree's walk
+    executes a fixed number of tile steps, which lets the mid-level IR
+    unroll the walk with no termination checks and lets isomorphic trees
+    share unrolled code.
+
+    A dummy tile holds a single always-true predicate (feature 0 vs +inf):
+    the walk always leaves through exit 0 toward the real subtree, while
+    exit 1 points at a dead zero leaf that no input can reach.
+
+    {b Precondition} (shared with the paper's padding): feature values must
+    be finite. IEEE comparison makes [x < +inf] false for NaN and +inf
+    inputs, which would divert a padded walk through the dead exit;
+    unpadded schedules handle non-finite features consistently (the
+    predicate simply evaluates false everywhere). *)
+
+val pad_to_uniform_depth : Tiled_tree.t -> Tiled_tree.t
+(** Pad so all leaves reach depth = (current max tiled depth). Idempotent
+    on already-uniform trees (returns the input unchanged). *)
+
+val pad_to_depth : Tiled_tree.t -> depth:int -> Tiled_tree.t
+(** Pad to a specific depth (>= the tree's max tiled depth) — used by tree
+    reordering to equalize whole groups.
+    @raise Invalid_argument if [depth] is smaller than the tree's depth. *)
+
+val imbalance : Tiled_tree.t -> int
+(** max tiled leaf depth - min tiled leaf depth; the §III-F "almost
+    balanced" criterion padding decisions are based on. *)

@@ -1,0 +1,28 @@
+(** Tree reordering (paper §III-F).
+
+    Groups trees of identical tiled structure / depth so they can share
+    traversal code: the generated loop nest walks each group with one body,
+    shrinking code footprint (fewer I-cache misses) and giving the
+    interleaver same-shaped walks to jam together. *)
+
+type group = {
+  positions : int array;
+      (** indices into the input tiled-tree array, in original order *)
+  walk_depth : int;
+      (** common tiled depth when [uniform]; max depth otherwise *)
+  uniform : bool;
+      (** every tree in the group has all leaves at [walk_depth] — the
+          group's walk can be unrolled with no termination checks *)
+  shared_structure : bool;
+      (** all trees have identical {!Tiled_tree.structure_key} — they can
+          share one fully specialized body *)
+}
+
+val reorder : Tiled_tree.t array -> group list
+(** Partition trees into groups keyed by (uniformity, depth). Group order
+    and intra-group order are deterministic. Every input index appears in
+    exactly one group. *)
+
+val num_code_variants : group list -> int
+(** Number of distinct walk bodies the backend must emit — the quantity
+    reordering minimizes (one per group, counting structure sharing). *)

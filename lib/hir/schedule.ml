@@ -1,0 +1,207 @@
+type loop_order =
+  | One_row_at_a_time
+  | One_tree_at_a_time
+
+type tiling_kind =
+  | Basic
+  | Probability_based
+  | Optimal_probability_based
+  | Min_max_depth
+
+type layout_kind =
+  | Array_layout
+  | Sparse_layout
+
+type t = {
+  tile_size : int;
+  tiling : tiling_kind;
+  alpha : float;
+  beta : float;
+  loop_order : loop_order;
+  pad_and_unroll : bool;
+  pad_imbalance_limit : int;
+  interleave : int;
+  peel : bool;
+  layout : layout_kind;
+  num_threads : int;
+}
+
+let scalar_baseline =
+  {
+    tile_size = 1;
+    tiling = Basic;
+    alpha = 0.075;
+    beta = 0.9;
+    loop_order = One_row_at_a_time;
+    pad_and_unroll = false;
+    pad_imbalance_limit = 2;
+    interleave = 1;
+    peel = false;
+    layout = Array_layout;
+    num_threads = 1;
+  }
+
+let default =
+  {
+    scalar_baseline with
+    tile_size = 8;
+    loop_order = One_tree_at_a_time;
+    pad_and_unroll = true;
+    interleave = 4;
+    peel = true;
+    layout = Sparse_layout;
+  }
+
+let table2_grid =
+  let orders = [ One_tree_at_a_time; One_row_at_a_time ] in
+  let tile_sizes = [ 1; 2; 4; 8 ] in
+  let tilings = [ Basic; Probability_based ] in
+  let pads = [ true; false ] in
+  let interleaves = [ 1; 2; 4; 8 ] in
+  let alphas = [ (0.05, 0.9); (0.075, 0.9); (0.1, 0.9) ] in
+  List.concat_map
+    (fun loop_order ->
+      List.concat_map
+        (fun tile_size ->
+          List.concat_map
+            (fun tiling ->
+              List.concat_map
+                (fun pad_and_unroll ->
+                  List.concat_map
+                    (fun interleave ->
+                      let ab =
+                        (* α/β only matter for probability-based tiling;
+                           don't blow up the grid for basic tiling. The DP
+                           variants are extensions outside Table II. *)
+                        match tiling with
+                        | Basic | Optimal_probability_based | Min_max_depth ->
+                          [ (0.075, 0.9) ]
+                        | Probability_based -> alphas
+                      in
+                      List.map
+                        (fun (alpha, beta) ->
+                          {
+                            scalar_baseline with
+                            tile_size;
+                            tiling;
+                            alpha;
+                            beta;
+                            loop_order;
+                            pad_and_unroll;
+                            interleave;
+                            peel = pad_and_unroll;
+                            layout = (if tile_size >= 4 then Sparse_layout else Array_layout);
+                          })
+                        ab)
+                    interleaves)
+                pads)
+            tilings)
+        tile_sizes)
+    orders
+
+let with_threads t n = { t with num_threads = n }
+
+let to_string t =
+  let tiling =
+    match t.tiling with
+    | Basic -> "basic"
+    | Probability_based -> Printf.sprintf "prob(%g,%g)" t.alpha t.beta
+    | Optimal_probability_based -> Printf.sprintf "prob-opt(%g,%g)" t.alpha t.beta
+    | Min_max_depth -> "minmax"
+  in
+  let order =
+    match t.loop_order with
+    | One_row_at_a_time -> "row-major"
+    | One_tree_at_a_time -> "tree-major"
+  in
+  let layout =
+    match t.layout with Array_layout -> "array" | Sparse_layout -> "sparse"
+  in
+  Printf.sprintf "nt=%d %s %s%s%s il=%d %s%s" t.tile_size tiling order
+    (if t.pad_and_unroll then " pad+unroll" else "")
+    (if t.peel then " peel" else "")
+    t.interleave layout
+    (if t.num_threads > 1 then Printf.sprintf " threads=%d" t.num_threads else "")
+
+module J = Tb_util.Json
+
+let to_json t =
+  let tiling =
+    match t.tiling with
+    | Basic -> "basic"
+    | Probability_based -> "probability"
+    | Optimal_probability_based -> "optimal-probability"
+    | Min_max_depth -> "min-max-depth"
+  in
+  J.Obj
+    [
+      ("tile_size", J.Num (float_of_int t.tile_size));
+      ("tiling", J.Str tiling);
+      ("alpha", J.Num t.alpha);
+      ("beta", J.Num t.beta);
+      ( "loop_order",
+        J.Str (match t.loop_order with One_row_at_a_time -> "row" | One_tree_at_a_time -> "tree") );
+      ("pad_and_unroll", J.Bool t.pad_and_unroll);
+      ("pad_imbalance_limit", J.Num (float_of_int t.pad_imbalance_limit));
+      ("interleave", J.Num (float_of_int t.interleave));
+      ("peel", J.Bool t.peel);
+      ( "layout",
+        J.Str (match t.layout with Array_layout -> "array" | Sparse_layout -> "sparse") );
+      ("num_threads", J.Num (float_of_int t.num_threads));
+    ]
+
+let of_json j =
+  let tiling =
+    match J.to_str (J.member "tiling" j) with
+    | "basic" -> Basic
+    | "probability" -> Probability_based
+    | "optimal-probability" -> Optimal_probability_based
+    | "min-max-depth" -> Min_max_depth
+    | s -> raise (J.Parse_error ("unknown tiling " ^ s))
+  in
+  let loop_order =
+    match J.to_str (J.member "loop_order" j) with
+    | "row" -> One_row_at_a_time
+    | "tree" -> One_tree_at_a_time
+    | s -> raise (J.Parse_error ("unknown loop order " ^ s))
+  in
+  let layout =
+    match J.to_str (J.member "layout" j) with
+    | "array" -> Array_layout
+    | "sparse" -> Sparse_layout
+    | s -> raise (J.Parse_error ("unknown layout " ^ s))
+  in
+  {
+    tile_size = J.to_int (J.member "tile_size" j);
+    tiling;
+    alpha = J.to_float (J.member "alpha" j);
+    beta = J.to_float (J.member "beta" j);
+    loop_order;
+    pad_and_unroll = J.to_bool (J.member "pad_and_unroll" j);
+    pad_imbalance_limit = J.to_int (J.member "pad_imbalance_limit" j);
+    interleave = J.to_int (J.member "interleave" j);
+    peel = J.to_bool (J.member "peel" j);
+    layout;
+    num_threads = J.to_int (J.member "num_threads" j);
+  }
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (J.to_string ~indent:true (to_json t)))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_json (J.of_string (In_channel.input_all ic)))
+
+let validate t =
+  if t.tile_size < 1 || t.tile_size > 8 then Error "tile_size must be in 1..8"
+  else if t.interleave < 1 then Error "interleave must be >= 1"
+  else if t.num_threads < 1 then Error "num_threads must be >= 1"
+  else if not (t.alpha > 0.0 && t.alpha <= 1.0) then Error "alpha out of (0,1]"
+  else if not (t.beta > 0.0 && t.beta <= 1.0) then Error "beta out of (0,1]"
+  else if t.pad_imbalance_limit < 0 then Error "pad_imbalance_limit must be >= 0"
+  else Ok ()

@@ -1,0 +1,75 @@
+(** Compilation schedules: the optimization decisions of Table II.
+
+    A schedule is attached to the HIR as annotations; each lowering stage
+    reads the part it implements (tiling and reordering at HIR, loop order /
+    interleaving / unrolling at MIR, layout and vectorization at LIR). *)
+
+type loop_order =
+  | One_row_at_a_time  (** walk every tree for a row, then the next row *)
+  | One_tree_at_a_time  (** walk one tree over all rows, then the next tree *)
+
+type tiling_kind =
+  | Basic  (** Algorithm 2 for every tree *)
+  | Probability_based
+      (** Algorithm 1 for leaf-biased trees (per the α/β test), Algorithm 2
+          for the rest — exactly the paper's policy (§III-C) *)
+  | Optimal_probability_based
+      (** extension: the exact DP the paper mentions but does not implement
+          — minimizes expected tiled depth for leaf-biased trees *)
+  | Min_max_depth
+      (** extension: the paper's suggested "minimize the maximum leaf
+          depth" variant, for worst-case latency *)
+
+type layout_kind =
+  | Array_layout  (** implicit-index array of tiles (§V-B1) *)
+  | Sparse_layout  (** child pointers + separate leaf array (§V-B2) *)
+
+type t = {
+  tile_size : int;  (** 1..8; 1 = untiled scalar walk *)
+  tiling : tiling_kind;
+  alpha : float;  (** leaf-bias leaf-fraction threshold *)
+  beta : float;  (** leaf-bias coverage threshold *)
+  loop_order : loop_order;
+  pad_and_unroll : bool;
+      (** pad almost-balanced trees to uniform depth and fully unroll their
+          walks *)
+  pad_imbalance_limit : int;
+      (** only trees with tiled imbalance <= this are padded (the §III-F
+          "almost balanced" rule) *)
+  interleave : int;  (** unroll-and-jam factor for tree walks; 1 = off *)
+  peel : bool;
+      (** peel the walk loop to the depth of the shallowest leaf (§IV-B) *)
+  layout : layout_kind;
+  num_threads : int;  (** batch-loop parallelism; 1 = sequential *)
+}
+
+val scalar_baseline : t
+(** The paper's unoptimized reference: tile size 1, row-at-a-time loop,
+    no padding/interleaving/peeling, array layout, single thread. *)
+
+val default : t
+(** A good general-purpose schedule: tile size 8, basic tiling, tree-at-a-
+    time, padding+unrolling, interleave 4, sparse layout. *)
+
+val table2_grid : t list
+(** The full optimization space of Table II (loop order × tile size ×
+    tiling type × padding × interleaving × ⟨α,β⟩), single-threaded. *)
+
+val with_threads : t -> int -> t
+
+val to_string : t -> string
+(** Compact one-line description, e.g.
+    ["nt=8 prob(0.075,0.9) tree-major pad+unroll il=4 sparse"]. *)
+
+val to_json : t -> Tb_util.Json.t
+val of_json : Tb_util.Json.t -> t
+(** Round-trips exactly. @raise Tb_util.Json.Parse_error on schema
+    violations. Lets autotuned schedules be saved and shipped with a
+    model (the CLI's [explore --save] / [--schedule-file]). *)
+
+val to_file : string -> t -> unit
+val of_file : string -> t
+
+val validate : t -> (unit, string) result
+(** Check field ranges (tile size 1..8, interleave >= 1, threads >= 1,
+    alpha/beta in (0,1]). *)

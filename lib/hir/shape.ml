@@ -1,0 +1,99 @@
+type t = Node of t option * t option
+
+let rec size (Node (l, r)) =
+  let side = function None -> 0 | Some s -> size s in
+  1 + side l + side r
+
+let num_exits t = size t + 1
+
+let rec depth (Node (l, r)) =
+  let side = function None -> 0 | Some s -> depth s in
+  1 + max (side l) (side r)
+
+(* Indexed form: nodes numbered in level order; child entries are either a
+   node index (>= 0) or an exit slot encoded as [-1 - slot], with exit slots
+   numbered left to right (DFS preorder collection order). *)
+type indexed = { left : int array; right : int array }
+
+let index shape =
+  let n = size shape in
+  (* Level-order ids: BFS over the shape. *)
+  let queue = Queue.create () in
+  let id_of = Hashtbl.create 16 in
+  (* Physical identity is unreliable for structurally equal subtrees, so
+     carry (shape, path) pairs; the path uniquely names a position. *)
+  let next_id = ref 0 in
+  Queue.add (shape, []) queue;
+  while not (Queue.is_empty queue) do
+    let Node (l, r), path = Queue.pop queue in
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.replace id_of path id;
+    (match l with Some s -> Queue.add (s, 0 :: path) queue | None -> ());
+    (match r with Some s -> Queue.add (s, 1 :: path) queue | None -> ())
+  done;
+  let left = Array.make n 0 and right = Array.make n 0 in
+  (* DFS preorder to number exits left-to-right, and fill child entries via
+     paths. *)
+  let exit_count = ref 0 in
+  let rec dfs (Node (l, r)) path =
+    let my_id = Hashtbl.find id_of path in
+    (match l with
+    | Some s ->
+      left.(my_id) <- Hashtbl.find id_of (0 :: path);
+      dfs s (0 :: path)
+    | None ->
+      left.(my_id) <- -1 - !exit_count;
+      incr exit_count);
+    match r with
+    | Some s ->
+      right.(my_id) <- Hashtbl.find id_of (1 :: path);
+      dfs s (1 :: path)
+    | None ->
+      right.(my_id) <- -1 - !exit_count;
+      incr exit_count
+  in
+  dfs shape [];
+  { left; right }
+
+let navigate shape ~tile_size ~bits =
+  let idx = index shape in
+  let rec go i =
+    if i < 0 then -1 - i
+    else begin
+      let bit = (bits lsr (tile_size - 1 - i)) land 1 in
+      go (if bit = 1 then idx.left.(i) else idx.right.(i))
+    end
+  in
+  go 0
+
+let enumerate ~max_size =
+  (* shapes_of n: all shapes with exactly n nodes. *)
+  let memo = Hashtbl.create 16 in
+  let rec shapes_of n =
+    if n = 0 then [ None ]
+    else
+      match Hashtbl.find_opt memo n with
+      | Some s -> s
+      | None ->
+        let acc = ref [] in
+        for k = 0 to n - 1 do
+          List.iter
+            (fun l ->
+              List.iter
+                (fun r -> acc := Some (Node (l, r)) :: !acc)
+                (shapes_of (n - 1 - k)))
+            (shapes_of k)
+        done;
+        Hashtbl.add memo n !acc;
+        !acc
+  in
+  List.concat_map
+    (fun n -> List.filter_map Fun.id (shapes_of n))
+    (List.init max_size (fun i -> i + 1))
+
+let equal = ( = )
+
+let rec to_string (Node (l, r)) =
+  let side = function None -> "." | Some s -> to_string s in
+  "(" ^ side l ^ side r ^ ")"

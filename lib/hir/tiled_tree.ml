@@ -1,0 +1,234 @@
+type tile = {
+  node_ids : int array;
+  features : int array;
+  thresholds : float array;
+  shape : Shape.t;
+  shape_id : int;
+  children : int array;
+}
+
+type node =
+  | Tile of tile
+  | Leaf of float
+
+type t = {
+  tile_size : int;
+  nodes : node array;
+  lut : Lut.t;
+  source_leaves : int;
+}
+
+(* Intra-tile level-order node ids, following only in-tile edges. *)
+let level_order_ids (it : Itree.t) (tiling : Tiling.t) tile_id =
+  let root = Tiling.tile_root it tiling tile_id in
+  let queue = Queue.create () in
+  Queue.add root queue;
+  let acc = ref [] in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    acc := n :: !acc;
+    let push c =
+      if (not (Itree.is_leaf it c)) && tiling.Tiling.tile_of_node.(c) = tile_id
+      then Queue.add c queue
+    in
+    push it.Itree.left.(n);
+    push it.Itree.right.(n)
+  done;
+  Array.of_list (List.rev !acc)
+
+(* Shape of the tile plus its exits' tree nodes in left-to-right order. *)
+let shape_and_exits (it : Itree.t) (tiling : Tiling.t) tile_id root =
+  let in_tile n =
+    (not (Itree.is_leaf it n)) && tiling.Tiling.tile_of_node.(n) = tile_id
+  in
+  let exits = ref [] in
+  let rec build n =
+    let side c =
+      if in_tile c then Some (build c)
+      else begin
+        exits := c :: !exits;
+        None
+      end
+    in
+    (* Left must be traversed before right so that the exit list matches the
+       shape's left-to-right (DFS) exit numbering. *)
+    let l = side it.Itree.left.(n) in
+    let r = side it.Itree.right.(n) in
+    Shape.Node (l, r)
+  in
+  let shape = build root in
+  (shape, Array.of_list (List.rev !exits))
+
+let create lut (it : Itree.t) (tiling : Tiling.t) =
+  let tile_size = tiling.Tiling.tile_size in
+  if Lut.tile_size lut <> tile_size then
+    invalid_arg "Tiled_tree.create: LUT tile size mismatch";
+  if Itree.is_leaf it Itree.root then
+    {
+      tile_size;
+      nodes = [| Leaf it.Itree.value.(Itree.root) |];
+      lut;
+      source_leaves = 1;
+    }
+  else begin
+    (* Output order: BFS over tiles-and-leaves from the root tile, so the
+       root is node 0 and siblings are contiguous (the sparse layout relies
+       on sibling contiguity). *)
+    let node_index = Hashtbl.create 64 in
+    (* keys: [`T tile_id] or [`L tree_node_id] *)
+    let order = ref [] in
+    let next = ref 0 in
+    let queue = Queue.create () in
+    let enqueue key =
+      if not (Hashtbl.mem node_index key) then begin
+        Hashtbl.add node_index key !next;
+        incr next;
+        order := key :: !order;
+        Queue.add key queue
+      end
+    in
+    enqueue (`T 0);
+    while not (Queue.is_empty queue) do
+      match Queue.pop queue with
+      | `L _ -> ()
+      | `T tid ->
+        let root = Tiling.tile_root it tiling tid in
+        let _, exits = shape_and_exits it tiling tid root in
+        Array.iter
+          (fun e ->
+            if Itree.is_leaf it e then enqueue (`L e)
+            else enqueue (`T tiling.Tiling.tile_of_node.(e)))
+          exits
+    done;
+    let keys = Array.of_list (List.rev !order) in
+    let nodes =
+      Array.map
+        (function
+          | `L leaf_id -> Leaf it.Itree.value.(leaf_id)
+          | `T tid ->
+            let root = Tiling.tile_root it tiling tid in
+            let node_ids = level_order_ids it tiling tid in
+            let shape, exits = shape_and_exits it tiling tid root in
+            let features = Array.make tile_size 0 in
+            let thresholds = Array.make tile_size infinity in
+            Array.iteri
+              (fun lane n ->
+                features.(lane) <- it.Itree.feature.(n);
+                thresholds.(lane) <- it.Itree.threshold.(n))
+              node_ids;
+            let children =
+              Array.map
+                (fun e ->
+                  let key =
+                    if Itree.is_leaf it e then `L e
+                    else `T tiling.Tiling.tile_of_node.(e)
+                  in
+                  Hashtbl.find node_index key)
+                exits
+            in
+            Tile
+              {
+                node_ids;
+                features;
+                thresholds;
+                shape;
+                shape_id = Lut.shape_id lut shape;
+                children;
+              })
+        keys
+    in
+    {
+      tile_size;
+      nodes;
+      lut;
+      source_leaves = Tb_model.Tree.num_leaves (Itree.to_tree it);
+    }
+  end
+
+let comparison_bits t (tile : tile) row =
+  let bits = ref 0 in
+  for lane = 0 to t.tile_size - 1 do
+    (* Dummy lanes compare against +inf, so their bit is always set; the
+       LUT ignores those positions anyway. *)
+    let b = if row.(tile.features.(lane)) < tile.thresholds.(lane) then 1 else 0 in
+    bits := !bits lor (b lsl (t.tile_size - 1 - lane))
+  done;
+  !bits
+
+let walk_leaf_node t row =
+  let rec go i =
+    match t.nodes.(i) with
+    | Leaf _ -> i
+    | Tile tile ->
+      let bits = comparison_bits t tile row in
+      let child = Lut.lookup t.lut ~shape_id:tile.shape_id ~bits in
+      go tile.children.(child)
+  in
+  go 0
+
+let walk t row =
+  match t.nodes.(walk_leaf_node t row) with
+  | Leaf v -> v
+  | Tile _ -> assert false
+
+let is_dummy (tile : tile) = Array.length tile.node_ids = 0
+
+(* Children considered by static analyses: a dummy (padding) tile always
+   routes the walk through exit 0; its other exit is a dead leaf that no
+   input can reach and must not be counted. *)
+let static_children (tile : tile) =
+  if is_dummy tile then [| tile.children.(0) |] else tile.children
+
+let leaf_depths t =
+  let acc = ref [] in
+  let rec go i d =
+    match t.nodes.(i) with
+    | Leaf v -> acc := (d, v) :: !acc
+    | Tile tile -> Array.iter (fun c -> go c (d + 1)) (static_children tile)
+  in
+  go 0 0;
+  !acc
+
+let depth t = List.fold_left (fun m (d, _) -> max m d) 0 (leaf_depths t)
+
+let min_leaf_depth t =
+  List.fold_left (fun m (d, _) -> min m d) max_int (leaf_depths t)
+
+let num_tiles t =
+  Array.fold_left
+    (fun acc -> function Tile _ -> acc + 1 | Leaf _ -> acc)
+    0 t.nodes
+
+let num_leaves t =
+  Array.fold_left
+    (fun acc -> function Leaf _ -> acc + 1 | Tile _ -> acc)
+    0 t.nodes
+
+let expected_depth t ~leaf_node_probs =
+  let acc = ref 0.0 in
+  let rec go i d =
+    match t.nodes.(i) with
+    | Leaf _ -> acc := !acc +. (leaf_node_probs i *. float_of_int d)
+    | Tile tile -> Array.iter (fun c -> go c (d + 1)) (static_children tile)
+  in
+  go 0 0;
+  !acc
+
+let structure_key t =
+  let buf = Buffer.create 128 in
+  let rec go i =
+    match t.nodes.(i) with
+    | Leaf _ -> Buffer.add_char buf 'L'
+    | Tile tile ->
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (string_of_int tile.shape_id);
+      Array.iter go (static_children tile);
+      Buffer.add_char buf ')'
+  in
+  go 0;
+  Buffer.contents buf
+
+let is_uniform_depth t =
+  match leaf_depths t with
+  | [] -> true
+  | (d0, _) :: rest -> List.for_all (fun (d, _) -> d = d0) rest

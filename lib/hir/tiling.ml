@@ -1,0 +1,277 @@
+type t = {
+  tile_size : int;
+  tile_of_node : int array;
+  num_tiles : int;
+}
+
+(* Shared recursion skeleton: [make_tile root] returns the node set of the
+   tile rooted at [root] (internal nodes only); recursion continues on every
+   internal node reachable by an edge leaving the tile. *)
+let tile_with ~make_tile (it : Itree.t) ~tile_size =
+  let tile_of_node = Array.make it.Itree.num_nodes (-1) in
+  let num_tiles = ref 0 in
+  let rec tile_tree root =
+    if not (Itree.is_leaf it root) then begin
+      let tile = make_tile root in
+      let id = !num_tiles in
+      incr num_tiles;
+      List.iter (fun n -> tile_of_node.(n) <- id) tile;
+      let in_tile n = tile_of_node.(n) = id in
+      List.iter
+        (fun n ->
+          let visit child = if not (in_tile child) then tile_tree child in
+          visit it.Itree.left.(n);
+          visit it.Itree.right.(n))
+        tile
+    end
+  in
+  tile_tree Itree.root;
+  { tile_size; tile_of_node; num_tiles = !num_tiles }
+
+let basic (it : Itree.t) ~tile_size =
+  let make_tile root =
+    (* LevelOrderTraversal of Algorithm 2: BFS from the tile root, skipping
+       leaves, until the tile is full. *)
+    let queue = Queue.create () in
+    Queue.add root queue;
+    let tile = ref [] in
+    let count = ref 0 in
+    while (not (Queue.is_empty queue)) && !count < tile_size do
+      let n = Queue.pop queue in
+      if not (Itree.is_leaf it n) then begin
+        tile := n :: !tile;
+        incr count;
+        Queue.add it.Itree.left.(n) queue;
+        Queue.add it.Itree.right.(n) queue
+      end
+    done;
+    List.rev !tile
+  in
+  tile_with ~make_tile it ~tile_size
+
+let probability_based (it : Itree.t) ~node_probs ~tile_size =
+  let make_tile root =
+    (* Algorithm 1: greedily add the most probable internal out-node. *)
+    let tile = ref [ root ] in
+    let count = ref 1 in
+    let continue = ref true in
+    while !continue && !count < tile_size do
+      let candidates =
+        List.concat_map
+          (fun n ->
+            List.filter
+              (fun c -> (not (Itree.is_leaf it c)) && not (List.mem c !tile))
+              [ it.Itree.left.(n); it.Itree.right.(n) ])
+          !tile
+      in
+      match candidates with
+      | [] -> continue := false
+      | c0 :: rest ->
+        let best =
+          List.fold_left
+            (fun best c -> if node_probs.(c) > node_probs.(best) then c else best)
+            c0 rest
+        in
+        tile := best :: !tile;
+        incr count
+    done;
+    List.rev !tile
+  in
+  tile_with ~make_tile it ~tile_size
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic-programming tilings                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Enumerate every connected set of internal nodes rooted at [v] with at
+   most [budget] nodes. Because candidates are assembled from disjoint
+   left/right sub-choices, each rooted set is generated exactly once. A
+   choice is a node list plus its internal exits (out-edges to internal
+   nodes); leaf exits never constrain the DP. *)
+let rooted_tiles (it : Itree.t) v budget =
+  (* side v b: choices for the subtree hanging off child [v]: either cut
+     here (v becomes an exit) or, if internal, include a rooted tile. *)
+  let rec tiles v budget =
+    (* v is internal; budget >= 1. *)
+    let l = it.Itree.left.(v) and r = it.Itree.right.(v) in
+    let acc = ref [] in
+    for left_size = 0 to budget - 1 do
+      let left_choices = side l left_size in
+      if left_choices <> [] then begin
+        let right_choices = side r (budget - 1 - left_size) in
+        List.iter
+          (fun (ln, le, lsz) ->
+            List.iter
+              (fun (rn, re, rsz) ->
+                if lsz = left_size then
+                  acc := ((v :: ln) @ rn, le @ re, 1 + lsz + rsz) :: !acc)
+              right_choices)
+          left_choices
+      end
+    done;
+    !acc
+  and side v budget =
+    if Itree.is_leaf it v then
+      (* A leaf exit: contributes no nodes and no internal exits, and only
+         exists as the single size-0 choice. *)
+      if budget = 0 then [ ([], [], 0) ] else []
+    else begin
+      (* Either cut the edge (internal exit), using size 0... *)
+      let cut = if budget = 0 then [ ([], [ v ], 0) ] else [] in
+      (* ...or include a rooted tile of exactly [budget] nodes. *)
+      let inc =
+        if budget >= 1 then
+          List.filter (fun (_, _, sz) -> sz = budget) (tiles v budget)
+        else []
+      in
+      cut @ inc
+    end
+  in
+  (* Collect choices of every size 1..budget rooted at v. *)
+  List.concat_map
+    (fun b -> List.filter (fun (_, _, sz) -> sz = b) (tiles v b))
+    (List.init budget (fun i -> i + 1))
+
+(* Maximal-tiling rule: an under-full tile may not have internal exits. *)
+let admissible tile_size (nodes, internal_exits, size) =
+  ignore nodes;
+  size = tile_size || internal_exits = []
+
+(* Generic DP over rooted tiles: [combine] folds the exit costs, [seed] is
+   the per-tile base cost. Returns the per-root cost and chosen tile. *)
+let dp_tiling (it : Itree.t) ~tile_size ~cost_of_root ~combine_exits =
+  let n = it.Itree.num_nodes in
+  let memo_cost = Array.make n Float.nan in
+  let memo_tile : (int list * int list) array = Array.make n ([], []) in
+  let rec solve v =
+    if not (Float.is_nan memo_cost.(v)) then memo_cost.(v)
+    else begin
+      let candidates =
+        List.filter (admissible tile_size) (rooted_tiles it v tile_size)
+      in
+      let best = ref Float.infinity and best_tile = ref ([ v ], []) in
+      List.iter
+        (fun (nodes, exits, _) ->
+          let c = cost_of_root v +. combine_exits (List.map solve exits) in
+          if c < !best then begin
+            best := c;
+            best_tile := (nodes, exits)
+          end)
+        candidates;
+      memo_cost.(v) <- !best;
+      memo_tile.(v) <- !best_tile;
+      !best
+    end
+  in
+  let tile_of_node = Array.make n (-1) in
+  let num_tiles = ref 0 in
+  let rec emit v =
+    let (_ : float) = solve v in
+    let nodes, exits = memo_tile.(v) in
+    let id = !num_tiles in
+    incr num_tiles;
+    List.iter (fun u -> tile_of_node.(u) <- id) nodes;
+    List.iter emit exits
+  in
+  if not (Itree.is_leaf it Itree.root) then emit Itree.root;
+  { tile_size; tile_of_node; num_tiles = !num_tiles }
+
+let optimal_probability_based (it : Itree.t) ~node_probs ~tile_size =
+  dp_tiling it ~tile_size
+    ~cost_of_root:(fun v -> node_probs.(v))
+    ~combine_exits:(List.fold_left ( +. ) 0.0)
+
+let min_max_depth (it : Itree.t) ~tile_size =
+  dp_tiling it ~tile_size
+    ~cost_of_root:(fun _ -> 1.0)
+    ~combine_exits:(fun costs ->
+      (* max leaf depth below this tile, with a tiny tile-count tiebreak so
+         equal-depth solutions prefer fewer tiles. *)
+      List.fold_left Float.max 0.0 costs
+      +. (1e-6 *. List.fold_left ( +. ) 0.0 costs))
+
+let nodes_of_tile t tile_id =
+  let acc = ref [] in
+  for n = Array.length t.tile_of_node - 1 downto 0 do
+    if t.tile_of_node.(n) = tile_id then acc := n :: !acc
+  done;
+  !acc
+
+let tile_root (it : Itree.t) t tile_id =
+  let nodes = nodes_of_tile t tile_id in
+  match
+    List.filter
+      (fun n ->
+        let p = it.Itree.parent.(n) in
+        p < 0 || t.tile_of_node.(p) <> tile_id)
+      nodes
+  with
+  | [ r ] -> r
+  | [] -> invalid_arg "Tiling.tile_root: empty or rootless tile"
+  | _ -> invalid_arg "Tiling.tile_root: disconnected tile"
+
+let check_valid (it : Itree.t) t =
+  let ( let* ) r f = Result.bind r f in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  (* Partitioning + leaf separation: every internal node in exactly one
+     tile, no leaf in any tile. *)
+  let* () =
+    let rec check n =
+      if n >= it.Itree.num_nodes then Ok ()
+      else if Itree.is_leaf it n then
+        if t.tile_of_node.(n) <> -1 then fail "leaf %d assigned to a tile" n
+        else check (n + 1)
+      else if t.tile_of_node.(n) < 0 || t.tile_of_node.(n) >= t.num_tiles then
+        fail "internal node %d not in any tile" n
+      else check (n + 1)
+    in
+    check 0
+  in
+  (* Per-tile checks. *)
+  let rec per_tile tid =
+    if tid >= t.num_tiles then Ok ()
+    else begin
+      let nodes = nodes_of_tile t tid in
+      let* () =
+        if nodes = [] then fail "tile %d is empty" tid
+        else if List.length nodes > t.tile_size then
+          fail "tile %d exceeds tile size" tid
+        else Ok ()
+      in
+      (* Connectedness: exactly one node whose parent is outside the tile,
+         and every other node's parent is inside. *)
+      let roots =
+        List.filter
+          (fun n ->
+            let p = it.Itree.parent.(n) in
+            p < 0 || t.tile_of_node.(p) <> tid)
+          nodes
+      in
+      let* () =
+        match roots with
+        | [ _ ] -> Ok ()
+        | _ -> fail "tile %d is not a connected subtree" tid
+      in
+      (* Maximal tiling: an under-full tile must have no internal node as an
+         out-neighbour. *)
+      let* () =
+        if List.length nodes >= t.tile_size then Ok ()
+        else begin
+          let has_internal_out =
+            List.exists
+              (fun n ->
+                List.exists
+                  (fun c ->
+                    (not (Itree.is_leaf it c)) && t.tile_of_node.(c) <> tid)
+                  [ it.Itree.left.(n); it.Itree.right.(n) ])
+              nodes
+          in
+          if has_internal_out then
+            fail "tile %d is under-full but has an internal out-edge" tid
+          else Ok ()
+        end
+      in
+      per_tile (tid + 1)
+    end
+  in
+  per_tile 0

@@ -1,0 +1,77 @@
+(** In-memory representations of tiled trees (paper §V-B).
+
+    Both layouts store the model as struct-of-arrays over {e slots}; a slot
+    holds one tile's [tile_size] thresholds and feature indices plus its
+    shape id. They differ in how children are found:
+
+    - {b Array layout} (§V-B1): per-tree slab of implicitly indexed slots;
+      child [c] of local slot [s] lives at [s*(tile_size+1) + c + 1].
+      Simple, but allocates every addressable slot of the (n_t+1)-ary tree
+      — the memory bloat the paper measures. Leaves occupy full slots.
+    - {b Sparse layout} (§V-B2): tiles store an explicit child pointer;
+      all children of a tile are contiguous, and leaf values live in a
+      separate dense array. Tiles whose children mix tiles and leaves get
+      an extra "hop" tile inserted above each leaf child (paper Fig. 6) so
+      every tile's children are homogeneous. *)
+
+type kind = Array_kind | Sparse_kind
+
+type t = {
+  kind : kind;
+  tile_size : int;
+  num_trees : int;
+  tree_root : int array;
+      (** Array layout: slab base, in slots. Sparse: root tile index, or
+          [-1 - leaf_index] when the whole tree is a single leaf. *)
+  thresholds : float array;  (** slot-major: [slot * tile_size + lane] *)
+  features : int array;  (** same indexing *)
+  shape_ids : int array;
+      (** per slot: shape id; array layout also uses [leaf_marker] for leaf
+          slots and [unused_marker] for never-allocated slots *)
+  child_ptr : int array;
+      (** sparse only, per slot: [>= 0] = first child tile slot (children
+          contiguous); [< 0] = children are leaves starting at
+          [leaf_values.(-child_ptr - 1)] *)
+  leaf_values : float array;
+      (** array layout: per-slot leaf value; sparse: dense leaf store *)
+  lut : int array array;  (** LUT rows by shape id *)
+}
+
+val leaf_marker : int
+(** Shape-id value marking a leaf slot in the array layout (-1). *)
+
+val unused_marker : int
+(** Shape-id value marking an unallocated slot in the array layout (-2). *)
+
+val max_array_slots : int
+(** Safety cap on a single tree's slab (deep probability-tiled chains make
+    the implicit-index slab exponential — the builder raises rather than
+    allocating gigabytes; use the sparse layout for such schedules). *)
+
+val build : Tb_hir.Program.t -> t
+(** Build the layout selected by the program's schedule.
+    @raise Invalid_argument when an array-layout slab would exceed
+    {!max_array_slots}. *)
+
+val build_kind : kind -> Tb_hir.Program.t -> t
+(** Build a specific layout regardless of the schedule (used by the
+    footprint experiment). *)
+
+val comparison_bits : t -> int -> float array -> int
+(** Evaluate all lane predicates of the tile in [slot] against a row and
+    pack them into the LUT index (lane 0 = MSB). *)
+
+val walk : t -> tree:int -> float array -> float
+(** Reference traversal over the layout buffers — the semantics the JIT
+    backend must reproduce. *)
+
+val walk_with_trace : t -> tree:int -> float array -> on_slot:(int -> unit) -> float
+(** Like {!walk}, reporting each visited slot index (absolute, in slot
+    units) — drives the cache simulator. *)
+
+val memory_bytes : t -> int
+(** Model bytes under this layout, counting thresholds as float32, feature
+    indices and shape ids as int16, child pointers as int32 and leaf values
+    as float32 (excludes the LUT, which is shared across models). *)
+
+val num_slots : t -> int

@@ -1,0 +1,38 @@
+(** The full compilation pipeline below the model level: HIR → MIR → LIR.
+
+    The result bundles everything a backend needs: the laid-out model
+    buffers, the loop-nest plan, per-tree aggregation classes and the walk
+    op templates. {!Tb_vm.Jit} turns it into executable code;
+    {!Tb_vm.Profiler} executes it while counting events. *)
+
+type t = {
+  hir : Tb_hir.Program.t;
+  mir : Tb_mir.Mir.t;
+  layout : Layout.t;
+  num_outputs : int;
+  base_score : float;
+  tree_class : int array;
+      (** per layout tree index (= reordered position): output class its
+          prediction accumulates into *)
+  walk_depth : int array;  (** per tree: max tiled walk depth *)
+}
+
+val lower :
+  ?profiles:Tb_model.Model_stats.tree_profile array ->
+  Tb_model.Forest.t ->
+  Tb_hir.Schedule.t ->
+  t
+(** Run the whole pipeline on a model. *)
+
+val lower_hir : Tb_hir.Program.t -> t
+(** Lower an already-built HIR program (lets callers reuse one HIR across
+    experiments). *)
+
+val reference_predict : t -> float array -> float array
+(** Predict by walking the layout directly (no backend) — must equal
+    {!Tb_model.Forest.predict_raw}; the anchor for backend tests. *)
+
+val dump : t -> string
+(** Human-readable dump: schedule, MIR loop nest, walk listing, the
+    verified register IR of every walk variant, and layout statistics
+    (the CLI's [compile] subcommand prints this). *)

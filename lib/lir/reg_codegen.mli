@@ -1,0 +1,15 @@
+(** Code generation into the register-level walk IR.
+
+    Emits the {!Reg_ir.walk_program} for a layout and walk specialization —
+    the textual/interpretable equivalent of what the closure JIT builds.
+    Programs are verified ({!Reg_ir.verify}) before being returned. *)
+
+val walk_program :
+  Layout.t -> Tb_mir.Mir.walk_kind -> Reg_ir.walk_program
+(** Generate (and verify) the walk body for one (tree, row) pair under the
+    layout's addressing scheme.
+    @raise Invalid_argument if the generated program fails verification
+    (a compiler bug, caught eagerly). *)
+
+val all_variants : Layout.t -> Tb_mir.Mir.t -> (int * Reg_ir.walk_program) list
+(** One verified program per MIR group plan, keyed by group index. *)

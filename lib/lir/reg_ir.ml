@@ -1,0 +1,255 @@
+type buffer =
+  | Thresholds
+  | Feature_ids
+  | Shape_ids
+  | Child_ptrs
+  | Leaf_values
+  | Lut
+  | Tree_roots
+  | Row
+
+type ireg = int
+type freg = int
+type vreg = int
+
+type iexpr =
+  | Iconst of int
+  | Imov of ireg
+  | Iadd of ireg * ireg
+  | Imul_const of ireg * int
+  | Iadd_const of ireg * int
+  | Isub of ireg * ireg
+  | Iload of buffer * ireg
+  | Movemask of vreg
+
+type fexpr =
+  | Fload of buffer * ireg
+
+type vexpr =
+  | Vload_f of buffer * ireg
+  | Vload_i of buffer * ireg
+  | Gather of buffer * vreg
+  | Vcmp_lt of vreg * vreg
+
+type cond =
+  | Ige of ireg * int
+  | Ieq_load of buffer * ireg * int
+
+type stmt =
+  | Iset of ireg * iexpr
+  | Fset of freg * fexpr
+  | Vset of vreg * vexpr
+  | While of cond * stmt list
+  | If of cond * stmt list * stmt list
+  | Repeat of int * stmt list
+
+type walk_program = {
+  tile_size : int;
+  layout : Layout.kind;
+  body : stmt list;
+  num_iregs : int;
+  num_fregs : int;
+  num_vregs : int;
+}
+
+let state_reg = 0
+let base_reg = 1
+let result_reg = 0
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Vector registers carry a lane type; the verifier tracks it. *)
+type vkind = VInt | VFloat
+
+let verify p =
+  let ( let* ) r f = Result.bind r f in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_ireg ~defined r use =
+    if r < 0 || r >= p.num_iregs then fail "ireg %d out of range" r
+    else if use && not defined.(r) then fail "ireg %d used before assignment" r
+    else Ok ()
+  in
+  (* defined_i / defined_v are per-path; joins take the intersection. *)
+  let rec go stmts (di, dv) =
+    match stmts with
+    | [] -> Ok (di, dv)
+    | stmt :: rest ->
+      let* state =
+        match stmt with
+        | Iset (r, e) ->
+          let* () = check_ireg ~defined:di r false in
+          let* () =
+            match e with
+            | Iconst _ -> Ok ()
+            | Imov a | Imul_const (a, _) | Iadd_const (a, _)
+            | Iload (_, a) ->
+              check_ireg ~defined:di a true
+            | Iadd (a, b) | Isub (a, b) ->
+              let* () = check_ireg ~defined:di a true in
+              check_ireg ~defined:di b true
+            | Movemask v -> (
+              match dv.(v) with
+              | Some VInt -> Ok ()
+              | Some VFloat -> fail "movemask on float vector v%d" v
+              | None -> fail "vreg %d used before assignment" v)
+          in
+          let di = Array.copy di in
+          di.(r) <- true;
+          Ok (di, dv)
+        | Fset (r, Fload (_, a)) ->
+          if r < 0 || r >= p.num_fregs then fail "freg %d out of range" r
+          else
+            let* () = check_ireg ~defined:di a true in
+            Ok (di, dv)
+        | Vset (r, e) ->
+          if r < 0 || r >= p.num_vregs then fail "vreg %d out of range" r
+          else begin
+            let use_v v expected =
+              match dv.(v) with
+              | Some k when k = expected -> Ok ()
+              | Some _ -> fail "vreg %d lane-type mismatch" v
+              | None -> fail "vreg %d used before assignment" v
+            in
+            let* kind =
+              match e with
+              | Vload_f (_, a) ->
+                let* () = check_ireg ~defined:di a true in
+                Ok VFloat
+              | Vload_i (_, a) ->
+                let* () = check_ireg ~defined:di a true in
+                Ok VInt
+              | Gather (_, idx) ->
+                let* () = use_v idx VInt in
+                Ok VFloat
+              | Vcmp_lt (a, b) ->
+                let* () = use_v a VFloat in
+                let* () = use_v b VFloat in
+                Ok VInt
+            in
+            let dv = Array.copy dv in
+            dv.(r) <- Some kind;
+            Ok (di, dv)
+          end
+        | While (cond, body) ->
+          let* () =
+            match cond with
+            | Ige (r, _) | Ieq_load (_, r, _) -> check_ireg ~defined:di r true
+          in
+          (* The body may not execute: definitions inside don't escape. *)
+          let* (_ : bool array * vkind option array) = go body (Array.copy di, Array.copy dv) in
+          Ok (di, dv)
+        | Repeat (n, body) ->
+          if n < 0 then fail "negative repeat count"
+          else if n = 0 then Ok (di, dv)
+          else go body (di, dv) (* executes at least once when n >= 1 *)
+        | If (cond, then_, else_) ->
+          let* () =
+            match cond with
+            | Ige (r, _) | Ieq_load (_, r, _) -> check_ireg ~defined:di r true
+          in
+          let* dit, dvt = go then_ (Array.copy di, Array.copy dv) in
+          let* die, dve = go else_ (Array.copy di, Array.copy dv) in
+          let di' = Array.mapi (fun i a -> a && die.(i)) dit in
+          let dv' =
+            Array.mapi (fun i a -> if a = dve.(i) then a else None) dvt
+          in
+          Ok (di', dv')
+      in
+      go rest state
+  in
+  let di = Array.make (max 1 p.num_iregs) false in
+  (* Walk inputs: state and base are set up by the driver. *)
+  if p.num_iregs > state_reg then di.(state_reg) <- true;
+  if p.num_iregs > base_reg then di.(base_reg) <- true;
+  let dv = Array.make (max 1 p.num_vregs) None in
+  let* (_ : bool array * vkind option array) = go p.body (di, dv) in
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let buffer_name = function
+  | Thresholds -> "thresholds"
+  | Feature_ids -> "featureIds"
+  | Shape_ids -> "shapeIds"
+  | Child_ptrs -> "childPtrs"
+  | Leaf_values -> "leafValues"
+  | Lut -> "LUT"
+  | Tree_roots -> "treeRoots"
+  | Row -> "row"
+
+let iexpr_str = function
+  | Iconst c -> string_of_int c
+  | Imov a -> Printf.sprintf "i%d" a
+  | Iadd (a, b) -> Printf.sprintf "i%d + i%d" a b
+  | Imul_const (a, c) -> Printf.sprintf "i%d * %d" a c
+  | Iadd_const (a, c) -> Printf.sprintf "i%d + %d" a c
+  | Isub (a, b) -> Printf.sprintf "i%d - i%d" a b
+  | Iload (b, a) -> Printf.sprintf "load.%s [i%d]" (buffer_name b) a
+  | Movemask v -> Printf.sprintf "movemask v%d" v
+
+let fexpr_str = function
+  | Fload (b, a) -> Printf.sprintf "load.%s [i%d]" (buffer_name b) a
+
+let vexpr_str = function
+  | Vload_f (b, a) -> Printf.sprintf "vload.f32 %s [i%d]" (buffer_name b) a
+  | Vload_i (b, a) -> Printf.sprintf "vload.i32 %s [i%d]" (buffer_name b) a
+  | Gather (b, v) -> Printf.sprintf "gather.%s [v%d]" (buffer_name b) v
+  | Vcmp_lt (a, b) -> Printf.sprintf "vcmp.lt v%d, v%d" a b
+
+let cond_str = function
+  | Ige (r, c) -> Printf.sprintf "i%d >= %d" r c
+  | Ieq_load (b, r, c) -> Printf.sprintf "%s[i%d] == %d" (buffer_name b) r c
+
+let pp fmt p =
+  let rec stmts indent body =
+    List.iter
+      (fun stmt ->
+        let pad = String.make indent ' ' in
+        match stmt with
+        | Iset (r, e) -> Format.fprintf fmt "%si%d <- %s@," pad r (iexpr_str e)
+        | Fset (r, e) -> Format.fprintf fmt "%sf%d <- %s@," pad r (fexpr_str e)
+        | Vset (r, e) -> Format.fprintf fmt "%sv%d <- %s@," pad r (vexpr_str e)
+        | While (c, body) ->
+          Format.fprintf fmt "%swhile (%s) {@," pad (cond_str c);
+          stmts (indent + 2) body;
+          Format.fprintf fmt "%s}@," pad
+        | If (c, t, e) ->
+          Format.fprintf fmt "%sif (%s) {@," pad (cond_str c);
+          stmts (indent + 2) t;
+          if e <> [] then begin
+            Format.fprintf fmt "%s} else {@," pad;
+            stmts (indent + 2) e
+          end;
+          Format.fprintf fmt "%s}@," pad
+        | Repeat (n, body) ->
+          Format.fprintf fmt "%srepeat %d {  // fully unrolled@," pad n;
+          stmts (indent + 2) body;
+          Format.fprintf fmt "%s}@," pad)
+      body
+  in
+  Format.fprintf fmt "@[<v>walk(%s, tile_size=%d):@,"
+    (match p.layout with Layout.Array_kind -> "array" | Layout.Sparse_kind -> "sparse")
+    p.tile_size;
+  stmts 2 p.body;
+  Format.fprintf fmt "@]"
+
+let to_string p = Format.asprintf "%a" pp p
+
+let count_ops p ~static =
+  let rec count body =
+    List.fold_left
+      (fun acc stmt ->
+        acc
+        +
+        match stmt with
+        | Iset _ | Fset _ | Vset _ -> 1
+        | While (_, b) -> 1 + count b
+        | If (_, t, e) -> 1 + count t + count e
+        | Repeat (n, b) -> if static then count b else n * count b)
+      0 body
+  in
+  count p.body

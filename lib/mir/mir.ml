@@ -1,0 +1,166 @@
+module Schedule = Tb_hir.Schedule
+module Program = Tb_hir.Program
+module Reorder = Tb_hir.Reorder
+module Tiled_tree = Tb_hir.Tiled_tree
+
+type walk_kind =
+  | Loop_walk
+  | Peeled_walk of { peel : int }
+  | Unrolled_walk of { depth : int }
+
+type group_plan = {
+  group : Reorder.group;
+  walk : walk_kind;
+  interleave : int;
+}
+
+type t = {
+  schedule : Schedule.t;
+  loop_order : Schedule.loop_order;
+  num_threads : int;
+  group_plans : group_plan array;
+}
+
+let lower_of_hir (p : Program.t) =
+  {
+    schedule = p.Program.schedule;
+    loop_order = p.Program.schedule.Schedule.loop_order;
+    num_threads = 1;
+    group_plans =
+      Array.of_list
+        (List.map
+           (fun group -> { group; walk = Loop_walk; interleave = 1 })
+           p.Program.groups);
+  }
+
+let apply_walk_specialization (p : Program.t) t =
+  let schedule = t.schedule in
+  let specialize plan =
+    let g = plan.group in
+    if schedule.Schedule.pad_and_unroll && g.Reorder.uniform then
+      { plan with walk = Unrolled_walk { depth = g.Reorder.walk_depth } }
+    else if schedule.Schedule.peel then begin
+      (* Peel to the depth of the shallowest leaf across the group: those
+         iterations need no leaf checks (§IV-B). *)
+      let peel =
+        Array.fold_left
+          (fun acc pos ->
+            min acc (Tiled_tree.min_leaf_depth p.Program.trees.(pos).Program.tiled))
+          max_int g.Reorder.positions
+      in
+      let peel = if peel = max_int || peel < 1 then 0 else peel in
+      if peel > 0 then { plan with walk = Peeled_walk { peel } } else plan
+    end
+    else plan
+  in
+  { t with group_plans = Array.map specialize t.group_plans }
+
+let apply_interleaving t =
+  let factor = t.schedule.Schedule.interleave in
+  if factor <= 1 then t
+  else begin
+    let jam plan =
+      match t.loop_order with
+      | Schedule.One_tree_at_a_time ->
+        (* Innermost loop is over rows: jam [factor] rows of one tree.
+           Always legal; the backend handles the batch remainder. *)
+        { plan with interleave = factor }
+      | Schedule.One_row_at_a_time ->
+        (* Innermost loop is over the trees of a group: jam up to
+           [factor] trees of the same row. *)
+        { plan with interleave = min factor (Array.length plan.group.Reorder.positions) }
+    in
+    { t with group_plans = Array.map jam t.group_plans }
+  end
+
+let apply_parallelization t =
+  { t with num_threads = t.schedule.Schedule.num_threads }
+
+let lower p =
+  lower_of_hir p
+  |> apply_walk_specialization p
+  |> apply_interleaving
+  |> apply_parallelization
+
+let pp_walk fmt (plan : group_plan) =
+  let n = Array.length plan.group.Reorder.positions in
+  let describe =
+    match plan.walk with
+    | Loop_walk -> "WalkDecisionTree"
+    | Peeled_walk { peel } -> Printf.sprintf "WalkDecisionTree_Peeled<%d>" peel
+    | Unrolled_walk { depth } -> Printf.sprintf "WalkDecisionTree_Unrolled<%d>" depth
+  in
+  if plan.interleave > 1 then
+    Format.fprintf fmt "InterleavedWalk<%d>(%s, trees[g][0..%d], ...)"
+      plan.interleave describe n
+  else Format.fprintf fmt "%s(trees[g][0..%d], ...)" describe n
+
+let pp fmt t =
+  let parallel = t.num_threads > 1 in
+  Format.fprintf fmt "@[<v>predictForest(rows[0..batch], predictions):@,";
+  let indent = ref 2 in
+  let line fmt' = Format.fprintf fmt "%s" (String.make !indent ' ') ; Format.fprintf fmt fmt' in
+  if parallel then begin
+    line "parallel.for i0 = 0 to batch step batch/%d {@," t.num_threads;
+    indent := !indent + 2
+  end;
+  (match t.loop_order with
+  | Schedule.One_row_at_a_time ->
+    line "for i = %s {@," (if parallel then "i0 to i0 + batch/k" else "0 to batch");
+    indent := !indent + 2;
+    line "prediction = base_score@,";
+    Array.iteri
+      (fun gi plan ->
+        line "// group %d: %d trees, %s@," gi
+          (Array.length plan.group.Reorder.positions)
+          (if plan.group.Reorder.uniform then
+             Printf.sprintf "uniform depth %d" plan.group.Reorder.walk_depth
+           else "irregular");
+        line "for t in group(%d) { prediction += %s }@," gi
+          (Format.asprintf "%a" pp_walk plan))
+      t.group_plans;
+    line "predictions[i] = prediction@,";
+    indent := !indent - 2;
+    line "}@,"
+  | Schedule.One_tree_at_a_time ->
+    Array.iteri
+      (fun gi plan ->
+        line "// group %d: %d trees, %s@," gi
+          (Array.length plan.group.Reorder.positions)
+          (if plan.group.Reorder.uniform then
+             Printf.sprintf "uniform depth %d" plan.group.Reorder.walk_depth
+           else "irregular");
+        line "for t in group(%d) {@," gi;
+        indent := !indent + 2;
+        line "for i = %s step %d {@,"
+          (if parallel then "i0 to i0 + batch/k" else "0 to batch")
+          plan.interleave;
+        indent := !indent + 2;
+        line "predictions[i] += %s@," (Format.asprintf "%a" pp_walk plan);
+        indent := !indent - 2;
+        line "}@,";
+        indent := !indent - 2;
+        line "}@,")
+      t.group_plans);
+  if parallel then begin
+    indent := !indent - 2;
+    line "}@,"
+  end;
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let total_walk_steps_bound (p : Program.t) t =
+  Array.fold_left
+    (fun acc plan ->
+      Array.fold_left
+        (fun acc pos ->
+          let tiled = p.Program.trees.(pos).Program.tiled in
+          let d =
+            match plan.walk with
+            | Unrolled_walk { depth } -> depth
+            | Loop_walk | Peeled_walk _ -> Tiled_tree.depth tiled
+          in
+          acc + d)
+        acc plan.group.Reorder.positions)
+    0 t.group_plans

@@ -1,0 +1,58 @@
+(** Mid-level IR: the explicit loop nest over (tree, row) pairs.
+
+    MIR makes the iteration order concrete (paper Fig. 2 D/E) while leaving
+    memory layout abstract. Each §IV optimization is a separate pass over
+    the IR:
+
+    - {!lower_of_hir} materializes the loop nest in the schedule's order;
+    - {!apply_walk_specialization} rewrites each group's
+      [WalkDecisionTree] into an unrolled walk (padded uniform-depth
+      groups, §IV-B) or a peeled walk (probability-tiled trees whose hot
+      leaves are shallow);
+    - {!apply_interleaving} unroll-and-jams the innermost loop (§IV-A);
+    - {!apply_parallelization} tiles the row loop across threads (§IV-C).
+
+    [lower] composes all four. *)
+
+type walk_kind =
+  | Loop_walk  (** while-not-leaf loop *)
+  | Peeled_walk of { peel : int }
+      (** first [peel] iterations unrolled with leaf checks, then the
+          generic loop *)
+  | Unrolled_walk of { depth : int }
+      (** exactly [depth] tile steps, no termination checks — only valid
+          for uniform-depth groups *)
+
+type group_plan = {
+  group : Tb_hir.Reorder.group;
+  walk : walk_kind;
+  interleave : int;
+      (** how many (tree,row) walks are jammed together; 1 = no jam *)
+}
+
+type t = {
+  schedule : Tb_hir.Schedule.t;
+  loop_order : Tb_hir.Schedule.loop_order;
+  num_threads : int;  (** row-loop parallel tiling; 1 = sequential *)
+  group_plans : group_plan array;
+}
+
+val lower_of_hir : Tb_hir.Program.t -> t
+(** The unoptimized loop nest: generic walks, no jam, single thread, loop
+    order from the schedule. *)
+
+val apply_walk_specialization : Tb_hir.Program.t -> t -> t
+val apply_interleaving : t -> t
+val apply_parallelization : t -> t
+
+val lower : Tb_hir.Program.t -> t
+(** All MIR passes in paper order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the loop nest in the paper's pseudo-IR style (Fig. 2). *)
+
+val to_string : t -> string
+
+val total_walk_steps_bound : Tb_hir.Program.t -> t -> int
+(** Static upper bound on tile steps per input row (sum over trees of their
+    walk depth) — used by cost-model sanity checks. *)

@@ -1,0 +1,66 @@
+type tree_profile = {
+  leaf_probs : float array;
+  hits : int array;
+}
+
+let profile_tree tree rows =
+  let n_leaves = Tree.num_leaves tree in
+  let hits = Array.make n_leaves 0 in
+  Array.iter
+    (fun row ->
+      let l = Tree.predict_leaf_index tree row in
+      hits.(l) <- hits.(l) + 1)
+    rows;
+  let total = Array.fold_left ( + ) 0 hits in
+  let leaf_probs =
+    if total = 0 then Array.make n_leaves (1.0 /. float_of_int n_leaves)
+    else Array.map (fun h -> float_of_int h /. float_of_int total) hits
+  in
+  { leaf_probs; hits }
+
+let profile_forest (f : Forest.t) rows =
+  Array.map (fun tree -> profile_tree tree rows) f.trees
+
+let coverage_leaves p beta =
+  let sorted = Array.copy p.leaf_probs in
+  Array.sort (fun a b -> compare b a) sorted;
+  let n = Array.length sorted in
+  (* Tolerate float accumulation error: a sum within 1e-12 of beta counts
+     as covering it. *)
+  let rec go i acc =
+    if acc >= beta -. 1e-12 || i >= n then i
+    else go (i + 1) (acc +. sorted.(i))
+  in
+  max 1 (go 0 0.0)
+
+let is_leaf_biased p ~alpha ~beta =
+  let n = Array.length p.leaf_probs in
+  let budget = int_of_float (ceil (alpha *. float_of_int n)) in
+  coverage_leaves p beta <= max 1 budget
+
+let num_leaf_biased f rows ~alpha ~beta =
+  let profiles = profile_forest f rows in
+  Array.fold_left
+    (fun acc p -> if is_leaf_biased p ~alpha ~beta then acc + 1 else acc)
+    0 profiles
+
+let coverage_cdf f rows ~f:frac =
+  let profiles = profile_forest f rows in
+  let fractions =
+    Array.map
+      (fun p ->
+        let needed = coverage_leaves p frac in
+        float_of_int needed /. float_of_int (Array.length p.leaf_probs))
+      profiles
+  in
+  Array.sort compare fractions;
+  let n = Array.length fractions in
+  Array.mapi
+    (fun i x -> (x, float_of_int (i + 1) /. float_of_int n))
+    fractions
+
+let expected_leaf_depth tree p =
+  let depths = Tree.leaf_depths tree in
+  let acc = ref 0.0 in
+  Array.iteri (fun i d -> acc := !acc +. (p.leaf_probs.(i) *. float_of_int d)) depths;
+  !acc

@@ -1,0 +1,38 @@
+(** Statistical profiles of trained models (paper §III-B2, Fig. 3, Table I).
+
+    Probability-based tiling consumes the probability of reaching each leaf,
+    estimated by replaying the training data through each tree. A tree is
+    {e leaf-biased} at ⟨α, β⟩ when its ⌈α·|L|⌉ most probable leaves cover at
+    least a fraction β of the inputs. *)
+
+type tree_profile = {
+  leaf_probs : float array;  (** probability per leaf, left-to-right order *)
+  hits : int array;          (** raw hit counts *)
+}
+
+val profile_tree : Tree.t -> float array array -> tree_profile
+(** Replay [rows] through the tree and estimate leaf probabilities. Trees
+    that are never hit get a uniform distribution (so downstream tiling is
+    still well defined). *)
+
+val profile_forest : Forest.t -> float array array -> tree_profile array
+
+val coverage_leaves : tree_profile -> float -> int
+(** [coverage_leaves p beta] is the minimum number of leaves (taken most
+    probable first) whose probabilities sum to at least [beta]. *)
+
+val is_leaf_biased : tree_profile -> alpha:float -> beta:float -> bool
+
+val num_leaf_biased :
+  Forest.t -> float array array -> alpha:float -> beta:float -> int
+(** Table I's last column. *)
+
+val coverage_cdf :
+  Forest.t -> float array array -> f:float -> (float * float) array
+(** Fig. 3 data: pairs (x, y) where a fraction [y] of the trees cover a
+    fraction [f] of the inputs using at most a fraction [x] of their leaves.
+    Sorted by [x]. *)
+
+val expected_leaf_depth : Tree.t -> tree_profile -> float
+(** Σ_l p_l · depth(l) on the {e binary} tree — the quantity probability
+    tiling minimizes over tiled depths. *)

@@ -1,0 +1,74 @@
+module J = Tb_util.Json
+
+let rec tree_to_json = function
+  | Tree.Leaf v -> J.Obj [ ("leaf", J.Num v) ]
+  | Tree.Node { feature; threshold; left; right } ->
+    J.Obj
+      [
+        ("feature", J.Num (float_of_int feature));
+        ("threshold", J.Num threshold);
+        ("left", tree_to_json left);
+        ("right", tree_to_json right);
+      ]
+
+let rec tree_of_json j =
+  match j with
+  | J.Obj fields when List.mem_assoc "leaf" fields ->
+    Tree.Leaf (J.to_float (J.member "leaf" j))
+  | J.Obj _ ->
+    Tree.Node
+      {
+        feature = J.to_int (J.member "feature" j);
+        threshold = J.to_float (J.member "threshold" j);
+        left = tree_of_json (J.member "left" j);
+        right = tree_of_json (J.member "right" j);
+      }
+  | _ -> raise (J.Parse_error "tree: expected object")
+
+let task_to_json = function
+  | Forest.Regression -> J.Str "regression"
+  | Forest.Binary_logistic -> J.Str "binary_logistic"
+  | Forest.Multiclass k ->
+    J.Obj [ ("multiclass", J.Num (float_of_int k)) ]
+
+let task_of_json = function
+  | J.Str "regression" -> Forest.Regression
+  | J.Str "binary_logistic" -> Forest.Binary_logistic
+  | J.Obj _ as j -> Forest.Multiclass (J.to_int (J.member "multiclass" j))
+  | _ -> raise (J.Parse_error "task: expected known task")
+
+let forest_to_json (f : Forest.t) =
+  J.Obj
+    [
+      ("name", J.Str f.name);
+      ("task", task_to_json f.task);
+      ("num_features", J.Num (float_of_int f.num_features));
+      ("base_score", J.Num f.base_score);
+      ("trees", J.List (Array.to_list (Array.map tree_to_json f.trees)));
+    ]
+
+let forest_of_json j =
+  let trees =
+    J.member "trees" j |> J.to_list |> List.map tree_of_json |> Array.of_list
+  in
+  Forest.make
+    ~name:(J.to_str (J.member "name" j))
+    ~base_score:(J.to_float (J.member "base_score" j))
+    ~task:(task_of_json (J.member "task" j))
+    ~num_features:(J.to_int (J.member "num_features" j))
+    trees
+
+let to_string f = J.to_string (forest_to_json f)
+let of_string s = forest_of_json (J.of_string s)
+
+let to_file path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string f))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,20 @@
+(** Forest serialization.
+
+    Treebeard's compiler input is a serialized ensemble; this module defines
+    the on-disk JSON schema and its loader. The schema round-trips exactly
+    (thresholds and leaf values are printed with full precision). *)
+
+val tree_to_json : Tree.t -> Tb_util.Json.t
+val tree_of_json : Tb_util.Json.t -> Tree.t
+
+val forest_to_json : Forest.t -> Tb_util.Json.t
+val forest_of_json : Tb_util.Json.t -> Forest.t
+
+val to_string : Forest.t -> string
+(** Compact single-line JSON. *)
+
+val of_string : string -> Forest.t
+(** @raise Tb_util.Json.Parse_error on malformed or schema-violating input. *)
+
+val to_file : string -> Forest.t -> unit
+val of_file : string -> Forest.t

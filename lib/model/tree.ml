@@ -1,0 +1,112 @@
+type t =
+  | Leaf of float
+  | Node of { feature : int; threshold : float; left : t; right : t }
+
+let rec predict t row =
+  match t with
+  | Leaf v -> v
+  | Node { feature; threshold; left; right } ->
+    if row.(feature) < threshold then predict left row else predict right row
+
+let predict_leaf_index t row =
+  (* Walk while counting the leaves of every skipped subtree. *)
+  let rec count_leaves = function
+    | Leaf _ -> 1
+    | Node { left; right; _ } -> count_leaves left + count_leaves right
+  in
+  let rec go t acc =
+    match t with
+    | Leaf _ -> acc
+    | Node { feature; threshold; left; right } ->
+      if row.(feature) < threshold then go left acc
+      else go right (acc + count_leaves left)
+  in
+  go t 0
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node { left; right; _ } -> 1 + max (depth left) (depth right)
+
+let rec num_nodes = function
+  | Leaf _ -> 0
+  | Node { left; right; _ } -> 1 + num_nodes left + num_nodes right
+
+let rec num_leaves = function
+  | Leaf _ -> 1
+  | Node { left; right; _ } -> num_leaves left + num_leaves right
+
+let leaves t =
+  let acc = ref [] in
+  let rec go = function
+    | Leaf v -> acc := v :: !acc
+    | Node { left; right; _ } -> go left; go right
+  in
+  go t;
+  Array.of_list (List.rev !acc)
+
+let leaf_depths t =
+  let acc = ref [] in
+  let rec go d = function
+    | Leaf _ -> acc := d :: !acc
+    | Node { left; right; _ } ->
+      go (d + 1) left;
+      go (d + 1) right
+  in
+  go 0 t;
+  Array.of_list (List.rev !acc)
+
+let rec fold ~leaf ~node = function
+  | Leaf v -> leaf v
+  | Node { feature; threshold; left; right } ->
+    node feature threshold (fold ~leaf ~node left) (fold ~leaf ~node right)
+
+let max_feature t =
+  fold ~leaf:(fun _ -> -1) ~node:(fun f _ l r -> max f (max l r)) t
+
+let rec equal a b =
+  match (a, b) with
+  | Leaf va, Leaf vb -> Float.equal va vb
+  | Node na, Node nb ->
+    na.feature = nb.feature
+    && Float.equal na.threshold nb.threshold
+    && equal na.left nb.left
+    && equal na.right nb.right
+  | Leaf _, Node _ | Node _, Leaf _ -> false
+
+let structure_key t =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Leaf _ -> Buffer.add_char buf 'L'
+    | Node { left; right; _ } ->
+      Buffer.add_char buf '(';
+      go left;
+      go right;
+      Buffer.add_char buf ')'
+  in
+  go t;
+  Buffer.contents buf
+
+let rec pp fmt = function
+  | Leaf v -> Format.fprintf fmt "Leaf %g" v
+  | Node { feature; threshold; left; right } ->
+    Format.fprintf fmt "@[<v 2>Node x%d < %g@,%a@,%a@]" feature threshold pp left pp right
+
+let random ?(max_depth = 6) ?(num_features = 8) rng =
+  let rec go d =
+    let leaf_prob =
+      if d >= max_depth then 1.0
+      else if d = 0 then 0.0
+      else float_of_int d /. float_of_int max_depth *. 0.7
+    in
+    if Tb_util.Prng.uniform rng < leaf_prob then
+      Leaf (Tb_util.Prng.float rng 2.0 -. 1.0)
+    else
+      Node
+        {
+          feature = Tb_util.Prng.int rng num_features;
+          threshold = Tb_util.Prng.float rng 2.0 -. 1.0;
+          left = go (d + 1);
+          right = go (d + 1);
+        }
+  in
+  go 0

@@ -1,0 +1,53 @@
+(** Binary decision trees.
+
+    A tree is the unit the compiler tiles and lowers. Internal nodes hold a
+    [feature] index and a [threshold]; inference moves to the left child when
+    [row.(feature) < threshold] (the paper's node predicate) and to the right
+    child otherwise. Leaves hold the tree's contribution to the model
+    output. *)
+
+type t =
+  | Leaf of float
+  | Node of { feature : int; threshold : float; left : t; right : t }
+
+val predict : t -> float array -> float
+(** Reference (ground truth) traversal. *)
+
+val predict_leaf_index : t -> float array -> int
+(** Like {!predict} but returns the index of the reached leaf in
+    left-to-right leaf order. *)
+
+val depth : t -> int
+(** Depth counted in edges: a lone leaf has depth 0. *)
+
+val num_nodes : t -> int
+(** Number of internal nodes. *)
+
+val num_leaves : t -> int
+
+val leaves : t -> float array
+(** Leaf values in left-to-right order. *)
+
+val leaf_depths : t -> int array
+(** Depth of each leaf in left-to-right order. *)
+
+val fold : leaf:(float -> 'a) -> node:(int -> float -> 'a -> 'a -> 'a) -> t -> 'a
+(** Bottom-up catamorphism. *)
+
+val max_feature : t -> int
+(** Largest feature index referenced, or [-1] for a lone leaf. *)
+
+val equal : t -> t -> bool
+(** Structural equality with exact float comparison. *)
+
+val structure_key : t -> string
+(** A key identifying the tree's shape only (thresholds and values ignored).
+    Trees with equal keys can share traversal code (used by tree
+    reordering). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line indented rendering for debugging. *)
+
+val random : ?max_depth:int -> ?num_features:int -> Tb_util.Prng.t -> t
+(** A random well-formed tree for property tests: random shape with leaf
+    probability growing with depth, random features/thresholds/values. *)

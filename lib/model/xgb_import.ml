@@ -1,0 +1,82 @@
+module J = Tb_util.Json
+
+let feature_index ~feature_names name =
+  let by_name () =
+    match feature_names with
+    | None -> None
+    | Some names ->
+      let rec find i = function
+        | [] -> None
+        | n :: rest -> if String.equal n name then Some i else find (i + 1) rest
+      in
+      find 0 names
+  in
+  let as_fn () =
+    if String.length name >= 2 && name.[0] = 'f' then
+      int_of_string_opt (String.sub name 1 (String.length name - 1))
+    else None
+  in
+  let as_int () = int_of_string_opt name in
+  match by_name () with
+  | Some i -> Some i
+  | None -> (
+    match as_fn () with
+    | Some i -> Some i
+    | None -> as_int ())
+
+let rec tree_of_json ~feature_names j =
+  match j with
+  | J.Obj fields when List.mem_assoc "leaf" fields ->
+    Tree.Leaf (J.to_float (J.member "leaf" j))
+  | J.Obj _ ->
+    let split = J.to_str (J.member "split" j) in
+    let feature =
+      match feature_index ~feature_names split with
+      | Some i when i >= 0 -> i
+      | Some _ | None ->
+        raise (J.Parse_error (Printf.sprintf "unknown split name %S" split))
+    in
+    let threshold = J.to_float (J.member "split_condition" j) in
+    let yes = J.to_int (J.member "yes" j) in
+    let no = J.to_int (J.member "no" j) in
+    let children = J.to_list (J.member "children" j) in
+    let child id =
+      match
+        List.find_opt
+          (fun c -> match J.member "nodeid" c with
+            | v -> J.to_int v = id
+            | exception J.Parse_error _ -> false)
+          children
+      with
+      | Some c -> tree_of_json ~feature_names c
+      | None ->
+        raise (J.Parse_error (Printf.sprintf "missing child nodeid %d" id))
+    in
+    (* XGBoost: the "yes" branch is taken when x < split_condition — our
+       left branch. *)
+    Tree.Node { feature; threshold; left = child yes; right = child no }
+  | _ -> raise (J.Parse_error "xgboost dump: expected tree object")
+
+let of_dump_string ?(task = Forest.Regression) ?(base_score = 0.0) ?num_features
+    ?feature_names ?(name = "xgboost-import") s =
+  let trees =
+    match J.of_string s with
+    | J.List items ->
+      Array.of_list (List.map (tree_of_json ~feature_names) items)
+    | _ -> raise (J.Parse_error "xgboost dump: expected a JSON array of trees")
+  in
+  let num_features =
+    match num_features with
+    | Some n -> n
+    | None ->
+      1 + Array.fold_left (fun acc t -> max acc (Tree.max_feature t)) (-1) trees
+  in
+  Forest.make ~name ~base_score ~task ~num_features:(max 1 num_features) trees
+
+let of_dump_file ?task ?base_score ?num_features ?feature_names ?name path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      of_dump_string ?task ?base_score ?num_features ?feature_names ?name
+        (In_channel.input_all ic))

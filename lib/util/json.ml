@@ -1,0 +1,280 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail pos msg = raise (Parse_error (Printf.sprintf "at %d: %s" pos msg))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | _ -> continue := false
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st.pos (Printf.sprintf "expected %C" c)
+
+let parse_literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st.pos (Printf.sprintf "expected %s" word)
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st.pos "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st
+      | Some 't' -> Buffer.add_char buf '\t'; advance st
+      | Some 'r' -> Buffer.add_char buf '\r'; advance st
+      | Some 'b' -> Buffer.add_char buf '\b'; advance st
+      | Some 'f' -> Buffer.add_char buf '\012'; advance st
+      | Some '"' -> Buffer.add_char buf '"'; advance st
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st
+      | Some '/' -> Buffer.add_char buf '/'; advance st
+      | Some 'u' ->
+        advance st;
+        if st.pos + 4 > String.length st.src then fail st.pos "bad \\u escape";
+        let hex = String.sub st.src st.pos 4 in
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with Failure _ -> fail st.pos "bad \\u escape"
+        in
+        st.pos <- st.pos + 4;
+        (* Encode the code point as UTF-8 (BMP only; no surrogate pairs). *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      | _ -> fail st.pos "bad escape");
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some c when is_num_char c -> advance st
+    | _ -> continue := false
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> fail start (Printf.sprintf "bad number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "unexpected end of input"
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some '"' -> advance st; Str (parse_string_body st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number st)
+  | Some c -> fail st.pos (Printf.sprintf "unexpected %C" c)
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin advance st; Obj [] end
+  else begin
+    let fields = ref [] in
+    let rec loop () =
+      skip_ws st;
+      expect st '"';
+      let key = parse_string_body st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      fields := (key, v) :: !fields;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; loop ()
+      | Some '}' -> advance st
+      | _ -> fail st.pos "expected ',' or '}'"
+    in
+    loop ();
+    Obj (List.rev !fields)
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin advance st; List [] end
+  else begin
+    let items = ref [] in
+    let rec loop () =
+      let v = parse_value st in
+      items := v :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; loop ()
+      | Some ']' -> advance st
+      | _ -> fail st.pos "expected ',' or ']'"
+    in
+    loop ();
+    List (List.rev !items)
+  end
+
+let of_string src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then fail st.pos "trailing input";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let format_number f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    (* %.17g round-trips any float. *)
+    Printf.sprintf "%.17g" f
+
+let to_string ?(indent = false) v =
+  let buf = Buffer.create 256 in
+  let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  let rec go depth v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (format_number f)
+    | Str s -> Buffer.add_string buf (escape_string s)
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin Buffer.add_char buf ','; nl () end;
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then begin Buffer.add_char buf ','; nl () end;
+          pad (depth + 1);
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf (if indent then ": " else ":");
+          go (depth + 1) item)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | List _ -> "list"
+  | Obj _ -> "object"
+
+let member key = function
+  | Obj fields -> (
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> raise (Parse_error (Printf.sprintf "missing field %S" key)))
+  | v -> raise (Parse_error (Printf.sprintf "expected object, got %s" (type_name v)))
+
+let to_float = function
+  | Num f -> f
+  | v -> raise (Parse_error (Printf.sprintf "expected number, got %s" (type_name v)))
+
+let to_int v =
+  let f = to_float v in
+  if Float.is_integer f then int_of_float f
+  else raise (Parse_error (Printf.sprintf "expected integer, got %g" f))
+
+let to_str = function
+  | Str s -> s
+  | v -> raise (Parse_error (Printf.sprintf "expected string, got %s" (type_name v)))
+
+let to_list = function
+  | List items -> items
+  | v -> raise (Parse_error (Printf.sprintf "expected list, got %s" (type_name v)))
+
+let to_bool = function
+  | Bool b -> b
+  | v -> raise (Parse_error (Printf.sprintf "expected bool, got %s" (type_name v)))

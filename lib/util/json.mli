@@ -1,0 +1,33 @@
+(** Minimal JSON reader/writer.
+
+    Used for model serialization (Treebeard's input is a serialized
+    ensemble). Supports the full JSON grammar except for surrogate escape
+    pairs; numbers are parsed as OCaml floats, with an integer accessor for
+    whole values. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} on malformed input, with a position message. *)
+
+val of_string : string -> t
+(** Parse a JSON document. @raise Parse_error on malformed input. *)
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize; [indent] pretty-prints with two-space indentation. *)
+
+(** {2 Accessors} — raise [Parse_error] with a descriptive message when the
+    structure does not match, so loaders fail loudly on schema drift. *)
+
+val member : string -> t -> t
+val to_float : t -> float
+val to_int : t -> int
+val to_str : t -> string
+val to_list : t -> t list
+val to_bool : t -> bool

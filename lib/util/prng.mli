@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the library (dataset synthesis, training
+    subsampling, property tests) draw from this splittable SplitMix64
+    generator so that every experiment is reproducible from a single seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Two generators
+    created from the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances by one step. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)

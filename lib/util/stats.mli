@@ -1,0 +1,26 @@
+(** Small statistics helpers used by benchmarks and model analysis. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of strictly positive values; 0 for an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,1\]]; linear interpolation on a sorted
+    copy of [xs]. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element of a non-empty array. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)
+
+val argmax : float array -> int
+(** Index of the largest element of a non-empty array (first on ties). *)
+
+val argmin : float array -> int
+(** Index of the smallest element of a non-empty array (first on ties). *)

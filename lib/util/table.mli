@@ -1,0 +1,32 @@
+(** ASCII table rendering for benchmark output.
+
+    The benchmark harness prints every reproduced paper table/figure as an
+    aligned text table; this module does the formatting. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table with the given column headers.
+    [aligns] defaults to [Left] for the first column and [Right] for the
+    rest, which suits "name, numbers..." benchmark rows. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; it must have as many cells as there are headers. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+(** Render the table with box-drawing rules and padded cells. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_f : ?dec:int -> float -> string
+(** Format a float with [dec] decimals (default 2). *)
+
+val cell_fx : ?dec:int -> float -> string
+(** Like {!cell_f} but suffixed with ["x"], for speedup factors. *)

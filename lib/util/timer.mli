@@ -1,0 +1,24 @@
+(** Wall-clock measurement harness for the real-time benchmarks.
+
+    Measurements use the monotonic clock, run a warmup phase, then repeat the
+    workload until both a minimum repetition count and a minimum total time
+    are reached, reporting the per-iteration statistics. *)
+
+type result = {
+  iterations : int;
+  total_s : float;
+  mean_s : float;  (** mean seconds per iteration *)
+  min_s : float;
+  max_s : float;
+}
+
+val now : unit -> float
+(** Monotonic time in seconds. *)
+
+val measure :
+  ?warmup:int -> ?min_iters:int -> ?min_time_s:float -> (unit -> unit) -> result
+(** [measure f] times [f]. Defaults: 2 warmup runs, at least 5 timed
+    iterations, at least 0.2 s of total measured time. *)
+
+val time_once : (unit -> 'a) -> 'a * float
+(** Run a thunk once, returning its result and elapsed seconds. *)

@@ -1,0 +1,297 @@
+module Layout = Tb_lir.Layout
+module Lower = Tb_lir.Lower
+module Mir = Tb_mir.Mir
+module Schedule = Tb_hir.Schedule
+module Reorder = Tb_hir.Reorder
+
+type predictor = float array array -> float array array
+
+(* ------------------------------------------------------------------ *)
+(* Single-walk kernels                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Array layout: cursor is a slot local to the tree's slab; child c of
+   local slot s lives at s*(nt+1)+c+1. *)
+
+let step_array (lay : Layout.t) base local row =
+  let s = base + local in
+  let bits = Layout.comparison_bits lay s row in
+  let c = lay.Layout.lut.(lay.Layout.shape_ids.(s)).(bits) in
+  (local * (lay.Layout.tile_size + 1)) + c + 1
+
+let walk_array_generic lay base row =
+  let rec go local =
+    let s = base + local in
+    if lay.Layout.shape_ids.(s) = Layout.leaf_marker then
+      lay.Layout.thresholds.(s * lay.Layout.tile_size)
+    else go (step_array lay base local row)
+  in
+  go 0
+
+let walk_array_unrolled lay base row ~depth =
+  (* No termination checks: the tree is padded to uniform depth. *)
+  let local = ref 0 in
+  for _ = 1 to depth do
+    local := step_array lay base !local row
+  done;
+  let s = base + !local in
+  lay.Layout.thresholds.(s * lay.Layout.tile_size)
+
+let walk_array_peeled lay base row ~peel =
+  (* The first [peel] steps cannot reach a leaf (min leaf depth), so they
+     run without leaf checks; the remainder is the generic loop. *)
+  let local = ref 0 in
+  for _ = 1 to peel do
+    local := step_array lay base !local row
+  done;
+  let rec go local =
+    let s = base + local in
+    if lay.Layout.shape_ids.(s) = Layout.leaf_marker then
+      lay.Layout.thresholds.(s * lay.Layout.tile_size)
+    else go (step_array lay base local row)
+  in
+  go !local
+
+(* Sparse layout: cursor is an absolute tile slot; a negative value from a
+   step encodes the leaf index reached. *)
+
+let step_sparse (lay : Layout.t) s row =
+  let bits = Layout.comparison_bits lay s row in
+  let c = lay.Layout.lut.(lay.Layout.shape_ids.(s)).(bits) in
+  let p = lay.Layout.child_ptr.(s) in
+  if p >= 0 then p + c else -(-p - 1 + c) - 1
+
+let walk_sparse_generic lay root row =
+  if root < 0 then lay.Layout.leaf_values.(-root - 1)
+  else begin
+    let rec go s =
+      let next = step_sparse lay s row in
+      if next >= 0 then go next else lay.Layout.leaf_values.(-next - 1)
+    in
+    go root
+  end
+
+let walk_sparse_unrolled lay root row ~depth =
+  if root < 0 then lay.Layout.leaf_values.(-root - 1)
+  else begin
+    (* depth >= 1 tiles on every path; the first depth-1 steps always land
+       on tiles, the last one on a leaf. *)
+    let s = ref root in
+    for _ = 1 to depth - 1 do
+      s := step_sparse lay !s row
+    done;
+    let last = step_sparse lay !s row in
+    lay.Layout.leaf_values.(-last - 1)
+  end
+
+let walk_sparse_peeled lay root row ~peel =
+  if root < 0 then lay.Layout.leaf_values.(-root - 1)
+  else begin
+    (* No walk can terminate before [peel] steps (peel = min leaf depth),
+       but the last peeled step may land exactly on a leaf. *)
+    let s = ref root in
+    for _ = 1 to peel do
+      if !s >= 0 then s := step_sparse lay !s row
+    done;
+    if !s < 0 then lay.Layout.leaf_values.(- !s - 1)
+    else begin
+      let rec go s =
+        let next = step_sparse lay s row in
+        if next >= 0 then go next else lay.Layout.leaf_values.(-next - 1)
+      in
+      go !s
+    end
+  end
+
+(* One tree, one row, per the group's walk kind. *)
+let walk_fn (lay : Layout.t) (walk : Mir.walk_kind) =
+  match (lay.Layout.kind, walk) with
+  | Layout.Array_kind, Mir.Loop_walk ->
+    fun tree row -> walk_array_generic lay lay.Layout.tree_root.(tree) row
+  | Layout.Array_kind, Mir.Unrolled_walk { depth } ->
+    fun tree row -> walk_array_unrolled lay lay.Layout.tree_root.(tree) row ~depth
+  | Layout.Array_kind, Mir.Peeled_walk { peel } ->
+    fun tree row -> walk_array_peeled lay lay.Layout.tree_root.(tree) row ~peel
+  | Layout.Sparse_kind, Mir.Loop_walk ->
+    fun tree row -> walk_sparse_generic lay lay.Layout.tree_root.(tree) row
+  | Layout.Sparse_kind, Mir.Unrolled_walk { depth } ->
+    fun tree row -> walk_sparse_unrolled lay lay.Layout.tree_root.(tree) row ~depth
+  | Layout.Sparse_kind, Mir.Peeled_walk { peel } ->
+    fun tree row -> walk_sparse_peeled lay lay.Layout.tree_root.(tree) row ~peel
+
+(* ------------------------------------------------------------------ *)
+(* Interleaved (jammed) kernels                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Jam [count] walks of one tree over consecutive rows (tree-at-a-time
+   order). Lockstep cursors; diverging walks retire individually. Cursors
+   use the sparse encoding for both layouts: array-layout locals are
+   non-negative, retirement is flagged via a parallel [value] store. *)
+let jam_rows_generic (lay : Layout.t) walk tree (rows : float array array) i0 count
+    (out : float array array) cls =
+  ignore walk;
+  let cursors = Array.make count 0 in
+  let live = Array.make count true in
+  (match lay.Layout.kind with
+  | Layout.Array_kind ->
+    let base = lay.Layout.tree_root.(tree) in
+    let remaining = ref count in
+    while !remaining > 0 do
+      for j = 0 to count - 1 do
+        if live.(j) then begin
+          let row = rows.(i0 + j) in
+          let s = base + cursors.(j) in
+          if lay.Layout.shape_ids.(s) = Layout.leaf_marker then begin
+            out.(i0 + j).(cls) <-
+              out.(i0 + j).(cls) +. lay.Layout.thresholds.(s * lay.Layout.tile_size);
+            live.(j) <- false;
+            decr remaining
+          end
+          else cursors.(j) <- step_array lay base cursors.(j) row
+        end
+      done
+    done
+  | Layout.Sparse_kind ->
+    let root = lay.Layout.tree_root.(tree) in
+    if root < 0 then
+      for j = 0 to count - 1 do
+        out.(i0 + j).(cls) <- out.(i0 + j).(cls) +. lay.Layout.leaf_values.(-root - 1)
+      done
+    else begin
+      Array.fill cursors 0 count root;
+      let remaining = ref count in
+      while !remaining > 0 do
+        for j = 0 to count - 1 do
+          if live.(j) then begin
+            let next = step_sparse lay cursors.(j) rows.(i0 + j) in
+            if next >= 0 then cursors.(j) <- next
+            else begin
+              out.(i0 + j).(cls) <-
+                out.(i0 + j).(cls) +. lay.Layout.leaf_values.(-next - 1);
+              live.(j) <- false;
+              decr remaining
+            end
+          end
+        done
+      done
+    end)
+
+(* Jam with a uniform unrolled depth: pure lockstep, no liveness flags. *)
+let jam_rows_unrolled (lay : Layout.t) tree rows i0 count out cls ~depth =
+  match lay.Layout.kind with
+  | Layout.Array_kind ->
+    let base = lay.Layout.tree_root.(tree) in
+    let cursors = Array.make count 0 in
+    for _ = 1 to depth do
+      for j = 0 to count - 1 do
+        cursors.(j) <- step_array lay base cursors.(j) rows.(i0 + j)
+      done
+    done;
+    for j = 0 to count - 1 do
+      let s = base + cursors.(j) in
+      out.(i0 + j).(cls) <-
+        out.(i0 + j).(cls) +. lay.Layout.thresholds.(s * lay.Layout.tile_size)
+    done
+  | Layout.Sparse_kind ->
+    let root = lay.Layout.tree_root.(tree) in
+    if root < 0 then
+      for j = 0 to count - 1 do
+        out.(i0 + j).(cls) <- out.(i0 + j).(cls) +. lay.Layout.leaf_values.(-root - 1)
+      done
+    else begin
+      let cursors = Array.make count root in
+      for _ = 1 to depth - 1 do
+        for j = 0 to count - 1 do
+          cursors.(j) <- step_sparse lay cursors.(j) rows.(i0 + j)
+        done
+      done;
+      for j = 0 to count - 1 do
+        let last = step_sparse lay cursors.(j) rows.(i0 + j) in
+        out.(i0 + j).(cls) <- out.(i0 + j).(cls) +. lay.Layout.leaf_values.(-last - 1)
+      done
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_range (lp : Lower.t) rows out lo hi =
+  (* Compute predictions for rows[lo..hi) into out (same indexing). *)
+  let lay = lp.Lower.layout in
+  let plans = lp.Lower.mir.Mir.group_plans in
+  match lp.Lower.mir.Mir.loop_order with
+  | Schedule.One_tree_at_a_time ->
+    Array.iter
+      (fun (plan : Mir.group_plan) ->
+        let k = plan.Mir.interleave in
+        Array.iter
+          (fun tree ->
+            let cls = lp.Lower.tree_class.(tree) in
+            if k <= 1 then begin
+              let walk = walk_fn lay plan.Mir.walk in
+              for i = lo to hi - 1 do
+                out.(i).(cls) <- out.(i).(cls) +. walk tree rows.(i)
+              done
+            end
+            else begin
+              let i = ref lo in
+              while !i < hi do
+                let count = min k (hi - !i) in
+                (match plan.Mir.walk with
+                | Mir.Unrolled_walk { depth } ->
+                  jam_rows_unrolled lay tree rows !i count out cls ~depth
+                | Mir.Loop_walk | Mir.Peeled_walk _ ->
+                  jam_rows_generic lay plan.Mir.walk tree rows !i count out cls);
+                i := !i + count
+              done
+            end)
+          plan.Mir.group.Reorder.positions)
+      plans
+  | Schedule.One_row_at_a_time ->
+    (* Innermost loop over a group's trees; interleaving jams k trees of
+       the same row. Tree cursors live in per-plan scratch. *)
+    let walks = Array.map (fun plan -> walk_fn lay plan.Mir.walk) plans in
+    for i = lo to hi - 1 do
+      let row = rows.(i) in
+      Array.iteri
+        (fun pi (plan : Mir.group_plan) ->
+          let walk = walks.(pi) in
+          (* Tree-jamming on one row is a scheduling decision; walks of
+             distinct trees are independent, so executing them back to back
+             is semantically identical. The profiler models the jam's ILP
+             effect; here we just follow group order. *)
+          Array.iter
+            (fun tree ->
+              let cls = lp.Lower.tree_class.(tree) in
+              out.(i).(cls) <- out.(i).(cls) +. walk tree row)
+            plan.Mir.group.Reorder.positions)
+        plans
+    done
+
+let compile_single_thread (lp : Lower.t) rows =
+  let n = Array.length rows in
+  let out = Array.init n (fun _ -> Array.make lp.Lower.num_outputs lp.Lower.base_score) in
+  run_range lp rows out 0 n;
+  out
+
+let compile lp =
+  let threads = lp.Lower.mir.Mir.num_threads in
+  if threads <= 1 then compile_single_thread lp
+  else
+    fun rows ->
+      let n = Array.length rows in
+      let out =
+        Array.init n (fun _ -> Array.make lp.Lower.num_outputs lp.Lower.base_score)
+      in
+      (* Tile the row loop by thread count (§IV-C); each domain owns a
+         contiguous block of rows, so no synchronization is needed. *)
+      let block = (n + threads - 1) / threads in
+      let domains =
+        List.init threads (fun t ->
+            let lo = t * block in
+            let hi = min n (lo + block) in
+            if lo >= hi then None
+            else Some (Domain.spawn (fun () -> run_range lp rows out lo hi)))
+      in
+      List.iter (function Some d -> Domain.join d | None -> ()) domains;
+      out

@@ -1,0 +1,24 @@
+(** The execution backend: compiles a lowered program into specialized
+    OCaml closures (this repository's stand-in for the paper's LLVM JIT).
+
+    The generated predictor honours every schedule decision:
+    - loop order (one-tree-at-a-time vs one-row-at-a-time);
+    - walk specialization (generic loop / peeled prologue / fully unrolled
+      fixed-depth walks with no termination checks);
+    - tree-walk interleaving (k cursors advanced in lockstep);
+    - memory layout (array vs sparse buffer navigation);
+    - row-loop parallelization over OCaml domains.
+
+    Semantics contract (tested): for every schedule, the predictor's output
+    equals {!Tb_model.Forest.predict_batch_raw} on the source forest. *)
+
+type predictor = float array array -> float array array
+(** Batch inference: one margin vector per input row. *)
+
+val compile : Tb_lir.Lower.t -> predictor
+(** Build the specialized predictor. The closure graph is constructed once
+    here; calling the predictor performs no per-call compilation work. *)
+
+val compile_single_thread : Tb_lir.Lower.t -> predictor
+(** Same, ignoring the schedule's thread count (used by benchmarks that
+    sweep thread counts externally). *)

@@ -1,0 +1,23 @@
+(** Instrumented execution: runs the lowered program over a row sample and
+    produces the exact dynamic event counts ({!Tb_cpu.Cost_model.workload})
+    the cost model consumes.
+
+    The profiler mirrors the JIT's iteration structure — loop order,
+    interleaving (jam sets), walk specialization — and feeds every memory
+    access of the §V-A walk (threshold/feature vector loads, row gathers,
+    shape-id/LUT/child-pointer loads, leaf fetches) through a simulated L1
+    data cache with the target's geometry. A deliberately simple address
+    map lays the model buffers and the input rows out in a flat address
+    space. *)
+
+val profile :
+  target:Tb_cpu.Config.t ->
+  Tb_lir.Lower.t ->
+  float array array ->
+  Tb_cpu.Cost_model.workload
+(** [profile ~target lowered rows] — [rows] is typically a modest sample
+    (48–256 rows); use {!scale} to extrapolate to a full batch. *)
+
+val scale : Tb_cpu.Cost_model.workload -> float -> Tb_cpu.Cost_model.workload
+(** Scale all extensive counts by a factor (event rates are linear in the
+    number of rows once the cache is warm). *)

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "treebeard"
+    [
+      ("util", Test_util.suite);
+      ("model", Test_model.suite);
+      ("data", Test_data.suite);
+      ("gbt", Test_gbt.suite);
+      ("hir", Test_hir.suite);
+      ("mir", Test_mir.suite);
+      ("lir", Test_lir.suite);
+      ("vm", Test_vm.suite);
+      ("baselines", Test_baselines.suite);
+      ("core", Test_core.suite);
+      ("robustness", Test_robustness.suite);
+      ("more", Test_more.suite);
+      ("dp-tiling", Test_dp_tiling.suite);
+      ("reg-ir", Test_reg_ir.suite);
+      ("quickscorer", Test_quickscorer.suite);
+      ("interop", Test_interop.suite);
+    ]

@@ -1,0 +1,173 @@
+open Helpers
+module Prng = Tb_util.Prng
+module Forest = Tb_model.Forest
+module Schedule = Tb_hir.Schedule
+module Config = Tb_cpu.Config
+module Treebeard = Tb_core.Treebeard
+module Explore = Tb_core.Explore
+module Perf = Tb_core.Perf
+
+let random_forest ?(num_trees = 12) seed =
+  Forest.random ~num_trees ~max_depth:7 ~num_features:6 (Prng.create seed)
+
+let test_compile_predict_equivalence () =
+  let rng = Prng.create 1 in
+  let forest = random_forest 1 in
+  let rows = random_rows rng 6 100 in
+  let compiled = Treebeard.compile forest in
+  let out = Treebeard.predict_forest compiled rows in
+  let expected = Forest.predict_batch_raw forest rows in
+  check_bool "equal" true (Array.for_all2 arrays_close out expected)
+
+let test_predict_one () =
+  let rng = Prng.create 2 in
+  let forest = random_forest 2 in
+  let row = random_row rng 6 in
+  let compiled = Treebeard.compile forest in
+  check_bool "single row" true
+    (arrays_close (Treebeard.predict_one compiled row) (Forest.predict_raw forest row))
+
+let test_compile_explicit_schedule () =
+  let forest = random_forest 3 in
+  let compiled = Treebeard.compile ~schedule:Schedule.scalar_baseline forest in
+  check_bool "schedule stored" true (compiled.Treebeard.schedule = Schedule.scalar_baseline)
+
+let test_of_file () =
+  let forest = random_forest 4 in
+  let path = Filename.temp_file "tb_core" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tb_model.Serialize.to_file path forest;
+      let compiled = Treebeard.of_file path in
+      let rng = Prng.create 5 in
+      let rows = random_rows rng 6 16 in
+      check_bool "roundtrip compile" true
+        (Array.for_all2 arrays_close
+           (Treebeard.predict_forest compiled rows)
+           (Forest.predict_batch_raw forest rows)))
+
+let test_dump_ir_nonempty () =
+  let compiled = Treebeard.compile (random_forest 6) in
+  check_bool "dump" true (String.length (Treebeard.dump_ir compiled) > 200)
+
+let test_compile_auto_equivalence () =
+  let rng = Prng.create 7 in
+  let forest = random_forest 7 in
+  let rows = random_rows rng 6 64 in
+  let compiled = Treebeard.compile_auto ~training_rows:rows forest in
+  check_bool "auto compile correct" true
+    (Array.for_all2 arrays_close
+       (Treebeard.predict_forest compiled rows)
+       (Forest.predict_batch_raw forest rows))
+
+(* Perf *)
+
+let test_perf_simulate_basic () =
+  let rng = Prng.create 8 in
+  let forest = random_forest 8 in
+  let rows = random_rows rng 6 64 in
+  let lowered = Tb_lir.Lower.lower forest Schedule.default in
+  let p = Perf.simulate ~target:Config.intel_rocket_lake lowered rows in
+  check_bool "positive cycles" true (p.Perf.cycles_per_row > 0.0);
+  check_bool "time consistent" true
+    (floats_close ~eps:1e-6 p.Perf.time_per_row_us (p.Perf.cycles_per_row /. 3500.0))
+
+let test_perf_threads_speedup () =
+  let rng = Prng.create 9 in
+  let forest = random_forest ~num_trees:30 9 in
+  let rows = random_rows rng 6 128 in
+  let lowered = Tb_lir.Lower.lower forest Schedule.default in
+  let p1 = Perf.simulate ~target:Config.intel_rocket_lake ~threads:1 lowered rows in
+  let p16 = Perf.simulate ~target:Config.intel_rocket_lake ~threads:16 lowered rows in
+  let s = Perf.speedup ~baseline:p1 p16 in
+  check_bool "parallel speedup in (4, 16)" true (s > 4.0 && s < 16.0)
+
+let test_perf_batch_scaling_stable () =
+  (* Per-row cycles should be roughly batch-size independent once warm. *)
+  let rng = Prng.create 10 in
+  let forest = random_forest ~num_trees:30 10 in
+  let rows = random_rows rng 6 256 in
+  let lowered = Tb_lir.Lower.lower forest Schedule.default in
+  let p_small = Perf.simulate ~target:Config.intel_rocket_lake ~batch:256 lowered rows in
+  let p_big = Perf.simulate ~target:Config.intel_rocket_lake ~batch:4096 lowered rows in
+  let ratio = p_big.Perf.cycles_per_row /. p_small.Perf.cycles_per_row in
+  check_bool "within 10%" true (ratio > 0.9 && ratio < 1.1)
+
+let test_perf_empty_rows_rejected () =
+  let lowered = Tb_lir.Lower.lower (random_forest 11) Schedule.default in
+  check_bool "raises" true
+    (match Perf.simulate ~target:Config.intel_rocket_lake lowered [||] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Explore *)
+
+let biased_forest_and_rows seed =
+  (* A forest over head-heavy rows: probability tiling should matter. *)
+  let rng = Prng.create seed in
+  let forest = random_forest ~num_trees:20 seed in
+  let hot = random_row rng 6 in
+  let rows =
+    Array.init 96 (fun i -> if i mod 8 = 0 then random_row rng 6 else Array.copy hot)
+  in
+  (forest, rows)
+
+let test_greedy_beats_baseline () =
+  let forest, rows = biased_forest_and_rows 12 in
+  let profiles = Tb_model.Model_stats.profile_forest forest rows in
+  let target = Config.intel_rocket_lake in
+  let result = Explore.greedy ~target ~profiles forest rows in
+  let baseline = Explore.evaluate ~target forest Schedule.scalar_baseline rows in
+  check_bool "greedy at least as good as baseline" true
+    (result.Explore.perf.Perf.cycles_per_row <= baseline.Perf.cycles_per_row);
+  check_bool "evaluated several candidates" true (result.Explore.evaluated >= 10)
+
+let test_exhaustive_no_worse_than_greedy () =
+  let forest, rows = biased_forest_and_rows 13 in
+  let target = Config.intel_rocket_lake in
+  (* Small custom grid containing the greedy space's corners. *)
+  let grid =
+    List.concat_map
+      (fun nt ->
+        List.map
+          (fun il ->
+            {
+              Schedule.default with
+              tile_size = nt;
+              interleave = il;
+              layout = (if nt >= 4 then Schedule.Sparse_layout else Schedule.Array_layout);
+            })
+          [ 1; 8 ])
+      [ 1; 8 ]
+  in
+  let ex = Explore.exhaustive ~target ~grid forest rows in
+  check_int "all evaluated" (List.length grid) ex.Explore.evaluated;
+  List.iter
+    (fun s ->
+      let p = Explore.evaluate ~target forest s rows in
+      check_bool "best is min" true
+        (ex.Explore.perf.Perf.cycles_per_row <= p.Perf.cycles_per_row +. 1e-6))
+    grid
+
+let test_explore_schedule_valid () =
+  let forest, rows = biased_forest_and_rows 14 in
+  let r = Explore.greedy ~target:Config.amd_ryzen7 forest rows in
+  check_bool "valid schedule" true (Schedule.validate r.Explore.schedule = Ok ())
+
+let suite =
+  [
+    quick "compile/predict equivalence" test_compile_predict_equivalence;
+    quick "predict one" test_predict_one;
+    quick "explicit schedule" test_compile_explicit_schedule;
+    quick "of_file" test_of_file;
+    quick "dump ir" test_dump_ir_nonempty;
+    quick "compile_auto equivalence" test_compile_auto_equivalence;
+    quick "perf simulate basic" test_perf_simulate_basic;
+    quick "perf thread speedup" test_perf_threads_speedup;
+    quick "perf stable across batch" test_perf_batch_scaling_stable;
+    quick "perf rejects empty rows" test_perf_empty_rows_rejected;
+    quick "greedy beats baseline" test_greedy_beats_baseline;
+    quick "exhaustive finds grid minimum" test_exhaustive_no_worse_than_greedy;
+    quick "explored schedule is valid" test_explore_schedule_valid;
+  ]

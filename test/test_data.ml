@@ -1,0 +1,152 @@
+open Helpers
+module Prng = Tb_util.Prng
+module Dataset = Tb_data.Dataset
+module Generators = Tb_data.Generators
+module Forest = Tb_model.Forest
+
+let test_make_validates () =
+  check_bool "ragged" true
+    (match Dataset.make ~name:"x" ~task:Forest.Regression [| [| 1.0 |]; [| 1.0; 2.0 |] |] [| 0.0; 0.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "label count" true
+    (match Dataset.make ~name:"x" ~task:Forest.Regression [| [| 1.0 |] |] [||] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "binary labels" true
+    (match Dataset.make ~name:"x" ~task:Forest.Binary_logistic [| [| 1.0 |] |] [| 0.5 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "class range" true
+    (match Dataset.make ~name:"x" ~task:(Forest.Multiclass 3) [| [| 1.0 |] |] [| 3.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_split_partitions () =
+  let rng = Prng.create 1 in
+  let feats = Array.init 100 (fun i -> [| float_of_int i |]) in
+  let labels = Array.init 100 float_of_int in
+  let ds = Dataset.make ~name:"x" ~task:Forest.Regression feats labels in
+  let train, test = Dataset.split ds ~train_fraction:0.8 rng in
+  check_int "train size" 80 (Dataset.num_rows train);
+  check_int "test size" 20 (Dataset.num_rows test);
+  (* Disjoint and complete: feature values are unique row ids. *)
+  let seen = Array.make 100 0 in
+  let count d =
+    Array.iter (fun r -> seen.(int_of_float r.(0)) <- seen.(int_of_float r.(0)) + 1) d.Dataset.features
+  in
+  count train;
+  count test;
+  Array.iter (fun c -> check_int "each row once" 1 c) seen
+
+let test_subsample_rows () =
+  let rng = Prng.create 2 in
+  let ds = Generators.letter ~rows:100 rng in
+  let batch = Dataset.subsample_rows ds 256 (Prng.create 3) in
+  check_int "batch size" 256 (Array.length batch);
+  Array.iter
+    (fun row -> check_int "row width" ds.Dataset.num_features (Array.length row))
+    batch
+
+(* Table I conformance: feature counts and task types. *)
+let table1 =
+  [
+    ("abalone", 8, `Regression);
+    ("airline", 13, `Binary);
+    ("airline-ohe", 692, `Binary);
+    ("covtype", 54, `Binary);
+    ("epsilon", 2000, `Binary);
+    ("letter", 16, `Multiclass 26);
+    ("higgs", 28, `Binary);
+    ("year", 90, `Regression);
+  ]
+
+let test_generators_match_table1 () =
+  List.iter
+    (fun (name, features, task) ->
+      let ds = Generators.by_name name ~rows:64 (Prng.create 17) in
+      check_int (name ^ " features") features ds.Dataset.num_features;
+      check_int (name ^ " rows") 64 (Dataset.num_rows ds);
+      check_string (name ^ " name") name ds.Dataset.name;
+      check_bool (name ^ " task") true
+        (match (task, ds.Dataset.task) with
+        | `Regression, Forest.Regression -> true
+        | `Binary, Forest.Binary_logistic -> true
+        | `Multiclass k, Forest.Multiclass k' -> k = k'
+        | _ -> false))
+    table1
+
+let test_generators_deterministic () =
+  List.iter
+    (fun name ->
+      let a = Generators.by_name name ~rows:16 (Prng.create 5) in
+      let b = Generators.by_name name ~rows:16 (Prng.create 5) in
+      check_bool (name ^ " deterministic") true (a.Dataset.features = b.Dataset.features);
+      check_bool (name ^ " labels deterministic") true (a.Dataset.labels = b.Dataset.labels))
+    Generators.names
+
+let test_generator_names_complete () =
+  check_int "eight benchmarks" 8 (List.length Generators.names);
+  check_bool "unknown rejected" true
+    (match Generators.by_name "nope" ~rows:1 (Prng.create 0) with
+    | exception Not_found -> true
+    | (_ : Dataset.t) -> false)
+
+let test_ohe_rows_are_indicators () =
+  let ds = Generators.airline_ohe ~rows:50 (Prng.create 6) in
+  Array.iter
+    (fun row ->
+      (* The categorical block (first 600 columns) is strictly 0/1 with
+         exactly 6 set bits (one per field). *)
+      let set = ref 0 in
+      for j = 0 to 599 do
+        check_bool "indicator" true (row.(j) = 0.0 || row.(j) = 1.0);
+        if row.(j) = 1.0 then incr set
+      done;
+      check_int "six categorical fields" 6 !set)
+    ds.Dataset.features
+
+let test_covtype_indicator_blocks () =
+  let ds = Generators.covtype ~rows:50 (Prng.create 7) in
+  Array.iter
+    (fun row ->
+      let wilderness = Array.sub row 10 4 and soil = Array.sub row 14 40 in
+      let ones a = Array.fold_left (fun acc v -> if v = 1.0 then acc + 1 else acc) 0 a in
+      check_int "one wilderness" 1 (ones wilderness);
+      check_int "one soil" 1 (ones soil))
+    ds.Dataset.features
+
+let test_letter_feature_range () =
+  let ds = Generators.letter ~rows:100 (Prng.create 8) in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun v -> check_bool "0..15 integer grid" true (v >= 0.0 && v <= 15.0 && Float.is_integer v))
+        row)
+    ds.Dataset.features
+
+let test_head_heavy_duplication () =
+  (* airline-ohe: the dominant template row must repeat many times. *)
+  let ds = Generators.airline_ohe ~rows:400 (Prng.create 9) in
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun row ->
+      let key = Hashtbl.hash (Array.to_list row) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    ds.Dataset.features;
+  let max_count = Hashtbl.fold (fun _ c acc -> max c acc) tbl 0 in
+  check_bool "head-heavy (top row > 25% of rows)" true (max_count > 100)
+
+let suite =
+  [
+    quick "dataset validation" test_make_validates;
+    quick "split partitions rows" test_split_partitions;
+    quick "subsample rows" test_subsample_rows;
+    quick "generators match Table I" test_generators_match_table1;
+    quick "generators deterministic" test_generators_deterministic;
+    quick "generator registry complete" test_generator_names_complete;
+    quick "one-hot rows are indicators" test_ohe_rows_are_indicators;
+    quick "covtype indicator blocks" test_covtype_indicator_blocks;
+    quick "letter feature grid" test_letter_feature_range;
+    quick "head-heavy duplication" test_head_heavy_duplication;
+  ]

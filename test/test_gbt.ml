@@ -1,0 +1,279 @@
+open Helpers
+module Prng = Tb_util.Prng
+module Dataset = Tb_data.Dataset
+module Generators = Tb_data.Generators
+module Forest = Tb_model.Forest
+module Binning = Tb_gbt.Binning
+module Loss = Tb_gbt.Loss
+module Tree_builder = Tb_gbt.Tree_builder
+module Train = Tb_gbt.Train
+module Zoo = Tb_gbt.Zoo
+
+(* Binning *)
+
+let test_binning_simple_column () =
+  let rows = Array.map (fun v -> [| v |]) [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = Binning.create ~max_bins:8 rows in
+  check_int "4 bins" 4 (Binning.num_bins b 0);
+  (* Bins must be ordered with values. *)
+  let bins = Array.map (fun r -> b.Binning.binned.(0).(r)) [| 0; 1; 2; 3 |] in
+  Alcotest.(check (array int)) "ordered bins" [| 0; 1; 2; 3 |] bins
+
+let test_binning_constant_column () =
+  let rows = Array.make 10 [| 5.0 |] in
+  let b = Binning.create rows in
+  check_int "single bin" 1 (Binning.num_bins b 0)
+
+let test_binning_equal_values_share_bin () =
+  let rows = Array.map (fun v -> [| v |]) (Array.init 100 (fun i -> float_of_int (i mod 3))) in
+  let b = Binning.create ~max_bins:2 rows in
+  (* However coarse, equal raw values must never straddle a cut. *)
+  for i = 0 to 99 do
+    for j = 0 to 99 do
+      if rows.(i).(0) = rows.(j).(0) then
+        check_int "same value same bin" b.Binning.binned.(0).(i) b.Binning.binned.(0).(j)
+    done
+  done
+
+let test_binning_threshold_separates () =
+  let rows = Array.map (fun v -> [| v |]) [| 1.0; 2.0; 5.0; 9.0 |] in
+  let b = Binning.create rows in
+  for bin = 0 to Binning.num_bins b 0 - 2 do
+    let thr = Binning.threshold_of_bin b ~feature:0 ~bin in
+    Array.iteri
+      (fun r row ->
+        let goes_left = row.(0) < thr in
+        let in_left_bins = b.Binning.binned.(0).(r) <= bin in
+        check_bool "threshold consistent with bins" in_left_bins goes_left)
+      rows
+  done
+
+let test_binning_bin_of_value () =
+  let rows = Array.map (fun v -> [| v |]) [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = Binning.create rows in
+  Array.iteri
+    (fun r row ->
+      check_int "bin_of_value matches" b.Binning.binned.(0).(r)
+        (Binning.bin_of_value b ~feature:0 row.(0)))
+    rows
+
+let test_binning_respects_max_bins () =
+  let rng = Prng.create 1 in
+  let rows = Array.init 1000 (fun _ -> [| Prng.uniform rng |]) in
+  let b = Binning.create ~max_bins:16 rows in
+  check_bool "at most 16" true (Binning.num_bins b 0 <= 16)
+
+(* Loss *)
+
+let test_squared_loss () =
+  let g, h = Loss.squared.Loss.grad_hess ~pred:3.0 ~label:1.0 in
+  check_float "grad" 2.0 g;
+  check_float "hess" 1.0 h;
+  check_float "base" 2.0 (Loss.squared.Loss.base_score ~labels:[| 1.0; 3.0 |])
+
+let test_logistic_loss_gradients () =
+  let g0, h0 = Loss.logistic.Loss.grad_hess ~pred:0.0 ~label:1.0 in
+  check_float "grad at 0 pos" (-0.5) g0;
+  check_float "hess at 0" 0.25 h0;
+  let g1, _ = Loss.logistic.Loss.grad_hess ~pred:0.0 ~label:0.0 in
+  check_float "grad at 0 neg" 0.5 g1
+
+let test_logistic_base_score_sign () =
+  check_bool "mostly positive -> positive base" true
+    (Loss.logistic.Loss.base_score ~labels:[| 1.0; 1.0; 1.0; 0.0 |] > 0.0);
+  check_bool "mostly negative -> negative base" true
+    (Loss.logistic.Loss.base_score ~labels:[| 0.0; 0.0; 0.0; 1.0 |] < 0.0)
+
+let test_one_vs_rest_targets () =
+  let l = Loss.one_vs_rest ~target_class:2 in
+  let g_pos, _ = l.Loss.grad_hess ~pred:0.0 ~label:2.0 in
+  let g_neg, _ = l.Loss.grad_hess ~pred:0.0 ~label:1.0 in
+  check_float "target class acts positive" (-0.5) g_pos;
+  check_float "other class acts negative" 0.5 g_neg
+
+(* Tree builder *)
+
+let xor_dataset () =
+  (* y = x0 xor x1 — needs depth 2. *)
+  let feats = [| [| 0.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 0.0 |]; [| 1.0; 1.0 |] |] in
+  let labels = [| 0.0; 1.0; 1.0; 0.0 |] in
+  (feats, labels)
+
+let test_tree_builder_fits_step () =
+  (* A single split suffices for a step function. *)
+  let feats = Array.init 100 (fun i -> [| float_of_int i |]) in
+  let labels = Array.init 100 (fun i -> if i < 50 then -1.0 else 1.0) in
+  let b = Binning.create ~max_bins:128 feats in
+  let grad = Array.map (fun l -> -.l) labels in
+  let hess = Array.make 100 1.0 in
+  let params =
+    { Tree_builder.default_params with max_depth = 3; leaf_scale = 1.0; lambda = 0.0 }
+  in
+  let tree =
+    Tree_builder.build params b ~grad ~hess ~rows:(Array.init 100 Fun.id)
+      ~rng:(Prng.create 1)
+  in
+  Array.iteri
+    (fun i row ->
+      let p = Tb_model.Tree.predict tree row in
+      check_bool
+        (Printf.sprintf "row %d sign" i)
+        true
+        (Float.abs (p -. labels.(i)) < 0.2))
+    feats
+
+let test_tree_builder_respects_depth () =
+  let rng = Prng.create 2 in
+  let feats = Array.init 200 (fun _ -> [| Prng.uniform rng; Prng.uniform rng |]) in
+  let labels = Array.init 200 (fun _ -> Prng.uniform rng) in
+  let b = Binning.create feats in
+  let grad = Array.map (fun l -> -.l) labels in
+  let hess = Array.make 200 1.0 in
+  let params = { Tree_builder.default_params with max_depth = 3; min_child_weight = 0.0 } in
+  let tree =
+    Tree_builder.build params b ~grad ~hess ~rows:(Array.init 200 Fun.id)
+      ~rng:(Prng.create 3)
+  in
+  check_bool "depth bounded" true (Tb_model.Tree.depth tree <= 3)
+
+let test_tree_builder_pure_node_is_leaf () =
+  (* Constant gradient -> no split has gain -> single leaf. *)
+  let feats = Array.init 50 (fun i -> [| float_of_int i |]) in
+  let b = Binning.create feats in
+  let grad = Array.make 50 1.0 in
+  let hess = Array.make 50 1.0 in
+  let tree =
+    Tree_builder.build Tree_builder.default_params b ~grad ~hess
+      ~rows:(Array.init 50 Fun.id) ~rng:(Prng.create 4)
+  in
+  check_int "no split" 0 (Tb_model.Tree.num_nodes tree)
+
+let test_tree_builder_leaf_value_newton () =
+  let feats = Array.init 10 (fun i -> [| float_of_int i |]) in
+  let b = Binning.create feats in
+  let grad = Array.make 10 2.0 in
+  let hess = Array.make 10 1.0 in
+  let params = { Tree_builder.default_params with lambda = 0.0; leaf_scale = 1.0 } in
+  let tree =
+    Tree_builder.build params b ~grad ~hess ~rows:(Array.init 10 Fun.id)
+      ~rng:(Prng.create 5)
+  in
+  (* w = -G/H = -20/10 = -2 *)
+  check_float "newton step" (-2.0) (Tb_model.Tree.predict tree [| 0.0 |])
+
+(* Boosting *)
+
+let test_train_learns_xor () =
+  let feats, labels = xor_dataset () in
+  (* Replicate rows so histograms have mass. An odd count keeps the pattern
+     frequencies slightly unbalanced: perfectly balanced XOR has exactly
+     zero first-split gain and greedy boosting (like XGBoost's) cannot take
+     the first step. *)
+  let n = 211 in
+  let feats = Array.init n (fun i -> feats.(i mod 4)) in
+  let labels = Array.init n (fun i -> labels.(i mod 4)) in
+  let ds = Dataset.make ~name:"xor" ~task:Forest.Binary_logistic feats labels in
+  let params =
+    { Train.default_params with num_rounds = 30; max_depth = 3; learning_rate = 0.3 }
+  in
+  let f = Train.fit ~params ds in
+  check_bool "xor learned" true (Train.accuracy f ds > 0.95)
+
+let test_train_regression_reduces_rmse () =
+  let rng = Prng.create 6 in
+  let ds = Generators.abalone ~rows:500 rng in
+  let base_rmse = Tb_util.Stats.stddev ds.Dataset.labels in
+  let params = { Train.default_params with num_rounds = 40; max_depth = 5 } in
+  let f = Train.fit ~params ds in
+  check_bool "rmse improved 2x" true (Train.rmse f ds < base_rmse /. 2.0)
+
+let test_train_multiclass_learns () =
+  let rng = Prng.create 7 in
+  let ds = Generators.letter ~rows:600 rng in
+  let params = { Train.default_params with num_rounds = 8; max_depth = 5 } in
+  let f = Train.fit ~params ds in
+  check_bool "letter accuracy > 0.5" true (Train.accuracy f ds > 0.5);
+  (match f.Forest.task with
+  | Forest.Multiclass 26 -> ()
+  | _ -> Alcotest.fail "task preserved");
+  check_int "trees multiple of classes" 0 (Array.length f.Forest.trees mod 26)
+
+let test_train_respects_max_depth () =
+  let rng = Prng.create 8 in
+  let ds = Generators.higgs ~rows:300 rng in
+  let params = { Train.default_params with num_rounds = 5; max_depth = 4 } in
+  let f = Train.fit ~params ds in
+  check_bool "depth bounded" true (Forest.max_depth f <= 4)
+
+let test_train_deterministic () =
+  let ds = Generators.higgs ~rows:200 (Prng.create 9) in
+  let params = { Train.default_params with num_rounds = 5; max_depth = 4 } in
+  let a = Train.fit ~params ds and b = Train.fit ~params ds in
+  Array.iter2
+    (fun ta tb -> check_bool "same trees" true (Tb_model.Tree.equal ta tb))
+    a.Forest.trees b.Forest.trees
+
+(* Zoo *)
+
+let test_zoo_specs_match_table1 () =
+  check_int "eight specs" 8 (List.length Zoo.specs);
+  List.iter
+    (fun (s : Zoo.spec) ->
+      check_bool (s.Zoo.name ^ " known generator") true
+        (List.mem s.Zoo.name Generators.names))
+    Zoo.specs;
+  let s = Zoo.spec "abalone" in
+  check_int "abalone trees" 1000 s.Zoo.paper_trees;
+  check_int "abalone depth" 7 s.Zoo.max_depth;
+  check_int "abalone biased" 438 s.Zoo.paper_leaf_biased
+
+let test_zoo_dataset_shape () =
+  let s = Zoo.spec "letter" in
+  let ds = Zoo.dataset s in
+  check_int "letter features" 16 ds.Dataset.num_features;
+  check_int "letter rows" s.Zoo.dataset_rows (Dataset.num_rows ds)
+
+let test_zoo_cache_roundtrip () =
+  (* Train a tiny stand-in spec through the cache machinery by pointing the
+     cache at a temp dir and using the smallest benchmark config. *)
+  let dir = Filename.temp_file "tb_zoo" "" in
+  Sys.remove dir;
+  let entry = Zoo.get ~cache_dir:dir "higgs" in
+  check_bool "model cached" true (Sys.file_exists (Filename.concat dir "higgs.json"));
+  let entry2 = Zoo.get ~cache_dir:dir "higgs" in
+  check_int "same tree count"
+    (Array.length entry.Zoo.forest.Forest.trees)
+    (Array.length entry2.Zoo.forest.Forest.trees);
+  let rows = entry.Zoo.test_data.Dataset.features in
+  check_bool "cached model predicts identically" true
+    (arrays_close
+       (Array.map (fun r -> Forest.predict_single entry.Zoo.forest r) rows)
+       (Array.map (fun r -> Forest.predict_single entry2.Zoo.forest r) rows));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let suite =
+  [
+    quick "binning simple column" test_binning_simple_column;
+    quick "binning constant column" test_binning_constant_column;
+    quick "binning equal values share bin" test_binning_equal_values_share_bin;
+    quick "binning thresholds separate bins" test_binning_threshold_separates;
+    quick "binning bin_of_value" test_binning_bin_of_value;
+    quick "binning respects max bins" test_binning_respects_max_bins;
+    quick "squared loss" test_squared_loss;
+    quick "logistic gradients" test_logistic_loss_gradients;
+    quick "logistic base score sign" test_logistic_base_score_sign;
+    quick "one-vs-rest targets" test_one_vs_rest_targets;
+    quick "tree builder fits a step" test_tree_builder_fits_step;
+    quick "tree builder respects depth" test_tree_builder_respects_depth;
+    quick "pure node stays leaf" test_tree_builder_pure_node_is_leaf;
+    quick "leaf value is a Newton step" test_tree_builder_leaf_value_newton;
+    quick "boosting learns xor" test_train_learns_xor;
+    quick "regression reduces rmse" test_train_regression_reduces_rmse;
+    quick "multiclass learns letter" test_train_multiclass_learns;
+    quick "training respects max depth" test_train_respects_max_depth;
+    quick "training deterministic" test_train_deterministic;
+    quick "zoo specs match Table I" test_zoo_specs_match_table1;
+    quick "zoo dataset shape" test_zoo_dataset_shape;
+    quick "zoo cache roundtrip" test_zoo_cache_roundtrip;
+  ]

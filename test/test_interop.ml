@@ -1,0 +1,138 @@
+(* Interop surfaces: the XGBoost dump importer and schedule JSON files. *)
+
+open Helpers
+module Prng = Tb_util.Prng
+module Json = Tb_util.Json
+module Forest = Tb_model.Forest
+module Tree = Tb_model.Tree
+module Xgb_import = Tb_model.Xgb_import
+module Schedule = Tb_hir.Schedule
+
+(* A hand-written dump in XGBoost's format: two stumps and a depth-2
+   tree, children deliberately listed no-before-yes to test id routing. *)
+let sample_dump =
+  {|[
+  { "nodeid": 0, "depth": 0, "split": "f2", "split_condition": 0.5,
+    "yes": 1, "no": 2, "missing": 1,
+    "children": [
+      { "nodeid": 2, "leaf": -0.25 },
+      { "nodeid": 1, "leaf": 0.75 }
+    ] },
+  { "nodeid": 0, "depth": 0, "split": "f0", "split_condition": -1.5,
+    "yes": 1, "no": 2, "missing": 1,
+    "children": [
+      { "nodeid": 1, "depth": 1, "split": "f1", "split_condition": 3.0,
+        "yes": 3, "no": 4, "missing": 3,
+        "children": [
+          { "nodeid": 4, "leaf": 0.2 },
+          { "nodeid": 3, "leaf": 0.1 }
+        ] },
+      { "nodeid": 2, "leaf": 0.3 }
+    ] }
+]|}
+
+let test_import_structure () =
+  let f = Xgb_import.of_dump_string sample_dump in
+  check_int "two trees" 2 (Array.length f.Forest.trees);
+  check_int "features inferred" 3 f.Forest.num_features;
+  check_int "depth" 2 (Forest.max_depth f)
+
+let test_import_semantics () =
+  let f = Xgb_import.of_dump_string sample_dump in
+  (* row with f2 < 0.5 -> yes branch of tree 1 (0.75); f0 < -1.5 and
+     f1 < 3.0 -> 0.1 in tree 2. *)
+  check_float "yes/yes" (0.75 +. 0.1) (Forest.predict_single f [| -2.0; 0.0; 0.0 |]);
+  (* f2 >= 0.5 -> -0.25; f0 >= -1.5 -> 0.3 *)
+  check_float "no/no" (-0.25 +. 0.3) (Forest.predict_single f [| 0.0; 0.0; 1.0 |]);
+  (* f1 >= 3.0 on the yes side of tree 2 -> 0.2 *)
+  check_float "yes/no-inner" (0.75 +. 0.2) (Forest.predict_single f [| -2.0; 5.0; 0.0 |])
+
+let test_import_feature_names () =
+  let dump =
+    {|[ { "nodeid": 0, "split": "age", "split_condition": 30,
+         "yes": 1, "no": 2,
+         "children": [ { "nodeid": 1, "leaf": 1 }, { "nodeid": 2, "leaf": 2 } ] } ]|}
+  in
+  let f = Xgb_import.of_dump_string ~feature_names:[ "income"; "age" ] dump in
+  check_float "named feature" 1.0 (Forest.predict_single f [| 0.0; 20.0 |]);
+  check_float "named feature right" 2.0 (Forest.predict_single f [| 0.0; 40.0 |])
+
+let test_import_rejects_unknown_split () =
+  let dump =
+    {|[ { "nodeid": 0, "split": "mystery", "split_condition": 1,
+         "yes": 1, "no": 2,
+         "children": [ { "nodeid": 1, "leaf": 1 }, { "nodeid": 2, "leaf": 2 } ] } ]|}
+  in
+  check_bool "raises" true
+    (match Xgb_import.of_dump_string dump with
+    | exception Json.Parse_error _ -> true
+    | (_ : Forest.t) -> false)
+
+let test_import_rejects_missing_child () =
+  let dump =
+    {|[ { "nodeid": 0, "split": "f0", "split_condition": 1,
+         "yes": 1, "no": 7,
+         "children": [ { "nodeid": 1, "leaf": 1 } ] } ]|}
+  in
+  check_bool "raises" true
+    (match Xgb_import.of_dump_string dump with
+    | exception Json.Parse_error _ -> true
+    | (_ : Forest.t) -> false)
+
+let test_imported_model_compiles () =
+  let f = Xgb_import.of_dump_string sample_dump in
+  let rng = Prng.create 1 in
+  let rows = random_rows rng 3 32 in
+  let compiled = Tb_core.Treebeard.compile f in
+  check_bool "compiled import correct" true
+    (Array.for_all2 arrays_close
+       (Tb_core.Treebeard.predict_forest compiled rows)
+       (Forest.predict_batch_raw f rows))
+
+(* Schedule JSON *)
+
+let test_schedule_roundtrip () =
+  List.iter
+    (fun s ->
+      let s' = Schedule.of_json (Schedule.to_json s) in
+      check_bool ("roundtrip " ^ Schedule.to_string s) true (s = s'))
+    (Schedule.scalar_baseline :: Schedule.default
+    :: [
+         { Schedule.default with tiling = Schedule.Optimal_probability_based };
+         { Schedule.default with tiling = Schedule.Min_max_depth; num_threads = 7 };
+         { Schedule.default with loop_order = Schedule.One_row_at_a_time; alpha = 0.05 };
+       ])
+
+let test_schedule_file_roundtrip () =
+  let path = Filename.temp_file "tb_sched" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Schedule.to_file path Schedule.default;
+      check_bool "file roundtrip" true (Schedule.of_file path = Schedule.default))
+
+let test_schedule_rejects_garbage () =
+  check_bool "raises" true
+    (match Schedule.of_json (Json.of_string {|{"tiling": "nope"}|}) with
+    | exception Json.Parse_error _ -> true
+    | (_ : Schedule.t) -> false)
+
+let test_grid_schedules_roundtrip () =
+  List.iter
+    (fun s ->
+      check_bool "grid roundtrip" true (Schedule.of_json (Schedule.to_json s) = s))
+    Schedule.table2_grid
+
+let suite =
+  [
+    quick "xgboost import structure" test_import_structure;
+    quick "xgboost import semantics" test_import_semantics;
+    quick "xgboost import feature names" test_import_feature_names;
+    quick "xgboost import rejects unknown split" test_import_rejects_unknown_split;
+    quick "xgboost import rejects missing child" test_import_rejects_missing_child;
+    quick "imported model compiles" test_imported_model_compiles;
+    quick "schedule json roundtrip" test_schedule_roundtrip;
+    quick "schedule file roundtrip" test_schedule_file_roundtrip;
+    quick "schedule rejects garbage" test_schedule_rejects_garbage;
+    quick "all grid schedules roundtrip" test_grid_schedules_roundtrip;
+  ]

@@ -1,0 +1,129 @@
+open Helpers
+module Prng = Tb_util.Prng
+module Forest = Tb_model.Forest
+module Schedule = Tb_hir.Schedule
+module Program = Tb_hir.Program
+module Reorder = Tb_hir.Reorder
+module Tiled_tree = Tb_hir.Tiled_tree
+module Mir = Tb_mir.Mir
+
+let build_program ?(schedule = Schedule.default) seed =
+  let rng = Prng.create seed in
+  let forest = Forest.random ~num_trees:12 ~max_depth:7 ~num_features:6 rng in
+  Program.build forest schedule
+
+let test_lower_of_hir_is_neutral () =
+  let p = build_program 1 in
+  let mir = Mir.lower_of_hir p in
+  check_int "single thread" 1 mir.Mir.num_threads;
+  Array.iter
+    (fun plan ->
+      check_bool "generic walk" true (plan.Mir.walk = Mir.Loop_walk);
+      check_int "no jam" 1 plan.Mir.interleave)
+    mir.Mir.group_plans
+
+let test_unrolling_only_uniform_groups () =
+  let p = build_program ~schedule:{ Schedule.default with interleave = 1 } 2 in
+  let mir = Mir.lower p in
+  Array.iter
+    (fun plan ->
+      match plan.Mir.walk with
+      | Mir.Unrolled_walk { depth } ->
+        check_bool "group uniform" true plan.Mir.group.Reorder.uniform;
+        check_int "depth matches group" plan.Mir.group.Reorder.walk_depth depth
+      | Mir.Loop_walk | Mir.Peeled_walk _ ->
+        check_bool "non-uniform group" false plan.Mir.group.Reorder.uniform)
+    mir.Mir.group_plans
+
+let test_peeling_depth_is_min_leaf_depth () =
+  let schedule =
+    { Schedule.default with pad_and_unroll = false; peel = true; tile_size = 2 }
+  in
+  let p = build_program ~schedule 3 in
+  let mir = Mir.lower p in
+  Array.iter
+    (fun plan ->
+      match plan.Mir.walk with
+      | Mir.Peeled_walk { peel } ->
+        let min_depth =
+          Array.fold_left
+            (fun acc pos ->
+              min acc (Tiled_tree.min_leaf_depth p.Program.trees.(pos).Program.tiled))
+            max_int plan.Mir.group.Reorder.positions
+        in
+        check_int "peel = min leaf depth" min_depth peel;
+        check_bool "peel positive" true (peel >= 1)
+      | Mir.Loop_walk -> ()
+      | Mir.Unrolled_walk _ -> Alcotest.fail "unroll disabled")
+    mir.Mir.group_plans
+
+let test_interleave_row_major_capped_by_group () =
+  let schedule =
+    {
+      Schedule.default with
+      loop_order = Schedule.One_row_at_a_time;
+      interleave = 8;
+      pad_and_unroll = false;
+      peel = false;
+    }
+  in
+  let p = build_program ~schedule 4 in
+  let mir = Mir.lower p in
+  Array.iter
+    (fun plan ->
+      check_bool "jam <= group size" true
+        (plan.Mir.interleave <= max 1 (Array.length plan.Mir.group.Reorder.positions));
+      check_bool "jam <= factor" true (plan.Mir.interleave <= 8))
+    mir.Mir.group_plans
+
+let test_interleave_tree_major_uses_factor () =
+  let schedule = { Schedule.default with interleave = 4 } in
+  let p = build_program ~schedule 5 in
+  let mir = Mir.lower p in
+  Array.iter
+    (fun plan -> check_int "row jam = factor" 4 plan.Mir.interleave)
+    mir.Mir.group_plans
+
+let test_parallelization_tiles_rows () =
+  let schedule = Schedule.with_threads Schedule.default 8 in
+  let p = build_program ~schedule 6 in
+  let mir = Mir.lower p in
+  check_int "threads" 8 mir.Mir.num_threads
+
+let test_pp_renders_loop_order () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let p_tree =
+    build_program ~schedule:{ Schedule.default with loop_order = Schedule.One_tree_at_a_time } 7
+  in
+  let s = Mir.to_string (Mir.lower p_tree) in
+  check_bool "tree-major mentions groups" true (contains s "group");
+  let p_row =
+    build_program
+      ~schedule:{ Schedule.default with loop_order = Schedule.One_row_at_a_time } 7
+  in
+  let s_row = Mir.to_string (Mir.lower p_row) in
+  check_bool "row-major has prediction accumulator" true (contains s_row "prediction")
+
+let test_walk_steps_bound_sane () =
+  let p = build_program 8 in
+  let mir = Mir.lower p in
+  let bound = Mir.total_walk_steps_bound p mir in
+  let trees = Array.length p.Program.trees in
+  check_bool "at least one step per tree" true (bound >= trees);
+  check_bool "bounded by depth sum" true (bound <= trees * 16)
+
+let suite =
+  [
+    quick "lower_of_hir is neutral" test_lower_of_hir_is_neutral;
+    quick "unrolling only for uniform groups" test_unrolling_only_uniform_groups;
+    quick "peel = min leaf depth" test_peeling_depth_is_min_leaf_depth;
+    quick "row-major jam capped by group" test_interleave_row_major_capped_by_group;
+    quick "tree-major jam uses factor" test_interleave_tree_major_uses_factor;
+    quick "parallelization sets threads" test_parallelization_tiles_rows;
+    quick "pp renders loop order" test_pp_renders_loop_order;
+    quick "walk steps bound" test_walk_steps_bound_sane;
+  ]

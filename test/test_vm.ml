@@ -1,0 +1,268 @@
+open Helpers
+module Prng = Tb_util.Prng
+module Forest = Tb_model.Forest
+module Model_stats = Tb_model.Model_stats
+module Schedule = Tb_hir.Schedule
+module Layout = Tb_lir.Layout
+module Lower = Tb_lir.Lower
+module Jit = Tb_vm.Jit
+module Profiler = Tb_vm.Profiler
+module Config = Tb_cpu.Config
+module Cost_model = Tb_cpu.Cost_model
+module Cache = Tb_cpu.Cache
+
+(* The central semantic property of the whole compiler: every combination
+   of schedule knobs produces a predictor equal to the reference. *)
+
+let random_schedule rng =
+  {
+    Schedule.scalar_baseline with
+    tile_size = 1 + Prng.int rng 8;
+    tiling =
+      (if Prng.bool rng then Schedule.Basic else Schedule.Probability_based);
+    loop_order =
+      (if Prng.bool rng then Schedule.One_tree_at_a_time
+       else Schedule.One_row_at_a_time);
+    pad_and_unroll = Prng.bool rng;
+    peel = Prng.bool rng;
+    interleave = 1 lsl Prng.int rng 4;
+    layout = (if Prng.bool rng then Schedule.Sparse_layout else Schedule.Array_layout);
+    num_threads = 1 + Prng.int rng 4;
+  }
+
+let jit_equivalence_property seed =
+  let rng = Prng.create seed in
+  let forest = Forest.random ~num_trees:(2 + Prng.int rng 12) ~max_depth:7 ~num_features:6 rng in
+  let schedule = random_schedule rng in
+  let rows = random_rows rng 6 (1 + Prng.int rng 40) in
+  let profiles =
+    if Prng.bool rng then Some (Model_stats.profile_forest forest rows) else None
+  in
+  let lp = Lower.lower ?profiles forest schedule in
+  let predict = Jit.compile lp in
+  let out = predict rows in
+  let expected = Forest.predict_batch_raw forest rows in
+  (Array.for_all2 (fun a b -> arrays_close a b) out expected)
+  || QCheck2.Test.fail_reportf "JIT diverges: %s" (Schedule.to_string schedule)
+
+let test_jit_multiclass () =
+  let rng = Prng.create 11 in
+  let trees = Array.init 9 (fun _ -> Tb_model.Tree.random ~max_depth:5 ~num_features:5 rng) in
+  let forest = Forest.make ~task:(Forest.Multiclass 3) ~num_features:5 trees in
+  let rows = random_rows rng 5 64 in
+  List.iter
+    (fun schedule ->
+      let predict = Jit.compile (Lower.lower forest schedule) in
+      let out = predict rows in
+      let expected = Forest.predict_batch_raw forest rows in
+      check_bool "multiclass equal" true (Array.for_all2 arrays_close out expected))
+    [ Schedule.scalar_baseline; Schedule.default ]
+
+let test_jit_empty_batch () =
+  let forest = Forest.random ~num_trees:3 (Prng.create 12) in
+  let predict = Jit.compile (Lower.lower forest Schedule.default) in
+  check_int "empty output" 0 (Array.length (predict [||]))
+
+let test_jit_batch_not_multiple_of_interleave () =
+  let rng = Prng.create 13 in
+  let forest = Forest.random ~num_trees:5 ~num_features:6 rng in
+  let schedule = { Schedule.default with interleave = 8 } in
+  let predict = Jit.compile (Lower.lower forest schedule) in
+  (* 13 rows: 8 + 5 remainder. *)
+  let rows = random_rows rng 6 13 in
+  let out = predict rows in
+  let expected = Forest.predict_batch_raw forest rows in
+  check_bool "remainder handled" true (Array.for_all2 arrays_close out expected)
+
+let test_jit_parallel_matches_sequential () =
+  let rng = Prng.create 14 in
+  let forest = Forest.random ~num_trees:10 ~num_features:6 rng in
+  let rows = random_rows rng 6 257 in
+  let seq = Jit.compile (Lower.lower forest Schedule.default) rows in
+  let par =
+    Jit.compile (Lower.lower forest (Schedule.with_threads Schedule.default 4)) rows
+  in
+  check_bool "parallel == sequential" true (Array.for_all2 arrays_close seq par)
+
+let test_jit_parallel_more_threads_than_rows () =
+  let rng = Prng.create 15 in
+  let forest = Forest.random ~num_trees:4 ~num_features:6 rng in
+  let rows = random_rows rng 6 3 in
+  let out = Jit.compile (Lower.lower forest (Schedule.with_threads Schedule.default 8)) rows in
+  let expected = Forest.predict_batch_raw forest rows in
+  check_bool "tiny batch" true (Array.for_all2 arrays_close out expected)
+
+let test_jit_single_leaf_forest () =
+  let forest =
+    Forest.make ~task:Forest.Regression ~num_features:1
+      [| Tb_model.Tree.Leaf 2.0; Tb_model.Tree.Leaf 3.0 |]
+  in
+  List.iter
+    (fun schedule ->
+      let out = Jit.compile (Lower.lower forest schedule) [| [| 0.0 |] |] in
+      check_float "constant forest" 5.0 out.(0).(0))
+    [ Schedule.scalar_baseline; Schedule.default ]
+
+(* Profiler *)
+
+let profile_of ?(schedule = Schedule.default) ?(rows = 32) seed =
+  let rng = Prng.create seed in
+  let forest = Forest.random ~num_trees:10 ~max_depth:7 ~num_features:6 rng in
+  let lp = Lower.lower forest schedule in
+  let data = random_rows rng 6 rows in
+  (lp, Profiler.profile ~target:Config.intel_rocket_lake lp data)
+
+let test_profiler_counts_walks () =
+  let _, w = profile_of ~rows:32 21 in
+  check_int "one walk per (tree,row)" (10 * 32)
+    (w.Cost_model.walks_checked + w.Cost_model.walks_unrolled);
+  check_int "one leaf fetch per walk" (10 * 32) w.Cost_model.leaf_fetches
+
+let test_profiler_steps_positive () =
+  let _, w = profile_of 22 in
+  check_bool "steps counted" true
+    (w.Cost_model.steps_checked + w.Cost_model.steps_unchecked > 0);
+  check_bool "cache accessed" true (w.Cost_model.l1.Cache.accesses > 0)
+
+let test_profiler_unrolled_schedule_has_unchecked_steps () =
+  let _, w =
+    profile_of ~schedule:{ Schedule.default with interleave = 1 } 23
+  in
+  check_bool "unrolled steps exist" true (w.Cost_model.steps_unchecked > 0)
+
+let test_profiler_scalar_baseline_all_checked () =
+  let _, w = profile_of ~schedule:Schedule.scalar_baseline 24 in
+  check_int "no unrolled walks" 0 w.Cost_model.walks_unrolled;
+  check_int "no unchecked steps" 0 w.Cost_model.steps_unchecked
+
+let test_profiler_interleave_reduces_critical_steps () =
+  let base = { Schedule.default with pad_and_unroll = false; peel = false } in
+  let _, w1 = profile_of ~schedule:{ base with interleave = 1 } 25 in
+  let _, w8 = profile_of ~schedule:{ base with interleave = 8 } 25 in
+  check_int "same total steps" w1.Cost_model.steps_checked w8.Cost_model.steps_checked;
+  check_bool "jam shortens critical path" true
+    (w8.Cost_model.critical_steps < w1.Cost_model.critical_steps);
+  check_bool "critical at least total/8" true
+    (w8.Cost_model.critical_steps * 8 >= w1.Cost_model.critical_steps)
+
+let test_profiler_tree_major_improves_cache () =
+  (* One-tree-at-a-time reuses the tree across rows: strictly fewer misses
+     than row-major on a model larger than L1. *)
+  let rng = Prng.create 26 in
+  let forest = Forest.random ~num_trees:120 ~max_depth:7 ~num_features:6 rng in
+  let data = random_rows rng 6 64 in
+  let miss order =
+    let lp =
+      Lower.lower forest { Schedule.scalar_baseline with loop_order = order }
+    in
+    (Profiler.profile ~target:Config.intel_rocket_lake lp data).Cost_model.l1.Cache.misses
+  in
+  check_bool "tree-major fewer misses" true
+    (miss Schedule.One_tree_at_a_time < miss Schedule.One_row_at_a_time)
+
+let test_profiler_scale () =
+  let _, w = profile_of 27 in
+  let w2 = Profiler.scale w 2.0 in
+  check_int "rows doubled" (2 * w.Cost_model.rows) w2.Cost_model.rows;
+  check_int "misses doubled" (2 * w.Cost_model.l1.Cache.misses)
+    w2.Cost_model.l1.Cache.misses;
+  check_int "tile size unchanged" w.Cost_model.tile_size w2.Cost_model.tile_size
+
+(* Cost model / cache / multicore *)
+
+let test_cache_basics () =
+  let c = Cache.create ~line_bytes:64 ~ways:2 ~size_bytes:1024 () in
+  check_bool "first access misses" false (Cache.access c 0);
+  check_bool "second access hits" true (Cache.access c 32);
+  (* 8 sets; addresses 0, 1024, 2048 map to set 0 (line 0,16,32... wait
+     1024/64=16 lines, 16 mod 8 = 0). Two ways: third distinct line evicts
+     LRU. *)
+  ignore (Cache.access c 1024);
+  ignore (Cache.access c 2048);
+  check_bool "original line evicted" false (Cache.access c 0)
+
+let test_cache_stats_consistent () =
+  let c = Cache.create ~size_bytes:4096 () in
+  for i = 0 to 999 do
+    ignore (Cache.access c (i * 8))
+  done;
+  let s = Cache.stats c in
+  check_int "accesses" 1000 s.Cache.accesses;
+  check_int "hits+misses" 1000 (s.Cache.hits + s.Cache.misses);
+  Cache.reset c;
+  check_int "reset" 0 (Cache.stats c).Cache.accesses
+
+let test_cost_model_interleave_cuts_core_stalls () =
+  let base = { Schedule.default with pad_and_unroll = false; peel = false } in
+  let breakdown il seed =
+    let lp, w = profile_of ~schedule:{ base with interleave = il } seed in
+    ignore lp;
+    Cost_model.estimate Config.intel_rocket_lake w
+  in
+  let b1 = breakdown 1 30 and b8 = breakdown 8 30 in
+  check_bool "interleaving reduces core stalls" true
+    (b8.Cost_model.backend_core < b1.Cost_model.backend_core);
+  check_bool "interleaving reduces cycles" true (b8.Cost_model.cycles < b1.Cost_model.cycles)
+
+let test_cost_model_gather_hurts_amd () =
+  let lp, w = profile_of ~schedule:{ Schedule.default with tile_size = 8 } 31 in
+  ignore lp;
+  let intel = Cost_model.estimate Config.intel_rocket_lake w in
+  let amd = Cost_model.estimate Config.amd_ryzen7 w in
+  check_bool "amd pays more for gathers" true
+    (amd.Cost_model.cycles > intel.Cost_model.cycles)
+
+let test_cost_model_scalar_has_bad_speculation () =
+  let _, w = profile_of ~schedule:Schedule.scalar_baseline 32 in
+  let b = Cost_model.estimate Config.intel_rocket_lake w in
+  check_bool "mispredicts charged" true (b.Cost_model.bad_speculation > 0.0)
+
+let test_cost_model_frontend_kicks_in_on_huge_code () =
+  let _, w = profile_of 33 in
+  let small = Cost_model.estimate Config.intel_rocket_lake w in
+  let huge =
+    Cost_model.estimate Config.intel_rocket_lake
+      { w with Cost_model.code_bytes = 4 * 1024 * 1024 }
+  in
+  check_float "no frontend stalls on small code" 0.0 small.Cost_model.frontend;
+  check_bool "frontend stalls on huge code" true (huge.Cost_model.frontend > 0.0)
+
+let test_multicore_speedup_monotone () =
+  let cfg = Config.intel_rocket_lake in
+  let s n = Tb_cpu.Multicore.speedup cfg ~threads:n () in
+  check_float "1 thread" 1.0 (s 1);
+  check_bool "monotone" true (s 2 > s 1 && s 4 > s 2 && s 8 > s 4 && s 16 > s 8);
+  check_bool "smt bounded" true (s 16 < 16.0);
+  check_bool "8 cores near 8x" true (s 8 > 6.0)
+
+let test_multicore_effective_core_cap () =
+  let cfg = Config.intel_rocket_lake in
+  let capped = Tb_cpu.Multicore.speedup cfg ~max_effective_cores:3 ~threads:16 () in
+  check_bool "cap respected" true (capped <= 3.0)
+
+let suite =
+  [
+    qcheck ~count:150 ~name:"JIT == reference for random schedules" seed_gen
+      jit_equivalence_property;
+    quick "jit multiclass" test_jit_multiclass;
+    quick "jit empty batch" test_jit_empty_batch;
+    quick "jit interleave remainder" test_jit_batch_not_multiple_of_interleave;
+    quick "jit parallel == sequential" test_jit_parallel_matches_sequential;
+    quick "jit more threads than rows" test_jit_parallel_more_threads_than_rows;
+    quick "jit constant forest" test_jit_single_leaf_forest;
+    quick "profiler counts walks" test_profiler_counts_walks;
+    quick "profiler counts steps and cache" test_profiler_steps_positive;
+    quick "profiler sees unrolled steps" test_profiler_unrolled_schedule_has_unchecked_steps;
+    quick "profiler scalar all checked" test_profiler_scalar_baseline_all_checked;
+    quick "interleave shortens critical path" test_profiler_interleave_reduces_critical_steps;
+    quick "tree-major improves cache" test_profiler_tree_major_improves_cache;
+    quick "profiler scaling" test_profiler_scale;
+    quick "cache basics" test_cache_basics;
+    quick "cache stats consistent" test_cache_stats_consistent;
+    quick "interleaving cuts core stalls" test_cost_model_interleave_cuts_core_stalls;
+    quick "gather hurts amd" test_cost_model_gather_hurts_amd;
+    quick "scalar pays bad speculation" test_cost_model_scalar_has_bad_speculation;
+    quick "frontend stalls on huge code" test_cost_model_frontend_kicks_in_on_huge_code;
+    quick "multicore speedup monotone" test_multicore_speedup_monotone;
+    quick "multicore effective-core cap" test_multicore_effective_core_cap;
+  ]
