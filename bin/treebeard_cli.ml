@@ -4,7 +4,8 @@
      train    train a benchmark model and serialize it to JSON
      compile  compile a serialized model and dump its IR
      predict  run batch inference on a serialized model
-     explore  autotune a schedule for a CPU target *)
+     explore  autotune a schedule for a CPU target
+     lint     statically verify models through the tbcheck pipeline *)
 
 open Cmdliner
 module Schedule = Tb_hir.Schedule
@@ -228,6 +229,108 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Autotune a schedule for a CPU target")
     Term.(const run $ model_arg $ target_arg $ exhaustive $ save)
 
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let model =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "m"; "model" ] ~docv:"FILE" ~doc:"Serialized model (JSON).")
+  in
+  let zoo =
+    Arg.(
+      value & flag
+      & info [ "zoo" ]
+          ~doc:"Lint every benchmark model in the zoo (training/loading them \
+                from the cache as needed).")
+  in
+  let grid =
+    Arg.(
+      value & flag
+      & info [ "grid" ]
+          ~doc:"Lint each model over the full Table II schedule grid instead \
+                of a single schedule.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1024
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Batch size assumed by the deployment-dependent checks.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warnings as errors for the exit status.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print every finding, including infos.")
+  in
+  let run model zoo grid schedule batch strict verbose =
+    let module D = Tb_diag.Diagnostic in
+    let module Passman = Tb_core.Passman in
+    let models =
+      match (zoo, model) with
+      | true, _ ->
+        List.map
+          (fun s ->
+            let e = Tb_gbt.Zoo.get s.Tb_gbt.Zoo.name in
+            (s.Tb_gbt.Zoo.name, e.Tb_gbt.Zoo.forest))
+          Tb_gbt.Zoo.specs
+      | false, Some path -> [ (path, Tb_model.Serialize.of_file path) ]
+      | false, None ->
+        prerr_endline "lint: pass --model FILE or --zoo"; exit 2
+    in
+    let schedules =
+      if grid then Schedule.table2_grid else [ schedule ]
+    in
+    let errors = ref 0 and warnings = ref 0 in
+    List.iter
+      (fun (name, forest) ->
+        List.iter
+          (fun schedule ->
+            let report =
+              match Passman.lower ~batch_size:batch forest schedule with
+              | Ok (_, r) | Error r -> r
+            in
+            let ds = Passman.diagnostics report in
+            let n_err = List.length (D.errors ds) in
+            let n_warn =
+              List.length
+                (List.filter (fun d -> d.D.severity = D.Warning) ds)
+            in
+            errors := !errors + n_err;
+            warnings := !warnings + n_warn;
+            let verdict =
+              if n_err > 0 then "FAIL"
+              else if n_warn > 0 then "warn"
+              else "ok"
+            in
+            Printf.printf "%-12s %-55s %s\n" name
+              (Schedule.to_string schedule)
+              verdict;
+            let shown =
+              if verbose then ds
+              else List.filter (fun d -> d.D.severity <> D.Info) ds
+            in
+            List.iter (fun d -> Printf.printf "  %s\n" (D.to_string d)) shown)
+          schedules)
+      models;
+    Printf.printf "lint: %d model(s) x %d schedule(s): %d error(s), %d warning(s)\n"
+      (List.length models) (List.length schedules) !errors !warnings;
+    if !errors > 0 || (strict && !warnings > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify models through the tbcheck pipeline \
+             (schedule legality, tiling/LUT/padding, loop-nest and race \
+             checks, layout closure and walk-program bounds)")
+    Term.(
+      const run $ model $ zoo $ grid $ schedule_term $ batch $ strict
+      $ verbose)
+
 (* ---------------- import ---------------- *)
 
 let import_cmd =
@@ -259,4 +362,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "treebeard" ~version:"1.0.0" ~doc)
-          [ train_cmd; compile_cmd; predict_cmd; explore_cmd; import_cmd ]))
+          [ train_cmd; compile_cmd; predict_cmd; explore_cmd; import_cmd; lint_cmd ]))

@@ -1,0 +1,63 @@
+type severity = Info | Warning | Error
+
+type level =
+  | Schedule
+  | Hir
+  | Mir
+  | Lir
+
+type t = {
+  code : string;
+  severity : severity;
+  level : level;
+  path : string list;
+  message : string;
+}
+
+let make severity ~level ~code ~path fmt =
+  Printf.ksprintf (fun message -> { code; severity; level; path; message }) fmt
+
+let errorf ~level ~code ~path fmt = make Error ~level ~code ~path fmt
+let warningf ~level ~code ~path fmt = make Warning ~level ~code ~path fmt
+let infof ~level ~code ~path fmt = make Info ~level ~code ~path fmt
+
+let severity_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let level_string = function
+  | Schedule -> "schedule"
+  | Hir -> "hir"
+  | Mir -> "mir"
+  | Lir -> "lir"
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let has_errors ds = List.exists is_error ds
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+    match String.compare a.code b.code with
+    | 0 -> Stdlib.compare (a.path, a.message) (b.path, b.message)
+    | c -> c)
+  | c -> c
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %s" (severity_string d.severity) d.code
+    (level_string d.level);
+  if d.path <> [] then
+    Format.fprintf fmt " @@ %s" (String.concat " > " d.path);
+  Format.fprintf fmt ": %s" d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let summary ds =
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+  let plural n word = Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s") in
+  String.concat ", "
+    [ plural (count Error) "error"; plural (count Warning) "warning";
+      plural (count Info) "info" ]

@@ -1,0 +1,91 @@
+(** Structured compiler diagnostics — the currency of [tbcheck].
+
+    Every static analysis in the compiler (HIR tiling/LUT/padding checks,
+    MIR loop-nest checks, the LIR dataflow verifier, the layout closure
+    check) reports findings as values of {!t} instead of bare strings: a
+    stable error code, a severity, the IR level the finding belongs to, a
+    location path into the artifact, and a human-readable message. The
+    pass manager ({!Tb_core.Passman}) fails compilation on [Error]
+    diagnostics and forwards the rest; the [treebeard_cli lint] subcommand
+    renders them.
+
+    {2 Error-code registry}
+
+    Codes are stable identifiers; tests assert on them. Allocated so far:
+
+    - [S001]..[S006] — schedule field ranges; [S010]..[S012] — deployment
+      advisories (threads/interleave vs batch size, array-layout blowup)
+    - [H001] partitioning, [H002] connectedness, [H003] leaf separation,
+      [H004] maximal tiling (the four §III-B1 tiling constraints)
+    - [H010] LUT totality / row consistency
+    - [H020] padding well-formedness (malformed dummy tile)
+    - [H030] tiled-tree structural fault, [H031] feature id out of range,
+      [H032] tile lane disagrees with the source model
+    - [H040] tree-group coverage, [H041] bogus group uniformity claim
+    - [M001] loop-nest tree coverage, [M002] unrolled walk on a
+      non-uniform group / wrong depth, [M003] over-deep peel,
+      [M004] bad interleave factor, [M005] loop order diverges from the
+      schedule, [M006] bad thread count
+    - [M010] parallel row loop: overlapping domain write ranges (race),
+      [M011] parallel row loop: rows not covered
+    - [L001] register out of range, [L002] use before definition,
+      [L003] vector lane-type mismatch, [L004] negative repeat count
+    - [L010] buffer index definitely out of bounds, [L011] buffer index
+      possibly out of bounds (finite interval sticking out), [L012] bounds
+      not provable (loop-variant index, informational)
+    - [L020] layout closure: dangling tile successor, [L021] layout
+      feature id out of range, [L022] tree root out of range, [L023] leaf
+      index out of range, [L024] malformed LUT row *)
+
+type severity = Info | Warning | Error
+
+type level =
+  | Schedule  (** the optimization-option record, checked before lowering *)
+  | Hir
+  | Mir
+  | Lir
+
+type t = {
+  code : string;  (** stable registry code, e.g. ["L010"] *)
+  severity : severity;
+  level : level;
+  path : string list;
+      (** outermost-first location, e.g. [["tree 3"; "tile 7"; "lane 2"]] *)
+  message : string;
+}
+
+val errorf :
+  level:level -> code:string -> path:string list ->
+  ('a, unit, string, t) format4 -> 'a
+
+val warningf :
+  level:level -> code:string -> path:string list ->
+  ('a, unit, string, t) format4 -> 'a
+
+val infof :
+  level:level -> code:string -> path:string list ->
+  ('a, unit, string, t) format4 -> 'a
+
+val severity_string : severity -> string
+val level_string : level -> string
+
+val is_error : t -> bool
+val errors : t list -> t list
+(** Error-severity findings only. *)
+
+val has_errors : t list -> bool
+(** True when any finding is [Error]-severity — the pass manager's
+    rejection criterion ("lint clean" means no errors; warnings and infos
+    are advisory). *)
+
+val compare : t -> t -> int
+(** Severity-major (errors first), then code, then path — a stable
+    presentation order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error[L010] lir @ group 0 > body: index ...]. *)
+
+val to_string : t -> string
+
+val summary : t list -> string
+(** Count line, e.g. ["2 errors, 1 warning, 4 infos"]. *)

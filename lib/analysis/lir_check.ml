@@ -1,0 +1,691 @@
+module D = Tb_diag.Diagnostic
+module Reg_ir = Tb_lir.Reg_ir
+module Reg_codegen = Tb_lir.Reg_codegen
+module Layout = Tb_lir.Layout
+module Mir = Tb_mir.Mir
+
+(* ------------------------------------------------------------------ *)
+(* Interval arithmetic (float bounds so infinities are first-class)    *)
+(* ------------------------------------------------------------------ *)
+
+type interval = { lo : float; hi : float }
+
+let top = { lo = neg_infinity; hi = infinity }
+let const c = { lo = float_of_int c; hi = float_of_int c }
+let iadd a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+let isub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let imul_const a c =
+  if c = 0 then const 0
+  else begin
+    let c = float_of_int c in
+    let p = a.lo *. c and q = a.hi *. c in
+    { lo = min p q; hi = max p q }
+  end
+
+let bound_str x =
+  if x = infinity then "+inf"
+  else if x = neg_infinity then "-inf"
+  else Printf.sprintf "%.0f" x
+
+let istr iv = Printf.sprintf "[%s, %s]" (bound_str iv.lo) (bound_str iv.hi)
+
+(* ------------------------------------------------------------------ *)
+(* Environment: buffer extents and constant content ranges             *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  tile_size : int;
+  extent : Reg_ir.buffer -> int;
+  content : Reg_ir.buffer -> (int * int) option;
+}
+
+let int_range arr =
+  if Array.length arr = 0 then None
+  else
+    Some
+      ( Array.fold_left min max_int arr,
+        Array.fold_left max min_int arr )
+
+let env_of_layout ~num_features (lay : Layout.t) =
+  let nt = lay.Layout.tile_size in
+  let extent = function
+    | Reg_ir.Thresholds -> Array.length lay.Layout.thresholds
+    | Reg_ir.Feature_ids -> Array.length lay.Layout.features
+    | Reg_ir.Shape_ids -> Array.length lay.Layout.shape_ids
+    | Reg_ir.Child_ptrs -> Array.length lay.Layout.child_ptr
+    | Reg_ir.Leaf_values -> Array.length lay.Layout.leaf_values
+    | Reg_ir.Lut -> Array.length lay.Layout.lut * (1 lsl nt)
+    | Reg_ir.Tree_roots -> Array.length lay.Layout.tree_root
+    | Reg_ir.Row -> num_features
+  in
+  let lut_range =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc v ->
+            match acc with
+            | None -> Some (v, v)
+            | Some (a, b) -> Some (min a v, max b v))
+          acc row)
+      None lay.Layout.lut
+  in
+  let content = function
+    | Reg_ir.Feature_ids -> int_range lay.Layout.features
+    | Reg_ir.Shape_ids -> int_range lay.Layout.shape_ids
+    | Reg_ir.Child_ptrs -> int_range lay.Layout.child_ptr
+    | Reg_ir.Tree_roots -> int_range lay.Layout.tree_root
+    | Reg_ir.Lut -> lut_range
+    | Reg_ir.Thresholds | Reg_ir.Leaf_values | Reg_ir.Row -> None
+  in
+  { tile_size = nt; extent; content }
+
+let buffer_name = function
+  | Reg_ir.Thresholds -> "thresholds"
+  | Reg_ir.Feature_ids -> "featureIds"
+  | Reg_ir.Shape_ids -> "shapeIds"
+  | Reg_ir.Child_ptrs -> "childPtrs"
+  | Reg_ir.Leaf_values -> "leafValues"
+  | Reg_ir.Lut -> "lut"
+  | Reg_ir.Tree_roots -> "treeRoots"
+  | Reg_ir.Row -> "row"
+
+let is_float_buffer = function
+  | Reg_ir.Thresholds | Reg_ir.Leaf_values | Reg_ir.Row -> true
+  | Reg_ir.Feature_ids | Reg_ir.Shape_ids | Reg_ir.Child_ptrs | Reg_ir.Lut
+  | Reg_ir.Tree_roots -> false
+
+(* ------------------------------------------------------------------ *)
+(* Abstract state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type ival = Ibot | Iv of interval
+type vval = Vbot | Vint of interval | Vfloat
+
+type state = { ir : ival array; vr : vval array; fr : bool array }
+
+let join_ival a b =
+  match (a, b) with
+  | Ibot, _ | _, Ibot -> Ibot
+  | Iv x, Iv y -> Iv (hull x y)
+
+let join_vval a b =
+  match (a, b) with
+  | Vbot, _ | _, Vbot -> Vbot
+  | Vint x, Vint y -> Vint (hull x y)
+  | Vfloat, Vfloat -> Vfloat
+  | Vint _, Vfloat | Vfloat, Vint _ -> Vbot
+
+let join_state a b =
+  {
+    ir = Array.map2 join_ival a.ir b.ir;
+    vr = Array.map2 join_vval a.vr b.vr;
+    fr = Array.map2 ( && ) a.fr b.fr;
+  }
+
+let widen_ival prev next =
+  match (prev, next) with
+  | Iv a, Iv b ->
+    Iv
+      {
+        lo = (if b.lo < a.lo then neg_infinity else b.lo);
+        hi = (if b.hi > a.hi then infinity else b.hi);
+      }
+  | _ -> next
+
+let widen_vval prev next =
+  match (prev, next) with
+  | Vint a, Vint b ->
+    Vint
+      {
+        lo = (if b.lo < a.lo then neg_infinity else b.lo);
+        hi = (if b.hi > a.hi then infinity else b.hi);
+      }
+  | _ -> next
+
+let widen_state prev next =
+  {
+    ir = Array.map2 widen_ival prev.ir next.ir;
+    vr = Array.map2 widen_vval prev.vr next.vr;
+    fr = next.fr;
+  }
+
+let ival_equal a b =
+  match (a, b) with
+  | Ibot, Ibot -> true
+  | Iv x, Iv y -> x.lo = y.lo && x.hi = y.hi
+  | _ -> false
+
+let vval_equal a b =
+  match (a, b) with
+  | Vbot, Vbot -> true
+  | Vfloat, Vfloat -> true
+  | Vint x, Vint y -> x.lo = y.lo && x.hi = y.hi
+  | _ -> false
+
+let state_equal a b =
+  Array.length a.ir = Array.length b.ir
+  && Array.for_all2 ival_equal a.ir b.ir
+  && Array.for_all2 vval_equal a.vr b.vr
+  && a.fr = b.fr
+
+let set_i st r v =
+  let ir = Array.copy st.ir in
+  ir.(r) <- v;
+  { st with ir }
+
+let set_v st r v =
+  let vr = Array.copy st.vr in
+  vr.(r) <- v;
+  { st with vr }
+
+let set_f st r =
+  let fr = Array.copy st.fr in
+  fr.(r) <- true;
+  { st with fr }
+
+let join_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (join_state x y)
+
+(* ------------------------------------------------------------------ *)
+(* The forward dataflow                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_program ?(path = []) env (p : Reg_ir.walk_program) =
+  let diags = ref [] in
+  let dedup = Hashtbl.create 64 in
+  let emit ~report d =
+    if report then begin
+      let key = (d.D.code, d.D.path) in
+      if not (Hashtbl.mem dedup key) then begin
+        Hashtbl.add dedup key ();
+        diags := d :: !diags
+      end
+    end
+  in
+  let err ~report ~code pth fmt =
+    Printf.ksprintf
+      (fun message ->
+        emit ~report
+          { D.code; severity = D.Error; level = D.Lir; path = pth; message })
+      fmt
+  in
+  let warn ~report ~code pth fmt =
+    Printf.ksprintf
+      (fun message ->
+        emit ~report
+          { D.code; severity = D.Warning; level = D.Lir; path = pth; message })
+      fmt
+  in
+  let info ~report ~code pth fmt =
+    Printf.ksprintf
+      (fun message ->
+        emit ~report
+          { D.code; severity = D.Info; level = D.Lir; path = pth; message })
+      fmt
+  in
+  if p.Reg_ir.tile_size <> env.tile_size then
+    err ~report:true ~code:"L003" path
+      "program tile size %d does not match the layout's %d" p.Reg_ir.tile_size
+      env.tile_size;
+  let content buf =
+    match env.content buf with
+    | Some (a, b) -> { lo = float_of_int a; hi = float_of_int b }
+    | None -> top
+  in
+  let read_i ~report pth r st =
+    if r < 0 || r >= p.Reg_ir.num_iregs then begin
+      err ~report ~code:"L001" pth "int register %d outside the %d declared" r
+        p.Reg_ir.num_iregs;
+      top
+    end
+    else
+      match st.ir.(r) with
+      | Iv iv -> iv
+      | Ibot ->
+        err ~report ~code:"L002" pth
+          "int register %d read before any definition" r;
+        top
+  in
+  let read_v ~report pth r st =
+    if r < 0 || r >= p.Reg_ir.num_vregs then begin
+      err ~report ~code:"L001" pth
+        "vector register %d outside the %d declared" r p.Reg_ir.num_vregs;
+      Vbot
+    end
+    else st.vr.(r)
+  in
+  let check_bounds ~report pth buf ~width idx =
+    let extent = env.extent buf in
+    let hi_ok = float_of_int (extent - width) in
+    let finite = Float.is_finite idx.lo && Float.is_finite idx.hi in
+    (* The definite-OOB verdict is reserved for finite intervals: an
+       interval opened up by loop widening can be disjoint from the buffer
+       merely because the abstract iteration it describes is unreachable
+       (e.g. a peeled walk whose loop body never runs again on a tiny
+       slab), and intervals do not track reachability. *)
+    if extent < width || (finite && (idx.lo > hi_ok || idx.hi < 0.0)) then
+      err ~report ~code:"L010" pth
+        "%d-element access to %s at index %s is always out of bounds \
+         (extent %d)"
+        width (buffer_name buf) (istr idx) extent
+    else if idx.lo >= 0.0 && idx.hi <= hi_ok then ()
+    else if finite then
+      warn ~report ~code:"L011" pth
+        "%d-element access to %s at index %s may be out of bounds (extent %d)"
+        width (buffer_name buf) (istr idx) extent
+    else
+      info ~report ~code:"L012" pth
+        "%d-element access to %s at loop-variant index %s (extent %d): \
+         bounds not provable by intervals (see the layout closure check)"
+        width (buffer_name buf) (istr idx) extent
+  in
+  let eval_iexpr ~report pth st = function
+    | Reg_ir.Iconst c -> const c
+    | Reg_ir.Imov r -> read_i ~report pth r st
+    | Reg_ir.Iadd (a, b) ->
+      iadd (read_i ~report pth a st) (read_i ~report pth b st)
+    | Reg_ir.Isub (a, b) ->
+      isub (read_i ~report pth a st) (read_i ~report pth b st)
+    | Reg_ir.Imul_const (r, c) -> imul_const (read_i ~report pth r st) c
+    | Reg_ir.Iadd_const (r, c) -> iadd (read_i ~report pth r st) (const c)
+    | Reg_ir.Iload (buf, r) ->
+      let idx = read_i ~report pth r st in
+      if is_float_buffer buf then
+        err ~report ~code:"L003" pth "integer load from float buffer %s"
+          (buffer_name buf);
+      check_bounds ~report pth buf ~width:1 idx;
+      content buf
+    | Reg_ir.Movemask v -> (
+      match read_v ~report pth v st with
+      | Vint _ -> { lo = 0.0; hi = float_of_int ((1 lsl p.Reg_ir.tile_size) - 1) }
+      | Vfloat ->
+        err ~report ~code:"L003" pth "movemask of float-typed lanes";
+        top
+      | Vbot ->
+        err ~report ~code:"L002" pth
+          "vector register %d read before any definition" v;
+        top)
+  in
+  let eval_fexpr ~report pth st = function
+    | Reg_ir.Fload (buf, r) ->
+      let idx = read_i ~report pth r st in
+      if not (is_float_buffer buf) then
+        err ~report ~code:"L003" pth "float load from integer buffer %s"
+          (buffer_name buf);
+      check_bounds ~report pth buf ~width:1 idx
+  in
+  let eval_vexpr ~report pth st = function
+    | Reg_ir.Vload_f (buf, r) ->
+      let idx = read_i ~report pth r st in
+      if not (is_float_buffer buf) then
+        err ~report ~code:"L003" pth
+          "float vector load from integer buffer %s" (buffer_name buf);
+      check_bounds ~report pth buf ~width:p.Reg_ir.tile_size idx;
+      Vfloat
+    | Reg_ir.Vload_i (buf, r) ->
+      let idx = read_i ~report pth r st in
+      if is_float_buffer buf then
+        err ~report ~code:"L003" pth
+          "integer vector load from float buffer %s" (buffer_name buf);
+      check_bounds ~report pth buf ~width:p.Reg_ir.tile_size idx;
+      Vint (content buf)
+    | Reg_ir.Gather (buf, v) ->
+      if not (is_float_buffer buf) then
+        err ~report ~code:"L003" pth "gather from integer buffer %s"
+          (buffer_name buf);
+      (match read_v ~report pth v st with
+      | Vint lanes -> check_bounds ~report pth buf ~width:1 lanes
+      | Vfloat ->
+        err ~report ~code:"L003" pth "gather indexed by float-typed lanes"
+      | Vbot ->
+        err ~report ~code:"L002" pth
+          "vector register %d read before any definition" v);
+      Vfloat
+    | Reg_ir.Vcmp_lt (a, b) ->
+      let lane r =
+        match read_v ~report pth r st with
+        | Vfloat -> ()
+        | Vint _ ->
+          err ~report ~code:"L003" pth
+            "vector compare over integer-typed lanes (register %d)" r
+        | Vbot ->
+          err ~report ~code:"L002" pth
+            "vector register %d read before any definition" r
+      in
+      lane a;
+      lane b;
+      Vint { lo = 0.0; hi = 1.0 }
+  in
+  let check_cond ~report pth st = function
+    | Reg_ir.Ige (r, _) -> ignore (read_i ~report pth r st)
+    | Reg_ir.Ieq_load (buf, r, _) ->
+      let idx = read_i ~report pth r st in
+      if is_float_buffer buf then
+        err ~report ~code:"L003" pth
+          "integer conditional load from float buffer %s" (buffer_name buf);
+      check_bounds ~report pth buf ~width:1 idx
+  in
+  let refine st cond taken =
+    match cond with
+    | Reg_ir.Ige (r, c) when r >= 0 && r < p.Reg_ir.num_iregs -> (
+      match st.ir.(r) with
+      | Ibot -> Some st
+      | Iv iv ->
+        let iv' =
+          if taken then { iv with lo = max iv.lo (float_of_int c) }
+          else { iv with hi = min iv.hi (float_of_int (c - 1)) }
+        in
+        if iv'.lo > iv'.hi then None else Some (set_i st r (Iv iv')))
+    | _ -> Some st
+  in
+  let sub pth seg = pth @ [ seg ] in
+  let rec exec_stmts ~report pth st stmts =
+    let _, st =
+      List.fold_left
+        (fun (i, st) stmt ->
+          (i + 1, exec ~report (sub pth (Printf.sprintf "op %d" i)) st stmt))
+        (0, st) stmts
+    in
+    st
+  and exec ~report pth st stmt =
+    match st with
+    | None -> None
+    | Some st -> (
+      match stmt with
+      | Reg_ir.Iset (r, e) ->
+        let v = eval_iexpr ~report pth st e in
+        if r < 0 || r >= p.Reg_ir.num_iregs then begin
+          err ~report ~code:"L001" pth
+            "int register %d outside the %d declared" r p.Reg_ir.num_iregs;
+          Some st
+        end
+        else Some (set_i st r (Iv v))
+      | Reg_ir.Fset (r, e) ->
+        eval_fexpr ~report pth st e;
+        if r < 0 || r >= p.Reg_ir.num_fregs then begin
+          err ~report ~code:"L001" pth
+            "float register %d outside the %d declared" r p.Reg_ir.num_fregs;
+          Some st
+        end
+        else Some (set_f st r)
+      | Reg_ir.Vset (r, e) ->
+        let v = eval_vexpr ~report pth st e in
+        if r < 0 || r >= p.Reg_ir.num_vregs then begin
+          err ~report ~code:"L001" pth
+            "vector register %d outside the %d declared" r p.Reg_ir.num_vregs;
+          Some st
+        end
+        else Some (set_v st r v)
+      | Reg_ir.If (cond, then_b, else_b) ->
+        check_cond ~report pth st cond;
+        let t = exec_stmts ~report (sub pth "then") (refine st cond true) then_b in
+        let e =
+          exec_stmts ~report (sub pth "else") (refine st cond false) else_b
+        in
+        join_opt t e
+      | Reg_ir.While (cond, body) ->
+        (* Iterate to a (widened) fixpoint with reporting off, then run one
+           reporting pass over the body from the stable loop invariant. *)
+        let rec fix inv n =
+          let out =
+            match refine inv cond true with
+            | None -> None
+            | Some entry ->
+              exec_stmts ~report:false (sub pth "while") (Some entry) body
+          in
+          match join_opt (Some inv) out with
+          | None -> inv
+          | Some joined ->
+            if state_equal joined inv then inv
+            else fix (if n >= 2 then widen_state inv joined else joined) (n + 1)
+        in
+        let inv = fix st 0 in
+        check_cond ~report pth inv cond;
+        (match refine inv cond true with
+        | None -> ()
+        | Some entry ->
+          ignore (exec_stmts ~report (sub pth "while") (Some entry) body));
+        refine inv cond false
+      | Reg_ir.Repeat (n, body) ->
+        if n < 0 then begin
+          err ~report ~code:"L004" pth "negative repeat count %d" n;
+          Some st
+        end
+        else begin
+          let st = ref (Some st) in
+          for _ = 1 to n do
+            st := exec_stmts ~report (sub pth "repeat") !st body
+          done;
+          !st
+        end)
+  in
+  let init =
+    let ir = Array.make (max p.Reg_ir.num_iregs 0) Ibot in
+    let roots = content Reg_ir.Tree_roots in
+    let state0 =
+      match p.Reg_ir.layout with
+      | Layout.Array_kind -> const 0
+      | Layout.Sparse_kind -> roots
+    in
+    if Reg_ir.state_reg < Array.length ir then
+      ir.(Reg_ir.state_reg) <- Iv state0;
+    if Reg_ir.base_reg < Array.length ir then ir.(Reg_ir.base_reg) <- Iv roots;
+    {
+      ir;
+      vr = Array.make (max p.Reg_ir.num_vregs 0) Vbot;
+      fr = Array.make (max p.Reg_ir.num_fregs 0) false;
+    }
+  in
+  (match exec_stmts ~report:true path (Some init) p.Reg_ir.body with
+  | Some final ->
+    if
+      Reg_ir.result_reg >= 0
+      && Reg_ir.result_reg < Array.length final.fr
+      && not final.fr.(Reg_ir.result_reg)
+    then
+      warn ~report:true ~code:"L002" path
+        "result register may be undefined when the walk exits"
+  | None -> ());
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Layout closure                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_layout ~num_features (lay : Layout.t) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let err ~code ~path fmt = D.errorf ~level:D.Lir ~code ~path fmt in
+  let nt = lay.Layout.tile_size in
+  let slots = Array.length lay.Layout.shape_ids in
+  let rows = Array.length lay.Layout.lut in
+  if nt < 1 then add (err ~code:"L020" ~path:[] "tile size %d < 1" nt);
+  let lanes_ok =
+    Array.length lay.Layout.thresholds = slots * nt
+    && Array.length lay.Layout.features = slots * nt
+  in
+  if not lanes_ok then
+    add
+      (err ~code:"L020" ~path:[]
+         "slot-major arrays have %d/%d entries, expected %d slots x %d lanes"
+         (Array.length lay.Layout.thresholds)
+         (Array.length lay.Layout.features)
+         slots nt);
+  let cptr_ok =
+    match lay.Layout.kind with
+    | Layout.Sparse_kind -> Array.length lay.Layout.child_ptr = slots
+    | Layout.Array_kind -> true
+  in
+  if not cptr_ok then
+    add
+      (err ~code:"L020" ~path:[]
+         "child-pointer array has %d entries, expected one per slot (%d)"
+         (Array.length lay.Layout.child_ptr)
+         slots);
+  (* LUT rows (L024). *)
+  let width = 1 lsl nt in
+  Array.iteri
+    (fun sid row ->
+      let path = [ Printf.sprintf "lut row %d" sid ] in
+      if Array.length row <> width then
+        add
+          (err ~code:"L024" ~path "row has %d entries, expected 2^%d = %d"
+             (Array.length row) nt width)
+      else
+        Array.iteri
+          (fun bits c ->
+            if c < 0 || c > nt then
+              add
+                (err ~code:"L024" ~path
+                   "entry for bits %#x is %d, outside the 0..%d child range"
+                   bits c nt))
+          row)
+    lay.Layout.lut;
+  (* Reachable (distinct) child indices per LUT row, clamped to sane
+     values so a corrupt row doesn't crash the closure walk below. *)
+  let row_children sid =
+    if sid < 0 || sid >= rows then []
+    else
+      List.sort_uniq compare (Array.to_list lay.Layout.lut.(sid))
+      |> List.filter (fun c -> c >= 0 && c <= nt)
+  in
+  let is_tile s =
+    match lay.Layout.kind with
+    | Layout.Array_kind -> lay.Layout.shape_ids.(s) >= 0
+    | Layout.Sparse_kind -> true
+  in
+  (* Per-slot shape ids and feature ids. *)
+  for s = 0 to slots - 1 do
+    let path = [ Printf.sprintf "slot %d" s ] in
+    let sid = lay.Layout.shape_ids.(s) in
+    (match lay.Layout.kind with
+    | Layout.Array_kind ->
+      if sid < Layout.unused_marker then
+        add (err ~code:"L024" ~path "shape id %d is not a valid marker" sid)
+      else if sid >= rows then
+        add
+          (err ~code:"L024" ~path "shape id %d references one of %d LUT rows"
+             sid rows)
+    | Layout.Sparse_kind ->
+      if sid < 0 || sid >= rows then
+        add
+          (err ~code:"L024" ~path
+             "shape id %d outside the %d LUT rows (sparse slots are always \
+              tiles)"
+             sid rows));
+    if lanes_ok && is_tile s then
+      for lane = 0 to nt - 1 do
+        let f = lay.Layout.features.((s * nt) + lane) in
+        if f < 0 || f >= num_features then
+          add
+            (err ~code:"L021" ~path
+               "lane %d reads feature %d outside the model's %d features" lane
+               f num_features)
+      done
+  done;
+  (* Tree roots and successor closure. *)
+  (match lay.Layout.kind with
+  | Layout.Array_kind ->
+    let n_trees = Array.length lay.Layout.tree_root in
+    if n_trees <> lay.Layout.num_trees then
+      add
+        (err ~code:"L022" ~path:[] "%d tree roots for %d trees" n_trees
+           lay.Layout.num_trees);
+    let slab_end i =
+      if i + 1 < n_trees then lay.Layout.tree_root.(i + 1) else slots
+    in
+    for i = 0 to n_trees - 1 do
+      let path = [ Printf.sprintf "tree %d" i ] in
+      let base = lay.Layout.tree_root.(i) in
+      let stop = slab_end i in
+      if base < 0 || base >= slots || base > stop then
+        add
+          (err ~code:"L022" ~path
+             "slab [%d, %d) is not a valid slot range (layout has %d slots)"
+             base stop slots)
+      else begin
+        if lay.Layout.shape_ids.(base) = Layout.unused_marker then
+          add (err ~code:"L022" ~path "root slot %d was never allocated" base);
+        for s = base to stop - 1 do
+          let sid = lay.Layout.shape_ids.(s) in
+          if sid >= 0 then begin
+            let local = s - base in
+            List.iter
+              (fun c ->
+                let target = base + (local * (nt + 1)) + c + 1 in
+                let spath = [ Printf.sprintf "tree %d" i; Printf.sprintf "slot %d" s ] in
+                if target >= stop then
+                  add
+                    (err ~code:"L020" ~path:spath
+                       "child %d at slot %d escapes the tree's slab [%d, %d)"
+                       c target base stop)
+                else if lay.Layout.shape_ids.(target) = Layout.unused_marker
+                then
+                  add
+                    (err ~code:"L020" ~path:spath
+                       "child %d points to unallocated slot %d" c target))
+              (row_children sid)
+          end
+        done
+      end
+    done
+  | Layout.Sparse_kind ->
+    let num_leaves = Array.length lay.Layout.leaf_values in
+    Array.iteri
+      (fun i r ->
+        let path = [ Printf.sprintf "tree %d" i ] in
+        if r >= 0 then begin
+          if r >= slots then
+            add
+              (err ~code:"L022" ~path "root slot %d outside the %d slots" r
+                 slots)
+        end
+        else if -r - 1 >= num_leaves then
+          add
+            (err ~code:"L022" ~path
+               "single-leaf root index %d outside the %d leaf values" (-r - 1)
+               num_leaves))
+      lay.Layout.tree_root;
+    if cptr_ok then
+      for s = 0 to slots - 1 do
+        let path = [ Printf.sprintf "slot %d" s ] in
+        let cp = lay.Layout.child_ptr.(s) in
+        let children = row_children lay.Layout.shape_ids.(s) in
+        List.iter
+          (fun c ->
+            if cp >= 0 then begin
+              if cp + c >= slots then
+                add
+                  (err ~code:"L020" ~path
+                     "child %d at slot %d outside the %d slots" c (cp + c)
+                     slots)
+            end
+            else begin
+              let leaf = -cp - 1 + c in
+              if leaf >= num_leaves then
+                add
+                  (err ~code:"L023" ~path
+                     "child %d reads leaf %d outside the %d leaf values" c leaf
+                     num_leaves)
+            end)
+          children
+      done);
+  List.rev !ds
+
+(* ------------------------------------------------------------------ *)
+(* Umbrella: layout + every generated walk variant                     *)
+(* ------------------------------------------------------------------ *)
+
+let check ~num_features (lay : Layout.t) (mir : Mir.t) =
+  let env = env_of_layout ~num_features lay in
+  let layout_ds = check_layout ~num_features lay in
+  let prog_ds =
+    Reg_codegen.all_variants lay mir
+    |> List.concat_map (fun (i, prog) ->
+           check_program ~path:[ Printf.sprintf "variant %d" i ] env prog)
+  in
+  layout_ds @ prog_ds

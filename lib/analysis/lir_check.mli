@@ -1,0 +1,62 @@
+(** LIR static analyses: an interval-based forward dataflow over
+    {!Tb_lir.Reg_ir} walk programs (extending the register-discipline check
+    into buffer-bounds verification) and a closure check over
+    {!Tb_lir.Layout} model buffers.
+
+    Bounds verdicts come in three tiers, reflecting what pure interval
+    reasoning can prove about cursor-chasing loads:
+
+    - [L010] (error) — a {e finite} index interval is disjoint from the
+      buffer: the load is out of bounds on {e every} execution that reaches
+      it (widened intervals are excluded — they can be disjoint only
+      because the abstract iteration they describe is unreachable);
+    - [L011] (warning) — a finite interval sticks out of the buffer: some
+      abstract executions go out of bounds, but the imprecision may be the
+      analysis's (e.g. a child pointer plus a LUT child index);
+    - [L012] (info) — the index is loop-variant and was widened to an
+      infinite bound; nothing is provable by intervals alone.
+
+    The accompanying {!check_layout} closure check is the precise
+    complement: it proves, slot by slot, that every LUT-reachable successor
+    of every tile is allocated and in range — which together with the
+    interval facts is the actual memory-safety argument for the generated
+    walks. *)
+
+type interval = { lo : float; hi : float }
+(** Closed interval; either bound may be infinite. *)
+
+type env = {
+  tile_size : int;
+  extent : Tb_lir.Reg_ir.buffer -> int;
+      (** number of addressable scalar elements *)
+  content : Tb_lir.Reg_ir.buffer -> (int * int) option;
+      (** min/max value stored in an integer buffer, [None] for float
+          buffers or when unknown — model buffers are compile-time
+          constants, so this is exact *)
+}
+
+val env_of_layout : num_features:int -> Tb_lir.Layout.t -> env
+(** Extents and integer content ranges read off the actual layout arrays. *)
+
+val check_program :
+  ?path:string list -> env -> Tb_lir.Reg_ir.walk_program -> Tb_diag.Diagnostic.t list
+(** Forward interval dataflow over the program: register discipline
+    ([L001]..[L004] as in {!Tb_lir.Reg_ir.check}), load/store typing against
+    buffer element kinds ([L003]), and a bounds verdict for every buffer
+    access ([L010]/[L011]/[L012]). Branch conditions refine intervals
+    ([Ige] on both arms); [While] bodies run to a widened fixpoint before
+    one reporting pass; [Repeat] bodies are executed abstractly [n] times.
+    Duplicate findings at one program point are deduplicated. *)
+
+val check_layout : num_features:int -> Tb_lir.Layout.t -> Tb_diag.Diagnostic.t list
+(** Model-buffer closure: slot-major array sizes and LUT rows well-formed
+    ([L020]/[L024]), tree roots valid ([L022]), every reachable tile
+    successor allocated and inside its slab ([L020]), leaf indices inside
+    the leaf store ([L023]) and stored feature ids within the model
+    ([L021]). *)
+
+val check :
+  num_features:int -> Tb_lir.Layout.t -> Tb_mir.Mir.t -> Tb_diag.Diagnostic.t list
+(** [check_layout] plus [check_program] over every generated walk variant
+    ({!Tb_lir.Reg_codegen.all_variants}); per-variant findings are prefixed
+    with [variant N]. *)

@@ -1,0 +1,166 @@
+module D = Tb_diag.Diagnostic
+module Schedule = Tb_hir.Schedule
+module Program = Tb_hir.Program
+module Reorder = Tb_hir.Reorder
+module Tiled_tree = Tb_hir.Tiled_tree
+module Mir = Tb_mir.Mir
+
+let err ~code ~path fmt = D.errorf ~level:D.Mir ~code ~path fmt
+
+(* ------------------------------------------------------------------ *)
+(* Race check over the parallel row partition (§IV-C)                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_row_partition ~batch ranges =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let indexed = Array.mapi (fun i r -> (i, r)) ranges in
+  Array.iter
+    (fun (i, (lo, hi)) ->
+      let path = [ Printf.sprintf "domain %d" i ] in
+      if lo > hi then
+        add (err ~code:"M010" ~path "inverted row range [%d, %d)" lo hi)
+      else if lo < hi && (lo < 0 || hi > batch) then
+        add
+          (err ~code:"M010" ~path
+             "row range [%d, %d) writes outside the batch of %d rows" lo hi
+             batch))
+    indexed;
+  (* Sort non-empty ranges by lo; adjacent overlap detection is then
+     complete for pairwise disjointness. *)
+  let nonempty =
+    Array.to_list indexed |> List.filter (fun (_, (lo, hi)) -> lo < hi)
+  in
+  let sorted =
+    List.sort (fun (_, (a, _)) (_, (b, _)) -> compare a b) nonempty
+  in
+  let rec scan = function
+    | (i, (_, hi_i)) :: ((j, (lo_j, hi_j)) :: _ as rest) ->
+      if lo_j < hi_i then
+        add
+          (err ~code:"M010" ~path:[]
+             "domains %d and %d both write rows [%d, %d): data race on the \
+              output buffer"
+             i j lo_j (min hi_i hi_j));
+      scan rest
+    | _ -> ()
+  in
+  scan sorted;
+  (* Coverage: the union of ranges must be exactly [0, batch). *)
+  let rec cover next = function
+    | [] ->
+      if next < batch then
+        add
+          (err ~code:"M011" ~path:[]
+             "rows [%d, %d) are not computed by any domain" next batch)
+    | (_, (lo, hi)) :: rest ->
+      if lo > next then
+        add
+          (err ~code:"M011" ~path:[]
+             "rows [%d, %d) are not computed by any domain" next lo);
+      cover (max next hi) rest
+  in
+  cover 0 sorted;
+  List.rev !ds
+
+(* ------------------------------------------------------------------ *)
+(* Loop-nest well-formedness                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check ?(batch_size = 1024) (p : Program.t) (t : Mir.t) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let num_trees = Array.length p.Program.trees in
+  if t.Mir.loop_order <> p.Program.schedule.Schedule.loop_order then
+    add
+      (err ~code:"M005" ~path:[]
+         "loop order differs from the schedule's");
+  if t.Mir.num_threads < 1 then
+    add (err ~code:"M006" ~path:[] "num_threads %d < 1" t.Mir.num_threads);
+  (* Coverage (M001): group plans walk every tree exactly once. *)
+  let covered = Array.make (max num_trees 1) 0 in
+  Array.iteri
+    (fun gi (plan : Mir.group_plan) ->
+      let path = [ Printf.sprintf "group %d" gi ] in
+      Array.iter
+        (fun pos ->
+          if pos < 0 || pos >= num_trees then
+            add
+              (err ~code:"M001" ~path
+                 "plan walks tree position %d, outside the %d HIR trees" pos
+                 num_trees)
+          else covered.(pos) <- covered.(pos) + 1)
+        plan.Mir.group.Reorder.positions)
+    t.Mir.group_plans;
+  for pos = 0 to num_trees - 1 do
+    if covered.(pos) <> 1 then
+      add
+        (err ~code:"M001"
+           ~path:[ Printf.sprintf "tree %d" pos ]
+           "tree position walked by %d group plans, expected exactly 1"
+           covered.(pos))
+  done;
+  (* Per-plan walk kinds against recomputed tree facts. *)
+  Array.iteri
+    (fun gi (plan : Mir.group_plan) ->
+      let path = [ Printf.sprintf "group %d" gi ] in
+      let positions =
+        Array.to_list plan.Mir.group.Reorder.positions
+        |> List.filter (fun pos -> pos >= 0 && pos < num_trees)
+      in
+      let tiled pos = p.Program.trees.(pos).Program.tiled in
+      (match plan.Mir.walk with
+      | Mir.Loop_walk -> ()
+      | Mir.Unrolled_walk { depth } ->
+        (* Only legal when every tree provably has all leaves at [depth]:
+           re-derive uniformity instead of trusting the group flag. *)
+        List.iter
+          (fun pos ->
+            let tt = tiled pos in
+            if not (Tiled_tree.is_uniform_depth tt) then
+              add
+                (err ~code:"M002" ~path
+                   "unrolled walk of depth %d over tree position %d, whose \
+                    leaves sit at different depths: the walk would read past \
+                    a leaf"
+                   depth pos)
+            else if Tiled_tree.depth tt <> depth then
+              add
+                (err ~code:"M002" ~path
+                   "unrolled walk of depth %d over tree position %d of tiled \
+                    depth %d"
+                   depth pos (Tiled_tree.depth tt)))
+          positions
+      | Mir.Peeled_walk { peel } ->
+        if peel < 1 then
+          add (err ~code:"M003" ~path "peeled walk with peel %d < 1" peel)
+        else
+          List.iter
+            (fun pos ->
+              let m = Tiled_tree.min_leaf_depth (tiled pos) in
+              if peel > m then
+                add
+                  (err ~code:"M003" ~path
+                     "peel %d exceeds tree position %d's min leaf depth %d: \
+                      a peeled iteration could step past a leaf"
+                     peel pos m))
+            positions);
+      if plan.Mir.interleave < 1 then
+        add
+          (err ~code:"M004" ~path "interleave %d < 1" plan.Mir.interleave)
+      else if
+        t.Mir.loop_order = Schedule.One_row_at_a_time
+        && plan.Mir.interleave > List.length positions
+        && positions <> []
+      then
+        add
+          (err ~code:"M004" ~path
+             "row-major jam of %d trees but the group only has %d"
+             plan.Mir.interleave (List.length positions)))
+    t.Mir.group_plans;
+  (* Race freedom of the parallel row tiling. *)
+  if t.Mir.num_threads >= 1 && batch_size >= 0 then
+    List.iter add
+      (check_row_partition ~batch:batch_size
+         (Mir.row_partition ~num_threads:t.Mir.num_threads ~batch:batch_size));
+  List.rev !ds

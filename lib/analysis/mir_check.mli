@@ -1,0 +1,29 @@
+(** MIR static analyses: loop-nest well-formedness and the row-loop race
+    check.
+
+    The race check is the one genuinely "static parallel safety" proof in
+    the pipeline: the parallel backend splits the batch with
+    {!Tb_mir.Mir.row_partition} and each domain accumulates into
+    [out.(lo..hi)]; proving the ranges pairwise disjoint and covering
+    proves the domains never write the same output row. *)
+
+val check_row_partition :
+  batch:int -> (int * int) array -> Tb_diag.Diagnostic.t list
+(** Prove that per-domain half-open row ranges are races-free: pairwise
+    disjoint and within the batch ([M010] on any overlap or out-of-batch
+    write) and that together they cover every row exactly once ([M011] on
+    gaps). Exposed over raw ranges so tests can feed seeded-faulty
+    partitions; the pipeline checks the real
+    {!Tb_mir.Mir.row_partition} output. *)
+
+val check :
+  ?batch_size:int -> Tb_hir.Program.t -> Tb_mir.Mir.t -> Tb_diag.Diagnostic.t list
+(** Loop-nest well-formedness of a lowered MIR against its HIR program:
+    group plans must cover every tree exactly once and echo the HIR groups
+    ([M001]); [Unrolled_walk] is only legal on groups re-verified to be
+    uniform at the claimed depth ([M002]); [Peeled_walk]'s peel cannot
+    exceed the group's min leaf depth ([M003]); interleave factors must be
+    at least 1 and row-major jams at most the group size ([M004]);
+    [loop_order] must match the schedule ([M005]); [num_threads] must be
+    at least 1 ([M006]). Finally the row partition for [batch_size]
+    (default 1024) rows is proven race-free ([M010]/[M011]). *)

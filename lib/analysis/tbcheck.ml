@@ -1,0 +1,27 @@
+module D = Tb_diag.Diagnostic
+module Lower = Tb_lir.Lower
+module Program = Tb_hir.Program
+module Forest = Tb_model.Forest
+
+let check_lowered ?(batch_size = 1024) (lp : Lower.t) =
+  let hir = lp.Lower.hir in
+  let num_features = hir.Program.forest.Forest.num_features in
+  let ds =
+    Hir_check.check_program hir
+    @ Hir_check.check_schedule ~batch_size hir.Program.schedule
+    @ Mir_check.check ~batch_size hir lp.Lower.mir
+    @ Lir_check.check ~num_features lp.Lower.layout lp.Lower.mir
+  in
+  (* check_program re-runs the plain schedule checks; drop duplicates while
+     keeping the batch-aware findings. *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun d ->
+      let key = (d.D.code, d.D.path, d.D.message) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    ds
+  |> List.stable_sort D.compare

@@ -1,0 +1,13 @@
+(** tbcheck: the whole-pipeline verifier.
+
+    One entry point over a fully lowered program, running every per-level
+    analysis: schedule legality and HIR checks ({!Hir_check}), MIR loop
+    nest and race checks ({!Mir_check}), and the LIR dataflow + layout
+    closure ({!Lir_check}). Returns all findings sorted most-severe-first
+    ({!Tb_diag.Diagnostic.compare}); "lint clean" means
+    {!Tb_diag.Diagnostic.has_errors} is false. *)
+
+val check_lowered : ?batch_size:int -> Tb_lir.Lower.t -> Tb_diag.Diagnostic.t list
+(** Verify every level of a lowered program. [batch_size] (default 1024)
+    parameterizes the deployment-dependent checks (row-partition race
+    check, thread/interleave advisories). *)

@@ -1,0 +1,109 @@
+module D = Tb_diag.Diagnostic
+module Forest = Tb_model.Forest
+module Schedule = Tb_hir.Schedule
+module Program = Tb_hir.Program
+module Mir = Tb_mir.Mir
+module Layout = Tb_lir.Layout
+module Lower = Tb_lir.Lower
+module Reg_codegen = Tb_lir.Reg_codegen
+module Hir_check = Tb_analysis.Hir_check
+module Mir_check = Tb_analysis.Mir_check
+module Lir_check = Tb_analysis.Lir_check
+module Tbcheck = Tb_analysis.Tbcheck
+
+type mode = No_verify | Verify_final | Verify_each
+
+type stage_report = {
+  stage : string;
+  diagnostics : D.t list;
+}
+
+type report = { mode : mode; stages : stage_report list }
+
+let diagnostics r = List.concat_map (fun s -> s.diagnostics) r.stages
+
+let ok r = not (D.has_errors (diagnostics r))
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun s ->
+      if s.diagnostics = [] then Format.fprintf fmt "%-16s ok@," s.stage
+      else begin
+        Format.fprintf fmt "%-16s %s@," s.stage (D.summary s.diagnostics);
+        List.iter
+          (fun d -> Format.fprintf fmt "  %s@," (D.to_string d))
+          s.diagnostics
+      end)
+    r.stages;
+  Format.fprintf fmt "@]"
+
+let report_to_string r = Format.asprintf "%a" pp_report r
+
+(* Fold-with-early-exit over the pipeline: each step either appends a
+   stage report and continues, or stops compilation on the first
+   error-carrying stage. *)
+exception Stage_failed
+
+let lower ?(mode = Verify_each) ?(batch_size = 1024) ?profiles forest schedule
+    =
+  let stages = ref [] in
+  let run_stage name check =
+    let ds = if mode = Verify_each then check () else [] in
+    stages := { stage = name; diagnostics = ds } :: !stages;
+    if D.has_errors ds then raise Stage_failed
+  in
+  let finish () = { mode; stages = List.rev !stages } in
+  try
+    run_stage "schedule" (fun () ->
+        Hir_check.check_schedule ~batch_size schedule);
+    let hir = Program.build ?profiles forest schedule in
+    run_stage "hir" (fun () -> Hir_check.check_program hir);
+    let mir_stage name mir =
+      run_stage name (fun () -> Mir_check.check ~batch_size hir mir);
+      mir
+    in
+    let mir =
+      Mir.lower_of_hir hir
+      |> mir_stage "mir:lower"
+      |> Mir.apply_walk_specialization hir
+      |> mir_stage "mir:specialize"
+      |> Mir.apply_interleaving
+      |> mir_stage "mir:interleave"
+      |> Mir.apply_parallelization
+      |> mir_stage "mir:parallelize"
+    in
+    let layout = Layout.build hir in
+    let num_features = forest.Forest.num_features in
+    run_stage "lir:layout" (fun () ->
+        Lir_check.check_layout ~num_features layout);
+    run_stage "lir:walks" (fun () ->
+        let env = Lir_check.env_of_layout ~num_features layout in
+        Reg_codegen.all_variants layout mir
+        |> List.concat_map (fun (i, prog) ->
+               Lir_check.check_program
+                 ~path:[ Printf.sprintf "variant %d" i ]
+                 env prog));
+    let lowered = Lower.assemble hir mir layout in
+    (match mode with
+    | Verify_final ->
+      let ds = Tbcheck.check_lowered ~batch_size lowered in
+      stages := { stage = "final"; diagnostics = ds } :: !stages;
+      if D.has_errors ds then raise Stage_failed
+    | No_verify | Verify_each -> ());
+    Ok (lowered, finish ())
+  with Stage_failed -> Error (finish ())
+
+let compile ?mode ?batch_size ?profiles ?(schedule = Schedule.default) forest
+    =
+  match lower ?mode ?batch_size ?profiles forest schedule with
+  | Error report -> Error report
+  | Ok (lowered, report) ->
+    Ok
+      ( {
+          Treebeard.forest;
+          schedule;
+          lowered;
+          predict = Tb_vm.Jit.compile lowered;
+        },
+        report )

@@ -1,0 +1,59 @@
+(** The verifying pass manager.
+
+    {!Tb_lir.Lower.lower} runs the lowering passes back to back and trusts
+    them; [Passman] runs the same pipeline one pass at a time and threads
+    the {!Tb_analysis} verifiers between the stages, so a fault is caught
+    {e at the pass that introduced it} rather than as a wrong prediction
+    (or a crash) at inference time.
+
+    Stages, in order: [schedule] (legality), [hir] (tiling / LUT / padding
+    / groups vs. the source model), [mir:lower], [mir:specialize],
+    [mir:interleave], [mir:parallelize] (loop-nest well-formedness and the
+    row-partition race proof after every MIR pass), [lir:layout] (buffer
+    closure) and [lir:walks] (interval dataflow over every generated walk
+    variant).
+
+    Compilation fails — [Error report] — as soon as a stage produces an
+    [Error]-severity diagnostic; warnings and infos are collected and
+    carried through. *)
+
+type mode =
+  | No_verify  (** just compile; stages still run one at a time *)
+  | Verify_final  (** one {!Tb_analysis.Tbcheck.check_lowered} at the end *)
+  | Verify_each  (** verify between every pass (the tbcheck pipeline) *)
+
+type stage_report = {
+  stage : string;
+  diagnostics : Tb_diag.Diagnostic.t list;
+}
+
+type report = { mode : mode; stages : stage_report list }
+
+val diagnostics : report -> Tb_diag.Diagnostic.t list
+(** All findings, in stage order. *)
+
+val ok : report -> bool
+(** No [Error]-severity finding in any stage. *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string
+
+val lower :
+  ?mode:mode ->
+  ?batch_size:int ->
+  ?profiles:Tb_model.Model_stats.tree_profile array ->
+  Tb_model.Forest.t ->
+  Tb_hir.Schedule.t ->
+  (Tb_lir.Lower.t * report, report) result
+(** Run the verified pipeline. [batch_size] (default 1024) parameterizes
+    the deployment-dependent checks. Defaults to [Verify_each]. *)
+
+val compile :
+  ?mode:mode ->
+  ?batch_size:int ->
+  ?profiles:Tb_model.Model_stats.tree_profile array ->
+  ?schedule:Tb_hir.Schedule.t ->
+  Tb_model.Forest.t ->
+  (Treebeard.t * report, report) result
+(** {!lower} plus backend code generation — the verified counterpart of
+    {!Treebeard.compile}. *)

@@ -13,9 +13,7 @@ type t = {
   walk_depth : int array;
 }
 
-let lower_hir (hir : Program.t) =
-  let mir = Mir.lower hir in
-  let layout = Layout.build hir in
+let assemble (hir : Program.t) mir layout =
   let forest = hir.Program.forest in
   {
     hir;
@@ -30,6 +28,9 @@ let lower_hir (hir : Program.t) =
     walk_depth =
       Array.map (fun e -> Tb_hir.Tiled_tree.depth e.Program.tiled) hir.Program.trees;
   }
+
+let lower_hir (hir : Program.t) =
+  assemble hir (Mir.lower hir) (Layout.build hir)
 
 let lower ?profiles forest schedule =
   lower_hir (Program.build ?profiles forest schedule)

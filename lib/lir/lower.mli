@@ -28,6 +28,11 @@ val lower_hir : Tb_hir.Program.t -> t
 (** Lower an already-built HIR program (lets callers reuse one HIR across
     experiments). *)
 
+val assemble : Tb_hir.Program.t -> Tb_mir.Mir.t -> Layout.t -> t
+(** Bundle already-lowered stages into a backend-ready program — used by
+    {!Tb_core.Passman}, which runs the MIR passes one at a time with
+    verification between them instead of calling {!Tb_mir.Mir.lower}. *)
+
 val reference_predict : t -> float array -> float array
 (** Predict by walking the layout directly (no backend) — must equal
     {!Tb_model.Forest.predict_raw}; the anchor for backend tests. *)

@@ -145,9 +145,11 @@ let walk_program (lay : Layout.t) walk =
   let program =
     { tile_size; layout = lay.Layout.kind; body; num_iregs; num_fregs; num_vregs }
   in
-  match verify program with
-  | Ok () -> program
-  | Error msg -> invalid_arg ("Reg_codegen: generated invalid program: " ^ msg)
+  match check program with
+  | [] -> program
+  | d :: _ ->
+    invalid_arg
+      ("Reg_codegen: generated invalid program: " ^ Tb_diag.Diagnostic.to_string d)
 
 let all_variants lay (mir : Mir.t) =
   List.mapi

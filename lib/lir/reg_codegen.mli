@@ -2,7 +2,7 @@
 
     Emits the {!Reg_ir.walk_program} for a layout and walk specialization —
     the textual/interpretable equivalent of what the closure JIT builds.
-    Programs are verified ({!Reg_ir.verify}) before being returned. *)
+    Programs are verified ({!Reg_ir.check}) before being returned. *)
 
 val walk_program :
   Layout.t -> Tb_mir.Mir.walk_kind -> Reg_ir.walk_program

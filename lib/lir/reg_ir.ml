@@ -63,99 +63,123 @@ let result_reg = 0
 (* Vector registers carry a lane type; the verifier tracks it. *)
 type vkind = VInt | VFloat
 
-let verify p =
-  let ( let* ) r f = Result.bind r f in
-  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
-  let check_ireg ~defined r use =
-    if r < 0 || r >= p.num_iregs then fail "ireg %d out of range" r
-    else if use && not defined.(r) then fail "ireg %d used before assignment" r
-    else Ok ()
+module D = Tb_diag.Diagnostic
+
+(* Structured register-discipline check. Findings are collected (with
+   error recovery so one fault does not hide the rest) instead of
+   short-circuiting on the first violation. Statements are addressed by
+   their static pre-order index ("op N"). *)
+let check p =
+  let diags = ref [] in
+  let opno = ref (-1) in
+  let here () = [ Printf.sprintf "op %d" !opno ] in
+  let err code fmt = Printf.ksprintf (fun message ->
+      diags := D.errorf ~level:D.Lir ~code ~path:(here ()) "%s" message :: !diags) fmt
   in
-  (* defined_i / defined_v are per-path; joins take the intersection. *)
+  let check_ireg ~defined r ~use =
+    if r < 0 || r >= p.num_iregs then err "L001" "ireg %d out of range (file size %d)" r p.num_iregs
+    else if use && not defined.(r) then err "L002" "ireg %d used before assignment" r
+  in
   let rec go stmts (di, dv) =
     match stmts with
-    | [] -> Ok (di, dv)
+    | [] -> (di, dv)
     | stmt :: rest ->
-      let* state =
+      incr opno;
+      let state =
         match stmt with
         | Iset (r, e) ->
-          let* () = check_ireg ~defined:di r false in
-          let* () =
-            match e with
-            | Iconst _ -> Ok ()
-            | Imov a | Imul_const (a, _) | Iadd_const (a, _)
-            | Iload (_, a) ->
-              check_ireg ~defined:di a true
-            | Iadd (a, b) | Isub (a, b) ->
-              let* () = check_ireg ~defined:di a true in
-              check_ireg ~defined:di b true
-            | Movemask v -> (
+          check_ireg ~defined:di r ~use:false;
+          (match e with
+          | Iconst _ -> ()
+          | Imov a | Imul_const (a, _) | Iadd_const (a, _)
+          | Iload (_, a) ->
+            check_ireg ~defined:di a ~use:true
+          | Iadd (a, b) | Isub (a, b) ->
+            check_ireg ~defined:di a ~use:true;
+            check_ireg ~defined:di b ~use:true
+          | Movemask v -> (
+            if v < 0 || v >= p.num_vregs then
+              err "L001" "vreg %d out of range (file size %d)" v p.num_vregs
+            else
               match dv.(v) with
-              | Some VInt -> Ok ()
-              | Some VFloat -> fail "movemask on float vector v%d" v
-              | None -> fail "vreg %d used before assignment" v)
-          in
-          let di = Array.copy di in
-          di.(r) <- true;
-          Ok (di, dv)
+              | Some VInt -> ()
+              | Some VFloat -> err "L003" "movemask on float vector v%d" v
+              | None -> err "L002" "vreg %d used before assignment" v));
+          if r >= 0 && r < p.num_iregs then begin
+            let di = Array.copy di in
+            di.(r) <- true;
+            (di, dv)
+          end
+          else (di, dv)
         | Fset (r, Fload (_, a)) ->
-          if r < 0 || r >= p.num_fregs then fail "freg %d out of range" r
-          else
-            let* () = check_ireg ~defined:di a true in
-            Ok (di, dv)
+          if r < 0 || r >= p.num_fregs then
+            err "L001" "freg %d out of range (file size %d)" r p.num_fregs;
+          check_ireg ~defined:di a ~use:true;
+          (di, dv)
         | Vset (r, e) ->
-          if r < 0 || r >= p.num_vregs then fail "vreg %d out of range" r
+          if r < 0 || r >= p.num_vregs then begin
+            err "L001" "vreg %d out of range (file size %d)" r p.num_vregs;
+            (di, dv)
+          end
           else begin
             let use_v v expected =
-              match dv.(v) with
-              | Some k when k = expected -> Ok ()
-              | Some _ -> fail "vreg %d lane-type mismatch" v
-              | None -> fail "vreg %d used before assignment" v
+              if v < 0 || v >= p.num_vregs then
+                err "L001" "vreg %d out of range (file size %d)" v p.num_vregs
+              else
+                match dv.(v) with
+                | Some k when k = expected -> ()
+                | Some _ ->
+                  err "L003" "vreg %d lane-type mismatch (expected %s lanes)" v
+                    (match expected with VInt -> "int" | VFloat -> "float")
+                | None -> err "L002" "vreg %d used before assignment" v
             in
-            let* kind =
+            let kind =
               match e with
               | Vload_f (_, a) ->
-                let* () = check_ireg ~defined:di a true in
-                Ok VFloat
+                check_ireg ~defined:di a ~use:true;
+                VFloat
               | Vload_i (_, a) ->
-                let* () = check_ireg ~defined:di a true in
-                Ok VInt
+                check_ireg ~defined:di a ~use:true;
+                VInt
               | Gather (_, idx) ->
-                let* () = use_v idx VInt in
-                Ok VFloat
+                use_v idx VInt;
+                VFloat
               | Vcmp_lt (a, b) ->
-                let* () = use_v a VFloat in
-                let* () = use_v b VFloat in
-                Ok VInt
+                use_v a VFloat;
+                use_v b VFloat;
+                VInt
             in
             let dv = Array.copy dv in
             dv.(r) <- Some kind;
-            Ok (di, dv)
+            (di, dv)
           end
         | While (cond, body) ->
-          let* () =
-            match cond with
-            | Ige (r, _) | Ieq_load (_, r, _) -> check_ireg ~defined:di r true
-          in
+          (match cond with
+          | Ige (r, _) | Ieq_load (_, r, _) -> check_ireg ~defined:di r ~use:true);
           (* The body may not execute: definitions inside don't escape. *)
-          let* (_ : bool array * vkind option array) = go body (Array.copy di, Array.copy dv) in
-          Ok (di, dv)
+          let (_ : bool array * vkind option array) =
+            go body (Array.copy di, Array.copy dv)
+          in
+          (di, dv)
         | Repeat (n, body) ->
-          if n < 0 then fail "negative repeat count"
-          else if n = 0 then Ok (di, dv)
+          if n < 0 then begin
+            err "L004" "negative repeat count %d" n;
+            (di, dv)
+          end
+          else if n = 0 then (di, dv)
           else go body (di, dv) (* executes at least once when n >= 1 *)
         | If (cond, then_, else_) ->
-          let* () =
-            match cond with
-            | Ige (r, _) | Ieq_load (_, r, _) -> check_ireg ~defined:di r true
-          in
-          let* dit, dvt = go then_ (Array.copy di, Array.copy dv) in
-          let* die, dve = go else_ (Array.copy di, Array.copy dv) in
+          (match cond with
+          | Ige (r, _) | Ieq_load (_, r, _) -> check_ireg ~defined:di r ~use:true);
+          let dit, dvt = go then_ (Array.copy di, Array.copy dv) in
+          let die, dve = go else_ (Array.copy di, Array.copy dv) in
+          (* Joins take the intersection: defined only if defined on both
+             paths, lane type kept only when both paths agree. *)
           let di' = Array.mapi (fun i a -> a && die.(i)) dit in
           let dv' =
             Array.mapi (fun i a -> if a = dve.(i) then a else None) dvt
           in
-          Ok (di', dv')
+          (di', dv')
       in
       go rest state
   in
@@ -164,8 +188,13 @@ let verify p =
   if p.num_iregs > state_reg then di.(state_reg) <- true;
   if p.num_iregs > base_reg then di.(base_reg) <- true;
   let dv = Array.make (max 1 p.num_vregs) None in
-  let* (_ : bool array * vkind option array) = go p.body (di, dv) in
-  Ok ()
+  let (_ : bool array * vkind option array) = go p.body (di, dv) in
+  List.rev !diags
+
+let verify p =
+  match check p with
+  | [] -> Ok ()
+  | d :: _ -> Error d.D.message
 
 (* ------------------------------------------------------------------ *)
 (* Printer                                                             *)

@@ -75,10 +75,23 @@ val state_reg : ireg
 val base_reg : ireg
 val result_reg : freg
 
+val check : walk_program -> Tb_diag.Diagnostic.t list
+(** Register-discipline verification with structured diagnostics: register
+    indices within the declared files ([L001]), every register assigned
+    before use along all paths ([L002]), vector-typed operands used
+    consistently — float vs int lanes ([L003]) — and non-negative repeat
+    counts ([L004]). Findings are collected (not first-error-only);
+    an empty list means the program is well-formed.
+
+    {!Tb_analysis.Lir_check} extends this discipline check into a full
+    forward interval dataflow that also proves buffer-bounds facts against
+    a {!Layout}. *)
+
 val verify : walk_program -> (unit, string) result
-(** Check register indices are within the declared files, every register
-    is assigned before use along all paths, and vector-typed operands are
-    used consistently (float vs int lanes). *)
+(** @deprecated Compat shim over {!check} that flattens the first
+    diagnostic into a bare string. New code should use {!check} (or
+    {!Tb_analysis.Lir_check} for bounds-aware verification); this shape is
+    kept only so downstream callers keep building. *)
 
 val pp : Format.formatter -> walk_program -> unit
 (** Assembly-style rendering, e.g. [i2 <- load.shapeIds [i0]]. *)

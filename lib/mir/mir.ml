@@ -76,6 +76,15 @@ let apply_interleaving t =
 let apply_parallelization t =
   { t with num_threads = t.schedule.Schedule.num_threads }
 
+let row_partition ~num_threads ~batch =
+  if num_threads < 1 then invalid_arg "Mir.row_partition: num_threads < 1";
+  if batch < 0 then invalid_arg "Mir.row_partition: negative batch";
+  let block = (batch + num_threads - 1) / num_threads in
+  Array.init num_threads (fun t ->
+      let lo = min batch (t * block) in
+      let hi = min batch (lo + block) in
+      (lo, hi))
+
 let lower p =
   lower_of_hir p
   |> apply_walk_specialization p

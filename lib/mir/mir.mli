@@ -45,6 +45,15 @@ val apply_walk_specialization : Tb_hir.Program.t -> t -> t
 val apply_interleaving : t -> t
 val apply_parallelization : t -> t
 
+val row_partition : num_threads:int -> batch:int -> (int * int) array
+(** The §IV-C static row tiling: one half-open [(lo, hi)] row range per
+    domain (possibly empty for trailing domains when the batch is small).
+    This is the single source of truth for how the parallel backend splits
+    the batch — {!Tb_vm.Jit} executes these exact ranges, and
+    {!Tb_analysis.Mir_check} statically proves they are pairwise disjoint
+    and cover the batch (no write races on the output buffer).
+    @raise Invalid_argument when [num_threads < 1] or [batch < 0]. *)
+
 val lower : Tb_hir.Program.t -> t
 (** All MIR passes in paper order. *)
 

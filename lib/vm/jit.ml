@@ -284,14 +284,13 @@ let compile lp =
         Array.init n (fun _ -> Array.make lp.Lower.num_outputs lp.Lower.base_score)
       in
       (* Tile the row loop by thread count (§IV-C); each domain owns a
-         contiguous block of rows, so no synchronization is needed. *)
-      let block = (n + threads - 1) / threads in
+         contiguous block of rows (Mir.row_partition, statically checked
+         disjoint by the analysis), so no synchronization is needed. *)
       let domains =
-        List.init threads (fun t ->
-            let lo = t * block in
-            let hi = min n (lo + block) in
-            if lo >= hi then None
-            else Some (Domain.spawn (fun () -> run_range lp rows out lo hi)))
+        Array.to_list (Mir.row_partition ~num_threads:threads ~batch:n)
+        |> List.map (fun (lo, hi) ->
+               if lo >= hi then None
+               else Some (Domain.spawn (fun () -> run_range lp rows out lo hi)))
       in
       List.iter (function Some d -> Domain.join d | None -> ()) domains;
       out

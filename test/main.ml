@@ -15,6 +15,7 @@ let () =
       ("more", Test_more.suite);
       ("dp-tiling", Test_dp_tiling.suite);
       ("reg-ir", Test_reg_ir.suite);
+      ("analysis", Test_analysis.suite);
       ("quickscorer", Test_quickscorer.suite);
       ("interop", Test_interop.suite);
     ]

@@ -1,0 +1,443 @@
+(* The static-analysis framework: per-level verifiers, the verified pass
+   manager, and negative tests that seeded IR mutations are rejected with
+   the right structured diagnostic. *)
+
+open Helpers
+module Prng = Tb_util.Prng
+module Tree = Tb_model.Tree
+module Forest = Tb_model.Forest
+module Generators = Tb_data.Generators
+module Train = Tb_gbt.Train
+module Itree = Tb_hir.Itree
+module Tiling = Tb_hir.Tiling
+module Lut = Tb_hir.Lut
+module Schedule = Tb_hir.Schedule
+module Program = Tb_hir.Program
+module Mir = Tb_mir.Mir
+module Layout = Tb_lir.Layout
+module Lower = Tb_lir.Lower
+module Reg_ir = Tb_lir.Reg_ir
+module Reg_codegen = Tb_lir.Reg_codegen
+module Jit = Tb_vm.Jit
+module D = Tb_diag.Diagnostic
+module Hir_check = Tb_analysis.Hir_check
+module Mir_check = Tb_analysis.Mir_check
+module Lir_check = Tb_analysis.Lir_check
+module Tbcheck = Tb_analysis.Tbcheck
+module Passman = Tb_core.Passman
+
+let show ds = String.concat "; " (List.map D.to_string ds)
+let has_code c ds = List.exists (fun d -> d.D.code = c) ds
+
+let check_has_code c ds =
+  if not (has_code c ds) then
+    Alcotest.failf "expected a %s finding, got: [%s]" c (show ds)
+
+let check_no_errors what ds =
+  if D.has_errors ds then
+    Alcotest.failf "%s: unexpected errors: [%s]" what (show (D.errors ds))
+
+let random_schedule rng =
+  {
+    Schedule.scalar_baseline with
+    tile_size = 1 + Prng.int rng 5;
+    tiling =
+      Prng.choose rng
+        [| Schedule.Basic; Schedule.Probability_based |];
+    loop_order =
+      (if Prng.bool rng then Schedule.One_tree_at_a_time
+       else Schedule.One_row_at_a_time);
+    pad_and_unroll = Prng.bool rng;
+    peel = Prng.bool rng;
+    interleave = 1 lsl Prng.int rng 3;
+    layout =
+      (if Prng.bool rng then Schedule.Sparse_layout
+       else Schedule.Array_layout);
+    num_threads = 1 + Prng.int rng 4;
+  }
+
+(* --- the verified pipeline on well-formed inputs --- *)
+
+let test_passman_default_clean () =
+  let rng = Prng.create 11 in
+  let forest = Forest.random ~num_trees:8 ~max_depth:6 ~num_features:5 rng in
+  match Passman.lower forest Schedule.default with
+  | Error report ->
+    Alcotest.failf "pipeline rejected a valid model:\n%s"
+      (Passman.report_to_string report)
+  | Ok (_, report) ->
+    check_bool "report ok" true (Passman.ok report);
+    let names = List.map (fun s -> s.Passman.stage) report.Passman.stages in
+    List.iter
+      (fun s -> check_bool s true (List.mem s names))
+      [
+        "schedule"; "hir"; "mir:lower"; "mir:specialize"; "mir:interleave";
+        "mir:parallelize"; "lir:layout"; "lir:walks";
+      ]
+
+let test_passman_matches_unverified_lower () =
+  let rng = Prng.create 12 in
+  let forest = Forest.random ~num_trees:6 ~max_depth:6 ~num_features:5 rng in
+  let rows = random_rows rng 5 17 in
+  match Passman.lower forest Schedule.default with
+  | Error report ->
+    Alcotest.failf "pipeline failed:\n%s" (Passman.report_to_string report)
+  | Ok (lowered, _) ->
+    let want = Jit.compile (Lower.lower forest Schedule.default) rows in
+    let got = Jit.compile lowered rows in
+    check_bool "verified pipeline computes the same program" true
+      (Array.for_all2 (fun a b -> arrays_close a b) want got)
+
+let pipeline_clean_property seed =
+  let rng = Prng.create seed in
+  let forest =
+    Forest.random
+      ~num_trees:(1 + Prng.int rng 8)
+      ~max_depth:(1 + Prng.int rng 6)
+      ~num_features:(2 + Prng.int rng 6)
+      rng
+  in
+  let schedule = random_schedule rng in
+  let batch_size = 1 + Prng.int rng 64 in
+  match Passman.lower ~batch_size forest schedule with
+  | Ok (_, report) ->
+    Passman.ok report
+    || QCheck2.Test.fail_reportf "errors on %s:\n%s"
+         (Schedule.to_string schedule)
+         (Passman.report_to_string report)
+  | Error report ->
+    QCheck2.Test.fail_reportf "pipeline rejected %s:\n%s"
+      (Schedule.to_string schedule)
+      (Passman.report_to_string report)
+
+let walk_programs_verify_property seed =
+  let rng = Prng.create seed in
+  let forest =
+    Forest.random
+      ~num_trees:(1 + Prng.int rng 6)
+      ~max_depth:(1 + Prng.int rng 6)
+      ~num_features:(2 + Prng.int rng 5)
+      rng
+  in
+  let schedule = random_schedule rng in
+  let lp = Lower.lower forest schedule in
+  let env =
+    Lir_check.env_of_layout ~num_features:forest.Forest.num_features
+      lp.Lower.layout
+  in
+  List.for_all
+    (fun (i, p) ->
+      let ds = Lir_check.check_program env p in
+      (not (D.has_errors ds))
+      || QCheck2.Test.fail_reportf "variant %d of %s: [%s]" i
+           (Schedule.to_string schedule)
+           (show (D.errors ds)))
+    (Reg_codegen.all_variants lp.Lower.layout lp.Lower.mir)
+
+let test_table2_grid_clean () =
+  let rng = Prng.create 13 in
+  let forest = Forest.random ~num_trees:6 ~max_depth:5 ~num_features:5 rng in
+  List.iter
+    (fun schedule ->
+      match Passman.lower ~batch_size:32 forest schedule with
+      | Ok (_, report) ->
+        if not (Passman.ok report) then
+          Alcotest.failf "grid schedule %s:\n%s"
+            (Schedule.to_string schedule)
+            (Passman.report_to_string report)
+      | Error report ->
+        Alcotest.failf "grid schedule %s rejected:\n%s"
+          (Schedule.to_string schedule)
+          (Passman.report_to_string report))
+    Schedule.table2_grid
+
+let test_trained_model_clean () =
+  let rng = Prng.create 14 in
+  let ds = Generators.higgs ~rows:400 rng in
+  let params = { Train.default_params with num_rounds = 12; max_depth = 5 } in
+  let forest = Train.fit ~params ds in
+  List.iter
+    (fun schedule ->
+      match Passman.lower ~batch_size:256 forest schedule with
+      | Ok (_, report) -> check_bool "trained model ok" true (Passman.ok report)
+      | Error report ->
+        Alcotest.failf "trained model rejected on %s:\n%s"
+          (Schedule.to_string schedule)
+          (Passman.report_to_string report))
+    [
+      Schedule.scalar_baseline;
+      Schedule.default;
+      { Schedule.default with layout = Schedule.Array_layout; tile_size = 3 };
+      Schedule.with_threads Schedule.default 4;
+    ]
+
+let test_tbcheck_lowered_clean_and_sorted () =
+  let rng = Prng.create 15 in
+  let forest = Forest.random ~num_trees:5 ~max_depth:6 ~num_features:4 rng in
+  let lp = Lower.lower forest Schedule.default in
+  let ds = Tbcheck.check_lowered lp in
+  check_no_errors "check_lowered" ds;
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> D.compare a b <= 0 && sorted rest
+    | _ -> true
+  in
+  check_bool "sorted most-severe-first" true (sorted ds)
+
+(* --- negative tests: seeded mutations, one distinct code each --- *)
+
+(* A fixed tree whose internal nodes are identifiable by their feature id:
+   f0 at the root, f1/f2 down the left spine, f3 on the right. *)
+let handmade_tree =
+  let n f l r = Tree.Node { feature = f; threshold = 0.5; left = l; right = r } in
+  n 0
+    (n 1 (Tree.Leaf 1.0) (n 2 (Tree.Leaf 2.0) (Tree.Leaf 3.0)))
+    (n 3 (Tree.Leaf 4.0) (Tree.Leaf 5.0))
+
+let node_with_feature it f =
+  let found = ref (-1) in
+  for i = 0 to it.Itree.num_nodes - 1 do
+    if (not (Itree.is_leaf it i)) && it.Itree.feature.(i) = f then found := i
+  done;
+  if !found < 0 then Alcotest.failf "no internal node with feature %d" f;
+  !found
+
+let test_mutated_tiling_leaf_in_tile () =
+  let it = Itree.of_tree handmade_tree in
+  let t = Tiling.basic it ~tile_size:2 in
+  let tile_of_node = Array.copy t.Tiling.tile_of_node in
+  let leaf = ref (-1) in
+  for i = 0 to it.Itree.num_nodes - 1 do
+    if Itree.is_leaf it i && !leaf < 0 then leaf := i
+  done;
+  tile_of_node.(!leaf) <- 0;
+  check_has_code "H003"
+    (Hir_check.check_tiling it { t with Tiling.tile_of_node })
+
+let test_mutated_tiling_unassigned_internal () =
+  let it = Itree.of_tree handmade_tree in
+  let t = Tiling.basic it ~tile_size:2 in
+  let tile_of_node = Array.copy t.Tiling.tile_of_node in
+  tile_of_node.(node_with_feature it 3) <- -1;
+  check_has_code "H001"
+    (Hir_check.check_tiling it { t with Tiling.tile_of_node })
+
+let test_mutated_tiling_disconnected_tile () =
+  (* f2 and f3 sit in different subtrees: a tile holding exactly those two
+     nodes is not edge-connected. *)
+  let it = Itree.of_tree handmade_tree in
+  let tile_of_node = Array.make it.Itree.num_nodes (-1) in
+  tile_of_node.(node_with_feature it 0) <- 0;
+  tile_of_node.(node_with_feature it 1) <- 0;
+  tile_of_node.(node_with_feature it 2) <- 1;
+  tile_of_node.(node_with_feature it 3) <- 1;
+  check_has_code "H002"
+    (Hir_check.check_tiling it { Tiling.tile_size = 2; tile_of_node; num_tiles = 2 })
+
+let test_mutated_tiling_not_maximal () =
+  (* Room for two more nodes in the root tile while its out-edges lead to
+     internal nodes: violates maximality. *)
+  let it = Itree.of_tree handmade_tree in
+  let tile_of_node = Array.make it.Itree.num_nodes (-1) in
+  tile_of_node.(node_with_feature it 0) <- 0;
+  tile_of_node.(node_with_feature it 1) <- 1;
+  tile_of_node.(node_with_feature it 2) <- 1;
+  tile_of_node.(node_with_feature it 3) <- 2;
+  check_has_code "H004"
+    (Hir_check.check_tiling it { Tiling.tile_size = 3; tile_of_node; num_tiles = 3 })
+
+let test_mutated_lut_entry () =
+  let lut = Lut.create ~tile_size:2 in
+  let shape =
+    Tb_hir.Shape.Node (Some (Tb_hir.Shape.Node (None, None)), None)
+  in
+  let id = Lut.shape_id lut shape in
+  (Lut.table lut).(id).(0) <- 99;
+  check_has_code "H010" (Hir_check.check_lut lut)
+
+let test_illegal_schedule_fields () =
+  check_has_code "S002"
+    (Hir_check.check_schedule { Schedule.default with interleave = 0 });
+  check_has_code "S001"
+    (Hir_check.check_schedule { Schedule.default with tile_size = 9 });
+  check_has_code "S004"
+    (Hir_check.check_schedule { Schedule.default with alpha = 0.0 });
+  check_has_code "S003"
+    (Hir_check.check_schedule { Schedule.default with num_threads = 0 })
+
+let test_passman_stops_at_bad_schedule () =
+  let rng = Prng.create 16 in
+  let forest = Forest.random ~num_trees:3 ~max_depth:4 ~num_features:4 rng in
+  match Passman.lower forest { Schedule.default with interleave = 0 } with
+  | Ok _ -> Alcotest.fail "illegal schedule accepted"
+  | Error report ->
+    check_has_code "S002" (Passman.diagnostics report);
+    check_int "stopped at the first stage" 1 (List.length report.Passman.stages);
+    check_string "stage name" "schedule"
+      (List.hd report.Passman.stages).Passman.stage
+
+let small_hir_and_mir () =
+  let rng = Prng.create 17 in
+  let forest = Forest.random ~num_trees:4 ~max_depth:5 ~num_features:4 rng in
+  let hir = Program.build forest Schedule.default in
+  (hir, Mir.lower hir)
+
+let test_mutated_mir_duplicated_group () =
+  let hir, mir = small_hir_and_mir () in
+  let mutated =
+    { mir with Mir.group_plans = Array.append mir.Mir.group_plans [| mir.Mir.group_plans.(0) |] }
+  in
+  check_has_code "M001" (Mir_check.check hir mutated)
+
+let nonuniform_hir_and_mir () =
+  (* Leaf depths 1, 2, 3, 3: not uniform, so an unrolled walk is illegal. *)
+  let n f l r = Tree.Node { feature = f; threshold = 0.5; left = l; right = r } in
+  let tree =
+    n 0 (Tree.Leaf 1.0)
+      (n 1 (Tree.Leaf 2.0) (n 2 (Tree.Leaf 3.0) (Tree.Leaf 4.0)))
+  in
+  let forest = Forest.make ~task:Forest.Regression ~num_features:3 [| tree |] in
+  let schedule =
+    { Schedule.scalar_baseline with pad_and_unroll = false; peel = false }
+  in
+  let hir = Program.build forest schedule in
+  (hir, Mir.lower_of_hir hir)
+
+let set_walk mir walk =
+  {
+    mir with
+    Mir.group_plans = Array.map (fun p -> { p with Mir.walk }) mir.Mir.group_plans;
+  }
+
+let test_mutated_mir_unrolled_nonuniform () =
+  let hir, mir = nonuniform_hir_and_mir () in
+  check_has_code "M002"
+    (Mir_check.check hir (set_walk mir (Mir.Unrolled_walk { depth = 3 })))
+
+let test_mutated_mir_overdeep_peel () =
+  let hir, mir = nonuniform_hir_and_mir () in
+  check_has_code "M003"
+    (Mir_check.check hir (set_walk mir (Mir.Peeled_walk { peel = 99 })))
+
+let test_row_partition_overlap_and_gap () =
+  check_has_code "M010"
+    (Mir_check.check_row_partition ~batch:8 [| (0, 5); (3, 8) |]);
+  check_has_code "M011"
+    (Mir_check.check_row_partition ~batch:8 [| (0, 3); (5, 8) |]);
+  check_no_errors "real partition"
+    (Mir_check.check_row_partition ~batch:1000
+       (Mir.row_partition ~num_threads:7 ~batch:1000))
+
+let small_layout_env () =
+  let rng = Prng.create 18 in
+  let forest = Forest.random ~num_trees:4 ~max_depth:5 ~num_features:4 rng in
+  let lp = Lower.lower forest Schedule.default in
+  (lp.Lower.layout, Lir_check.env_of_layout ~num_features:4 lp.Lower.layout)
+
+let walk_stub body =
+  {
+    Reg_ir.tile_size = 8;
+    layout = Layout.Sparse_kind;
+    body;
+    num_iregs = 10;
+    num_fregs = 1;
+    num_vregs = 4;
+  }
+
+let test_mutated_walk_constant_oob_load () =
+  let _, env = small_layout_env () in
+  let p =
+    walk_stub
+      [
+        Reg_ir.Iset (2, Reg_ir.Iconst 1_000_000);
+        Reg_ir.Fset (0, Reg_ir.Fload (Reg_ir.Thresholds, 2));
+      ]
+  in
+  check_has_code "L010" (Lir_check.check_program env p)
+
+let test_mutated_walk_swapped_register () =
+  (* Swapping the destination and source of the first def leaves the source
+     register undefined at its use. *)
+  let _, env = small_layout_env () in
+  let p = walk_stub [ Reg_ir.Iset (2, Reg_ir.Imov 5) ] in
+  check_has_code "L002" (Lir_check.check_program env p);
+  check_has_code "L002" (Reg_ir.check p);
+  check_has_code "L001" (Reg_ir.check (walk_stub [ Reg_ir.Iset (99, Reg_ir.Iconst 0) ]))
+
+let test_mutated_layout_bad_root () =
+  let lay, _ = small_layout_env () in
+  lay.Layout.tree_root.(0) <- 1_000_000;
+  check_has_code "L022" (Lir_check.check_layout ~num_features:4 lay)
+
+let test_mutated_layout_dangling_child_ptr () =
+  let lay, _ = small_layout_env () in
+  let mutated = ref false in
+  Array.iteri
+    (fun s p ->
+      if (not !mutated) && p >= 0 then begin
+        lay.Layout.child_ptr.(s) <- 1_000_000;
+        mutated := true
+      end)
+    lay.Layout.child_ptr;
+  check_bool "found a tile slot to corrupt" true !mutated;
+  check_has_code "L020" (Lir_check.check_layout ~num_features:4 lay)
+
+let test_mutated_layout_bad_leaf_index () =
+  let lay, _ = small_layout_env () in
+  let mutated = ref false in
+  Array.iteri
+    (fun s p ->
+      if (not !mutated) && p < 0 then begin
+        lay.Layout.child_ptr.(s) <- -1_000_000;
+        mutated := true
+      end)
+    lay.Layout.child_ptr;
+  check_bool "found a leaf-children slot to corrupt" true !mutated;
+  check_has_code "L023" (Lir_check.check_layout ~num_features:4 lay)
+
+let test_mutated_layout_bad_lut_row () =
+  let lay, _ = small_layout_env () in
+  lay.Layout.lut.(0).(0) <- 99;
+  check_has_code "L024" (Lir_check.check_layout ~num_features:4 lay)
+
+let suite =
+  [
+    quick "verified pipeline accepts the default schedule"
+      test_passman_default_clean;
+    quick "verified pipeline == unverified lowering"
+      test_passman_matches_unverified_lower;
+    qcheck ~count:50 ~name:"pipeline lint-clean on random models x schedules"
+      seed_gen pipeline_clean_property;
+    qcheck ~count:50 ~name:"every walk program passes the bounds dataflow"
+      seed_gen walk_programs_verify_property;
+    quick "Table II grid lints clean" test_table2_grid_clean;
+    quick "trained GBT model lints clean" test_trained_model_clean;
+    quick "tbcheck on a lowered program: clean and sorted"
+      test_tbcheck_lowered_clean_and_sorted;
+    quick "mutation: leaf inside a tile -> H003" test_mutated_tiling_leaf_in_tile;
+    quick "mutation: unassigned internal -> H001"
+      test_mutated_tiling_unassigned_internal;
+    quick "mutation: disconnected tile -> H002"
+      test_mutated_tiling_disconnected_tile;
+    quick "mutation: non-maximal tiling -> H004" test_mutated_tiling_not_maximal;
+    quick "mutation: corrupted LUT entry -> H010" test_mutated_lut_entry;
+    quick "illegal schedule fields -> S00x" test_illegal_schedule_fields;
+    quick "pass manager stops at an illegal schedule"
+      test_passman_stops_at_bad_schedule;
+    quick "mutation: duplicated group plan -> M001"
+      test_mutated_mir_duplicated_group;
+    quick "mutation: unrolled walk on non-uniform group -> M002"
+      test_mutated_mir_unrolled_nonuniform;
+    quick "mutation: over-deep peel -> M003" test_mutated_mir_overdeep_peel;
+    quick "row partition: overlap -> M010, gap -> M011, real one clean"
+      test_row_partition_overlap_and_gap;
+    quick "mutation: constant out-of-bounds load -> L010"
+      test_mutated_walk_constant_oob_load;
+    quick "mutation: swapped registers -> L002/L001"
+      test_mutated_walk_swapped_register;
+    quick "mutation: dangling tree root -> L022" test_mutated_layout_bad_root;
+    quick "mutation: dangling child pointer -> L020"
+      test_mutated_layout_dangling_child_ptr;
+    quick "mutation: leaf index out of store -> L023"
+      test_mutated_layout_bad_leaf_index;
+    quick "mutation: invalid LUT child -> L024" test_mutated_layout_bad_lut_row;
+  ]

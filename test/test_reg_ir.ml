@@ -30,6 +30,8 @@ let dummy_program body =
     num_vregs = 4;
   }
 
+let has_code c ds = List.exists (fun d -> d.Tb_diag.Diagnostic.code = c) ds
+
 let test_verifier_accepts_codegen_output () =
   let rng = Prng.create 1 in
   let forest = Forest.random ~num_trees:8 ~max_depth:7 ~num_features:5 rng in
@@ -38,9 +40,12 @@ let test_verifier_accepts_codegen_output () =
       let lp = Lower.lower forest schedule in
       List.iter
         (fun (_, p) ->
-          match Reg_ir.verify p with
-          | Ok () -> ()
-          | Error m -> Alcotest.failf "codegen produced invalid IR: %s" m)
+          match Reg_ir.check p with
+          | [] -> ()
+          | ds ->
+            Alcotest.failf "codegen produced invalid IR: %s"
+              (String.concat "; "
+                 (List.map Tb_diag.Diagnostic.to_string ds)))
         (Reg_codegen.all_variants lp.Lower.layout lp.Lower.mir))
     [
       Schedule.scalar_baseline;
@@ -51,11 +56,13 @@ let test_verifier_accepts_codegen_output () =
 
 let test_verifier_rejects_out_of_range () =
   let p = dummy_program [ Reg_ir.Iset (99, Reg_ir.Iconst 0) ] in
-  check_bool "rejected" true (Result.is_error (Reg_ir.verify p))
+  check_bool "L001 reported" true (has_code "L001" (Reg_ir.check p));
+  (* The deprecated string-shaped wrapper still agrees. *)
+  check_bool "compat wrapper rejects" true (Result.is_error (Reg_ir.verify p))
 
 let test_verifier_rejects_use_before_def () =
   let p = dummy_program [ Reg_ir.Iset (2, Reg_ir.Imov 5) ] in
-  check_bool "rejected" true (Result.is_error (Reg_ir.verify p))
+  check_bool "L002 reported" true (has_code "L002" (Reg_ir.check p))
 
 let test_verifier_rejects_lane_type_mismatch () =
   (* Gather expects an int-vector index; feed it a float vector. *)
@@ -67,7 +74,7 @@ let test_verifier_rejects_lane_type_mismatch () =
         Reg_ir.Vset (1, Reg_ir.Gather (Reg_ir.Row, 0));
       ]
   in
-  check_bool "rejected" true (Result.is_error (Reg_ir.verify p))
+  check_bool "L003 reported" true (has_code "L003" (Reg_ir.check p))
 
 let test_verifier_if_join_is_intersection () =
   (* A register defined on only one branch may not be used after the If. *)
@@ -79,7 +86,7 @@ let test_verifier_if_join_is_intersection () =
         Reg_ir.Iset (4, Reg_ir.Imov 3);
       ]
   in
-  check_bool "rejected" true (Result.is_error (Reg_ir.verify p))
+  check_bool "L002 reported" true (has_code "L002" (Reg_ir.check p))
 
 let test_verifier_accepts_both_branch_def () =
   let p =
@@ -93,7 +100,7 @@ let test_verifier_accepts_both_branch_def () =
         Reg_ir.Iset (4, Reg_ir.Imov 3);
       ]
   in
-  check_bool "accepted" true (Reg_ir.verify p = Ok ())
+  check_bool "accepted" true (Reg_ir.check p = [])
 
 (* --- printer / op counting --- *)
 
