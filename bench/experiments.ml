@@ -690,6 +690,79 @@ let ext_dp () =
     [ "abalone"; "airline-ohe"; "covtype"; "higgs" ];
   Table.print t
 
+(* Cost-model calibration (the C0xx lint): how well the simulated ranking
+   tracks the closure JIT's wall clock on this machine, over the reduced
+   schedule grid. Writes the structured report to calibration.json. *)
+let calibrate () =
+  let module Cost_check = Tb_analysis.Cost_check in
+  let module D = Tb_diag.Diagnostic in
+  heading
+    "Cost-model calibration: Kendall-tau and top-k regret of the simulated\n\
+     ranking vs JIT wall clock (reduced grid, Intel model). Findings are\n\
+     C001 rank / C002 events / C003 stall attribution";
+  let t =
+    Table.create
+      [ "benchmark"; "tau"; "regret"; "champion (predicted)"; "measured best";
+        "C001"; "C002"; "C003" ]
+  in
+  let count code r =
+    List.length
+      (List.filter (fun d -> d.D.code = code) r.Cost_check.findings)
+  in
+  let reports =
+    List.map
+      (fun name ->
+        let b = load name in
+        let rows = Array.sub b.rows_1024 0 256 in
+        let compile schedule =
+          match
+            Tb_core.Passman.lower ~batch_size:(Array.length rows)
+              ~profiles:b.profiles b.entry.Zoo.forest schedule
+          with
+          | Ok (lowered, _) -> Ok lowered
+          | Error report -> Error (D.summary (Tb_core.Passman.diagnostics report))
+        in
+        let r =
+          Cost_check.calibrate ~target:intel ~compile ~name
+            ~grid:Cost_check.reduced_grid rows
+        in
+        Table.add_row t
+          [
+            name;
+            Printf.sprintf "%.3f" r.Cost_check.tau;
+            Printf.sprintf "%.1f%%" (100.0 *. r.Cost_check.regret);
+            Schedule.to_string
+              r.Cost_check.observations.(r.Cost_check.champion).Cost_check.schedule;
+            Schedule.to_string
+              r.Cost_check.observations.(r.Cost_check.measured_best).Cost_check.schedule;
+            string_of_int (count "C001" r);
+            string_of_int (count "C002" r);
+            string_of_int (count "C003" r);
+          ];
+        r)
+      [ "abalone"; "letter"; "higgs" ]
+  in
+  Table.print t;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun d -> Printf.printf "  %s\n" (D.to_string d))
+        r.Cost_check.findings)
+    reports;
+  let json =
+    Tb_util.Json.Obj
+      [
+        ("target", Tb_util.Json.Str intel.Config.name);
+        ( "reports",
+          Tb_util.Json.List (List.map Cost_check.report_to_json reports) );
+      ]
+  in
+  let oc = open_out "calibration.json" in
+  output_string oc (Tb_util.Json.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "report: calibration.json\n"
+
 let all_experiments =
   [
     ("table1", table1);
@@ -711,4 +784,5 @@ let all_experiments =
     ("ext_qs", ext_qs);
     ("ext_dp", ext_dp);
     ("wallclock", wallclock);
+    ("calibrate", calibrate);
   ]

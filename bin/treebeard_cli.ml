@@ -5,7 +5,8 @@
      compile  compile a serialized model and dump its IR
      predict  run batch inference on a serialized model
      explore  autotune a schedule for a CPU target
-     lint     statically verify models through the tbcheck pipeline *)
+     lint     statically verify models through the tbcheck pipeline
+     calibrate  cross-validate the cost model against the profiler + JIT *)
 
 open Cmdliner
 module Schedule = Tb_hir.Schedule
@@ -331,6 +332,186 @@ let lint_cmd =
       const run $ model $ zoo $ grid $ schedule_term $ batch $ strict
       $ verbose)
 
+(* ---------------- calibrate ---------------- *)
+
+let calibrate_cmd =
+  let module Cost_check = Tb_analysis.Cost_check in
+  let module D = Tb_diag.Diagnostic in
+  let module Passman = Tb_core.Passman in
+  let model =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "m"; "model" ] ~docv:"FILE" ~doc:"Serialized model (JSON).")
+  in
+  let zoo =
+    Arg.(
+      value & flag
+      & info [ "zoo" ]
+          ~doc:"Calibrate against every benchmark model in the zoo \
+                (training/loading them from the cache as needed).")
+  in
+  let grid =
+    Arg.(
+      value & flag
+      & info [ "grid" ]
+          ~doc:"Sweep the full 256-point Table II schedule grid instead of \
+                the reduced representative grid.")
+  in
+  let top_k =
+    Arg.(
+      value & opt int Cost_check.default_tolerance.Cost_check.top_k
+      & info [ "top-k" ] ~docv:"K"
+          ~doc:"The predicted champion must rank in the measured top-K.")
+  in
+  let min_tau =
+    Arg.(
+      value & opt float Cost_check.default_tolerance.Cost_check.min_tau
+      & info [ "min-tau" ] ~docv:"T"
+          ~doc:"Minimum Kendall-tau between predicted and measured rankings \
+                before a C001 finding.")
+  in
+  let max_regret =
+    Arg.(
+      value & opt float Cost_check.default_tolerance.Cost_check.max_regret
+      & info [ "max-regret" ] ~docv:"F"
+          ~doc:"Maximum measured slowdown of the predicted champion over \
+                the measured best before a C001 finding (fraction).")
+  in
+  let event_tol =
+    Arg.(
+      value & opt float Cost_check.default_tolerance.Cost_check.event_rel_err
+      & info [ "event-tol" ] ~docv:"F"
+          ~doc:"Maximum per-row relative error on extensive event counts \
+                before a C002 finding.")
+  in
+  let stall_tol =
+    Arg.(
+      value & opt float Cost_check.default_tolerance.Cost_check.stall_share_abs
+      & info [ "stall-tol" ] ~docv:"F"
+          ~doc:"Maximum absolute drift in a top-down stall bucket's share \
+                of total cycles before a C003 finding.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 256
+      & info [ "batch" ] ~docv:"N" ~doc:"Rows per calibration batch.")
+  in
+  let sample =
+    Arg.(
+      value & opt int 48
+      & info [ "sample" ] ~docv:"N"
+          ~doc:"Row-sample size the extrapolated (autotuner-side) workload \
+                is profiled on.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the combined calibration report as JSON.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warnings as errors for the exit status.")
+  in
+  let run model zoo grid target top_k min_tau max_regret event_tol stall_tol
+      batch sample out strict =
+    let models =
+      match (zoo, model) with
+      | true, _ ->
+        List.map
+          (fun (s : Tb_gbt.Zoo.spec) ->
+            let e = Tb_gbt.Zoo.get s.Tb_gbt.Zoo.name in
+            let profiles =
+              Tb_model.Model_stats.profile_forest e.Tb_gbt.Zoo.forest
+                e.Tb_gbt.Zoo.train_data.Tb_data.Dataset.features
+            in
+            let rows =
+              Tb_data.Dataset.subsample_rows e.Tb_gbt.Zoo.test_data batch
+                (Tb_util.Prng.create (Hashtbl.hash s.Tb_gbt.Zoo.name))
+            in
+            (s.Tb_gbt.Zoo.name, e.Tb_gbt.Zoo.forest, Some profiles, rows))
+          Tb_gbt.Zoo.specs
+      | false, Some path ->
+        let forest = Tb_model.Serialize.of_file path in
+        let rng = Tb_util.Prng.create 7 in
+        let rows =
+          Array.init batch (fun _ ->
+              Array.init forest.Tb_model.Forest.num_features (fun _ ->
+                  Tb_util.Prng.gaussian rng))
+        in
+        [ (path, forest, None, rows) ]
+      | false, None ->
+        prerr_endline "calibrate: pass --model FILE or --zoo"; exit 2
+    in
+    let schedules =
+      if grid then Schedule.table2_grid else Cost_check.reduced_grid
+    in
+    let tol =
+      {
+        Cost_check.top_k;
+        min_tau;
+        max_regret;
+        event_rel_err = event_tol;
+        stall_share_abs = stall_tol;
+      }
+    in
+    let errors = ref 0 and warnings = ref 0 in
+    let reports =
+      List.map
+        (fun (name, forest, profiles, rows) ->
+          let compile schedule =
+            match Passman.lower ~batch_size:batch ?profiles forest schedule with
+            | Ok (lowered, _) -> Ok lowered
+            | Error report -> Error (D.summary (Passman.diagnostics report))
+          in
+          let report =
+            Cost_check.calibrate ~target ~tol ~sample ~compile ~name
+              ~grid:schedules rows
+          in
+          print_string (Cost_check.report_to_string report);
+          errors := !errors + List.length (D.errors report.Cost_check.findings);
+          warnings :=
+            !warnings
+            + List.length
+                (List.filter
+                   (fun d -> d.D.severity = D.Warning)
+                   report.Cost_check.findings);
+          report)
+        models
+    in
+    Printf.printf
+      "calibrate: %d model(s) x %d schedule(s): %d error(s), %d warning(s)\n"
+      (List.length models) (List.length schedules) !errors !warnings;
+    (match out with
+    | None -> ()
+    | Some path ->
+      let json =
+        Tb_util.Json.Obj
+          [
+            ("target", Tb_util.Json.Str target.Config.name);
+            ( "reports",
+              Tb_util.Json.List (List.map Cost_check.report_to_json reports) );
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Tb_util.Json.to_string ~indent:true json);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "report: %s\n" path);
+    if !errors > 0 || (strict && !warnings > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Cross-validate the cost model against the instrumented \
+             profiler and JIT wall clock over a schedule grid \
+             (Kendall-tau rank agreement, top-k regret, event-count and \
+             stall-attribution drift; C00x findings)")
+    Term.(
+      const run $ model $ zoo $ grid $ target_arg $ top_k $ min_tau
+      $ max_regret $ event_tol $ stall_tol $ batch $ sample $ out $ strict)
+
 (* ---------------- import ---------------- *)
 
 let import_cmd =
@@ -362,4 +543,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "treebeard" ~version:"1.0.0" ~doc)
-          [ train_cmd; compile_cmd; predict_cmd; explore_cmd; import_cmd; lint_cmd ]))
+          [
+            train_cmd; compile_cmd; predict_cmd; explore_cmd; import_cmd;
+            lint_cmd; calibrate_cmd;
+          ]))

@@ -5,6 +5,7 @@ type level =
   | Hir
   | Mir
   | Lir
+  | Cost
 
 type t = {
   code : string;
@@ -31,6 +32,7 @@ let level_string = function
   | Hir -> "hir"
   | Mir -> "mir"
   | Lir -> "lir"
+  | Cost -> "cost"
 
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds
@@ -54,6 +56,16 @@ let pp fmt d =
   Format.fprintf fmt ": %s" d.message
 
 let to_string d = Format.asprintf "%a" pp d
+
+let to_json d =
+  Tb_util.Json.Obj
+    [
+      ("code", Tb_util.Json.Str d.code);
+      ("severity", Tb_util.Json.Str (severity_string d.severity));
+      ("level", Tb_util.Json.Str (level_string d.level));
+      ("path", Tb_util.Json.List (List.map (fun p -> Tb_util.Json.Str p) d.path));
+      ("message", Tb_util.Json.Str d.message);
+    ]
 
 let summary ds =
   let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in

@@ -35,7 +35,18 @@
       not provable (loop-variant index, informational)
     - [L020] layout closure: dangling tile successor, [L021] layout
       feature id out of range, [L022] tree root out of range, [L023] leaf
-      index out of range, [L024] malformed LUT row *)
+      index out of range, [L024] malformed LUT row
+    - [C001] cost-model rank disagreement: the cost model's schedule
+      ranking contradicts measured execution (low Kendall-τ over a grid,
+      or the predicted champion's measured regret over the measured best
+      exceeds the top-k tolerance)
+    - [C002] event-count divergence: the sample-extrapolated workload the
+      autotuner scores diverges from the full-batch instrumented counts
+      beyond tolerance (extrapolation drift)
+    - [C003] stall-attribution mismatch: a top-down stall bucket share of
+      the supplied breakdown disagrees with the breakdown recomputed from
+      the measured event counts (cost-model drift against the profiler,
+      à la the paper's §VI-E VTune analysis) *)
 
 type severity = Info | Warning | Error
 
@@ -44,6 +55,7 @@ type level =
   | Hir
   | Mir
   | Lir
+  | Cost  (** cost-model calibration findings ({!Tb_analysis.Cost_check}) *)
 
 type t = {
   code : string;  (** stable registry code, e.g. ["L010"] *)
@@ -86,6 +98,10 @@ val pp : Format.formatter -> t -> unit
 (** One line: [error[L010] lir @ group 0 > body: index ...]. *)
 
 val to_string : t -> string
+
+val to_json : t -> Tb_util.Json.t
+(** Structured rendering for machine-readable reports (the [calibrate]
+    CLI's JSON output). *)
 
 val summary : t list -> string
 (** Count line, e.g. ["2 errors, 1 warning, 4 infos"]. *)

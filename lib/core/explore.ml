@@ -112,3 +112,34 @@ let greedy ~target ?profiles ?sample ?threads forest rows =
   match !current_perf with
   | None -> invalid_arg "Explore.greedy: no feasible schedule"
   | Some perf -> { schedule = !current; perf; evaluated = !evaluated }
+
+(* ---------------- post-search calibration guard ---------------- *)
+
+module Cost_check = Tb_analysis.Cost_check
+
+let check_champion ~target ?profiles ?sample ?(rivals = Cost_check.reduced_grid)
+    ?tol forest rows result =
+  (* Re-rank the champion against the rival set with the measured side of
+     the calibration lint (full-batch instrumented counts + JIT wall
+     clock); a C001 finding means the simulated search picked a schedule
+     real execution disagrees with. Rivals compile through the verified
+     pipeline so a miscompiled candidate can't masquerade as "faster". *)
+  let grid =
+    result.schedule
+    :: List.filter (fun s -> s <> result.schedule) rivals
+  in
+  let compile schedule =
+    (* Passman would be the natural front end here, but Passman depends on
+       Treebeard which depends on this module; lower + the whole-pipeline
+       check is its Verify_final mode. *)
+    let lowered = Lower.lower ?profiles forest schedule in
+    let ds = Tb_analysis.Tbcheck.check_lowered lowered in
+    if Tb_diag.Diagnostic.has_errors ds then
+      Error (Tb_diag.Diagnostic.summary ds)
+    else Ok lowered
+  in
+  let report =
+    Cost_check.calibrate ~target ?tol ?sample ~compile
+      ~name:"champion-guard" ~grid rows
+  in
+  (report, List.filter (fun d -> d.Tb_diag.Diagnostic.code = "C001") report.Cost_check.findings)

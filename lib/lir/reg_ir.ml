@@ -191,11 +191,6 @@ let check p =
   let (_ : bool array * vkind option array) = go p.body (di, dv) in
   List.rev !diags
 
-let verify p =
-  match check p with
-  | [] -> Ok ()
-  | d :: _ -> Error d.D.message
-
 (* ------------------------------------------------------------------ *)
 (* Printer                                                             *)
 (* ------------------------------------------------------------------ *)

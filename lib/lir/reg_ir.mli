@@ -87,12 +87,6 @@ val check : walk_program -> Tb_diag.Diagnostic.t list
     forward interval dataflow that also proves buffer-bounds facts against
     a {!Layout}. *)
 
-val verify : walk_program -> (unit, string) result
-(** @deprecated Compat shim over {!check} that flattens the first
-    diagnostic into a bare string. New code should use {!check} (or
-    {!Tb_analysis.Lir_check} for bounds-aware verification); this shape is
-    kept only so downstream callers keep building. *)
-
 val pp : Format.formatter -> walk_program -> unit
 (** Assembly-style rendering, e.g. [i2 <- load.shapeIds [i0]]. *)
 

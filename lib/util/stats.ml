@@ -70,3 +70,31 @@ let argmin xs =
     if xs.(i) < xs.(!best) then best := i
   done;
   !best
+
+let kendall_tau xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.kendall_tau: length mismatch";
+  if n < 2 then 0.0
+  else begin
+    (* τ-b: concordant minus discordant over the geometric mean of the
+       non-tied pair counts, so ties in either ranking don't inflate the
+       correlation. O(n²) — rankings here are schedule grids, n ≤ ~10³. *)
+    let concordant = ref 0 and discordant = ref 0 in
+    let ties_x = ref 0 and ties_y = ref 0 in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        let dx = compare xs.(i) xs.(j) and dy = compare ys.(i) ys.(j) in
+        if dx = 0 && dy = 0 then begin incr ties_x; incr ties_y end
+        else if dx = 0 then incr ties_x
+        else if dy = 0 then incr ties_y
+        else if dx * dy > 0 then incr concordant
+        else incr discordant
+      done
+    done;
+    let pairs = n * (n - 1) / 2 in
+    let denom =
+      sqrt (float_of_int (pairs - !ties_x) *. float_of_int (pairs - !ties_y))
+    in
+    if denom = 0.0 then 0.0
+    else float_of_int (!concordant - !discordant) /. denom
+  end

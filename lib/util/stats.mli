@@ -24,3 +24,9 @@ val argmax : float array -> int
 
 val argmin : float array -> int
 (** Index of the smallest element of a non-empty array (first on ties). *)
+
+val kendall_tau : float array -> float array -> float
+(** Kendall rank correlation (τ-b, tie-corrected) between two equal-length
+    score vectors; 1.0 = identical ranking, -1.0 = reversed, 0 when either
+    vector is all ties or shorter than two elements. O(n²).
+    @raise Invalid_argument on length mismatch. *)

@@ -1,0 +1,58 @@
+(* Regenerates the golden prediction fixtures in test/golden/.
+
+   Run from the repository root after an INTENDED numeric change:
+
+     dune exec test/gen_golden.exe
+
+   Each fixture pins the default-schedule predictions of one cached zoo
+   model (_models/<name>.json) on a deterministic set of rows. The rows
+   are derived from the stored seed with our own Prng (stable across
+   platforms and OCaml versions), so the fixture only carries the
+   predictions — a few KB even for the 2000-feature models. Floats are
+   printed with %.17g, so the round trip is exact. *)
+
+module Json = Tb_util.Json
+module Forest = Tb_model.Forest
+module Prng = Tb_util.Prng
+module Schedule = Tb_hir.Schedule
+
+let names =
+  [ "abalone"; "airline"; "airline-ohe"; "covtype"; "epsilon"; "letter";
+    "higgs"; "year" ]
+
+let num_rows = 8
+
+let golden_rows forest seed =
+  let rng = Prng.create seed in
+  Array.init num_rows (fun _ ->
+      Array.init forest.Forest.num_features (fun _ -> Prng.gaussian rng))
+
+let () =
+  if not (Sys.file_exists "test/golden") then Sys.mkdir "test/golden" 0o755;
+  List.iter
+    (fun name ->
+      let forest = Tb_model.Serialize.of_file ("_models/" ^ name ^ ".json") in
+      let seed = Hashtbl.hash name in
+      let rows = golden_rows forest seed in
+      let predict = Tb_vm.Jit.compile (Tb_lir.Lower.lower forest Schedule.default) in
+      let predictions = predict rows in
+      let floats a = Json.List (Array.to_list (Array.map (fun x -> Json.Num x) a)) in
+      let json =
+        Json.Obj
+          [
+            ("model", Json.Str name);
+            ("schedule", Json.Str "default");
+            ("seed", Json.Num (float_of_int seed));
+            ("num_rows", Json.Num (float_of_int num_rows));
+            ( "predictions",
+              Json.List (Array.to_list (Array.map floats predictions)) );
+          ]
+      in
+      let path = "test/golden/" ^ name ^ ".json" in
+      let oc = open_out path in
+      output_string oc (Json.to_string ~indent:true json);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "wrote %s (%d rows x %d outputs)\n" path num_rows
+        (Array.length predictions.(0)))
+    names

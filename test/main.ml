@@ -18,4 +18,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("quickscorer", Test_quickscorer.suite);
       ("interop", Test_interop.suite);
+      ("golden", Test_golden.suite);
+      ("differential", Test_differential.suite);
+      ("cost-check", Test_cost_check.suite);
     ]

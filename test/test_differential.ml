@@ -1,0 +1,91 @@
+(* Differential harness across the three executors.
+
+   For a random forest paired with a random schedule drawn from the full
+   Table II grid, the two optimizing backends — the closure JIT and the
+   Reg_ir interpreter — must agree *bitwise*: they implement the same
+   accumulation order, so any divergence is a real compilation bug, not
+   floating-point slack. Both must also agree with the naive scalar walk
+   over the source forest ({!Forest.predict_batch_raw}) within 1e-5, which
+   pins the semantics rather than the instruction schedule (tree reordering
+   changes the summation order, so bitwise equality is not expected
+   there). *)
+
+open Helpers
+module Prng = Tb_util.Prng
+module Forest = Tb_model.Forest
+module Schedule = Tb_hir.Schedule
+module Lower = Tb_lir.Lower
+module Jit = Tb_vm.Jit
+module Interp = Tb_vm.Interp
+
+let grid = Array.of_list Schedule.table2_grid
+
+let random_forest rng =
+  if Prng.int rng 4 = 0 then
+    (* Multiclass exercises the margin-matrix path. *)
+    let num_classes = 2 + Prng.int rng 3 in
+    let trees =
+      Array.init
+        (num_classes * (1 + Prng.int rng 4))
+        (fun _ -> Tb_model.Tree.random ~max_depth:(3 + Prng.int rng 4) ~num_features:6 rng)
+    in
+    Forest.make ~task:(Forest.Multiclass num_classes) ~num_features:6 trees
+  else
+    Forest.random ~num_trees:(1 + Prng.int rng 12)
+      ~max_depth:(2 + Prng.int rng 6) ~num_features:6 rng
+
+let differential_property seed =
+  let rng = Prng.create seed in
+  let forest = random_forest rng in
+  let schedule = grid.(Prng.int rng (Array.length grid)) in
+  let rows = random_rows rng 6 (1 + Prng.int rng 30) in
+  let lp = Lower.lower forest schedule in
+  let jit = Jit.compile lp rows in
+  let interp = Interp.compile lp rows in
+  let reference = Forest.predict_batch_raw forest rows in
+  let bitwise =
+    Array.for_all2 (fun a b -> Array.for_all2 Float.equal a b) jit interp
+  in
+  let close out =
+    Array.for_all2 (fun a b -> arrays_close ~eps:1e-5 a b) out reference
+  in
+  if not bitwise then
+    QCheck2.Test.fail_reportf "JIT <> Interp (bitwise) under %s"
+      (Schedule.to_string schedule)
+  else if not (close jit) then
+    QCheck2.Test.fail_reportf "JIT <> naive walk under %s"
+      (Schedule.to_string schedule)
+  else if not (close interp) then
+    QCheck2.Test.fail_reportf "Interp <> naive walk under %s"
+      (Schedule.to_string schedule)
+  else true
+
+(* Deterministic sweep of the whole grid on one fixed forest: slower than
+   the random pairing above but guarantees every Table II point is hit at
+   least once per run. *)
+let test_full_grid_one_forest () =
+  let rng = Prng.create 99 in
+  let forest = Forest.random ~num_trees:7 ~max_depth:6 ~num_features:6 rng in
+  let rows = random_rows rng 6 12 in
+  let reference = Forest.predict_batch_raw forest rows in
+  List.iter
+    (fun schedule ->
+      let lp = Lower.lower forest schedule in
+      let jit = Jit.compile lp rows in
+      let interp = Interp.compile lp rows in
+      if
+        not
+          (Array.for_all2
+             (fun a b -> Array.for_all2 Float.equal a b)
+             jit interp)
+      then Alcotest.failf "JIT <> Interp: %s" (Schedule.to_string schedule);
+      if not (Array.for_all2 (fun a b -> arrays_close ~eps:1e-5 a b) jit reference)
+      then Alcotest.failf "JIT <> reference: %s" (Schedule.to_string schedule))
+    Schedule.table2_grid
+
+let suite =
+  [
+    qcheck ~count:200 ~name:"JIT == Interp == naive walk (random grid point)"
+      seed_gen differential_property;
+    quick "full Table II grid on one forest" test_full_grid_one_forest;
+  ]

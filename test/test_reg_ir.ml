@@ -56,9 +56,7 @@ let test_verifier_accepts_codegen_output () =
 
 let test_verifier_rejects_out_of_range () =
   let p = dummy_program [ Reg_ir.Iset (99, Reg_ir.Iconst 0) ] in
-  check_bool "L001 reported" true (has_code "L001" (Reg_ir.check p));
-  (* The deprecated string-shaped wrapper still agrees. *)
-  check_bool "compat wrapper rejects" true (Result.is_error (Reg_ir.verify p))
+  check_bool "L001 reported" true (has_code "L001" (Reg_ir.check p))
 
 let test_verifier_rejects_use_before_def () =
   let p = dummy_program [ Reg_ir.Iset (2, Reg_ir.Imov 5) ] in

@@ -168,6 +168,46 @@ let test_profiler_scale () =
     w2.Cost_model.l1.Cache.misses;
   check_int "tile size unchanged" w.Cost_model.tile_size w2.Cost_model.tile_size
 
+let test_profiler_deterministic () =
+  (* Same program, same rows -> the exact same workload, cache state and
+     all. The calibration lint (Cost_check) relies on this: any predicted/
+     measured divergence must come from extrapolation, never from the
+     profiler itself. *)
+  let rng = Prng.create 28 in
+  let forest = Forest.random ~num_trees:10 ~max_depth:7 ~num_features:6 rng in
+  let data = random_rows rng 6 48 in
+  List.iter
+    (fun schedule ->
+      let lp = Lower.lower forest schedule in
+      let w1 = Profiler.profile ~target:Config.intel_rocket_lake lp data in
+      let w2 = Profiler.profile ~target:Config.intel_rocket_lake lp data in
+      check_bool (Schedule.to_string schedule) true (w1 = w2))
+    [ Schedule.scalar_baseline; Schedule.default;
+      { Schedule.default with layout = Schedule.Array_layout } ]
+
+let profiler_scale_property seed =
+  let rng = Prng.create seed in
+  let schedule = random_schedule rng in
+  let _, w = profile_of ~schedule ~rows:(8 + Prng.int rng 24) seed in
+  let k = 1 + Prng.int rng 9 in
+  let w' = Profiler.scale w (float_of_int k) in
+  (* Extensive counts are multiplied exactly (integer factor, so no
+     rounding slack); intensive/structural fields are untouched. *)
+  w'.Cost_model.rows = k * w.Cost_model.rows
+  && w'.Cost_model.walks_checked = k * w.Cost_model.walks_checked
+  && w'.Cost_model.walks_unrolled = k * w.Cost_model.walks_unrolled
+  && w'.Cost_model.steps_checked = k * w.Cost_model.steps_checked
+  && w'.Cost_model.steps_unchecked = k * w.Cost_model.steps_unchecked
+  && w'.Cost_model.leaf_fetches = k * w.Cost_model.leaf_fetches
+  && w'.Cost_model.critical_steps = k * w.Cost_model.critical_steps
+  && w'.Cost_model.l1.Cache.accesses = k * w.Cost_model.l1.Cache.accesses
+  && w'.Cost_model.l1.Cache.misses = k * w.Cost_model.l1.Cache.misses
+  && w'.Cost_model.l1.Cache.hits = k * w.Cost_model.l1.Cache.hits
+  && w'.Cost_model.tile_size = w.Cost_model.tile_size
+  && w'.Cost_model.layout = w.Cost_model.layout
+  && w'.Cost_model.code_bytes = w.Cost_model.code_bytes
+  && w'.Cost_model.model_bytes = w.Cost_model.model_bytes
+
 (* Cost model / cache / multicore *)
 
 let test_cache_basics () =
@@ -257,6 +297,9 @@ let suite =
     quick "interleave shortens critical path" test_profiler_interleave_reduces_critical_steps;
     quick "tree-major improves cache" test_profiler_tree_major_improves_cache;
     quick "profiler scaling" test_profiler_scale;
+    quick "profiler is deterministic" test_profiler_deterministic;
+    qcheck ~count:75 ~name:"scale multiplies extensive counts exactly"
+      seed_gen profiler_scale_property;
     quick "cache basics" test_cache_basics;
     quick "cache stats consistent" test_cache_stats_consistent;
     quick "interleaving cuts core stalls" test_cost_model_interleave_cuts_core_stalls;
