@@ -763,6 +763,152 @@ let calibrate () =
   close_out oc;
   Printf.printf "report: calibration.json\n"
 
+(* Serving runtime: dynamic-batching policy sweep (throughput vs tail
+   latency) and eviction-policy comparison under cache pressure. All
+   numbers come from the deterministic virtual clock, so this table is
+   machine-independent. Writes BENCH_serve.json. *)
+let serve () =
+  let module Simulate = Tb_serve.Simulate in
+  let module Runtime = Tb_serve.Runtime in
+  let module Policy = Tb_serve.Policy in
+  let module H = Tb_util.Stats.Histogram in
+  let module J = Tb_util.Json in
+  heading
+    "Serving runtime: batch-size/deadline sweep and LRU-vs-SIEVE predictor\n\
+     cache, on a deterministic Poisson trace (virtual-clock latencies)";
+  let spec ?(weight = 1) name =
+    let b = load name in
+    {
+      Simulate.name;
+      forest = b.entry.Zoo.forest;
+      profiles = Some b.profiles;
+      pool = Array.sub b.rows_1024 0 128;
+      weight;
+    }
+  in
+  let run ~models ~policy ~capacity ~batch_max ~deadline_us ~rate ~n =
+    let config =
+      {
+        Simulate.default_config with
+        Simulate.rate_rps = rate;
+        num_requests = n;
+        runtime =
+          {
+            Runtime.default_config with
+            Runtime.batch_max;
+            deadline_us;
+          };
+        cache_policy = policy;
+        cache_capacity = capacity;
+      }
+    in
+    Simulate.run config models
+  in
+  let row_json ~label ~policy ~batch_max ~deadline_us (r : Simulate.report) =
+    let m = r.Simulate.result.Runtime.metrics in
+    let cs = r.Simulate.result.Runtime.cache_stats in
+    let q p = H.quantile m.Tb_serve.Metrics.total_us p in
+    J.Obj
+      [
+        ("sweep", J.Str label);
+        ("policy", J.Str (Policy.kind_to_string policy));
+        ("batch_max", J.Num (float_of_int batch_max));
+        ("deadline_us", J.Num deadline_us);
+        ("throughput_rows_per_s", J.Num (Tb_serve.Metrics.throughput_rows_per_s m));
+        ("p50_us", J.Num (q 0.5));
+        ("p95_us", J.Num (q 0.95));
+        ("p99_us", J.Num (q 0.99));
+        ("rejected", J.Num (float_of_int m.Tb_serve.Metrics.rejected));
+        ( "cache_hit_ratio",
+          J.Num
+            (let lookups = cs.Policy.hits + cs.Policy.misses in
+             if lookups = 0 then 0.0
+             else float_of_int cs.Policy.hits /. float_of_int lookups) );
+        ("evictions", J.Num (float_of_int cs.Policy.evictions));
+        ( "equivalent",
+          J.Bool (r.Simulate.result.Runtime.equivalence_failures = 0) );
+      ]
+  in
+  let rows_json = ref [] in
+  (* Sweep 1: batching policy, two models, no cache pressure. *)
+  let models2 = List.map spec [ "abalone"; "letter" ] in
+  let t =
+    Table.create
+      [ "batch_max"; "deadline us"; "throughput r/s"; "p50 us"; "p99 us";
+        "batches"; "rejected" ]
+  in
+  List.iter
+    (fun batch_max ->
+      List.iter
+        (fun deadline_us ->
+          let r =
+            run ~models:models2 ~policy:Policy.Lru ~capacity:8 ~batch_max
+              ~deadline_us ~rate:100_000.0 ~n:4000
+          in
+          let m = r.Simulate.result.Runtime.metrics in
+          Table.add_row t
+            [
+              string_of_int batch_max;
+              Printf.sprintf "%.0f" deadline_us;
+              Printf.sprintf "%.0f" (Tb_serve.Metrics.throughput_rows_per_s m);
+              Printf.sprintf "%.0f" (H.quantile m.Tb_serve.Metrics.total_us 0.5);
+              Printf.sprintf "%.0f" (H.quantile m.Tb_serve.Metrics.total_us 0.99);
+              string_of_int m.Tb_serve.Metrics.batches;
+              string_of_int m.Tb_serve.Metrics.rejected;
+            ];
+          rows_json :=
+            row_json ~label:"batching" ~policy:Policy.Lru ~batch_max
+              ~deadline_us r
+            :: !rows_json)
+        [ 100.0; 500.0; 2000.0 ])
+    [ 8; 32; 128 ];
+  Table.print t;
+  (* Sweep 2: eviction policy under cache pressure: two hot models and two
+     cold scan models share a 2-entry cache. LRU lets every cold compile
+     evict a hot predictor; SIEVE's visited bits spare them. *)
+  let models4 =
+    [
+      spec ~weight:8 "abalone"; spec ~weight:8 "letter";
+      spec "covtype"; spec "airline";
+    ]
+  in
+  let t2 =
+    Table.create
+      [ "policy"; "hit ratio"; "evictions"; "compiles"; "p99 us";
+        "throughput r/s" ]
+  in
+  List.iter
+    (fun policy ->
+      let r =
+        run ~models:models4 ~policy ~capacity:2 ~batch_max:32
+          ~deadline_us:500.0 ~rate:100_000.0 ~n:4000
+      in
+      let m = r.Simulate.result.Runtime.metrics in
+      let cs = r.Simulate.result.Runtime.cache_stats in
+      Table.add_row t2
+        [
+          Policy.kind_to_string policy;
+          (let lookups = cs.Policy.hits + cs.Policy.misses in
+           Printf.sprintf "%.3f"
+             (if lookups = 0 then 0.0
+              else float_of_int cs.Policy.hits /. float_of_int lookups));
+          string_of_int cs.Policy.evictions;
+          string_of_int r.Simulate.result.Runtime.compile_count;
+          Printf.sprintf "%.0f" (H.quantile m.Tb_serve.Metrics.total_us 0.99);
+          Printf.sprintf "%.0f" (Tb_serve.Metrics.throughput_rows_per_s m);
+        ];
+      rows_json :=
+        row_json ~label:"eviction" ~policy ~batch_max:32 ~deadline_us:500.0 r
+        :: !rows_json)
+    [ Policy.Lru; Policy.Sieve ];
+  Table.print t2;
+  let json = J.Obj [ ("rows", J.List (List.rev !rows_json)) ] in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (J.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "report: BENCH_serve.json\n"
+
 let all_experiments =
   [
     ("table1", table1);
@@ -785,4 +931,5 @@ let all_experiments =
     ("ext_dp", ext_dp);
     ("wallclock", wallclock);
     ("calibrate", calibrate);
+    ("serve", serve);
   ]

@@ -6,7 +6,8 @@
      predict  run batch inference on a serialized model
      explore  autotune a schedule for a CPU target
      lint     statically verify models through the tbcheck pipeline
-     calibrate  cross-validate the cost model against the profiler + JIT *)
+     calibrate  cross-validate the cost model against the profiler + JIT
+     serve-sim  simulate the dynamic-batching serving runtime on a trace *)
 
 open Cmdliner
 module Schedule = Tb_hir.Schedule
@@ -512,6 +513,181 @@ let calibrate_cmd =
       const run $ model $ zoo $ grid $ target_arg $ top_k $ min_tau
       $ max_regret $ event_tol $ stall_tol $ batch $ sample $ out $ strict)
 
+(* ---------------- serve-sim ---------------- *)
+
+let serve_sim_cmd =
+  let module Simulate = Tb_serve.Simulate in
+  let module Policy = Tb_serve.Policy in
+  let module Runtime = Tb_serve.Runtime in
+  let zoo =
+    Arg.(
+      value & opt string "abalone"
+      & info [ "zoo" ] ~docv:"NAMES"
+          ~doc:"Comma-separated benchmark models to serve (the request \
+                stream mixes them uniformly).")
+  in
+  let arrival =
+    let parse s =
+      match Simulate.arrival_kind_of_string s with
+      | Ok k -> Ok k
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt k =
+      Format.fprintf fmt "%s" (Simulate.arrival_kind_to_string k)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Simulate.Poisson
+      & info [ "arrival" ] ~docv:"KIND"
+          ~doc:"Arrival process: poisson, burst[:N] or ramp.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 50_000.0
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Average request rate (requests/s).")
+  in
+  let requests =
+    Arg.(
+      value & opt int 2000
+      & info [ "requests" ] ~docv:"N" ~doc:"Trace length in requests.")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 32
+      & info [ "batch-max" ] ~docv:"N" ~doc:"Maximum dynamic batch size.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 500.0
+      & info [ "deadline-us" ] ~docv:"US"
+          ~doc:"Batching deadline: a request waits at most this long \
+                before its partial batch is dispatched.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker pool size (domains).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Admission queue capacity; arrivals beyond it are rejected \
+                (backpressure).")
+  in
+  let cache =
+    let parse s =
+      match Policy.kind_of_string s with
+      | Ok k -> Ok k
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt k = Format.fprintf fmt "%s" (Policy.kind_to_string k) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Policy.Lru
+      & info [ "cache" ] ~docv:"POLICY"
+          ~doc:"Predictor-cache eviction policy: lru or sieve.")
+  in
+  let cache_cap =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-cap" ] ~docv:"N" ~doc:"Predictor-cache capacity.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Trace PRNG seed.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the JSON report here.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero unless every served output is bitwise equal \
+                to the direct single-call JIT prediction.")
+  in
+  let run zoo arrival rate requests schedule target batch_max deadline
+      workers queue_cap cache cache_cap seed out strict =
+    let names =
+      String.split_on_char ',' zoo
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if names = [] then begin
+      prerr_endline "serve-sim: pass at least one model via --zoo";
+      exit 2
+    end;
+    let models =
+      List.map
+        (fun name ->
+          let e = Tb_gbt.Zoo.get name in
+          let profiles =
+            Tb_model.Model_stats.profile_forest e.Tb_gbt.Zoo.forest
+              e.Tb_gbt.Zoo.train_data.Tb_data.Dataset.features
+          in
+          let pool =
+            Tb_data.Dataset.subsample_rows e.Tb_gbt.Zoo.test_data 128
+              (Tb_util.Prng.create (Hashtbl.hash name land max_int))
+          in
+          {
+            Simulate.name;
+            forest = e.Tb_gbt.Zoo.forest;
+            profiles = Some profiles;
+            pool;
+            weight = 1;
+          })
+        names
+    in
+    let config =
+      {
+        Simulate.arrival;
+        rate_rps = rate;
+        num_requests = requests;
+        seed;
+        schedule;
+        runtime =
+          {
+            Runtime.queue_capacity = queue_cap;
+            batch_max;
+            deadline_us = deadline;
+            workers;
+            dispatch_overhead_us =
+              Runtime.default_config.Runtime.dispatch_overhead_us;
+          };
+        cache_policy = cache;
+        cache_capacity = cache_cap;
+        target;
+      }
+    in
+    let report = Simulate.run config models in
+    let json = Simulate.report_to_json report in
+    let text = Tb_util.Json.to_string ~indent:true json ^ "\n" in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "report: %s\n" path);
+    let failures = report.Simulate.result.Runtime.equivalence_failures in
+    if failures > 0 then
+      Printf.eprintf "serve-sim: %d served output(s) diverge from the JIT\n"
+        failures;
+    if strict && failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve-sim"
+       ~doc:"Simulate the dynamic-batching serving runtime on a \
+             deterministic trace (virtual-clock latencies, predictor \
+             cache, backpressure) and report p50/p95/p99, throughput and \
+             cache behaviour as JSON")
+    Term.(
+      const run $ zoo $ arrival $ rate $ requests $ schedule_term
+      $ target_arg $ batch_max $ deadline $ workers $ queue_cap $ cache
+      $ cache_cap $ seed $ out $ strict)
+
 (* ---------------- import ---------------- *)
 
 let import_cmd =
@@ -545,5 +721,5 @@ let () =
        (Cmd.group (Cmd.info "treebeard" ~version:"1.0.0" ~doc)
           [
             train_cmd; compile_cmd; predict_cmd; explore_cmd; import_cmd;
-            lint_cmd; calibrate_cmd;
+            lint_cmd; calibrate_cmd; serve_sim_cmd;
           ]))

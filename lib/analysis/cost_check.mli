@@ -53,7 +53,8 @@ type observation = {
       (** what the autotuner scores: cost model over the
           sample-extrapolated workload *)
   predicted_workload : Tb_cpu.Cost_model.workload;
-      (** sample run scaled to the full batch ({!Tb_vm.Profiler.scale}) *)
+      (** sample run extrapolated to the full batch
+          ({!Tb_vm.Profiler.extrapolate}) *)
   measured_workload : Tb_cpu.Cost_model.workload;
       (** instrumented run over the full batch — the event ground truth *)
   measured_s_per_row : float;

@@ -17,7 +17,7 @@ let prefix seg ds = List.map (fun d -> { d with D.path = seg :: d.D.path }) ds
 (* Schedule legality                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let check_schedule ?batch_size (s : Schedule.t) =
+let check_schedule ?batch_size ?cores (s : Schedule.t) =
   let ds = ref [] in
   let add d = ds := d :: !ds in
   let serr code fmt = D.errorf ~level:D.Schedule ~code ~path:[] fmt in
@@ -47,6 +47,15 @@ let check_schedule ?batch_size (s : Schedule.t) =
         (swarn "S011"
            "interleave %d exceeds batch size %d: the jam never fills"
            s.Schedule.interleave b)
+  | _ -> ());
+  (match cores with
+  | Some c when c >= 1 && s.Schedule.num_threads > c ->
+    add
+      (swarn "S013"
+         "num_threads %d exceeds the target's %d cores: oversubscribed \
+          domains serialize on the row loop (clamp with \
+          Schedule.clamp_threads)"
+         s.Schedule.num_threads c)
   | _ -> ());
   if s.Schedule.layout = Schedule.Array_layout && s.Schedule.tile_size >= 4 then
     add

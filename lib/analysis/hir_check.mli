@@ -7,11 +7,14 @@
     findings are {!Tb_diag.Diagnostic.t} values; see the code registry
     there. *)
 
-val check_schedule : ?batch_size:int -> Tb_hir.Schedule.t -> Tb_diag.Diagnostic.t list
+val check_schedule :
+  ?batch_size:int -> ?cores:int -> Tb_hir.Schedule.t -> Tb_diag.Diagnostic.t list
 (** Schedule legality: field ranges ([S001]..[S006] errors) and
     cross-field / deployment advisories — more threads than batch rows
     ([S010]), interleave wider than the batch ([S011]), array layout with a
-    large tile size ([S012]); advisories are warnings, not errors. *)
+    large tile size ([S012]), more threads than the target CPU's cores
+    ([S013], pass [cores] from {!Tb_cpu.Config.t}); advisories are
+    warnings, not errors. *)
 
 val check_tiling : Tb_hir.Itree.t -> Tb_hir.Tiling.t -> Tb_diag.Diagnostic.t list
 (** The four §III-B1 tiling constraints as a reusable pass: partitioning

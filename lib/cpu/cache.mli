@@ -26,4 +26,8 @@ val access_range : t -> int -> int -> unit
 
 val stats : t -> stats
 val reset : t -> unit
+val reset_stats : t -> unit
+(** Zero the hit/miss counters but keep the cached lines — used to measure
+    steady-state miss rates after a warm-up pass. *)
+
 val miss_rate : t -> float

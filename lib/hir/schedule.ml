@@ -205,3 +205,14 @@ let validate t =
   else if not (t.beta > 0.0 && t.beta <= 1.0) then Error "beta out of (0,1]"
   else if t.pad_imbalance_limit < 0 then Error "pad_imbalance_limit must be >= 0"
   else Ok ()
+
+let clamp_threads ~max_threads t =
+  if max_threads < 1 then invalid_arg "Schedule.clamp_threads: max_threads < 1";
+  if t.num_threads <= max_threads then (t, None)
+  else
+    ( { t with num_threads = max_threads },
+      Some
+        (Printf.sprintf
+           "schedule requests %d row-loop threads but only %d are available; \
+            clamped to %d"
+           t.num_threads max_threads max_threads) )

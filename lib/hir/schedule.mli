@@ -73,3 +73,11 @@ val of_file : string -> t
 val validate : t -> (unit, string) result
 (** Check field ranges (tile size 1..8, interleave >= 1, threads >= 1,
     alpha/beta in (0,1]). *)
+
+val clamp_threads : max_threads:int -> t -> t * string option
+(** [clamp_threads ~max_threads t] caps [num_threads] at [max_threads]
+    (e.g. the target CPU's core count from {!Tb_cpu.Config}, or 1 for a
+    serving worker that owns a whole core). Returns the possibly-adjusted
+    schedule and a warning describing the clamp when one was needed;
+    [(t, None)] when the schedule was already within bounds.
+    @raise Invalid_argument when [max_threads < 1]. *)

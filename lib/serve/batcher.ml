@@ -1,0 +1,101 @@
+type config = {
+  batch_max : int;
+  deadline_us : float;
+}
+
+type cause =
+  | By_size
+  | By_deadline
+  | By_flush
+
+let cause_to_string = function
+  | By_size -> "size"
+  | By_deadline -> "deadline"
+  | By_flush -> "flush"
+
+type 'r batch = {
+  model : string;
+  formed_us : float;
+  cause : cause;
+  requests : 'r array;
+  arrivals_us : float array;
+}
+
+type 'r group = {
+  g_model : string;
+  items : ('r * float) Queue.t;  (* admission order; float = arrival_us *)
+}
+
+type 'r t = {
+  cfg : config;
+  groups : (string, 'r group) Hashtbl.t;
+  (* Model names in first-seen order: Hashtbl iteration order is not a
+     stable public contract, and expiry ties must break deterministically. *)
+  mutable order : string list;  (* reversed first-seen order *)
+  mutable pending : int;
+}
+
+let create cfg =
+  if cfg.batch_max < 1 then invalid_arg "Batcher.create: batch_max < 1";
+  if not (cfg.deadline_us > 0.0) then
+    invalid_arg "Batcher.create: deadline_us <= 0";
+  { cfg; groups = Hashtbl.create 8; order = []; pending = 0 }
+
+let config t = t.cfg
+
+let group t model =
+  match Hashtbl.find_opt t.groups model with
+  | Some g -> g
+  | None ->
+    let g = { g_model = model; items = Queue.create () } in
+    Hashtbl.replace t.groups model g;
+    t.order <- model :: t.order;
+    g
+
+let ordered_groups t =
+  List.rev t.order
+  |> List.filter_map (fun m ->
+         match Hashtbl.find_opt t.groups m with
+         | Some g when not (Queue.is_empty g.items) -> Some g
+         | _ -> None)
+
+let form t cause now g =
+  let n = Queue.length g.items in
+  let requests = Array.make n (fst (Queue.peek g.items)) in
+  let arrivals = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let r, a = Queue.pop g.items in
+    requests.(i) <- r;
+    arrivals.(i) <- a
+  done;
+  t.pending <- t.pending - n;
+  { model = g.g_model; formed_us = now; cause; requests; arrivals_us = arrivals }
+
+let add t ~model ~arrival_us r =
+  let g = group t model in
+  Queue.push (r, arrival_us) g.items;
+  t.pending <- t.pending + 1;
+  if Queue.length g.items >= t.cfg.batch_max then
+    Some (form t By_size arrival_us g)
+  else None
+
+let group_deadline t g = snd (Queue.peek g.items) +. t.cfg.deadline_us
+
+let next_deadline t =
+  List.fold_left
+    (fun acc g ->
+      let d = group_deadline t g in
+      match acc with Some best when best <= d -> acc | _ -> Some d)
+    None (ordered_groups t)
+
+let expire t ~now =
+  (* Deadline order, ties by registration order: sort is stable. *)
+  ordered_groups t
+  |> List.filter (fun g -> group_deadline t g <= now)
+  |> List.map (fun g -> (group_deadline t g, g))
+  |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (d, g) -> form t By_deadline d g)
+
+let flush t ~now = List.map (form t By_flush now) (ordered_groups t)
+
+let pending_count t = t.pending

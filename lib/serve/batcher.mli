@@ -1,0 +1,62 @@
+(** Dynamic batch formation: max-size or deadline, whichever fires first.
+
+    The batcher groups admitted requests per model (a batch runs one
+    compiled predictor) and closes a group as a batch when either
+
+    - the group reaches [batch_max] requests (size trigger — fires at the
+      admitting arrival's timestamp), or
+    - the group's {e oldest} request has waited [deadline_us] (deadline
+      trigger — bounds the batching delay any request can pay).
+
+    All times are caller-supplied virtual microseconds, so formation is
+    deterministic and testable without a clock. The batcher never launches
+    a partial batch early just because a worker is idle: the two triggers
+    above are the whole policy (the paper-adjacent design point the
+    [bench -- serve] experiment sweeps). *)
+
+type config = {
+  batch_max : int;
+  deadline_us : float;
+}
+
+type cause =
+  | By_size  (** group hit [batch_max] *)
+  | By_deadline  (** oldest request aged past [deadline_us] *)
+  | By_flush  (** end-of-trace drain *)
+
+val cause_to_string : cause -> string
+
+type 'r batch = {
+  model : string;
+  formed_us : float;
+  cause : cause;
+  requests : 'r array;  (** admission order *)
+  arrivals_us : float array;  (** per request, same order *)
+}
+
+type 'r t
+
+val create : config -> 'r t
+(** @raise Invalid_argument when [batch_max < 1] or [deadline_us <= 0]. *)
+
+val config : 'r t -> config
+
+val add : 'r t -> model:string -> arrival_us:float -> 'r -> 'r batch option
+(** Admit one request at [arrival_us]; returns the formed batch when this
+    admission fires the size trigger. Arrivals must be fed in
+    non-decreasing time order per the virtual clock. *)
+
+val next_deadline : 'r t -> float option
+(** Earliest pending deadline over all groups; [None] when nothing is
+    pending. *)
+
+val expire : 'r t -> now:float -> 'r batch list
+(** Close every group whose deadline is [<= now], in deadline order (ties
+    broken by model registration order — deterministic). *)
+
+val flush : 'r t -> now:float -> 'r batch list
+(** Close every pending group regardless of age ([By_flush]); used at the
+    end of a trace. *)
+
+val pending_count : 'r t -> int
+(** Requests admitted but not yet formed into a batch. *)

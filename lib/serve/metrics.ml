@@ -1,0 +1,92 @@
+module H = Tb_util.Stats.Histogram
+module J = Tb_util.Json
+
+type t = {
+  queue_wait_us : H.t;
+  service_us : H.t;
+  total_us : H.t;
+  batch_size : H.t;
+  queue_depth : H.t;
+  mutable arrivals : int;
+  mutable admitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable batches : int;
+  mutable by_size : int;
+  mutable by_deadline : int;
+  mutable by_flush : int;
+  mutable rows_served : int;
+  mutable makespan_us : float;
+}
+
+let create () =
+  {
+    queue_wait_us = H.create ();
+    service_us = H.create ();
+    total_us = H.create ();
+    (* Counts (batch sizes, queue depths) are small integers: a finer
+       near-1 resolution keeps their quantiles exact. *)
+    batch_size = H.create ~lo:1.0 ~hi:1e6 ~per_decade:32 ();
+    queue_depth = H.create ~lo:1.0 ~hi:1e6 ~per_decade:32 ();
+    arrivals = 0;
+    admitted = 0;
+    rejected = 0;
+    completed = 0;
+    batches = 0;
+    by_size = 0;
+    by_deadline = 0;
+    by_flush = 0;
+    rows_served = 0;
+    makespan_us = 0.0;
+  }
+
+let record_arrival t ~depth =
+  t.arrivals <- t.arrivals + 1;
+  H.add t.queue_depth (float_of_int depth)
+
+let record_reject t = t.rejected <- t.rejected + 1
+let record_admit t = t.admitted <- t.admitted + 1
+
+let record_batch t ~size ~cause =
+  t.batches <- t.batches + 1;
+  H.add t.batch_size (float_of_int size);
+  match (cause : Batcher.cause) with
+  | Batcher.By_size -> t.by_size <- t.by_size + 1
+  | Batcher.By_deadline -> t.by_deadline <- t.by_deadline + 1
+  | Batcher.By_flush -> t.by_flush <- t.by_flush + 1
+
+let record_completion t ~arrival_us ~start_us ~finish_us =
+  t.completed <- t.completed + 1;
+  t.rows_served <- t.rows_served + 1;
+  H.add t.queue_wait_us (start_us -. arrival_us);
+  H.add t.service_us (finish_us -. start_us);
+  H.add t.total_us (finish_us -. arrival_us);
+  if finish_us > t.makespan_us then t.makespan_us <- finish_us
+
+let throughput_rows_per_s t =
+  if t.makespan_us <= 0.0 then 0.0
+  else float_of_int t.rows_served /. (t.makespan_us /. 1e6)
+
+let to_json t =
+  J.Obj
+    [
+      ("arrivals", J.Num (float_of_int t.arrivals));
+      ("admitted", J.Num (float_of_int t.admitted));
+      ("rejected", J.Num (float_of_int t.rejected));
+      ("completed", J.Num (float_of_int t.completed));
+      ("batches", J.Num (float_of_int t.batches));
+      ( "batch_cause",
+        J.Obj
+          [
+            ("size", J.Num (float_of_int t.by_size));
+            ("deadline", J.Num (float_of_int t.by_deadline));
+            ("flush", J.Num (float_of_int t.by_flush));
+          ] );
+      ("latency_total_us", H.to_json t.total_us);
+      ("latency_queue_wait_us", H.to_json t.queue_wait_us);
+      ("latency_service_us", H.to_json t.service_us);
+      ("batch_size", H.to_json t.batch_size);
+      ("queue_depth", H.to_json t.queue_depth);
+      ("makespan_us", J.Num t.makespan_us);
+      ("throughput_rows_per_s", J.Num (throughput_rows_per_s t));
+    ]

@@ -1,0 +1,51 @@
+(** Serving observability: latency histograms, queue/batch gauges and
+    counters, with a JSON snapshot.
+
+    Latencies are decomposed the way a serving dashboard wants them:
+
+    - {e queue wait} — arrival to batch dispatch (batching delay plus any
+      wait for a free worker);
+    - {e service} — dispatch to completion (compile-on-miss plus the
+      batch's predict time, amortized per request as the whole batch's
+      span);
+    - {e total} — arrival to completion, the end-to-end number whose
+      p50/p95/p99 the acceptance criteria quote.
+
+    Histograms are fixed-bucket ({!Tb_util.Stats.Histogram}), so memory
+    stays constant over arbitrarily long traces. All times are virtual
+    microseconds from the deterministic simulator. *)
+
+type t = {
+  queue_wait_us : Tb_util.Stats.Histogram.t;
+  service_us : Tb_util.Stats.Histogram.t;
+  total_us : Tb_util.Stats.Histogram.t;
+  batch_size : Tb_util.Stats.Histogram.t;
+  queue_depth : Tb_util.Stats.Histogram.t;
+      (** sampled at every arrival, before admission *)
+  mutable arrivals : int;
+  mutable admitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable batches : int;
+  mutable by_size : int;
+  mutable by_deadline : int;
+  mutable by_flush : int;
+  mutable rows_served : int;
+  mutable makespan_us : float;  (** last completion's virtual finish time *)
+}
+
+val create : unit -> t
+
+val record_arrival : t -> depth:int -> unit
+val record_reject : t -> unit
+val record_admit : t -> unit
+
+val record_batch : t -> size:int -> cause:Batcher.cause -> unit
+
+val record_completion :
+  t -> arrival_us:float -> start_us:float -> finish_us:float -> unit
+
+val throughput_rows_per_s : t -> float
+(** completed rows / virtual makespan; 0 for an empty run. *)
+
+val to_json : t -> Tb_util.Json.t

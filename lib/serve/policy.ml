@@ -1,0 +1,185 @@
+type kind =
+  | Lru
+  | Sieve
+
+let kind_to_string = function Lru -> "lru" | Sieve -> "sieve"
+
+let kind_of_string = function
+  | "lru" -> Ok Lru
+  | "sieve" -> Ok Sieve
+  | s -> Error (Printf.sprintf "unknown eviction policy %S (try lru or sieve)" s)
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+}
+
+(* Intrusive doubly-linked list over cache entries. [head] is the
+   insertion (LRU: recency) end, [tail] the eviction end. *)
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable visited : bool;  (* SIEVE second-chance mark *)
+  mutable prev : ('k, 'v) node option;  (* toward head *)
+  mutable next : ('k, 'v) node option;  (* toward tail *)
+}
+
+type ('k, 'v) t = {
+  kind : kind;
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hand : ('k, 'v) node option;  (* SIEVE sweep position *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 16) kind =
+  if capacity < 1 then invalid_arg "Policy.create: capacity < 1";
+  {
+    kind;
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hand = None;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+  }
+
+let kind_of t = t.kind
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  if (match t.hand with Some h -> h == node | None -> false) then
+    (* Keep the SIEVE hand valid: step it over the vanished node, toward
+       the head (the sweep direction). *)
+    t.hand <- node.prev;
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> ());
+  t.head <- Some node;
+  if t.tail = None then t.tail <- Some node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some node ->
+    t.hits <- t.hits + 1;
+    (match t.kind with
+    | Lru ->
+      unlink t node;
+      push_front t node
+    | Sieve -> node.visited <- true);
+    Some node.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict t =
+  let victim =
+    match t.kind with
+    | Lru -> t.tail
+    | Sieve ->
+      (* Sweep from the hand (or the tail) toward the head, granting each
+         visited entry its second chance. Wrapping to the tail guarantees
+         termination: a full pass clears every mark. *)
+      let cur = ref (match t.hand with Some _ as h -> h | None -> t.tail) in
+      let result = ref None in
+      while !result = None && !cur <> None do
+        match !cur with
+        | None -> ()
+        | Some node ->
+          if node.visited then begin
+            node.visited <- false;
+            cur := (match node.prev with Some _ as p -> p | None -> t.tail)
+          end
+          else begin
+            result := Some node;
+            (* The hand persists across evictions: the next sweep resumes
+               one past the victim, not back at the tail — this is what
+               makes the cleared marks count. *)
+            t.hand <- node.prev
+          end
+      done;
+      !result
+  in
+  match victim with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    t.evictions <- t.evictions + 1;
+    Some (node.key, node.value)
+
+let put t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    node.value <- v;
+    (match t.kind with
+    | Lru ->
+      unlink t node;
+      push_front t node
+    | Sieve -> ());
+    None
+  | None ->
+    let evicted = if length t >= t.capacity then evict t else None in
+    let node = { key = k; value = v; visited = false; prev = None; next = None } in
+    push_front t node;
+    Hashtbl.replace t.table k node;
+    t.insertions <- t.insertions + 1;
+    evicted
+
+let stats t : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    evictions = t.evictions;
+  }
+
+let hit_ratio t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let contents t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go (node.key :: acc) node.next
+  in
+  go [] t.head
+
+module J = Tb_util.Json
+
+let stats_to_json (s : stats) =
+  let total = s.hits + s.misses in
+  J.Obj
+    [
+      ("hits", J.Num (float_of_int s.hits));
+      ("misses", J.Num (float_of_int s.misses));
+      ("insertions", J.Num (float_of_int s.insertions));
+      ("evictions", J.Num (float_of_int s.evictions));
+      ( "hit_ratio",
+        J.Num
+          (if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total)
+      );
+    ]

@@ -1,0 +1,64 @@
+(** Pluggable eviction policies for the compiled-predictor cache.
+
+    A bounded keyed cache with two interchangeable policies:
+
+    - {e LRU}: classic move-to-front on hit, evict the tail. Strong on
+      skewed reuse, but a burst of one-hit-wonder keys (a scan over many
+      cold models) flushes the hot set.
+    - {e SIEVE}: FIFO insertion order with a lazy second-chance sweep — a
+      hit only marks the entry visited; eviction advances a hand from the
+      tail toward the head, clearing visited marks until it finds an
+      unvisited entry. Scan-resistant at LRU's cost, without per-hit list
+      surgery (SIEVE, NSDI'24).
+
+    Serving workloads hot-swap models, so the policy is a real lever: the
+    cache keys are (model, schedule, target) triples and a miss costs a
+    full compile. All operations are O(1) amortized; the structure is not
+    thread-safe — the serving runtime confines it to the dispatch thread. *)
+
+type kind =
+  | Lru
+  | Sieve
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> (kind, string) result
+(** Accepts ["lru"] and ["sieve"]. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;
+  misses : int;  (** {!find} calls that returned [None] *)
+  insertions : int;
+  evictions : int;
+}
+
+val create : ?capacity:int -> kind -> ('k, 'v) t
+(** Default capacity 16. @raise Invalid_argument when [capacity < 1]. *)
+
+val kind_of : ('k, 'v) t -> kind
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Policy-aware lookup: updates recency (LRU) or the visited mark
+    (SIEVE), and the hit/miss counters. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Pure membership probe: no policy state or counter updates. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert or update a binding, returning the binding evicted to make
+    room, if any. An update of an existing key never evicts. *)
+
+val stats : ('k, 'v) t -> stats
+
+val hit_ratio : ('k, 'v) t -> float
+(** hits / (hits + misses); 0 before any lookup. *)
+
+val contents : ('k, 'v) t -> 'k list
+(** Keys from the insertion/recency head to the eviction tail — test
+    visibility into the policy's internal order. *)
+
+val stats_to_json : stats -> Tb_util.Json.t

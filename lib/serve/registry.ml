@@ -1,0 +1,110 @@
+module Schedule = Tb_hir.Schedule
+module Forest = Tb_model.Forest
+module Lower = Tb_lir.Lower
+module Layout = Tb_lir.Layout
+module Jit = Tb_vm.Jit
+module Config = Tb_cpu.Config
+module Perf = Tb_core.Perf
+module Json = Tb_util.Json
+module Prng = Tb_util.Prng
+
+type compiled = {
+  model : string;
+  schedule : Schedule.t;
+  lowered : Lower.t;
+  predict : float array array -> float array array;
+  us_per_row : float;
+  compile_us : float;
+}
+
+type source = {
+  forest : Forest.t;
+  profiles : Tb_model.Model_stats.tree_profile array option;
+  sample_rows : float array array;
+}
+
+type t = {
+  target : Config.t;
+  sources : (string, source) Hashtbl.t;
+  mutable order : string list;  (* reversed registration order *)
+  cache : (string, compiled) Policy.t;
+  mutable compiles : int;
+  mutable clamps : (string * string) list;
+}
+
+let create ?(target = Config.intel_rocket_lake) ?(policy = Policy.Lru)
+    ?(capacity = 8) () =
+  {
+    target;
+    sources = Hashtbl.create 8;
+    order = [];
+    cache = Policy.create ~capacity policy;
+    compiles = 0;
+    clamps = [];
+  }
+
+let default_sample_rows name forest =
+  let rng = Prng.create (Hashtbl.hash name land max_int) in
+  Array.init 48 (fun _ ->
+      Array.init forest.Forest.num_features (fun _ -> Prng.gaussian rng))
+
+let register t ~name ?profiles ?sample_rows forest =
+  let sample_rows =
+    match sample_rows with
+    | Some rows when Array.length rows > 0 -> rows
+    | _ -> default_sample_rows name forest
+  in
+  if not (Hashtbl.mem t.sources name) then t.order <- name :: t.order;
+  Hashtbl.replace t.sources name { forest; profiles; sample_rows }
+
+let models t = List.rev t.order
+
+let forest t name = (Hashtbl.find t.sources name).forest
+
+(* The cache key must distinguish every schedule field, so use the exact
+   JSON round-trip form rather than the lossy to_string. *)
+let key t name schedule =
+  Printf.sprintf "%s|%s|%s" name t.target.Config.name
+    (Json.to_string (Schedule.to_json schedule))
+
+(* Modeled compile cost: lowering walks every node once and layout size
+   tracks slot count, so charge a fixed pipeline overhead plus a per-slot
+   term. Deterministic by construction — the simulator's virtual clock
+   must not depend on host wall time. *)
+let modeled_compile_us lowered =
+  150.0 +. (0.05 *. float_of_int (Layout.num_slots lowered.Lower.layout))
+
+let compile t name schedule =
+  let src = Hashtbl.find t.sources name in
+  let lowered = Lower.lower ?profiles:src.profiles src.forest schedule in
+  let perf = Perf.simulate ~target:t.target lowered src.sample_rows in
+  t.compiles <- t.compiles + 1;
+  {
+    model = name;
+    schedule;
+    lowered;
+    predict = Jit.compile_single_thread lowered;
+    us_per_row = perf.Perf.time_per_row_us;
+    compile_us = modeled_compile_us lowered;
+  }
+
+let compiled t ~model ~schedule =
+  if not (Hashtbl.mem t.sources model) then raise Not_found;
+  (* Normalize before keying, so schedules differing only in their (now
+     irrelevant) thread count share one cache entry. *)
+  let schedule, warning = Schedule.clamp_threads ~max_threads:1 schedule in
+  let k = key t model schedule in
+  match Policy.find t.cache k with
+  | Some c -> (c, true)
+  | None ->
+    (match warning with
+    | Some w -> t.clamps <- (model, w) :: t.clamps
+    | None -> ());
+    let c = compile t model schedule in
+    ignore (Policy.put t.cache k c);
+    (c, false)
+
+let cache_stats t = Policy.stats t.cache
+let cache_policy t = Policy.kind_of t.cache
+let compile_count t = t.compiles
+let clamp_warnings t = t.clamps

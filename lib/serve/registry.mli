@@ -1,0 +1,73 @@
+(** Model registry + compiled-predictor cache.
+
+    Serving hot-swaps models out of a zoo, and a Treebeard compile
+    (tiling, reordering, lowering, layout) is far too slow to sit on the
+    request path of every batch. The registry keeps the source forests and
+    a bounded {!Policy} cache of compiled predictors keyed by
+    [(model, schedule, target)], so repeated dispatches of a hot model hit
+    the cache and cold or evicted entries pay one recompile.
+
+    Serving-level parallelism replaces the schedule's row-loop threads: a
+    worker owns a whole core, so every schedule is normalized to
+    [num_threads = 1] ({!Tb_hir.Schedule.clamp_threads}) and executed via
+    {!Tb_vm.Jit.compile_single_thread}. Each compiled entry also carries a
+    deterministic service-time model ([us_per_row], from
+    {!Tb_core.Perf.simulate} on the registered sample rows, and a modeled
+    [compile_us]) that the virtual-clock simulator charges instead of wall
+    time, keeping every run reproducible. *)
+
+type compiled = {
+  model : string;
+  schedule : Tb_hir.Schedule.t;  (** normalized: [num_threads = 1] *)
+  lowered : Tb_lir.Lower.t;
+  predict : float array array -> float array array;
+      (** {!Tb_vm.Jit.compile_single_thread} closure *)
+  us_per_row : float;
+      (** deterministic per-row service time (simulated cycles at the
+          target's nominal clock) *)
+  compile_us : float;
+      (** modeled compilation cost, charged to the batch that misses *)
+}
+
+type t
+
+val create :
+  ?target:Tb_cpu.Config.t ->
+  ?policy:Policy.kind ->
+  ?capacity:int ->
+  unit ->
+  t
+(** Defaults: Intel Rocket Lake, LRU, capacity 8 compiled entries. *)
+
+val register :
+  t ->
+  name:string ->
+  ?profiles:Tb_model.Model_stats.tree_profile array ->
+  ?sample_rows:float array array ->
+  Tb_model.Forest.t ->
+  unit
+(** Add (or replace) a model. [profiles] enable probability-based tiling;
+    [sample_rows] feed the service-time model (default: 48 deterministic
+    gaussian rows seeded from the model name). *)
+
+val models : t -> string list
+(** Registration order. *)
+
+val forest : t -> string -> Tb_model.Forest.t
+(** @raise Not_found for unregistered names. *)
+
+val compiled :
+  t -> model:string -> schedule:Tb_hir.Schedule.t -> compiled * bool
+(** Get-or-compile; the flag is [true] on a cache hit. On a miss the
+    compile may evict another entry per the policy.
+    @raise Not_found for unregistered names. *)
+
+val cache_stats : t -> Policy.stats
+val cache_policy : t -> Policy.kind
+val compile_count : t -> int
+(** Total compiles performed (= cache insertions, counting recompiles
+    after eviction). *)
+
+val clamp_warnings : t -> (string * string) list
+(** [(model, warning)] for every schedule whose [num_threads] the
+    registry normalized away, newest first. *)

@@ -1,0 +1,85 @@
+type stats = {
+  pushed : int;
+  rejected : int;
+  popped : int;
+  max_depth : int;
+}
+
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  lock : Mutex.t;
+  mutable pushed : int;
+  mutable rejected : int;
+  mutable popped : int;
+  mutable max_depth : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Rqueue.create: capacity < 1";
+  {
+    capacity;
+    q = Queue.create ();
+    lock = Mutex.create ();
+    pushed = 0;
+    rejected = 0;
+    popped = 0;
+    max_depth = 0;
+  }
+
+let capacity t = t.capacity
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = with_lock t (fun () -> Queue.length t.q)
+
+let try_push t x =
+  with_lock t (fun () ->
+      if Queue.length t.q >= t.capacity then begin
+        t.rejected <- t.rejected + 1;
+        false
+      end
+      else begin
+        Queue.push x t.q;
+        t.pushed <- t.pushed + 1;
+        if Queue.length t.q > t.max_depth then t.max_depth <- Queue.length t.q;
+        true
+      end)
+
+let pop_opt t =
+  with_lock t (fun () ->
+      match Queue.take_opt t.q with
+      | None -> None
+      | Some x ->
+        t.popped <- t.popped + 1;
+        Some x)
+
+let drop_n t n =
+  with_lock t (fun () ->
+      let n = min n (Queue.length t.q) in
+      for _ = 1 to n do
+        ignore (Queue.pop t.q)
+      done;
+      t.popped <- t.popped + n)
+
+let stats t : stats =
+  with_lock t (fun () ->
+      {
+        pushed = t.pushed;
+        rejected = t.rejected;
+        popped = t.popped;
+        max_depth = t.max_depth;
+      })
+
+module J = Tb_util.Json
+
+let stats_to_json (s : stats) =
+  J.Obj
+    [
+      ("pushed", J.Num (float_of_int s.pushed));
+      ("rejected", J.Num (float_of_int s.rejected));
+      ("popped", J.Num (float_of_int s.popped));
+      ("max_depth", J.Num (float_of_int s.max_depth));
+    ]

@@ -1,0 +1,273 @@
+type request = {
+  id : int;
+  model : string;
+  row : float array;
+  arrival_us : float;
+}
+
+type config = {
+  queue_capacity : int;
+  batch_max : int;
+  deadline_us : float;
+  workers : int;
+  dispatch_overhead_us : float;
+}
+
+let default_config =
+  {
+    queue_capacity = 1024;
+    batch_max = 32;
+    deadline_us = 500.0;
+    workers = 2;
+    dispatch_overhead_us = 20.0;
+  }
+
+type batch_exec = {
+  batch_id : int;
+  worker : int;
+  cause : Batcher.cause;
+  compiled : Registry.compiled;
+  cache_hit : bool;
+  requests : request array;
+  formed_us : float;
+  start_us : float;
+  finish_us : float;
+}
+
+type result = {
+  outputs : float array option array;
+  batches : batch_exec list;
+  rejects : request list;
+  metrics : Metrics.t;
+  queue_stats : Rqueue.stats;
+  cache_stats : Policy.stats;
+  compile_count : int;
+  equivalence_failures : int;
+}
+
+let validate_config c =
+  if c.queue_capacity < 1 then invalid_arg "Runtime: queue_capacity < 1";
+  if c.batch_max < 1 then invalid_arg "Runtime: batch_max < 1";
+  if not (c.deadline_us > 0.0) then invalid_arg "Runtime: deadline_us <= 0";
+  if c.workers < 1 then invalid_arg "Runtime: workers < 1";
+  if c.dispatch_overhead_us < 0.0 then
+    invalid_arg "Runtime: dispatch_overhead_us < 0"
+
+type state = {
+  cfg : config;
+  registry : Registry.t;
+  schedule : Tb_hir.Schedule.t;
+  rq : request Rqueue.t;
+  batcher : request Batcher.t;
+  busy_until : float array;  (* per worker *)
+  (* Dispatched batches whose virtual start hasn't passed yet: (start,
+     size), FIFO. Starts are non-decreasing in dispatch order (each
+     dispatch takes the current earliest-free worker, and formation times
+     are non-decreasing), so retiring the head suffices. *)
+  inflight : (float * int) Queue.t;
+  metrics : Metrics.t;
+  mutable batch_seq : int;
+  mutable batches_rev : batch_exec list;
+  mutable rejects_rev : request list;
+  (* Last compiled entry per model, kept out of the eviction cache so the
+     post-run equivalence check doesn't perturb cache statistics. *)
+  by_model : (string, Registry.compiled) Hashtbl.t;
+}
+
+(* Retire queue slots of batches that have started by [now]: those
+   requests are on a worker, not in the bounded admission window. *)
+let retire_started st ~now =
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt st.inflight with
+    | Some (start, size) when start <= now ->
+      ignore (Queue.pop st.inflight);
+      Rqueue.drop_n st.rq size
+    | _ -> continue := false
+  done
+
+let dispatch st (b : request Batcher.batch) =
+  let compiled, cache_hit =
+    Registry.compiled st.registry ~model:b.Batcher.model ~schedule:st.schedule
+  in
+  Hashtbl.replace st.by_model b.Batcher.model compiled;
+  let worker = ref 0 in
+  for w = 1 to Array.length st.busy_until - 1 do
+    if st.busy_until.(w) < st.busy_until.(!worker) then worker := w
+  done;
+  let w = !worker in
+  let size = Array.length b.Batcher.requests in
+  let start = Float.max b.Batcher.formed_us st.busy_until.(w) in
+  let service =
+    st.cfg.dispatch_overhead_us
+    +. (if cache_hit then 0.0 else compiled.Registry.compile_us)
+    +. (float_of_int size *. compiled.Registry.us_per_row)
+  in
+  let finish = start +. service in
+  st.busy_until.(w) <- finish;
+  Queue.push (start, size) st.inflight;
+  Metrics.record_batch st.metrics ~size ~cause:b.Batcher.cause;
+  Array.iteri
+    (fun i _ ->
+      Metrics.record_completion st.metrics
+        ~arrival_us:b.Batcher.arrivals_us.(i) ~start_us:start ~finish_us:finish)
+    b.Batcher.requests;
+  st.batch_seq <- st.batch_seq + 1;
+  st.batches_rev <-
+    {
+      batch_id = st.batch_seq - 1;
+      worker = w;
+      cause = b.Batcher.cause;
+      compiled;
+      cache_hit;
+      requests = b.Batcher.requests;
+      formed_us = b.Batcher.formed_us;
+      start_us = start;
+      finish_us = finish;
+    }
+    :: st.batches_rev
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: virtual-time scheduling                                    *)
+
+let schedule_trace st requests =
+  Array.iter
+    (fun req ->
+      let now = req.arrival_us in
+      (* Deadlines that elapsed before this arrival fire first. *)
+      List.iter (dispatch st) (Batcher.expire st.batcher ~now);
+      retire_started st ~now;
+      Metrics.record_arrival st.metrics ~depth:(Rqueue.length st.rq);
+      if Rqueue.try_push st.rq req then begin
+        Metrics.record_admit st.metrics;
+        match
+          Batcher.add st.batcher ~model:req.model ~arrival_us:now req
+        with
+        | Some b -> dispatch st b
+        | None -> ()
+      end
+      else begin
+        Metrics.record_reject st.metrics;
+        st.rejects_rev <- req :: st.rejects_rev
+      end)
+    requests;
+  (* The trace is over but the server keeps running: every remaining
+     group fires at its own deadline. *)
+  let rec drain () =
+    match Batcher.next_deadline st.batcher with
+    | None -> ()
+    | Some d ->
+      List.iter (dispatch st) (Batcher.expire st.batcher ~now:d);
+      drain ()
+  in
+  drain ();
+  retire_started st ~now:infinity
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: parallel execution on domains                              *)
+
+let execute cfg batches outputs =
+  let by_worker = Array.make cfg.workers [] in
+  List.iter
+    (fun b -> by_worker.(b.worker) <- b :: by_worker.(b.worker))
+    (List.rev batches);
+  let run_worker assigned () =
+    List.iter
+      (fun b ->
+        let rows = Array.map (fun r -> r.row) b.requests in
+        let outs = b.compiled.Registry.predict rows in
+        Array.iteri
+          (fun i r -> outputs.(r.id) <- Some outs.(i))
+          b.requests)
+      (List.rev assigned)
+  in
+  let domains =
+    Array.to_list by_worker
+    |> List.filter_map (fun assigned ->
+           if assigned = [] then None
+           else Some (Domain.spawn (run_worker assigned)))
+  in
+  List.iter Domain.join domains
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence: serving must not change results                        *)
+
+let check_equivalence st requests outputs =
+  let failures = ref 0 in
+  List.iter
+    (fun model ->
+      match Hashtbl.find_opt st.by_model model with
+      | None -> ()  (* no batch of this model was dispatched *)
+      | Some compiled ->
+        let served =
+          Array.to_list requests
+          |> List.filter (fun r -> r.model = model && outputs.(r.id) <> None)
+        in
+        if served <> [] then begin
+          let rows = Array.of_list (List.map (fun r -> r.row) served) in
+          let direct = compiled.Registry.predict rows in
+          List.iteri
+            (fun i r ->
+              match outputs.(r.id) with
+              | Some got
+                when Array.length got = Array.length direct.(i)
+                     && Array.for_all2 Float.equal got direct.(i) ->
+                ()
+              | _ -> incr failures)
+            served
+        end)
+    (Registry.models st.registry);
+  !failures
+
+let run ?(config = default_config) ~schedule registry requests =
+  validate_config config;
+  let n = Array.length requests in
+  let seen = Array.make (max n 1) false in
+  Array.iter
+    (fun r ->
+      if r.id < 0 || r.id >= n || seen.(r.id) then
+        invalid_arg "Runtime.run: request ids must be exactly 0..n-1";
+      seen.(r.id) <- true)
+    requests;
+  let requests = Array.copy requests in
+  Array.stable_sort (fun a b -> compare a.arrival_us b.arrival_us) requests;
+  let st =
+    {
+      cfg = config;
+      registry;
+      schedule;
+      rq = Rqueue.create ~capacity:config.queue_capacity;
+      batcher =
+        Batcher.create
+          {
+            Batcher.batch_max = config.batch_max;
+            deadline_us = config.deadline_us;
+          };
+      busy_until = Array.make config.workers 0.0;
+      inflight = Queue.create ();
+      metrics = Metrics.create ();
+      batch_seq = 0;
+      batches_rev = [];
+      rejects_rev = [];
+      by_model = Hashtbl.create 8;
+    }
+  in
+  schedule_trace st requests;
+  (* Snapshot cache statistics before the equivalence pass so the check
+     itself can't distort the reported hit ratio. *)
+  let cache_stats = Registry.cache_stats registry in
+  let compile_count = Registry.compile_count registry in
+  let batches = List.rev st.batches_rev in
+  let outputs = Array.make n None in
+  execute config batches outputs;
+  let equivalence_failures = check_equivalence st requests outputs in
+  {
+    outputs;
+    batches;
+    rejects = List.rev st.rejects_rev;
+    metrics = st.metrics;
+    queue_stats = Rqueue.stats st.rq;
+    cache_stats;
+    compile_count;
+    equivalence_failures;
+  }

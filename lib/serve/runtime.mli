@@ -1,0 +1,81 @@
+(** The serving runtime: admission queue → dynamic batcher → worker pool,
+    driven on a deterministic virtual clock.
+
+    The engine runs in two phases:
+
+    + {e Virtual-time scheduling} (single-threaded, deterministic): walk
+      the arrival trace in time order; admit each request through the
+      bounded {!Rqueue} (rejecting with backpressure when the window of
+      queued-but-unstarted requests is full), form batches per
+      {!Batcher}'s size-or-deadline policy, and assign each batch to the
+      earliest-free worker of a pool of [workers] logical servers. Batch
+      service time is charged from the {!Registry}'s deterministic model:
+      a fixed dispatch overhead, the modeled compile cost when the
+      predictor cache misses, and [size × us_per_row]. Every latency in
+      {!Metrics} comes from this clock, so a fixed trace yields identical
+      numbers on any host.
+    + {e Execution} (parallel, real): the scheduled batches are executed
+      on OCaml [Domain]s — one per worker, each running its assigned
+      batches through {!Tb_vm.Jit.compile_single_thread} predictors
+      (serving-level parallelism replaces the schedule's row-loop
+      threads). Outputs land in per-request slots, and an equivalence
+      check compares them bitwise against one direct whole-trace predictor
+      call per model: batching, caching and parallel dispatch must never
+      change a result. *)
+
+type request = {
+  id : int;  (** dense 0..n-1; indexes the result's output slots *)
+  model : string;
+  row : float array;
+  arrival_us : float;
+}
+
+type config = {
+  queue_capacity : int;
+      (** max requests admitted but not yet dispatched to a worker *)
+  batch_max : int;
+  deadline_us : float;
+  workers : int;
+  dispatch_overhead_us : float;
+      (** fixed virtual cost per batch: queue handoff + output scatter *)
+}
+
+val default_config : config
+(** capacity 1024, batch 32, deadline 500µs, 2 workers, 20µs overhead. *)
+
+type batch_exec = {
+  batch_id : int;
+  worker : int;
+  cause : Batcher.cause;
+  compiled : Registry.compiled;
+  cache_hit : bool;
+  requests : request array;
+  formed_us : float;
+  start_us : float;
+  finish_us : float;
+}
+
+type result = {
+  outputs : float array option array;
+      (** per request id: the margin vector, [None] when rejected *)
+  batches : batch_exec list;  (** dispatch order *)
+  rejects : request list;  (** arrival order *)
+  metrics : Metrics.t;
+  queue_stats : Rqueue.stats;
+  cache_stats : Policy.stats;
+  compile_count : int;
+  equivalence_failures : int;
+      (** requests whose served output differs bitwise from the direct
+          single-call JIT prediction; 0 on a healthy run *)
+}
+
+val run :
+  ?config:config ->
+  schedule:Tb_hir.Schedule.t ->
+  Registry.t ->
+  request array ->
+  result
+(** Serve a trace. Requests may arrive in any order (they are sorted by
+    arrival time, stably); ids must be exactly 0..n-1.
+    @raise Invalid_argument on malformed ids or config fields, and
+    [Not_found] when a request names an unregistered model. *)

@@ -1,0 +1,201 @@
+module Prng = Tb_util.Prng
+module J = Tb_util.Json
+module Schedule = Tb_hir.Schedule
+module Config = Tb_cpu.Config
+
+type arrival_kind = Poisson | Burst of int | Ramp
+
+let arrival_kind_to_string = function
+  | Poisson -> "poisson"
+  | Burst n -> Printf.sprintf "burst:%d" n
+  | Ramp -> "ramp"
+
+let arrival_kind_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "poisson" -> Ok Poisson
+  | "ramp" -> Ok Ramp
+  | "burst" -> Ok (Burst 8)
+  | s when String.length s > 6 && String.sub s 0 6 = "burst:" -> (
+    match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+    | Some n when n >= 1 -> Ok (Burst n)
+    | _ -> Error (Printf.sprintf "invalid burst size in %S" s))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown arrival process %S (expected poisson, burst[:N] or ramp)" s)
+
+type model_spec = {
+  name : string;
+  forest : Tb_model.Forest.t;
+  profiles : Tb_model.Model_stats.tree_profile array option;
+  pool : float array array;
+  weight : int;
+}
+
+type config = {
+  arrival : arrival_kind;
+  rate_rps : float;
+  num_requests : int;
+  seed : int;
+  schedule : Schedule.t;
+  runtime : Runtime.config;
+  cache_policy : Policy.kind;
+  cache_capacity : int;
+  target : Config.t;
+}
+
+let default_config =
+  {
+    arrival = Poisson;
+    rate_rps = 50_000.0;
+    num_requests = 2000;
+    seed = 42;
+    schedule = Schedule.default;
+    runtime = Runtime.default_config;
+    cache_policy = Policy.Lru;
+    cache_capacity = 8;
+    target = Config.intel_rocket_lake;
+  }
+
+(* Exponential deviate with mean [mean]; 1 -. u avoids log 0. *)
+let exp_gap rng ~mean = -.mean *. log (1.0 -. Prng.uniform rng)
+
+let gen_arrivals rng kind ~rate_rps ~n =
+  if n < 0 then invalid_arg "Simulate.gen_arrivals: n < 0";
+  if not (rate_rps > 0.0) then
+    invalid_arg "Simulate.gen_arrivals: rate_rps <= 0";
+  let mean_gap_us = 1e6 /. rate_rps in
+  match kind with
+  | Poisson ->
+    let t = ref 0.0 in
+    Array.init n (fun _ ->
+        let at = !t in
+        t := !t +. exp_gap rng ~mean:mean_gap_us;
+        at)
+  | Burst b ->
+    (* Burst starts are Poisson at rate/b so the average rate is kept;
+       the b requests of a burst share the start timestamp. *)
+    let t = ref 0.0 in
+    let remaining = ref 0 in
+    Array.init n (fun _ ->
+        if !remaining = 0 then begin
+          remaining := b;
+          t := !t +. exp_gap rng ~mean:(mean_gap_us *. float_of_int b)
+        end;
+        decr remaining;
+        !t)
+  | Ramp ->
+    (* Intensity grows linearly from 0 to 2×rate over the horizon
+       T = n / rate, so the cumulative count is quadratic: inverting it
+       puts arrival i at T·√(u_i) for sorted uniforms. Using i/n quantiles
+       jittered by the rng keeps the stream deterministic and sorted. *)
+    let horizon_us = float_of_int n *. mean_gap_us in
+    let us = Array.init n (fun _ -> Prng.uniform rng) in
+    Array.sort compare us;
+    Array.map (fun u -> horizon_us *. sqrt u) us
+
+type report = {
+  config_json : J.t;
+  result : Runtime.result;
+  per_model : (string * int) list;
+}
+
+let config_to_json (c : config) models =
+  J.Obj
+    [
+      ("arrival", J.Str (arrival_kind_to_string c.arrival));
+      ("rate_rps", J.Num c.rate_rps);
+      ("num_requests", J.Num (float_of_int c.num_requests));
+      ("seed", J.Num (float_of_int c.seed));
+      ("schedule", Schedule.to_json c.schedule);
+      ("queue_capacity", J.Num (float_of_int c.runtime.Runtime.queue_capacity));
+      ("batch_max", J.Num (float_of_int c.runtime.Runtime.batch_max));
+      ("deadline_us", J.Num c.runtime.Runtime.deadline_us);
+      ("workers", J.Num (float_of_int c.runtime.Runtime.workers));
+      ( "dispatch_overhead_us",
+        J.Num c.runtime.Runtime.dispatch_overhead_us );
+      ("cache_policy", J.Str (Policy.kind_to_string c.cache_policy));
+      ("cache_capacity", J.Num (float_of_int c.cache_capacity));
+      ("target", J.Str c.target.Config.name);
+      ( "models",
+        J.Obj
+          (List.map
+             (fun m -> (m.name, J.Num (float_of_int m.weight)))
+             models) );
+    ]
+
+let run (c : config) models =
+  if models = [] then invalid_arg "Simulate.run: no models";
+  List.iter
+    (fun m ->
+      if Array.length m.pool = 0 then
+        invalid_arg
+          (Printf.sprintf "Simulate.run: model %s has an empty row pool"
+             m.name);
+      if m.weight < 1 then
+        invalid_arg
+          (Printf.sprintf "Simulate.run: model %s has weight < 1" m.name))
+    models;
+  let registry =
+    Registry.create ~target:c.target ~policy:c.cache_policy
+      ~capacity:c.cache_capacity ()
+  in
+  List.iter
+    (fun m ->
+      Registry.register registry ~name:m.name ?profiles:m.profiles
+        ~sample_rows:m.pool m.forest)
+    models;
+  let rng = Prng.create c.seed in
+  let arrivals =
+    gen_arrivals rng c.arrival ~rate_rps:c.rate_rps ~n:c.num_requests
+  in
+  (* Weighted choice by repetition: weights are small integers. *)
+  let model_arr =
+    Array.concat
+      (List.map (fun m -> Array.make m.weight m) models)
+  in
+  let requests =
+    Array.mapi
+      (fun i at ->
+        let m = Prng.choose rng model_arr in
+        let row = Prng.choose rng m.pool in
+        { Runtime.id = i; model = m.name; row; arrival_us = at })
+      arrivals
+  in
+  let result =
+    Runtime.run ~config:c.runtime ~schedule:c.schedule registry requests
+  in
+  let per_model =
+    List.map
+      (fun m ->
+        let count = ref 0 in
+        Array.iter
+          (fun (r : Runtime.request) ->
+            if r.model = m.name && result.Runtime.outputs.(r.id) <> None then
+              incr count)
+          requests;
+        (m.name, !count))
+      models
+  in
+  { config_json = config_to_json c models; result; per_model }
+
+let report_to_json r =
+  let res = r.result in
+  let m = res.Runtime.metrics in
+  J.Obj
+    [
+      ("config", r.config_json);
+      ("metrics", Metrics.to_json m);
+      ("queue", Rqueue.stats_to_json res.Runtime.queue_stats);
+      ("cache", Policy.stats_to_json res.Runtime.cache_stats);
+      ("compiles", J.Num (float_of_int res.Runtime.compile_count));
+      ( "per_model",
+        J.Obj
+          (List.map
+             (fun (name, n) -> (name, J.Num (float_of_int n)))
+             r.per_model) );
+      ( "equivalence_failures",
+        J.Num (float_of_int res.Runtime.equivalence_failures) );
+      ( "equivalent",
+        J.Bool (res.Runtime.equivalence_failures = 0) );
+    ]

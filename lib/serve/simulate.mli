@@ -1,0 +1,70 @@
+(** Deterministic trace simulation: arrival processes → {!Runtime.run} →
+    JSON report.
+
+    Everything is derived from the PRNG seed and the configuration — the
+    report contains no wall-clock times, so the same seed produces a
+    byte-identical report on any machine (the acceptance criterion for
+    [treebeard serve-sim]). *)
+
+type arrival_kind =
+  | Poisson  (** exponential inter-arrival gaps at [rate_rps] *)
+  | Burst of int
+      (** bursts of [n] back-to-back requests; burst starts are Poisson at
+          [rate_rps / n], preserving the average rate *)
+  | Ramp
+      (** linearly increasing intensity over the trace: 0 at t=0 up to
+          [2 × rate_rps] at the end, same average rate *)
+
+val arrival_kind_to_string : arrival_kind -> string
+
+val arrival_kind_of_string : string -> (arrival_kind, string) Stdlib.result
+(** ["poisson"], ["burst"] / ["burst:<n>"] (default n = 8), ["ramp"]. *)
+
+type model_spec = {
+  name : string;
+  forest : Tb_model.Forest.t;
+  profiles : Tb_model.Model_stats.tree_profile array option;
+  pool : float array array;
+      (** rows sampled (with replacement) to build requests *)
+  weight : int;
+      (** relative request frequency (≥ 1); a skewed mix is how serving
+          caches see hot and cold models *)
+}
+
+type config = {
+  arrival : arrival_kind;
+  rate_rps : float;  (** average request rate, requests/second *)
+  num_requests : int;
+  seed : int;
+  schedule : Tb_hir.Schedule.t;
+  runtime : Runtime.config;
+  cache_policy : Policy.kind;
+  cache_capacity : int;
+  target : Tb_cpu.Config.t;
+}
+
+val default_config : config
+(** Poisson at 50k rps, 2000 requests, seed 42, default schedule and
+    runtime config, LRU cache of 8, Intel Rocket Lake target. *)
+
+val gen_arrivals :
+  Tb_util.Prng.t -> arrival_kind -> rate_rps:float -> n:int -> float array
+(** [n] non-decreasing arrival times in virtual microseconds starting at
+    0. Exposed for tests. *)
+
+type report = {
+  config_json : Tb_util.Json.t;
+  result : Runtime.result;
+  per_model : (string * int) list;  (** completed request count per model *)
+}
+
+val run : config -> model_spec list -> report
+(** Build a {!Registry}, generate the trace (model choice and row choice
+    are drawn from the same seeded PRNG as the arrival times) and serve
+    it. @raise Invalid_argument on an empty model list or a model with an
+    empty row pool. *)
+
+val report_to_json : report -> Tb_util.Json.t
+(** The deterministic serve-sim report: config echo, counts, latency
+    percentiles, batch/queue/cache statistics, throughput, equivalence
+    flag and per-model totals. *)

@@ -71,6 +71,100 @@ let argmin xs =
   done;
   !best
 
+module Histogram = struct
+  type t = {
+    lo : float;
+    ratio : float;  (* geometric bucket growth factor *)
+    log_ratio : float;
+    (* counts.(0) = underflow (< lo); counts.(n-1) = overflow (>= hi);
+       bucket i in between covers [lo * ratio^(i-1), lo * ratio^i). *)
+    counts : int array;
+    mutable n : int;
+    mutable sum : float;
+    mutable comp : float;  (* Kahan compensation for [sum] *)
+    mutable lo_seen : float;
+    mutable hi_seen : float;
+  }
+
+  let create ?(lo = 0.1) ?(hi = 1e8) ?(per_decade = 16) () =
+    if not (lo > 0.0 && lo < hi) then
+      invalid_arg "Histogram.create: need 0 < lo < hi";
+    if per_decade <= 0 then invalid_arg "Histogram.create: per_decade <= 0";
+    let decades = log10 (hi /. lo) in
+    let buckets =
+      int_of_float (ceil (decades *. float_of_int per_decade))
+    in
+    let ratio = 10.0 ** (1.0 /. float_of_int per_decade) in
+    {
+      lo;
+      ratio;
+      log_ratio = log ratio;
+      counts = Array.make (buckets + 2) 0;
+      n = 0;
+      sum = 0.0;
+      comp = 0.0;
+      lo_seen = infinity;
+      hi_seen = neg_infinity;
+    }
+
+  let bucket_of t x =
+    if x < t.lo then 0
+    else begin
+      let i = 1 + int_of_float (log (x /. t.lo) /. t.log_ratio) in
+      min i (Array.length t.counts - 1)
+    end
+
+  let add t x =
+    let i = bucket_of t x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.n <- t.n + 1;
+    let y = x -. t.comp in
+    let s = t.sum +. y in
+    t.comp <- s -. t.sum -. y;
+    t.sum <- s;
+    if x < t.lo_seen then t.lo_seen <- x;
+    if x > t.hi_seen then t.hi_seen <- x
+
+  let count t = t.n
+  let total t = t.sum
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+  let min_value t = if t.n = 0 then 0.0 else t.lo_seen
+  let max_value t = if t.n = 0 then 0.0 else t.hi_seen
+
+  let upper_bound t i =
+    (* Upper edge of bucket i (i >= 1); the underflow bucket reports lo. *)
+    if i = 0 then t.lo else t.lo *. (t.ratio ** float_of_int i)
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q out of range";
+    if t.n = 0 then 0.0
+    else begin
+      let need =
+        max 1 (int_of_float (ceil (q *. float_of_int t.n)))
+      in
+      let acc = ref 0 and i = ref 0 in
+      while !acc < need && !i < Array.length t.counts do
+        acc := !acc + t.counts.(!i);
+        if !acc < need then incr i
+      done;
+      let est = upper_bound t !i in
+      Float.min t.hi_seen (Float.max t.lo_seen est)
+    end
+
+  let to_json t =
+    Json.Obj
+      [
+        ("count", Json.Num (float_of_int t.n));
+        ("mean", Json.Num (mean t));
+        ("min", Json.Num (min_value t));
+        ("max", Json.Num (max_value t));
+        ("p50", Json.Num (quantile t 0.5));
+        ("p90", Json.Num (quantile t 0.9));
+        ("p95", Json.Num (quantile t 0.95));
+        ("p99", Json.Num (quantile t 0.99));
+      ]
+end
+
 let kendall_tau xs ys =
   let n = Array.length xs in
   if n <> Array.length ys then invalid_arg "Stats.kendall_tau: length mismatch";

@@ -30,3 +30,42 @@ val kendall_tau : float array -> float array -> float
     score vectors; 1.0 = identical ranking, -1.0 = reversed, 0 when either
     vector is all ties or shorter than two elements. O(n²).
     @raise Invalid_argument on length mismatch. *)
+
+(** Fixed-bucket histogram with geometric bucket bounds.
+
+    Constant memory however many samples are recorded, so the serving
+    runtime can track per-request latency distributions for arbitrarily
+    long traces. Quantile estimates are exact to within one bucket's
+    resolution (default 16 buckets per decade ≈ 15% relative error). *)
+module Histogram : sig
+  type t
+
+  val create : ?lo:float -> ?hi:float -> ?per_decade:int -> unit -> t
+  (** [create ()] covers [\[lo, hi)] (defaults 0.1 .. 1e8, e.g. latencies in
+      microseconds from 100ns to 100s) with [per_decade] geometric buckets
+      per decade plus underflow/overflow buckets.
+      @raise Invalid_argument unless [0 < lo < hi] and [per_decade > 0]. *)
+
+  val add : t -> float -> unit
+  (** Record one sample. *)
+
+  val count : t -> int
+  val total : t -> float
+  (** Sum of all recorded samples (Kahan-compensated). *)
+
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val min_value : t -> float
+  val max_value : t -> float
+  (** Exact extremes of the recorded samples; 0 when empty. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] with [q] in [\[0,1\]]: the upper bound of the first
+      bucket whose cumulative count reaches [q], clamped to the exact
+      recorded min/max. 0 when empty. @raise Invalid_argument on [q]
+      outside [\[0,1\]]. *)
+
+  val to_json : t -> Json.t
+  (** Summary object: count, mean, min, max, p50/p90/p95/p99. *)
+end

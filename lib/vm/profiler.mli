@@ -12,12 +12,41 @@
 
 val profile :
   target:Tb_cpu.Config.t ->
+  ?warm_start:bool ->
   Tb_lir.Lower.t ->
   float array array ->
   Tb_cpu.Cost_model.workload
 (** [profile ~target lowered rows] — [rows] is typically a modest sample
-    (48–256 rows); use {!scale} to extrapolate to a full batch. *)
+    (48–256 rows); use {!scale} to extrapolate to a full batch.
+
+    [warm_start] (default [false]) primes the simulated L1 with one
+    identical pass before counting, so the reported miss rate is the
+    steady-state rate rather than cold-cache compulsory misses — set it
+    whenever the result will be {!scale}d up to a larger batch, where
+    compulsory misses would otherwise be extrapolated linearly. *)
 
 val scale : Tb_cpu.Cost_model.workload -> float -> Tb_cpu.Cost_model.workload
 (** Scale all extensive counts by a factor (event rates are linear in the
     number of rows once the cache is warm). *)
+
+val extrapolate :
+  Tb_cpu.Cost_model.workload ->
+  Tb_cpu.Cost_model.workload ->
+  rows:int ->
+  Tb_cpu.Cost_model.workload
+(** [extrapolate w1 w2 ~rows] — affine two-point extrapolation from two
+    cold profiles of the same program over nested row prefixes
+    ([w1.rows < w2.rows]).
+
+    Event totals over a batch are affine in the row count, [a + b*n]: the
+    fixed term [a] carries the per-batch costs (compulsory code/model
+    misses, and under tree-major order the one streaming pass over a
+    model larger than L1), while [b] is the steady per-row rate. Linear
+    {!scale} folds [a] into the rate and overstates a small sample by the
+    batch/sample ratio — the dominant source of Cost_check C002 l1_misses
+    divergence. Fitting the line through two sample sizes recovers [a]
+    and [b] separately, so the prediction matches an instrumented cold
+    full-batch run. Counts are clamped non-negative and [hits] is derived
+    as [accesses - misses]; structural fields are taken from [w2].
+
+    Raises [Invalid_argument] unless [1 <= w1.rows < w2.rows]. *)

@@ -21,4 +21,5 @@ let () =
       ("golden", Test_golden.suite);
       ("differential", Test_differential.suite);
       ("cost-check", Test_cost_check.suite);
+      ("serve", Test_serve.suite);
     ]

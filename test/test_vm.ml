@@ -168,6 +168,49 @@ let test_profiler_scale () =
     w2.Cost_model.l1.Cache.misses;
   check_int "tile size unchanged" w.Cost_model.tile_size w2.Cost_model.tile_size
 
+let test_profiler_extrapolate_closes_miss_gap () =
+  (* Tree-major over a model larger than L1: the per-batch model stream is
+     a fixed miss cost, so linear scaling of a 48-row sample overstates a
+     256-row batch's misses severalfold (the C002 shape). The affine
+     two-point fit must land within the C002 tolerance of the instrumented
+     cold run, and strictly beat linear scaling. *)
+  let rng = Prng.create 29 in
+  let forest = Forest.random ~num_trees:120 ~max_depth:7 ~num_features:6 rng in
+  let data = random_rows rng 6 256 in
+  let sched = { Schedule.default with loop_order = Schedule.One_tree_at_a_time } in
+  let lp = Lower.lower forest sched in
+  let target = Config.intel_rocket_lake in
+  let truth = Profiler.profile ~target lp data in
+  let w1 = Profiler.profile ~target lp (Array.sub data 0 48) in
+  let w2 = Profiler.profile ~target lp (Array.sub data 0 96) in
+  let affine = Profiler.extrapolate w1 w2 ~rows:256 in
+  let linear = Profiler.scale w1 (256.0 /. 48.0) in
+  let rel w =
+    let m = float_of_int w.Cost_model.l1.Cache.misses in
+    let t = float_of_int truth.Cost_model.l1.Cache.misses in
+    Float.abs (m -. t) /. t
+  in
+  check_int "rows" 256 affine.Cost_model.rows;
+  check_bool "affine within C002 tolerance" true (rel affine < 0.25);
+  check_bool "affine beats linear" true (rel affine < rel linear);
+  check_bool "misses <= accesses" true
+    (affine.Cost_model.l1.Cache.misses <= affine.Cost_model.l1.Cache.accesses);
+  check_int "hits consistent"
+    (affine.Cost_model.l1.Cache.accesses - affine.Cost_model.l1.Cache.misses)
+    affine.Cost_model.l1.Cache.hits
+
+let test_profiler_extrapolate_rejects_bad_points () =
+  let _, w = profile_of ~rows:32 30 in
+  let small = { w with Cost_model.rows = 16 } in
+  check_bool "equal rows rejected" true
+    (match Profiler.extrapolate w w ~rows:64 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "order matters" true
+    (match Profiler.extrapolate w small ~rows:64 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let test_profiler_deterministic () =
   (* Same program, same rows -> the exact same workload, cache state and
      all. The calibration lint (Cost_check) relies on this: any predicted/
@@ -297,6 +340,8 @@ let suite =
     quick "interleave shortens critical path" test_profiler_interleave_reduces_critical_steps;
     quick "tree-major improves cache" test_profiler_tree_major_improves_cache;
     quick "profiler scaling" test_profiler_scale;
+    quick "affine extrapolation closes miss gap" test_profiler_extrapolate_closes_miss_gap;
+    quick "extrapolation rejects bad points" test_profiler_extrapolate_rejects_bad_points;
     quick "profiler is deterministic" test_profiler_deterministic;
     qcheck ~count:75 ~name:"scale multiplies extensive counts exactly"
       seed_gen profiler_scale_property;
