@@ -909,6 +909,123 @@ let serve () =
   close_out oc;
   Printf.printf "report: BENCH_serve.json\n"
 
+(* Warning census: the legacy interval-only walk-bounds analysis vs the
+   relational one (congruence/stride domain + per-lane alias analysis),
+   per model over the full Table II schedule grid. Model-independent of
+   any host clock — the census counts diagnostics, not cycles. Writes
+   BENCH_lint.json (both censuses + per-model summary) and
+   lint_census_baseline.json (the relational census, the file CI diffs
+   against). *)
+let lint () =
+  let module Census = Tb_analysis.Census in
+  let module J = Tb_util.Json in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  heading
+    "Lint census: legacy interval analysis vs relational\n\
+     (congruence + alias) analysis, zoo x Table II grid";
+  let before = ref [] and after = ref [] in
+  let t =
+    Table.create
+      [ "Model"; "scheds"; "L011 leg"; "L011 rel"; "sparse leg";
+        "sparse rel"; "sparse drop"; "L012 leg"; "L012 rel"; "L013";
+        "L014" ]
+  in
+  let summary_rows = ref [] in
+  List.iter
+    (fun name ->
+      let b = load name in
+      let forest = b.entry.Zoo.forest in
+      let nf = forest.Forest.num_features in
+      let t0 = Unix.gettimeofday () in
+      let rows_b = ref [] and rows_a = ref [] in
+      List.iter
+        (fun s ->
+          (* No profiles: matches the CI lint job, which compiles without
+             training-set statistics. *)
+          let lp = Lower.lower forest s in
+          let run rel =
+            Tb_analysis.Lir_check.check ~relational:rel ~num_features:nf
+              lp.Lower.layout lp.Lower.mir
+          in
+          let sched = Schedule.to_string s in
+          rows_b :=
+            Census.row_of_diags ~model:name ~schedule:sched (run false)
+            :: !rows_b;
+          rows_a :=
+            Census.row_of_diags ~model:name ~schedule:sched (run true)
+            :: !rows_a)
+        Schedule.table2_grid;
+      let rows_b = List.rev !rows_b and rows_a = List.rev !rows_a in
+      let count ?(sparse_only = false) code rows =
+        List.fold_left
+          (fun acc (r : Census.row) ->
+            if (not sparse_only) || contains_sub r.Census.schedule "sparse"
+            then acc + Census.get r code
+            else acc)
+          0 rows
+      in
+      let l011_b = count "L011" rows_b and l011_a = count "L011" rows_a in
+      let sp_b = count ~sparse_only:true "L011" rows_b in
+      let sp_a = count ~sparse_only:true "L011" rows_a in
+      let drop =
+        if sp_b = 0 then 0.0
+        else 100.0 *. (1.0 -. (float_of_int sp_a /. float_of_int sp_b))
+      in
+      let l012_b = count "L012" rows_b and l012_a = count "L012" rows_a in
+      let l013 = count "L013" rows_a and l014 = count "L014" rows_a in
+      Table.add_row t
+        [
+          name;
+          string_of_int (List.length rows_a);
+          string_of_int l011_b; string_of_int l011_a;
+          string_of_int sp_b; string_of_int sp_a;
+          Printf.sprintf "%.1f%%" drop;
+          string_of_int l012_b; string_of_int l012_a;
+          string_of_int l013; string_of_int l014;
+        ];
+      summary_rows :=
+        J.Obj
+          [
+            ("model", J.Str name);
+            ("schedules", J.Num (float_of_int (List.length rows_a)));
+            ("l011_legacy", J.Num (float_of_int l011_b));
+            ("l011_relational", J.Num (float_of_int l011_a));
+            ("sparse_l011_legacy", J.Num (float_of_int sp_b));
+            ("sparse_l011_relational", J.Num (float_of_int sp_a));
+            ("sparse_l011_drop_pct", J.Num drop);
+            ("l012_legacy", J.Num (float_of_int l012_b));
+            ("l012_relational", J.Num (float_of_int l012_a));
+            ("l013", J.Num (float_of_int l013));
+            ("l014", J.Num (float_of_int l014));
+          ]
+        :: !summary_rows;
+      before := !before @ rows_b;
+      after := !after @ rows_a;
+      Printf.printf "[lint] %s: %d schedules in %.1fs\n%!" name
+        (List.length rows_a)
+        (Unix.gettimeofday () -. t0))
+    all_names;
+  Table.print t;
+  let json =
+    J.Obj
+      [
+        ("summary", J.List (List.rev !summary_rows));
+        ("before", Census.to_json !before);
+        ("after", Census.to_json !after);
+      ]
+  in
+  let oc = open_out "BENCH_lint.json" in
+  output_string oc (J.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  Census.to_file "lint_census_baseline.json" !after;
+  Printf.printf "report: BENCH_lint.json\n";
+  Printf.printf "baseline: lint_census_baseline.json\n"
+
 let all_experiments =
   [
     ("table1", table1);
@@ -932,4 +1049,5 @@ let all_experiments =
     ("wallclock", wallclock);
     ("calibrate", calibrate);
     ("serve", serve);
+    ("lint", lint);
   ]

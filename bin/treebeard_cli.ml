@@ -270,9 +270,28 @@ let lint_cmd =
       value & flag
       & info [ "v"; "verbose" ] ~doc:"Print every finding, including infos.")
   in
-  let run model zoo grid schedule batch strict verbose =
+  let census_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "census" ] ~docv:"FILE"
+          ~doc:"Write a warning census (per model x schedule counts of \
+                L010..L014) to FILE as JSON.")
+  in
+  let census_baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "census-baseline" ] ~docv:"FILE"
+          ~doc:"Diff this run's census against a checked-in baseline \
+                census; any L010/L013 finding or L011/L012 count \
+                regression fails the run.")
+  in
+  let run model zoo grid schedule batch strict verbose census_out
+      census_baseline =
     let module D = Tb_diag.Diagnostic in
     let module Passman = Tb_core.Passman in
+    let module Census = Tb_analysis.Census in
     let models =
       match (zoo, model) with
       | true, _ ->
@@ -289,6 +308,7 @@ let lint_cmd =
       if grid then Schedule.table2_grid else [ schedule ]
     in
     let errors = ref 0 and warnings = ref 0 in
+    let census = ref [] in
     List.iter
       (fun (name, forest) ->
         List.iter
@@ -298,6 +318,10 @@ let lint_cmd =
               | Ok (_, r) | Error r -> r
             in
             let ds = Passman.diagnostics report in
+            census :=
+              Census.row_of_diags ~model:name
+                ~schedule:(Schedule.to_string schedule) ds
+              :: !census;
             let n_err = List.length (D.errors ds) in
             let n_warn =
               List.length
@@ -322,7 +346,35 @@ let lint_cmd =
       models;
     Printf.printf "lint: %d model(s) x %d schedule(s): %d error(s), %d warning(s)\n"
       (List.length models) (List.length schedules) !errors !warnings;
-    if !errors > 0 || (strict && !warnings > 0) then exit 1
+    let census = List.rev !census in
+    if census_out <> None || census_baseline <> None then begin
+      Printf.printf "census totals:\n";
+      List.iter
+        (fun (c, n) -> Printf.printf "  %-6s %d\n" c n)
+        (Census.totals census)
+    end;
+    (match census_out with
+    | None -> ()
+    | Some path ->
+      Census.to_file path census;
+      Printf.printf "census          : %s (%d rows)\n" path
+        (List.length census));
+    let census_regressed =
+      match census_baseline with
+      | None -> false
+      | Some path -> (
+        match Census.diff ~baseline:(Census.of_file path) ~current:census with
+        | [] ->
+          Printf.printf "census baseline : ok (no regression vs %s)\n" path;
+          false
+        | problems ->
+          Printf.printf "census baseline : %d regression(s) vs %s\n"
+            (List.length problems) path;
+          List.iter (fun p -> Printf.printf "  %s\n" p) problems;
+          true)
+    in
+    if !errors > 0 || census_regressed || (strict && !warnings > 0) then
+      exit 1
   in
   Cmd.v
     (Cmd.info "lint"
@@ -331,7 +383,7 @@ let lint_cmd =
              checks, layout closure and walk-program bounds)")
     Term.(
       const run $ model $ zoo $ grid $ schedule_term $ batch $ strict
-      $ verbose)
+      $ verbose $ census_out $ census_baseline)
 
 (* ---------------- calibrate ---------------- *)
 

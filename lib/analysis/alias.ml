@@ -1,0 +1,166 @@
+(* Alias / register-group analysis for unroll-and-jam walks.
+
+   A jammed program (Reg_codegen.jam_lanes) claims lane l owns the
+   register window [l*width, (l+1)*width) of each file. This module does
+   not trust that convention: it recomputes each statement's lane from the
+   registers it actually reads and writes and reports an L013 lane
+   collision whenever a statement straddles windows. On success the
+   program provably factors into independent per-lane slices, and
+   [project] extracts lane l as a plain single-lane program (registers
+   renamed down to window 0) for precise, non-widened per-lane bounds
+   analysis in Lir_check. *)
+
+module D = Tb_diag.Diagnostic
+open Tb_lir.Reg_ir
+
+type widths = { wi : int; wf : int; wv : int }
+
+let widths p =
+  { wi = lane_width p; wf = lane_fwidth p; wv = lane_vwidth p }
+
+(* Lanes touched by one statement, including nested control-flow bodies.
+   Registers out of file range get a lane anyway; Reg_ir.check owns the
+   range diagnostics (L001). *)
+let stmt_lanes w s =
+  let acc = ref [] in
+  let add lane = if not (List.mem lane !acc) then acc := lane :: !acc in
+  let ir r = add (r / w.wi) in
+  let fr r = add (r / w.wf) in
+  let vr r = add (r / w.wv) in
+  let iexpr = function
+    | Iconst _ -> ()
+    | Imov a | Imul_const (a, _) | Iadd_const (a, _) | Iload (_, a) -> ir a
+    | Iadd (a, b) | Isub (a, b) -> ir a; ir b
+    | Movemask v -> vr v
+  in
+  let fexpr = function Fload (_, a) -> ir a in
+  let vexpr = function
+    | Vload_f (_, a) | Vload_i (_, a) -> ir a
+    | Gather (_, v) -> vr v
+    | Vcmp_lt (a, b) -> vr a; vr b
+  in
+  let cond = function Ige (r, _) | Ieq_load (_, r, _) -> ir r in
+  let rec stmt = function
+    | Iset (r, e) -> ir r; iexpr e
+    | Fset (r, e) -> fr r; fexpr e
+    | Vset (r, e) -> vr r; vexpr e
+    | While (c, b) -> cond c; List.iter stmt b
+    | If (c, t, e) -> cond c; List.iter stmt t; List.iter stmt e
+    | Repeat (_, b) -> List.iter stmt b
+  in
+  stmt s;
+  List.sort compare !acc
+
+type result = {
+  lanes : int;
+  diags : D.t list;  (* L013 lane-collision errors; empty = partition holds *)
+}
+
+let check (p : walk_program) =
+  if p.lanes <= 1 then { lanes = 1; diags = [] }
+  else begin
+    let diags = ref [] in
+    let err path fmt =
+      Printf.ksprintf
+        (fun message ->
+          diags := D.errorf ~level:D.Lir ~code:"L013" ~path "%s" message
+                   :: !diags)
+        fmt
+    in
+    if
+      p.num_iregs mod p.lanes <> 0
+      || p.num_fregs mod p.lanes <> 0
+      || p.num_vregs mod p.lanes <> 0
+    then
+      err [] "register files (%d/%d/%d) not divisible into %d lane windows"
+        p.num_iregs p.num_fregs p.num_vregs p.lanes
+    else begin
+      let w = widths p in
+      let opno = ref (-1) in
+      (* Repeat is the only construct whose body may mix lanes (lockstep
+         interleaving); every other statement — including a While/If with
+         its whole nested body — must stay inside one window. *)
+      let rec go stmts =
+        List.iter
+          (fun s ->
+            incr opno;
+            match s with
+            | Repeat (_, body) -> go body
+            | _ -> (
+              match stmt_lanes w s with
+              | [] | [ _ ] -> ()
+              | ls ->
+                err
+                  [ Printf.sprintf "op %d" !opno ]
+                  "statement touches registers of lanes {%s}: jam lanes \
+                   must not share registers"
+                  (String.concat ", " (List.map string_of_int ls))))
+          stmts
+      in
+      go p.body
+    end;
+    { lanes = p.lanes; diags = List.rev !diags }
+  end
+
+(* Extract lane [lane] as a single-lane program. Only meaningful when
+   [check] reported no collision: statements are kept iff every register
+   they touch is in the lane's windows, then renamed down to window 0 —
+   which makes the projection of lane l literally comparable with the
+   projection of lane 0. *)
+let project (p : walk_program) ~lane =
+  if p.lanes <= 1 then p
+  else begin
+    let w = widths p in
+    let ir r = r - (lane * w.wi) in
+    let fr r = r - (lane * w.wf) in
+    let vr r = r - (lane * w.wv) in
+    let iexpr = function
+      | Iconst c -> Iconst c
+      | Imov a -> Imov (ir a)
+      | Iadd (a, b) -> Iadd (ir a, ir b)
+      | Imul_const (a, c) -> Imul_const (ir a, c)
+      | Iadd_const (a, c) -> Iadd_const (ir a, c)
+      | Isub (a, b) -> Isub (ir a, ir b)
+      | Iload (b, a) -> Iload (b, ir a)
+      | Movemask v -> Movemask (vr v)
+    in
+    let fexpr = function Fload (b, a) -> Fload (b, ir a) in
+    let vexpr = function
+      | Vload_f (b, a) -> Vload_f (b, ir a)
+      | Vload_i (b, a) -> Vload_i (b, ir a)
+      | Gather (b, v) -> Gather (b, vr v)
+      | Vcmp_lt (a, b) -> Vcmp_lt (vr a, vr b)
+    in
+    let cond = function
+      | Ige (r, c) -> Ige (ir r, c)
+      | Ieq_load (b, r, c) -> Ieq_load (b, ir r, c)
+    in
+    let rec rename = function
+      | Iset (r, e) -> Iset (ir r, iexpr e)
+      | Fset (r, e) -> Fset (fr r, fexpr e)
+      | Vset (r, e) -> Vset (vr r, vexpr e)
+      | While (c, b) -> While (cond c, List.map rename b)
+      | If (c, t, e) -> If (cond c, List.map rename t, List.map rename e)
+      | Repeat (n, b) -> Repeat (n, List.map rename b)
+    in
+    let rec keep stmts =
+      List.filter_map
+        (fun s ->
+          match s with
+          | Repeat (n, body) -> (
+            match keep body with [] -> None | b -> Some (Repeat (n, b)))
+          | _ -> (
+            match stmt_lanes w s with
+            | [ l ] when l = lane -> Some (rename s)
+            | _ -> None))
+        stmts
+    in
+    {
+      p with
+      body = keep p.body;
+      num_iregs = w.wi;
+      num_fregs = w.wf;
+      num_vregs = w.wv;
+      lanes = 1;
+    }
+  end

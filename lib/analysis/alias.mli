@@ -1,0 +1,28 @@
+(** Alias / register-group analysis for unroll-and-jam walk programs.
+
+    [Reg_codegen.jam_lanes] lays lane [l]'s registers in the window
+    [l*width, (l+1)*width) of each register file. This pass {e verifies}
+    that claim by dataflow — every statement (with its whole nested
+    control-flow body) must read and write registers of exactly one lane
+    window; [Repeat] bodies may mix lanes structurally because lockstep
+    interleaving puts all lanes' copies inside one repeat. A violation is
+    the {b L013 lane-collision} error. When the partition holds, the
+    jammed program provably factors into independent per-lane slices and
+    {!project} extracts each slice for per-lane (non-widened) analysis. *)
+
+type result = {
+  lanes : int;
+  diags : Tb_diag.Diagnostic.t list;
+      (** L013 errors; empty means the lane partition is proved. *)
+}
+
+val check : Tb_lir.Reg_ir.walk_program -> result
+(** Verify the per-lane register partition. Trivially succeeds for
+    single-lane programs. *)
+
+val project : Tb_lir.Reg_ir.walk_program -> lane:int -> Tb_lir.Reg_ir.walk_program
+(** Extract lane [lane] as a single-lane program: keep exactly the
+    statements owned by that lane (recursing through [Repeat]) and rename
+    their registers down to window 0, so lane [l]'s projection is directly
+    comparable with lane 0's. Only meaningful after {!check} returned no
+    diagnostics. Identity for single-lane programs. *)

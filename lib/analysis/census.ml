@@ -1,0 +1,144 @@
+(* Warning census: counts of the walk-bounds diagnostic family per
+   (model, schedule) cell, with a JSON wire format and a baseline diff.
+
+   The census is the measurable surface of the relational analysis: the
+   lint CLI emits one, the bench lint experiment compares the legacy and
+   relational analyses, and CI diffs the current census against a
+   checked-in baseline so bounds-precision regressions fail the build. *)
+
+module D = Tb_diag.Diagnostic
+module Json = Tb_util.Json
+
+(* Codes tracked per cell; everything else in a diagnostic list is
+   ignored. Order fixes the JSON and pretty-print column order. *)
+let codes = [ "L010"; "L011"; "L012"; "L013"; "L014" ]
+
+type row = {
+  model : string;
+  schedule : string;
+  counts : (string * int) list;  (* code -> count, [codes] order, no zeros *)
+}
+
+type t = row list
+
+let row_of_diags ~model ~schedule diags =
+  let count c =
+    List.length (List.filter (fun d -> d.D.code = c) diags)
+  in
+  {
+    model;
+    schedule;
+    counts =
+      List.filter_map
+        (fun c -> match count c with 0 -> None | n -> Some (c, n))
+        codes;
+  }
+
+let get row code =
+  try List.assoc code row.counts with Not_found -> 0
+
+let totals (census : t) =
+  List.map
+    (fun c ->
+      (c, List.fold_left (fun acc row -> acc + get row c) 0 census))
+    codes
+
+(* ---------------- JSON ---------------- *)
+
+let to_json (census : t) =
+  Json.Obj
+    [
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.Obj
+                 [
+                   ("model", Json.Str row.model);
+                   ("schedule", Json.Str row.schedule);
+                   ( "counts",
+                     Json.Obj
+                       (List.map
+                          (fun (c, n) -> (c, Json.Num (float_of_int n)))
+                          row.counts) );
+                 ])
+             census) );
+    ]
+
+let of_json j =
+  Json.member "rows" j |> Json.to_list
+  |> List.map (fun r ->
+         {
+           model = Json.member "model" r |> Json.to_str;
+           schedule = Json.member "schedule" r |> Json.to_str;
+           counts =
+             (match Json.member "counts" r with
+             | Json.Obj kvs ->
+               List.map (fun (c, n) -> (c, Json.to_int n)) kvs
+             | _ -> raise (Json.Parse_error "census: counts must be an object"));
+         })
+
+let to_file path census =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string ~indent:true (to_json census)))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_json (Json.of_string (In_channel.input_all ic)))
+
+(* ---------------- baseline diff ---------------- *)
+
+(* CI contract: errors of the family (L010 definite out-of-bounds, L013
+   lane collision) are never acceptable, baseline or not; the warning /
+   info counts (L011, L012) may not grow in any cell. L014 is a proof
+   fact — gaining some is fine, losing them is not a correctness issue,
+   so it is not diffed. *)
+let diff ~baseline ~(current : t) =
+  let key row = (row.model, row.schedule) in
+  let base = Hashtbl.create (List.length baseline) in
+  List.iter (fun row -> Hashtbl.replace base (key row) row) baseline;
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun c ->
+          if get row c > 0 then
+            problem "%s / %s: %d %s error(s)" row.model row.schedule
+              (get row c) c)
+        [ "L010"; "L013" ];
+      match Hashtbl.find_opt base (key row) with
+      | None ->
+        if get row "L011" > 0 || get row "L012" > 0 then
+          problem
+            "%s / %s: not in baseline with L011=%d L012=%d (regenerate the \
+             baseline)"
+            row.model row.schedule (get row "L011") (get row "L012")
+      | Some b ->
+        List.iter
+          (fun c ->
+            if get row c > get b c then
+              problem "%s / %s: %s regressed %d -> %d" row.model row.schedule
+                c (get b c) (get row c))
+          [ "L011"; "L012" ])
+    current;
+  let current_keys = Hashtbl.create (List.length current) in
+  List.iter (fun row -> Hashtbl.replace current_keys (key row) ()) current;
+  List.iter
+    (fun row ->
+      if not (Hashtbl.mem current_keys (key row)) then
+        problem "%s / %s: in baseline but missing from this census" row.model
+          row.schedule)
+    baseline;
+  List.rev !problems
+
+let pp_totals fmt census =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (c, n) -> Format.fprintf fmt "%-6s %d@," c n)
+    (totals census);
+  Format.fprintf fmt "@]"

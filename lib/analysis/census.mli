@@ -1,0 +1,47 @@
+(** Warning census for the walk-bounds diagnostic family.
+
+    A census is a list of per-(model, schedule) rows counting the
+    {b L010}..{b L014} diagnostics produced by a lint run. It is the
+    measurable surface of the relational LIR analysis: [treebeard lint
+    --census] writes one, the bench [lint] experiment compares the legacy
+    interval analysis against the relational one, and CI diffs the
+    current census against a checked-in baseline so a bounds-precision
+    regression fails the build. *)
+
+val codes : string list
+(** Tracked codes, in column order: [L010; L011; L012; L013; L014]. *)
+
+type row = {
+  model : string;
+  schedule : string;  (** [Schedule.to_string] form *)
+  counts : (string * int) list;  (** code -> count; zero counts omitted *)
+}
+
+type t = row list
+
+val row_of_diags :
+  model:string -> schedule:string -> Tb_diag.Diagnostic.t list -> row
+(** Count the tracked codes in one lint run's diagnostics. *)
+
+val get : row -> string -> int
+(** Count for one code, 0 when absent. *)
+
+val totals : t -> (string * int) list
+(** Per-code totals over all rows, in {!codes} order. *)
+
+val to_json : t -> Tb_util.Json.t
+val of_json : Tb_util.Json.t -> t
+(** @raise Tb_util.Json.Parse_error on schema mismatch. *)
+
+val to_file : string -> t -> unit
+val of_file : string -> t
+
+val diff : baseline:t -> current:t -> string list
+(** Regression check for CI. Empty result = acceptable. Reported as
+    problems: any L010/L013 count in [current] (errors are never
+    acceptable, baseline or not); an L011 or L012 count in a cell
+    exceeding the same cell in [baseline]; cells present on one side
+    only. L014 facts are informational and not diffed. *)
+
+val pp_totals : Format.formatter -> t -> unit
+(** Per-code totals, one per line. *)

@@ -1,0 +1,71 @@
+(* Congruence (stride) abstract domain: a value is abstracted as the set
+   { r + k*m | k in Z }. m = 0 means the single constant r; m = 1 is top.
+   Invariant: m >= 0, and 0 <= r < m when m > 0. The reduced product with
+   intervals lives in Lir_check (tighten_lo / tighten_hi below shrink an
+   interval bound to the nearest member of the congruence class). *)
+
+type t = { m : int; r : int }
+
+let norm m r =
+  if m = 0 then { m = 0; r }
+  else
+    let m = abs m in
+    { m; r = ((r mod m) + m) mod m }
+
+let top = { m = 1; r = 0 }
+let const c = { m = 0; r = c }
+let is_top g = g.m = 1
+let is_const g = g.m = 0
+let equal a b = a.m = b.m && a.r = b.r
+
+let mem x g = if g.m = 0 then x = g.r else (x - g.r) mod g.m = 0
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let add a b =
+  if a.m = 0 && b.m = 0 then const (a.r + b.r)
+  else norm (gcd a.m b.m) (a.r + b.r)
+
+let sub a b =
+  if a.m = 0 && b.m = 0 then const (a.r - b.r)
+  else norm (gcd a.m b.m) (a.r - b.r)
+
+let mul_const c g =
+  if c = 0 then const 0
+  else if g.m = 0 then const (c * g.r)
+  else norm (c * g.m) (c * g.r)
+
+(* Join: both classes must be contained, so the new modulus divides both
+   moduli and the residue difference. *)
+let join a b =
+  if equal a b then a
+  else
+    let m = gcd (gcd a.m b.m) (a.r - b.r) in
+    norm m a.r
+
+(* Smallest member of the class that is >= lo (interval reduction). Bounds
+   arriving from the interval domain are floats (possibly infinite); only
+   finite bounds in int range are tightened. *)
+let float_in_int_range f =
+  Float.is_finite f
+  && f >= float_of_int min_int /. 4.0
+  && f <= float_of_int max_int /. 4.0
+
+let tighten_lo g lo =
+  if g.m <= 1 || not (float_in_int_range lo) then lo
+  else
+    let l = int_of_float (Float.ceil lo) in
+    let d = (((l - g.r) mod g.m) + g.m) mod g.m in
+    float_of_int (if d = 0 then l else l + (g.m - d))
+
+let tighten_hi g hi =
+  if g.m <= 1 || not (float_in_int_range hi) then hi
+  else
+    let h = int_of_float (Float.floor hi) in
+    let d = (((h - g.r) mod g.m) + g.m) mod g.m in
+    float_of_int (h - d)
+
+let to_string g =
+  if g.m = 0 then string_of_int g.r
+  else if g.m = 1 then "Z"
+  else Printf.sprintf "%d mod %d" g.r g.m

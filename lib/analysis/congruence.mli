@@ -1,0 +1,38 @@
+(** Congruence (stride) abstract domain, the relational half of
+    [Lir_check]'s reduced product (paper's sparse layout makes slot indices
+    advance in [tile_size]-multiples; cf. Granger's arithmetical
+    congruences as used in Astrée-style analyzers).
+
+    An element [{m; r}] denotes the set [{ r + k*m | k ∈ Z }]:
+    [m = 0] is the single constant [r], [m = 1] is ⊤ (all integers).
+    Invariant: [m >= 0] and [0 <= r < m] when [m > 0]. *)
+
+type t = private { m : int; r : int }
+
+val top : t
+val const : int -> t
+val is_top : t -> bool
+val is_const : t -> bool
+val equal : t -> t -> bool
+
+val mem : int -> t -> bool
+(** [mem x g] — does the concrete integer [x] belong to the class? *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul_const : int -> t -> t
+
+val join : t -> t -> t
+(** Least upper bound: modulus [gcd m1 m2 (r1 - r2)]. The domain has no
+    infinite ascending chains (moduli only shrink by divisibility), so no
+    widening is needed. *)
+
+val tighten_lo : t -> float -> float
+(** [tighten_lo g lo] rounds an interval lower bound up to the smallest
+    member of [g] that is [>= lo]. Infinite or out-of-int-range bounds pass
+    through unchanged. *)
+
+val tighten_hi : t -> float -> float
+(** Dual: round an upper bound down to the largest member [<= hi]. *)
+
+val to_string : t -> string

@@ -31,8 +31,16 @@
     - [L001] register out of range, [L002] use before definition,
       [L003] vector lane-type mismatch, [L004] negative repeat count
     - [L010] buffer index definitely out of bounds, [L011] buffer index
-      possibly out of bounds (finite interval sticking out), [L012] bounds
-      not provable (loop-variant index, informational)
+      possibly out of bounds (finite interval sticking out after the
+      congruence/stride refinement), [L012] bounds not provable
+      (loop-variant index widened to an infinite interval even with
+      threshold widening, informational)
+    - [L013] unroll-and-jam lane collision: a statement of a jammed walk
+      program touches registers of more than one lane window, so lanes
+      are not provably independent and per-lane analysis is unsound;
+      [L014] lanes-independent fact (informational): the alias analysis
+      verified the per-lane register partition of a jammed program by
+      dataflow, and per-lane findings are reported on lane 0 only
     - [L020] layout closure: dangling tile successor, [L021] layout
       feature id out of range, [L022] tree root out of range, [L023] leaf
       index out of range, [L024] malformed LUT row

@@ -31,14 +31,20 @@ let bound_str x =
 
 let istr iv = Printf.sprintf "[%s, %s]" (bound_str iv.lo) (bound_str iv.hi)
 
+let within iv ~lo ~hi = iv.lo >= float_of_int lo && iv.hi <= float_of_int hi
+
 (* ------------------------------------------------------------------ *)
-(* Environment: buffer extents and constant content ranges             *)
+(* Environment: buffer extents, content ranges, and relational facts   *)
 (* ------------------------------------------------------------------ *)
 
 type env = {
   tile_size : int;
   extent : Reg_ir.buffer -> int;
   content : Reg_ir.buffer -> (int * int) option;
+  content_cg : Reg_ir.buffer -> Congruence.t;
+  tile_advance : (int * int) option;
+  leaf_advance : (int * int) option;
+  widen_thresholds : float array;
 }
 
 let int_range arr =
@@ -47,6 +53,14 @@ let int_range arr =
     Some
       ( Array.fold_left min max_int arr,
         Array.fold_left max min_int arr )
+
+let cg_of_array arr =
+  if Array.length arr = 0 then Congruence.top
+  else
+    Array.fold_left
+      (fun acc v -> Congruence.join acc (Congruence.const v))
+      (Congruence.const arr.(0))
+      arr
 
 let env_of_layout ~num_features (lay : Layout.t) =
   let nt = lay.Layout.tile_size in
@@ -79,7 +93,54 @@ let env_of_layout ~num_features (lay : Layout.t) =
     | Reg_ir.Lut -> lut_range
     | Reg_ir.Thresholds | Reg_ir.Leaf_values | Reg_ir.Row -> None
   in
-  { tile_size = nt; extent; content }
+  let content_cg = function
+    | Reg_ir.Feature_ids -> cg_of_array lay.Layout.features
+    | Reg_ir.Shape_ids -> cg_of_array lay.Layout.shape_ids
+    | Reg_ir.Child_ptrs -> cg_of_array lay.Layout.child_ptr
+    | Reg_ir.Tree_roots -> cg_of_array lay.Layout.tree_root
+    | Reg_ir.Lut ->
+      Array.fold_left
+        (fun acc row -> Congruence.join acc (cg_of_array row))
+        (Congruence.const 0) lay.Layout.lut
+    | Reg_ir.Thresholds | Reg_ir.Leaf_values | Reg_ir.Row -> Congruence.top
+  in
+  let facts = Layout.stride_facts lay in
+  (* Widening thresholds (satellite of the relational upgrade): landmarks
+     a loop-variant index can genuinely be bounded by — buffer extents and
+     content bounds, the layout's advance ranges, and the small constants
+     the codegen uses. A bounded cursor now stops at the nearest landmark
+     instead of degrading every neighbour to ±inf via [hull]. *)
+  let widen_thresholds =
+    let acc = ref [ -1.0; 0.0; 1.0; float_of_int nt;
+                    float_of_int ((1 lsl nt) - 1) ] in
+    let add v = acc := float_of_int v :: !acc in
+    List.iter
+      (fun b ->
+        add (extent b);
+        add (extent b - 1);
+        match content b with
+        | Some (a, z) -> add a; add z
+        | None -> ())
+      [ Reg_ir.Thresholds; Reg_ir.Feature_ids; Reg_ir.Shape_ids;
+        Reg_ir.Child_ptrs; Reg_ir.Leaf_values; Reg_ir.Lut;
+        Reg_ir.Tree_roots; Reg_ir.Row ];
+    (match facts.Layout.tile_advance with
+    | Some (a, z) -> add a; add z
+    | None -> ());
+    (match facts.Layout.leaf_advance with
+    | Some (a, z) -> add a; add z; add (-z - 1); add (-a - 1)
+    | None -> ());
+    Array.of_list (List.sort_uniq compare !acc)
+  in
+  {
+    tile_size = nt;
+    extent;
+    content;
+    content_cg;
+    tile_advance = facts.Layout.tile_advance;
+    leaf_advance = facts.Layout.leaf_advance;
+    widen_thresholds;
+  }
 
 let buffer_name = function
   | Reg_ir.Thresholds -> "thresholds"
@@ -97,18 +158,60 @@ let is_float_buffer = function
   | Reg_ir.Tree_roots -> false
 
 (* ------------------------------------------------------------------ *)
-(* Abstract state                                                      *)
+(* Abstract values: interval x congruence x provenance                 *)
 (* ------------------------------------------------------------------ *)
 
-type ival = Ibot | Iv of interval
+(* Provenance chains let the analysis recognize the codegen's sparse-step
+   idiom relationally. [sym] is the identity of the defining occurrence
+   (fresh per definition, preserved by moves/refinement, joined to [None]
+   when control flow merges distinct definitions): two loads indexed by
+   values with the same [sym] read the same slot at run time. The [org]
+   tags then say what a value is in terms of that slot:
+
+     Oshape s    = shape_ids[v_s]          Ocptr s = child_ptr[v_s]
+     Olutbase s  = shape_ids[v_s] * 2^nt   (the slot's LUT row base)
+     Olutrow s   = row base + bits, bits within the row
+     Ochild s    = lut[Olutrow s]          (a child the slot can select)
+
+   When Ocptr s (known >= 0) meets Ochild s in an add, the sum is exactly
+   a [child_ptr + reachable child] pair of one slot — the quantity
+   [Layout.stride_facts] bounds precisely; likewise Ocptr - Ochild for
+   negative pointers against the leaf-advance range. This is what
+   discharges the sparse-layout L011s that a per-register interval
+   analysis conflates (max child_ptr + max child overshoots because the
+   max-pointer slot's child block is smaller than tile_size + 1). *)
+type origin =
+  | Onone
+  | Oshape of int
+  | Olutbase of int
+  | Olutrow of int
+  | Ochild of int
+  | Ocptr of int
+
+type aval = {
+  iv : interval;
+  cg : Congruence.t;
+  org : origin;
+  sym : int option;
+}
+
+type ival = Ibot | Iv of aval
 type vval = Vbot | Vint of interval | Vfloat
 
 type state = { ir : ival array; vr : vval array; fr : bool array }
 
+let join_aval a b =
+  {
+    iv = hull a.iv b.iv;
+    cg = Congruence.join a.cg b.cg;
+    org = (if a.org = b.org then a.org else Onone);
+    sym = (if a.sym = b.sym then a.sym else None);
+  }
+
 let join_ival a b =
   match (a, b) with
   | Ibot, _ | _, Ibot -> Ibot
-  | Iv x, Iv y -> Iv (hull x y)
+  | Iv x, Iv y -> Iv (join_aval x y)
 
 let join_vval a b =
   match (a, b) with
@@ -124,37 +227,53 @@ let join_state a b =
     fr = Array.map2 ( && ) a.fr b.fr;
   }
 
-let widen_ival prev next =
+(* Widening-with-thresholds: an escaping bound jumps to the nearest
+   landmark in the given direction, or to infinity once landmarks run
+   out. [thresholds] is sorted ascending; the empty array degenerates to
+   the classic infinite widening. *)
+let widen_interval ~thresholds prev next =
+  let lo =
+    if next.lo >= prev.lo then next.lo
+    else
+      Array.fold_left
+        (fun best t -> if t <= next.lo && t > best then t else best)
+        neg_infinity thresholds
+  in
+  let hi =
+    if next.hi <= prev.hi then next.hi
+    else
+      Array.fold_left
+        (fun best t -> if t >= next.hi && t < best then t else best)
+        infinity thresholds
+  in
+  { lo; hi }
+
+let widen_ival ~thresholds prev next =
   match (prev, next) with
-  | Iv a, Iv b ->
-    Iv
-      {
-        lo = (if b.lo < a.lo then neg_infinity else b.lo);
-        hi = (if b.hi > a.hi then infinity else b.hi);
-      }
+  | Iv a, Iv b -> Iv { b with iv = widen_interval ~thresholds a.iv b.iv }
   | _ -> next
 
-let widen_vval prev next =
+let widen_vval ~thresholds prev next =
   match (prev, next) with
-  | Vint a, Vint b ->
-    Vint
-      {
-        lo = (if b.lo < a.lo then neg_infinity else b.lo);
-        hi = (if b.hi > a.hi then infinity else b.hi);
-      }
+  | Vint a, Vint b -> Vint (widen_interval ~thresholds a b)
   | _ -> next
 
-let widen_state prev next =
+let widen_state ~thresholds prev next =
   {
-    ir = Array.map2 widen_ival prev.ir next.ir;
-    vr = Array.map2 widen_vval prev.vr next.vr;
+    ir = Array.map2 (widen_ival ~thresholds) prev.ir next.ir;
+    vr = Array.map2 (widen_vval ~thresholds) prev.vr next.vr;
     fr = next.fr;
   }
+
+let aval_equal a b =
+  a.iv.lo = b.iv.lo && a.iv.hi = b.iv.hi
+  && Congruence.equal a.cg b.cg
+  && a.org = b.org && a.sym = b.sym
 
 let ival_equal a b =
   match (a, b) with
   | Ibot, Ibot -> true
-  | Iv x, Iv y -> x.lo = y.lo && x.hi = y.hi
+  | Iv x, Iv y -> aval_equal x y
   | _ -> false
 
 let vval_equal a b =
@@ -194,7 +313,8 @@ let join_opt a b =
 (* The forward dataflow                                                *)
 (* ------------------------------------------------------------------ *)
 
-let check_program ?(path = []) env (p : Reg_ir.walk_program) =
+let analyze_program ?(path = []) ?(relational = true) env
+    (p : Reg_ir.walk_program) =
   let diags = ref [] in
   let dedup = Hashtbl.create 64 in
   let emit ~report d =
@@ -231,24 +351,42 @@ let check_program ?(path = []) env (p : Reg_ir.walk_program) =
     err ~report:true ~code:"L003" path
       "program tile size %d does not match the layout's %d" p.Reg_ir.tile_size
       env.tile_size;
-  let content buf =
+  let nt = p.Reg_ir.tile_size in
+  let sym_counter = ref 0 in
+  let fresh () =
+    incr sym_counter;
+    Some !sym_counter
+  in
+  let content_iv buf =
     match env.content buf with
     | Some (a, b) -> { lo = float_of_int a; hi = float_of_int b }
     | None -> top
   in
-  let read_i ~report pth r st =
+  let av ?(cg = Congruence.top) ?(org = Onone) iv =
+    { iv; cg; org; sym = fresh () }
+  in
+  (* Per-buffer hull of every (reporting-pass) access index range — the
+     facts the soundness harness replays concrete executions against. *)
+  let access : (Reg_ir.buffer, interval) Hashtbl.t = Hashtbl.create 8 in
+  let record_access buf ~width idx =
+    let range = { lo = idx.lo; hi = idx.hi +. float_of_int (width - 1) } in
+    match Hashtbl.find_opt access buf with
+    | None -> Hashtbl.replace access buf range
+    | Some acc -> Hashtbl.replace access buf (hull acc range)
+  in
+  let read_a ~report pth r st =
     if r < 0 || r >= p.Reg_ir.num_iregs then begin
       err ~report ~code:"L001" pth "int register %d outside the %d declared" r
         p.Reg_ir.num_iregs;
-      top
+      av top
     end
     else
       match st.ir.(r) with
-      | Iv iv -> iv
+      | Iv a -> a
       | Ibot ->
         err ~report ~code:"L002" pth
           "int register %d read before any definition" r;
-        top
+        av top
   in
   let read_v ~report pth r st =
     if r < 0 || r >= p.Reg_ir.num_vregs then begin
@@ -258,81 +396,176 @@ let check_program ?(path = []) env (p : Reg_ir.walk_program) =
     end
     else st.vr.(r)
   in
-  let check_bounds ~report pth buf ~width idx =
-    let extent = env.extent buf in
-    let hi_ok = float_of_int (extent - width) in
-    let finite = Float.is_finite idx.lo && Float.is_finite idx.hi in
-    (* The definite-OOB verdict is reserved for finite intervals: an
-       interval opened up by loop widening can be disjoint from the buffer
-       merely because the abstract iteration it describes is unreachable
-       (e.g. a peeled walk whose loop body never runs again on a tiny
-       slab), and intervals do not track reachability. *)
-    if extent < width || (finite && (idx.lo > hi_ok || idx.hi < 0.0)) then
-      err ~report ~code:"L010" pth
-        "%d-element access to %s at index %s is always out of bounds \
-         (extent %d)"
-        width (buffer_name buf) (istr idx) extent
-    else if idx.lo >= 0.0 && idx.hi <= hi_ok then ()
-    else if finite then
-      warn ~report ~code:"L011" pth
-        "%d-element access to %s at index %s may be out of bounds (extent %d)"
-        width (buffer_name buf) (istr idx) extent
+  let check_bounds ?(cg = Congruence.top) ~report pth buf ~width idx =
+    (* Reduced product: shrink the interval to congruence-class members
+       before judging (e.g. a lane index that is a multiple of tile_size
+       cannot reach extent - 1, only extent - tile_size). *)
+    let idx =
+      if relational then
+        { lo = Congruence.tighten_lo cg idx.lo;
+          hi = Congruence.tighten_hi cg idx.hi }
+      else idx
+    in
+    if idx.lo > idx.hi then ( (* congruence class empty in range *) )
+    else begin
+      if report then record_access buf ~width idx;
+      let extent = env.extent buf in
+      let hi_ok = float_of_int (extent - width) in
+      let finite = Float.is_finite idx.lo && Float.is_finite idx.hi in
+      (* The definite-OOB verdict is reserved for finite intervals: an
+         interval opened up by loop widening can be disjoint from the
+         buffer merely because the abstract iteration it describes is
+         unreachable (e.g. a peeled walk whose loop body never runs again
+         on a tiny slab), and intervals do not track reachability. *)
+      if extent < width || (finite && (idx.lo > hi_ok || idx.hi < 0.0)) then
+        err ~report ~code:"L010" pth
+          "%d-element access to %s at index %s is always out of bounds \
+           (extent %d)"
+          width (buffer_name buf) (istr idx) extent
+      else if idx.lo >= 0.0 && idx.hi <= hi_ok then ()
+      else if finite then
+        warn ~report ~code:"L011" pth
+          "%d-element access to %s at index %s may be out of bounds \
+           (extent %d)"
+          width (buffer_name buf) (istr idx) extent
+      else
+        info ~report ~code:"L012" pth
+          "%d-element access to %s at loop-variant index %s (extent %d): \
+           bounds not provable by intervals (see the layout closure check)"
+          width (buffer_name buf) (istr idx) extent
+    end
+  in
+  (* Relational add/sub: recognize child_ptr ± lut_child pairs over the
+     same slot and meet the interval with the layout's advance range. *)
+  let child_in_row b = within b.iv ~lo:0 ~hi:nt in
+  let meet iv (lo, hi) =
+    { lo = max iv.lo (float_of_int lo); hi = min iv.hi (float_of_int hi) }
+  in
+  let relational_add a b iv =
+    let pair x y =
+      match (x.org, y.org) with
+      | Ocptr s, Ochild s' when s = s' && x.iv.lo >= 0.0 && child_in_row y ->
+        (match env.tile_advance with
+        | Some range -> Some (meet iv range)
+        | None -> None)
+      | _ -> None
+    in
+    if not relational then iv
     else
-      info ~report ~code:"L012" pth
-        "%d-element access to %s at loop-variant index %s (extent %d): \
-         bounds not provable by intervals (see the layout closure check)"
-        width (buffer_name buf) (istr idx) extent
+      match pair a b with
+      | Some iv -> iv
+      | None -> ( match pair b a with Some iv -> iv | None -> iv)
+  in
+  let relational_sub a b iv =
+    if not relational then iv
+    else
+      match (a.org, b.org) with
+      | Ocptr s, Ochild s' when s = s' && a.iv.hi < 0.0 && child_in_row b -> (
+        match env.leaf_advance with
+        | Some (lmin, lmax) ->
+          (* state = cptr - child; the later leaf fetch reads
+             leaf_values[-state - 1] = -cptr - 1 + child, which the
+             layout bounds as [lmin, lmax] — so state is in
+             [-lmax - 1, -lmin - 1]. *)
+          meet iv (-lmax - 1, -lmin - 1)
+        | None -> iv)
+      | _ -> iv
+  in
+  let load_origin buf idx_a =
+    if not relational then Onone
+    else
+      match buf with
+      | Reg_ir.Shape_ids -> (
+        match idx_a.sym with Some s -> Oshape s | None -> Onone)
+      | Reg_ir.Child_ptrs -> (
+        match idx_a.sym with Some s -> Ocptr s | None -> Onone)
+      | Reg_ir.Lut -> (
+        match idx_a.org with
+        | Olutbase s | Olutrow s -> Ochild s
+        | _ -> Onone)
+      | _ -> Onone
   in
   let eval_iexpr ~report pth st = function
-    | Reg_ir.Iconst c -> const c
-    | Reg_ir.Imov r -> read_i ~report pth r st
-    | Reg_ir.Iadd (a, b) ->
-      iadd (read_i ~report pth a st) (read_i ~report pth b st)
-    | Reg_ir.Isub (a, b) ->
-      isub (read_i ~report pth a st) (read_i ~report pth b st)
-    | Reg_ir.Imul_const (r, c) -> imul_const (read_i ~report pth r st) c
-    | Reg_ir.Iadd_const (r, c) -> iadd (read_i ~report pth r st) (const c)
+    | Reg_ir.Iconst c -> av ~cg:(Congruence.const c) (const c)
+    | Reg_ir.Imov r ->
+      (* A move is a fresh defining occurrence: reads of the destination
+         between here and its next write all see one runtime value, so it
+         gets its own symbol (the source's may already have been lost to a
+         control-flow join — provenance must not depend on that). *)
+      let a = read_a ~report pth r st in
+      { a with sym = fresh () }
+    | Reg_ir.Iadd (ra, rb) ->
+      let a = read_a ~report pth ra st and b = read_a ~report pth rb st in
+      let iv = relational_add a b (iadd a.iv b.iv) in
+      let org =
+        if not relational then Onone
+        else
+          match (a.org, b.org) with
+          | Olutbase s, _ when within b.iv ~lo:0 ~hi:((1 lsl nt) - 1) ->
+            Olutrow s
+          | _, Olutbase s when within a.iv ~lo:0 ~hi:((1 lsl nt) - 1) ->
+            Olutrow s
+          | _ -> Onone
+      in
+      av ~cg:(Congruence.add a.cg b.cg) ~org iv
+    | Reg_ir.Isub (ra, rb) ->
+      let a = read_a ~report pth ra st and b = read_a ~report pth rb st in
+      let iv = relational_sub a b (isub a.iv b.iv) in
+      av ~cg:(Congruence.sub a.cg b.cg) iv
+    | Reg_ir.Imul_const (r, c) ->
+      let a = read_a ~report pth r st in
+      let org =
+        if relational && a.org <> Onone && c = 1 lsl nt then
+          match a.org with Oshape s -> Olutbase s | _ -> Onone
+        else Onone
+      in
+      av ~cg:(Congruence.mul_const c a.cg) ~org (imul_const a.iv c)
+    | Reg_ir.Iadd_const (r, c) ->
+      let a = read_a ~report pth r st in
+      av ~cg:(Congruence.add a.cg (Congruence.const c)) (iadd a.iv (const c))
     | Reg_ir.Iload (buf, r) ->
-      let idx = read_i ~report pth r st in
+      let a = read_a ~report pth r st in
       if is_float_buffer buf then
         err ~report ~code:"L003" pth "integer load from float buffer %s"
           (buffer_name buf);
-      check_bounds ~report pth buf ~width:1 idx;
-      content buf
+      check_bounds ~cg:a.cg ~report pth buf ~width:1 a.iv;
+      av
+        ~cg:(if relational then env.content_cg buf else Congruence.top)
+        ~org:(load_origin buf a) (content_iv buf)
     | Reg_ir.Movemask v -> (
       match read_v ~report pth v st with
-      | Vint _ -> { lo = 0.0; hi = float_of_int ((1 lsl p.Reg_ir.tile_size) - 1) }
+      | Vint _ -> av { lo = 0.0; hi = float_of_int ((1 lsl nt) - 1) }
       | Vfloat ->
         err ~report ~code:"L003" pth "movemask of float-typed lanes";
-        top
+        av top
       | Vbot ->
         err ~report ~code:"L002" pth
           "vector register %d read before any definition" v;
-        top)
+        av top)
   in
   let eval_fexpr ~report pth st = function
     | Reg_ir.Fload (buf, r) ->
-      let idx = read_i ~report pth r st in
+      let a = read_a ~report pth r st in
       if not (is_float_buffer buf) then
         err ~report ~code:"L003" pth "float load from integer buffer %s"
           (buffer_name buf);
-      check_bounds ~report pth buf ~width:1 idx
+      check_bounds ~cg:a.cg ~report pth buf ~width:1 a.iv
   in
   let eval_vexpr ~report pth st = function
     | Reg_ir.Vload_f (buf, r) ->
-      let idx = read_i ~report pth r st in
+      let a = read_a ~report pth r st in
       if not (is_float_buffer buf) then
         err ~report ~code:"L003" pth
           "float vector load from integer buffer %s" (buffer_name buf);
-      check_bounds ~report pth buf ~width:p.Reg_ir.tile_size idx;
+      check_bounds ~cg:a.cg ~report pth buf ~width:nt a.iv;
       Vfloat
     | Reg_ir.Vload_i (buf, r) ->
-      let idx = read_i ~report pth r st in
+      let a = read_a ~report pth r st in
       if is_float_buffer buf then
         err ~report ~code:"L003" pth
           "integer vector load from float buffer %s" (buffer_name buf);
-      check_bounds ~report pth buf ~width:p.Reg_ir.tile_size idx;
-      Vint (content buf)
+      check_bounds ~cg:a.cg ~report pth buf ~width:nt a.iv;
+      Vint (content_iv buf)
     | Reg_ir.Gather (buf, v) ->
       if not (is_float_buffer buf) then
         err ~report ~code:"L003" pth "gather from integer buffer %s"
@@ -361,27 +594,34 @@ let check_program ?(path = []) env (p : Reg_ir.walk_program) =
       Vint { lo = 0.0; hi = 1.0 }
   in
   let check_cond ~report pth st = function
-    | Reg_ir.Ige (r, _) -> ignore (read_i ~report pth r st)
+    | Reg_ir.Ige (r, _) -> ignore (read_a ~report pth r st)
     | Reg_ir.Ieq_load (buf, r, _) ->
-      let idx = read_i ~report pth r st in
+      let a = read_a ~report pth r st in
       if is_float_buffer buf then
         err ~report ~code:"L003" pth
           "integer conditional load from float buffer %s" (buffer_name buf);
-      check_bounds ~report pth buf ~width:1 idx
+      check_bounds ~cg:a.cg ~report pth buf ~width:1 a.iv
   in
   let refine st cond taken =
     match cond with
     | Reg_ir.Ige (r, c) when r >= 0 && r < p.Reg_ir.num_iregs -> (
       match st.ir.(r) with
       | Ibot -> Some st
-      | Iv iv ->
-        let iv' =
-          if taken then { iv with lo = max iv.lo (float_of_int c) }
-          else { iv with hi = min iv.hi (float_of_int (c - 1)) }
+      | Iv a ->
+        let iv =
+          if taken then { a.iv with lo = max a.iv.lo (float_of_int c) }
+          else { a.iv with hi = min a.iv.hi (float_of_int (c - 1)) }
         in
-        if iv'.lo > iv'.hi then None else Some (set_i st r (Iv iv')))
+        let iv =
+          if relational then
+            { lo = Congruence.tighten_lo a.cg iv.lo;
+              hi = Congruence.tighten_hi a.cg iv.hi }
+          else iv
+        in
+        if iv.lo > iv.hi then None else Some (set_i st r (Iv { a with iv })))
     | _ -> Some st
   in
+  let thresholds = if relational then env.widen_thresholds else [||] in
   let sub pth seg = pth @ [ seg ] in
   let rec exec_stmts ~report pth st stmts =
     let _, st =
@@ -441,7 +681,10 @@ let check_program ?(path = []) env (p : Reg_ir.walk_program) =
           | None -> inv
           | Some joined ->
             if state_equal joined inv then inv
-            else fix (if n >= 2 then widen_state inv joined else joined) (n + 1)
+            else
+              fix
+                (if n >= 2 then widen_state ~thresholds inv joined else joined)
+                (n + 1)
         in
         let inv = fix st 0 in
         check_cond ~report pth inv cond;
@@ -465,15 +708,26 @@ let check_program ?(path = []) env (p : Reg_ir.walk_program) =
   in
   let init =
     let ir = Array.make (max p.Reg_ir.num_iregs 0) Ibot in
-    let roots = content Reg_ir.Tree_roots in
-    let state0 =
-      match p.Reg_ir.layout with
-      | Layout.Array_kind -> const 0
-      | Layout.Sparse_kind -> roots
+    let roots () =
+      av ~cg:(if relational then env.content_cg Reg_ir.Tree_roots
+              else Congruence.top)
+        (content_iv Reg_ir.Tree_roots)
     in
-    if Reg_ir.state_reg < Array.length ir then
-      ir.(Reg_ir.state_reg) <- Iv state0;
-    if Reg_ir.base_reg < Array.length ir then ir.(Reg_ir.base_reg) <- Iv roots;
+    let state0 () =
+      match p.Reg_ir.layout with
+      | Layout.Array_kind -> av ~cg:(Congruence.const 0) (const 0)
+      | Layout.Sparse_kind -> roots ()
+    in
+    (* The driver sets up state/base once per jam lane, at each lane's
+       register-window offset. *)
+    let w = Reg_ir.lane_width p in
+    for lane = 0 to max 1 p.Reg_ir.lanes - 1 do
+      let off = lane * w in
+      if off + Reg_ir.state_reg < Array.length ir then
+        ir.(off + Reg_ir.state_reg) <- Iv (state0 ());
+      if off + Reg_ir.base_reg < Array.length ir then
+        ir.(off + Reg_ir.base_reg) <- Iv (roots ())
+    done;
     {
       ir;
       vr = Array.make (max p.Reg_ir.num_vregs 0) Vbot;
@@ -482,15 +736,23 @@ let check_program ?(path = []) env (p : Reg_ir.walk_program) =
   in
   (match exec_stmts ~report:true path (Some init) p.Reg_ir.body with
   | Some final ->
-    if
-      Reg_ir.result_reg >= 0
-      && Reg_ir.result_reg < Array.length final.fr
-      && not final.fr.(Reg_ir.result_reg)
-    then
-      warn ~report:true ~code:"L002" path
-        "result register may be undefined when the walk exits"
+    let fw = Reg_ir.lane_fwidth p in
+    for lane = 0 to max 1 p.Reg_ir.lanes - 1 do
+      let r = (lane * fw) + Reg_ir.result_reg in
+      if r >= 0 && r < Array.length final.fr && not final.fr.(r) then
+        warn ~report:true ~code:"L002" path
+          "result register may be undefined when the walk exits%s"
+          (if p.Reg_ir.lanes > 1 then Printf.sprintf " (lane %d)" lane else "")
+    done
   | None -> ());
-  List.rev !diags
+  let facts =
+    Hashtbl.fold (fun buf iv acc -> (buf, iv) :: acc) access []
+    |> List.sort compare
+  in
+  (List.rev !diags, facts)
+
+let check_program ?path ?relational env p =
+  fst (analyze_program ?path ?relational env p)
 
 (* ------------------------------------------------------------------ *)
 (* Layout closure                                                      *)
@@ -680,12 +942,75 @@ let check_layout ~num_features (lay : Layout.t) =
 (* Umbrella: layout + every generated walk variant                     *)
 (* ------------------------------------------------------------------ *)
 
-let check ~num_features (lay : Layout.t) (mir : Mir.t) =
+let reprefix seg d = { d with D.path = seg :: d.D.path }
+
+let check_variant_raw ~relational env (prog : Reg_ir.walk_program) =
+  if not relational || prog.Reg_ir.lanes <= 1 then
+    check_program ~relational env prog
+  else begin
+    let al = Alias.check prog in
+    if al.Alias.diags <> [] then
+      (* Lane partition refuted: the jammed register windows collide, so a
+         per-lane analysis would be unsound. Report the collisions and
+         fall back to the joint (widened) analysis for bounds facts. *)
+      al.Alias.diags @ check_program ~relational:false env prog
+    else begin
+      (* Lanes proved independent: analyze each lane's projection with
+         full precision. Lane l's projection is register-identical to
+         lane 0's (the jam is a renaming), so identical findings are
+         reported once rather than once per lane; any lane that differs
+         (it cannot, unless projection is broken) is reported under its
+         own path. *)
+      let ds0 = check_program ~relational env (Alias.project prog ~lane:0) in
+      let extra =
+        List.concat
+          (List.init
+             (prog.Reg_ir.lanes - 1)
+             (fun k ->
+               let lane = k + 1 in
+               let dsl =
+                 check_program ~relational env (Alias.project prog ~lane)
+               in
+               if dsl = ds0 then []
+               else
+                 List.map
+                   (fun d ->
+                     { d with D.path = d.D.path @ [ Printf.sprintf "lane %d" lane ] })
+                   dsl))
+      in
+      let fact =
+        D.infof ~level:D.Lir ~code:"L014" ~path:[]
+          "unroll-and-jam lanes independent: %d-lane register partition \
+           proved, per-lane bounds analyzed without widening across lanes"
+          prog.Reg_ir.lanes
+      in
+      ds0 @ extra @ [ fact ]
+    end
+  end
+
+let check_variant ?(relational = true) env ~variant prog =
+  List.map
+    (reprefix (Printf.sprintf "variant %d" variant))
+    (check_variant_raw ~relational env prog)
+
+let check_walks ?(relational = true) env (lay : Layout.t) (mir : Mir.t) =
+  (* Walk programs depend only on (walk kind, interleave), so on wide
+     models with many uniform groups most variants are structurally
+     identical — analyze each distinct program once and re-prefix the
+     findings per variant. *)
+  let cache = Hashtbl.create 8 in
+  Reg_codegen.jammed_variants lay mir
+  |> List.concat_map (fun (i, prog) ->
+         let ds =
+           match Hashtbl.find_opt cache prog with
+           | Some ds -> ds
+           | None ->
+             let ds = check_variant_raw ~relational env prog in
+             Hashtbl.replace cache prog ds;
+             ds
+         in
+         List.map (reprefix (Printf.sprintf "variant %d" i)) ds)
+
+let check ?(relational = true) ~num_features (lay : Layout.t) (mir : Mir.t) =
   let env = env_of_layout ~num_features lay in
-  let layout_ds = check_layout ~num_features lay in
-  let prog_ds =
-    Reg_codegen.all_variants lay mir
-    |> List.concat_map (fun (i, prog) ->
-           check_program ~path:[ Printf.sprintf "variant %d" i ] env prog)
-  in
-  layout_ds @ prog_ds
+  check_layout ~num_features lay @ check_walks ~relational env lay mir

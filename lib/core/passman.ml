@@ -79,11 +79,9 @@ let lower ?(mode = Verify_each) ?(batch_size = 1024) ?profiles forest schedule
         Lir_check.check_layout ~num_features layout);
     run_stage "lir:walks" (fun () ->
         let env = Lir_check.env_of_layout ~num_features layout in
-        Reg_codegen.all_variants layout mir
+        Reg_codegen.jammed_variants layout mir
         |> List.concat_map (fun (i, prog) ->
-               Lir_check.check_program
-                 ~path:[ Printf.sprintf "variant %d" i ]
-                 env prog));
+               Lir_check.check_variant env ~variant:i prog));
     let lowered = Lower.assemble hir mir layout in
     (match mode with
     | Verify_final ->

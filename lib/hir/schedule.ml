@@ -206,6 +206,23 @@ let validate t =
   else if t.pad_imbalance_limit < 0 then Error "pad_imbalance_limit must be >= 0"
   else Ok ()
 
+let canonicalize t =
+  (* At tile_size 1 every tiling algorithm degenerates to singleton tiles,
+     so the tiling kind cannot affect the compiled artifact. *)
+  let tiling = if t.tile_size = 1 then Basic else t.tiling in
+  (* The leaf-bias test (and hence alpha/beta) only runs for the
+     probability-based tilings. *)
+  let alpha, beta =
+    match tiling with
+    | Probability_based | Optimal_probability_based -> (t.alpha, t.beta)
+    | Basic | Min_max_depth -> (scalar_baseline.alpha, scalar_baseline.beta)
+  in
+  let pad_imbalance_limit =
+    if t.pad_and_unroll then t.pad_imbalance_limit
+    else scalar_baseline.pad_imbalance_limit
+  in
+  { t with tiling; alpha; beta; pad_imbalance_limit }
+
 let clamp_threads ~max_threads t =
   if max_threads < 1 then invalid_arg "Schedule.clamp_threads: max_threads < 1";
   if t.num_threads <= max_threads then (t, None)

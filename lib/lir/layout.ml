@@ -292,6 +292,51 @@ let walk_with_trace t ~tree row ~on_slot =
 let walk t ~tree row = walk_with_trace t ~tree row ~on_slot:ignore
 
 (* ------------------------------------------------------------------ *)
+(* Stride facts                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stride_facts = {
+  lane_stride : int;
+  tile_advance : (int * int) option;
+  leaf_advance : (int * int) option;
+}
+
+(* Children a LUT row can actually select, restricted to the valid child
+   range. An out-of-range shape id (corrupt layout) degrades to the full
+   child range so the facts stay conservative — the closure check (L02x)
+   reports the corruption separately. *)
+let reachable_children t sid =
+  let nt = t.tile_size in
+  let full = List.init (nt + 1) Fun.id in
+  if sid < 0 || sid >= Array.length t.lut then full
+  else
+    let row = t.lut.(sid) in
+    let cs =
+      Array.to_list row |> List.filter (fun c -> c >= 0 && c <= nt)
+      |> List.sort_uniq compare
+    in
+    if cs = [] then full else cs
+
+let stride_facts t =
+  match t.kind with
+  | Array_kind ->
+    { lane_stride = t.tile_size; tile_advance = None; leaf_advance = None }
+  | Sparse_kind ->
+    let tile = ref None and leaf = ref None in
+    let widen r v =
+      match !r with
+      | None -> r := Some (v, v)
+      | Some (lo, hi) -> r := Some (min lo v, max hi v)
+    in
+    Array.iteri
+      (fun s cp ->
+        let children = reachable_children t t.shape_ids.(s) in
+        if cp >= 0 then List.iter (fun c -> widen tile (cp + c)) children
+        else List.iter (fun c -> widen leaf (-cp - 1 + c)) children)
+      t.child_ptr;
+    { lane_stride = t.tile_size; tile_advance = !tile; leaf_advance = !leaf }
+
+(* ------------------------------------------------------------------ *)
 (* Accounting                                                          *)
 (* ------------------------------------------------------------------ *)
 

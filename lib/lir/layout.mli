@@ -69,6 +69,29 @@ val walk_with_trace : t -> tree:int -> float array -> on_slot:(int -> unit) -> f
 (** Like {!walk}, reporting each visited slot index (absolute, in slot
     units) — drives the cache simulator. *)
 
+type stride_facts = {
+  lane_stride : int;
+      (** Slot-major lane stride of [thresholds]/[features]: element
+          [slot * lane_stride + lane]. Equals [tile_size]. *)
+  tile_advance : (int * int) option;
+      (** Sparse only: min/max of [child_ptr.(s) + c] over every slot [s]
+          with [child_ptr.(s) >= 0] and every child [c] its LUT row can
+          actually select — i.e. the exact range of tile-successor slot
+          indices a walk can compute. [None] for array layouts or when no
+          slot has tile children. *)
+  leaf_advance : (int * int) option;
+      (** Sparse only: min/max of [-child_ptr.(s) - 1 + c] over every slot
+          with [child_ptr.(s) < 0] — the range of reachable [leaf_values]
+          indices. [None] for array layouts or when no slot has leaf
+          children. *)
+}
+
+val stride_facts : t -> stride_facts
+(** Relational facts about the layout's index arithmetic, consumed by
+    [Lir_check]'s congruence/interval product to discharge
+    [child_ptr + lut_child] bounds obligations. Conservative on corrupt
+    layouts (out-of-range shape ids fall back to the full child range). *)
+
 val memory_bytes : t -> int
 (** Model bytes under this layout, counting thresholds as float32, feature
     indices and shape ids as int16, child pointers as int32 and leaf values

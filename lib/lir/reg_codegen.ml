@@ -119,9 +119,15 @@ let sparse_generic tile_size =
 let sparse_unrolled tile_size depth =
   (* Uniform-depth group: exactly [depth] tile steps; the last one's child
      pointer is negative and the fused If computes the leaf code. Depth 0
-     means a constant tree whose root state is already a leaf code. *)
+     means a constant tree whose root state is already a leaf code. Each
+     step carries the same [state >= 0] guard the peeled form uses: on a
+     uniform-depth group the guard always holds before the final step, and
+     it keeps the non-leaf precondition locally checkable instead of
+     depending on the MIR-level uniformity argument (M002). *)
   if depth = 0 then sparse_leaf_fetch
-  else [ Repeat (depth, sparse_step tile_size) ] @ sparse_leaf_fetch
+  else
+    [ Repeat (depth, [ If (Ige (r_state, 0), sparse_step tile_size, []) ]) ]
+    @ sparse_leaf_fetch
 
 let sparse_peeled tile_size peel =
   (* A walk may end exactly at the peel depth; each peeled step is guarded
@@ -143,7 +149,8 @@ let walk_program (lay : Layout.t) walk =
     | Layout.Sparse_kind, Mir.Peeled_walk { peel } -> sparse_peeled tile_size peel
   in
   let program =
-    { tile_size; layout = lay.Layout.kind; body; num_iregs; num_fregs; num_vregs }
+    { tile_size; layout = lay.Layout.kind; body; num_iregs; num_fregs;
+      num_vregs; lanes = 1 }
   in
   match check program with
   | [] -> program
@@ -151,7 +158,87 @@ let walk_program (lay : Layout.t) walk =
     invalid_arg
       ("Reg_codegen: generated invalid program: " ^ Tb_diag.Diagnostic.to_string d)
 
+(* ---------------- unroll-and-jam ---------------- *)
+
+(* Jamming replicates the single-lane register file [lanes] times: lane l's
+   copy of register r is [l * width + r], so lanes own disjoint register
+   windows by construction (Alias re-derives this by dataflow rather than
+   trusting it). Straight-line statements are interleaved in lockstep —
+   the instruction-level mixing unroll-and-jam exists for — while control
+   flow (While/If), whose condition is lane-private, stays per-lane. *)
+let rename_stmt ~lane =
+  let ir r = (lane * num_iregs) + r in
+  let fr r = (lane * num_fregs) + r in
+  let vr r = (lane * num_vregs) + r in
+  let iexpr = function
+    | Iconst c -> Iconst c
+    | Imov a -> Imov (ir a)
+    | Iadd (a, b) -> Iadd (ir a, ir b)
+    | Imul_const (a, c) -> Imul_const (ir a, c)
+    | Iadd_const (a, c) -> Iadd_const (ir a, c)
+    | Isub (a, b) -> Isub (ir a, ir b)
+    | Iload (b, a) -> Iload (b, ir a)
+    | Movemask v -> Movemask (vr v)
+  in
+  let fexpr = function Fload (b, a) -> Fload (b, ir a) in
+  let vexpr = function
+    | Vload_f (b, a) -> Vload_f (b, ir a)
+    | Vload_i (b, a) -> Vload_i (b, ir a)
+    | Gather (b, v) -> Gather (b, vr v)
+    | Vcmp_lt (a, b) -> Vcmp_lt (vr a, vr b)
+  in
+  let cond = function
+    | Ige (r, c) -> Ige (ir r, c)
+    | Ieq_load (b, r, c) -> Ieq_load (b, ir r, c)
+  in
+  let rec stmt = function
+    | Iset (r, e) -> Iset (ir r, iexpr e)
+    | Fset (r, e) -> Fset (fr r, fexpr e)
+    | Vset (r, e) -> Vset (vr r, vexpr e)
+    | While (c, b) -> While (cond c, List.map stmt b)
+    | If (c, t, e) -> If (cond c, List.map stmt t, List.map stmt e)
+    | Repeat (n, b) -> Repeat (n, List.map stmt b)
+  in
+  stmt
+
+let rec jam_stmts ~lanes stmts =
+  List.concat_map
+    (fun s ->
+      match s with
+      | Repeat (n, body) -> [ Repeat (n, jam_stmts ~lanes body) ]
+      | Iset _ | Fset _ | Vset _ | While _ | If _ ->
+        List.init lanes (fun lane -> rename_stmt ~lane s))
+    stmts
+
+let jam_lanes (p : walk_program) ~lanes =
+  if lanes <= 1 then p
+  else if p.lanes <> 1 then invalid_arg "Reg_codegen.jam_lanes: already jammed"
+  else
+    let program =
+      {
+        p with
+        body = jam_stmts ~lanes p.body;
+        num_iregs = lanes * p.num_iregs;
+        num_fregs = lanes * p.num_fregs;
+        num_vregs = lanes * p.num_vregs;
+        lanes;
+      }
+    in
+    match check program with
+    | [] -> program
+    | d :: _ ->
+      invalid_arg
+        ("Reg_codegen: jammed program fails verification: "
+        ^ Tb_diag.Diagnostic.to_string d)
+
 let all_variants lay (mir : Mir.t) =
   List.mapi
     (fun i (plan : Mir.group_plan) -> (i, walk_program lay plan.Mir.walk))
+    (Array.to_list mir.Mir.group_plans)
+
+let jammed_variants lay (mir : Mir.t) =
+  List.mapi
+    (fun i (plan : Mir.group_plan) ->
+      let p = walk_program lay plan.Mir.walk in
+      (i, jam_lanes p ~lanes:(max 1 plan.Mir.interleave)))
     (Array.to_list mir.Mir.group_plans)

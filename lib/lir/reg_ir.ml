@@ -50,11 +50,18 @@ type walk_program = {
   num_iregs : int;
   num_fregs : int;
   num_vregs : int;
+  lanes : int;
 }
 
 let state_reg = 0
 let base_reg = 1
 let result_reg = 0
+
+(* Jammed programs replicate a single-lane register file [lanes] times;
+   lane l's copy of register r is [l * (num_Xregs / lanes) + r]. *)
+let lane_width p = p.num_iregs / max 1 p.lanes
+let lane_fwidth p = p.num_fregs / max 1 p.lanes
+let lane_vwidth p = p.num_vregs / max 1 p.lanes
 
 (* ------------------------------------------------------------------ *)
 (* Verifier                                                            *)
@@ -184,9 +191,14 @@ let check p =
       go rest state
   in
   let di = Array.make (max 1 p.num_iregs) false in
-  (* Walk inputs: state and base are set up by the driver. *)
-  if p.num_iregs > state_reg then di.(state_reg) <- true;
-  if p.num_iregs > base_reg then di.(base_reg) <- true;
+  (* Walk inputs: state and base are set up by the driver — once per jam
+     lane, at the lane's window offset. *)
+  let w = lane_width p in
+  for lane = 0 to max 1 p.lanes - 1 do
+    let off = lane * w in
+    if p.num_iregs > off + state_reg then di.(off + state_reg) <- true;
+    if p.num_iregs > off + base_reg then di.(off + base_reg) <- true
+  done;
   let dv = Array.make (max 1 p.num_vregs) None in
   let (_ : bool array * vkind option array) = go p.body (di, dv) in
   List.rev !diags
@@ -255,9 +267,10 @@ let pp fmt p =
           Format.fprintf fmt "%s}@," pad)
       body
   in
-  Format.fprintf fmt "@[<v>walk(%s, tile_size=%d):@,"
+  Format.fprintf fmt "@[<v>walk(%s, tile_size=%d%s):@,"
     (match p.layout with Layout.Array_kind -> "array" | Layout.Sparse_kind -> "sparse")
-    p.tile_size;
+    p.tile_size
+    (if p.lanes > 1 then Printf.sprintf ", lanes=%d" p.lanes else "");
   stmts 2 p.body;
   Format.fprintf fmt "@]"
 

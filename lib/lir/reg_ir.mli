@@ -69,11 +69,23 @@ type walk_program = {
   num_iregs : int;
   num_fregs : int;
   num_vregs : int;
+  lanes : int;
+      (** Unroll-and-jam lane count. 1 for plain walks. When [> 1] each
+          register file is [lanes] equal windows; lane [l]'s copy of
+          single-lane register [r] is [l * (num_iregs / lanes) + r] (and
+          likewise for float/vector files). The driver initializes
+          [state_reg]/[base_reg] at every lane's window offset. *)
 }
 
 val state_reg : ireg
 val base_reg : ireg
 val result_reg : freg
+
+val lane_width : walk_program -> int
+(** Int registers per jam lane ([num_iregs / lanes]). *)
+
+val lane_fwidth : walk_program -> int
+val lane_vwidth : walk_program -> int
 
 val check : walk_program -> Tb_diag.Diagnostic.t list
 (** Register-discipline verification with structured diagnostics: register
@@ -86,6 +98,10 @@ val check : walk_program -> Tb_diag.Diagnostic.t list
     {!Tb_analysis.Lir_check} extends this discipline check into a full
     forward interval dataflow that also proves buffer-bounds facts against
     a {!Layout}. *)
+
+val buffer_name : buffer -> string
+(** Display name used in diagnostics and the assembly rendering, e.g.
+    ["shapeIds"]. *)
 
 val pp : Format.formatter -> walk_program -> unit
 (** Assembly-style rendering, e.g. [i2 <- load.shapeIds [i0]]. *)

@@ -90,9 +90,13 @@ let compile t name schedule =
 
 let compiled t ~model ~schedule =
   if not (Hashtbl.mem t.sources model) then raise Not_found;
-  (* Normalize before keying, so schedules differing only in their (now
-     irrelevant) thread count share one cache entry. *)
+  (* Normalize before keying, so schedules differing only in fields the
+     compiled artifact cannot depend on — the (now irrelevant) thread
+     count, tiling knobs at tile_size 1, alpha/beta under non-probability
+     tilings, the pad limit without padding — share one cache entry and
+     one compile. *)
   let schedule, warning = Schedule.clamp_threads ~max_threads:1 schedule in
+  let schedule = Schedule.canonicalize schedule in
   let k = key t model schedule in
   match Policy.find t.cache k with
   | Some c -> (c, true)

@@ -58,8 +58,12 @@ val forest : t -> string -> Tb_model.Forest.t
 
 val compiled :
   t -> model:string -> schedule:Tb_hir.Schedule.t -> compiled * bool
-(** Get-or-compile; the flag is [true] on a cache hit. On a miss the
-    compile may evict another entry per the policy.
+(** Get-or-compile; the flag is [true] on a cache hit. The schedule is
+    normalized before keying — [num_threads] clamped to 1 (each worker
+    owns its core) and {!Tb_hir.Schedule.canonicalize} applied — so
+    schedules differing only in fields the compiled artifact cannot
+    depend on share one entry and one compile. On a miss the compile may
+    evict another entry per the policy.
     @raise Not_found for unregistered names. *)
 
 val cache_stats : t -> Policy.stats

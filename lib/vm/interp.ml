@@ -18,9 +18,12 @@ type machine = {
   mutable row : float array;
   lay : Layout.t;
   lut_width : int;  (* entries per LUT row: 2^tile_size *)
+  trace : buffer -> int -> unit;
+      (* observes every concrete buffer access (vector loads per lane, LUT
+         accesses by flat index) — the soundness harness's probe *)
 }
 
-let make_machine (p : walk_program) lay =
+let make_machine ?(trace = fun _ _ -> ()) (p : walk_program) lay =
   let nt = p.tile_size in
   {
     iregs = Array.make p.num_iregs 0;
@@ -30,9 +33,11 @@ let make_machine (p : walk_program) lay =
     row = [||];
     lay;
     lut_width = 1 lsl nt;
+    trace;
   }
 
 let iload m buffer idx =
+  m.trace buffer idx;
   match buffer with
   | Shape_ids -> m.lay.Layout.shape_ids.(idx)
   | Child_ptrs -> m.lay.Layout.child_ptr.(idx)
@@ -43,6 +48,7 @@ let iload m buffer idx =
     invalid_arg "Interp: integer load from a float buffer"
 
 let fload m buffer idx =
+  m.trace buffer idx;
   match buffer with
   | Thresholds -> m.lay.Layout.thresholds.(idx)
   | Leaf_values -> m.lay.Layout.leaf_values.(idx)
@@ -131,11 +137,18 @@ let run_walk p (lp : Lower.t) ~tree ~row =
   let m = make_machine p lp.Lower.layout in
   run_walk_machine m p ~tree ~row
 
-let compile (lp : Lower.t) =
+let compile ?trace (lp : Lower.t) =
   let lay = lp.Lower.layout in
   let variants = Tb_lir.Reg_codegen.all_variants lay lp.Lower.mir in
   let machines =
-    Array.of_list (List.map (fun (_, p) -> (p, make_machine p lay)) variants)
+    Array.of_list
+      (List.map
+         (fun (g, p) ->
+           let trace =
+             Option.map (fun t buffer idx -> t ~group:g buffer idx) trace
+           in
+           (p, make_machine ?trace p lay))
+         variants)
   in
   fun rows ->
     let n = Array.length rows in

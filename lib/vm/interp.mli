@@ -9,11 +9,19 @@
 
 type predictor = float array array -> float array array
 
-val compile : Tb_lir.Lower.t -> predictor
+val compile :
+  ?trace:(group:int -> Tb_lir.Reg_ir.buffer -> int -> unit) ->
+  Tb_lir.Lower.t -> predictor
 (** Generate, verify and interpret the per-group walk programs following
     the MIR loop order (single-threaded; interleaving does not change
     interpretation order). Output equals {!Jit.compile}'s bit-for-bit
-    (tested). *)
+    (tested).
+
+    [trace] observes every concrete buffer access of group [group]'s walk
+    program — scalar loads directly, vector loads once per lane, LUT
+    accesses by flat index — before it happens. The soundness harness uses
+    it to replay executions against the index ranges
+    {!Tb_analysis.Lir_check.analyze_program} claims to have proved. *)
 
 val run_walk :
   Tb_lir.Reg_ir.walk_program ->

@@ -22,4 +22,5 @@ let () =
       ("differential", Test_differential.suite);
       ("cost-check", Test_cost_check.suite);
       ("serve", Test_serve.suite);
+      ("soundness", Test_soundness.suite);
     ]

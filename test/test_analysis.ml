@@ -341,6 +341,7 @@ let walk_stub body =
     num_iregs = 10;
     num_fregs = 1;
     num_vregs = 4;
+    lanes = 1;
   }
 
 let test_mutated_walk_constant_oob_load () =
@@ -399,6 +400,110 @@ let test_mutated_layout_bad_lut_row () =
   lay.Layout.lut.(0).(0) <- 99;
   check_has_code "L024" (Lir_check.check_layout ~num_features:4 lay)
 
+(* --- the congruence (stride) domain --- *)
+
+let test_congruence_domain () =
+  let module C = Tb_analysis.Congruence in
+  let c = C.const in
+  check_bool "const membership" true (C.mem 7 (c 7));
+  check_bool "const exclusion" false (C.mem 8 (c 7));
+  (* join of two constants = stride |a-b| through both *)
+  let j = C.join (c 8) (c 14) in
+  check_int "join 8 14: modulus" 6 j.C.m;
+  check_int "join 8 14: residue" 2 j.C.r;
+  List.iter
+    (fun x -> check_bool (Printf.sprintf "%d in 6Z+2" x) true (C.mem x j))
+    [ 2; 8; 14; 20; -4 ];
+  check_bool "13 not in 6Z+2" false (C.mem 13 j);
+  (* arithmetic: (6Z+2) + (6Z+2) = 6Z+4; scaling multiplies the stride *)
+  let s = C.add j j in
+  check_int "sum modulus" 6 s.C.m;
+  check_int "sum residue" 4 s.C.r;
+  let m = C.mul_const 4 (c 3) in
+  check_bool "4*3 is the constant 12" true (C.is_const m && C.mem 12 m);
+  let scaled = C.mul_const 4 j in
+  check_int "scaled modulus" 24 scaled.C.m;
+  check_int "scaled residue" 8 scaled.C.r;
+  (* sub keeps the gcd stride *)
+  let d = C.sub j (c 1) in
+  check_int "difference modulus" 6 d.C.m;
+  check_int "difference residue" 1 d.C.r;
+  (* join with incompatible stride collapses toward top *)
+  check_bool "join with top is top" true (C.is_top (C.join j C.top));
+  (* interval tightening: snap bounds to the nearest class member *)
+  check_bool "tighten_lo rounds up" true (C.tighten_lo j 3.0 = 8.0);
+  check_bool "tighten_lo on a member is fixed" true (C.tighten_lo j 8.0 = 8.0);
+  check_bool "tighten_hi rounds down" true (C.tighten_hi j 13.0 = 8.0);
+  check_bool "tighten_lo passes -inf through" true
+    (C.tighten_lo j Float.neg_infinity = Float.neg_infinity);
+  (* empty tightened interval: lo jumps past hi, which the analysis reads
+     as "no concrete index reaches this access" *)
+  check_bool "tightening can empty an interval" true
+    (C.tighten_lo j 3.0 > C.tighten_hi j 7.0)
+
+(* --- relational vs legacy on real sparse walks --- *)
+
+let sparse_loop_schedule =
+  {
+    Schedule.default with
+    Schedule.tile_size = 4;
+    interleave = 1;
+    pad_and_unroll = false;
+    peel = false;
+    layout = Schedule.Sparse_layout;
+  }
+
+let test_relational_discharges_sparse_l011 () =
+  let rng = Prng.create 31 in
+  let forest = Forest.random ~num_trees:6 ~max_depth:6 ~num_features:5 rng in
+  let lp = Lower.lower forest sparse_loop_schedule in
+  let run rel =
+    Lir_check.check ~relational:rel ~num_features:5 lp.Lower.layout
+      lp.Lower.mir
+  in
+  let l011 ds = List.filter (fun d -> d.D.code = "L011") ds in
+  let legacy = l011 (run false) and relational = l011 (run true) in
+  check_bool
+    (Printf.sprintf "legacy interval analysis warns on the sparse loop (%d)"
+       (List.length legacy))
+    true
+    (legacy <> []);
+  check_bool
+    (Printf.sprintf "relational analysis discharges them all, kept: [%s]"
+       (show relational))
+    true (relational = [])
+
+let test_jam_analysis_does_not_multiply_findings () =
+  (* Per-lane analysis of a jammed variant must report exactly the
+     single-lane findings (plus the L014 partition fact) — no cross-lane
+     widening, no per-lane duplication. *)
+  let rng = Prng.create 37 in
+  let forest = Forest.random ~num_trees:8 ~max_depth:5 ~num_features:5 rng in
+  let jam_schedule = { sparse_loop_schedule with Schedule.interleave = 4 } in
+  let count code ds = List.length (List.filter (fun d -> d.D.code = code) ds) in
+  let run schedule rel =
+    let lp = Lower.lower forest schedule in
+    Lir_check.check ~relational:rel ~num_features:5 lp.Lower.layout
+      lp.Lower.mir
+  in
+  let single = run sparse_loop_schedule true in
+  let jammed = run jam_schedule true in
+  check_bool "jammed variants prove lane independence" true
+    (count "L014" jammed > 0);
+  check_int "no lane collisions" 0 (count "L013" jammed);
+  List.iter
+    (fun code ->
+      check_int
+        (Printf.sprintf "%s count matches the single-lane analysis" code)
+        (count code single) (count code jammed))
+    [ "L010"; "L011"; "L012" ];
+  (* The legacy joint analysis, by contrast, loses precision on the jammed
+     register file: it can only report at least as many findings. *)
+  let legacy_jammed = run jam_schedule false in
+  check_bool "legacy joint analysis is no more precise" true
+    (count "L011" legacy_jammed + count "L012" legacy_jammed
+     >= count "L011" jammed + count "L012" jammed)
+
 let suite =
   [
     quick "verified pipeline accepts the default schedule"
@@ -440,4 +545,9 @@ let suite =
     quick "mutation: leaf index out of store -> L023"
       test_mutated_layout_bad_leaf_index;
     quick "mutation: invalid LUT child -> L024" test_mutated_layout_bad_lut_row;
+    quick "congruence domain algebra + tightening" test_congruence_domain;
+    quick "relational analysis discharges sparse-loop L011"
+      test_relational_discharges_sparse_l011;
+    quick "jam per-lane analysis: lane-0 findings once + L014"
+      test_jam_analysis_does_not_multiply_findings;
   ]

@@ -28,6 +28,7 @@ let dummy_program body =
     num_iregs = 10;
     num_fregs = 1;
     num_vregs = 4;
+    lanes = 1;
   }
 
 let has_code c ds = List.exists (fun d -> d.Tb_diag.Diagnostic.code = c) ds
@@ -99,6 +100,39 @@ let test_verifier_accepts_both_branch_def () =
       ]
   in
   check_bool "accepted" true (Reg_ir.check p = [])
+
+(* --- unroll-and-jam --- *)
+
+let test_jam_lanes_structure_and_projection () =
+  let rng = Prng.create 11 in
+  let forest = Forest.random ~num_trees:8 ~max_depth:6 ~num_features:5 rng in
+  let lp =
+    Lower.lower forest { Schedule.default with interleave = 4 }
+  in
+  let singles = Reg_codegen.all_variants lp.Lower.layout lp.Lower.mir in
+  List.iter
+    (fun (_, p) ->
+      (* Identity at one lane. *)
+      check_bool "lanes=1 is identity" true (Reg_codegen.jam_lanes p ~lanes:1 == p);
+      let j = Reg_codegen.jam_lanes p ~lanes:4 in
+      check_int "lanes recorded" 4 j.Reg_ir.lanes;
+      check_int "ireg file widened" (4 * p.Reg_ir.num_iregs) j.Reg_ir.num_iregs;
+      check_bool "jammed program verifies" true (Reg_ir.check j = []);
+      check_bool "lane partition proved" true ((Tb_analysis.Alias.check j).diags = []);
+      (* Every lane's projection is the single-lane program's body. *)
+      for lane = 0 to 3 do
+        let proj = Tb_analysis.Alias.project j ~lane in
+        check_bool
+          (Printf.sprintf "lane %d projects back" lane)
+          true
+          (proj.Reg_ir.body = p.Reg_ir.body)
+      done;
+      (* Re-jamming an already-jammed program is rejected. *)
+      check_bool "double jam rejected" true
+        (match Reg_codegen.jam_lanes j ~lanes:2 with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    singles
 
 (* --- printer / op counting --- *)
 
@@ -200,6 +234,7 @@ let suite =
     quick "verifier rejects lane mismatch" test_verifier_rejects_lane_type_mismatch;
     quick "verifier If join is intersection" test_verifier_if_join_is_intersection;
     quick "verifier accepts both-branch def" test_verifier_accepts_both_branch_def;
+    quick "jam_lanes structure and projection" test_jam_lanes_structure_and_projection;
     quick "printer shows vector mnemonics" test_pp_contains_vector_mnemonics;
     quick "count_ops expands repeats" test_count_ops_expands_repeats;
     qcheck ~count:150 ~name:"interpreter == JIT (bitwise)" seed_gen

@@ -237,7 +237,44 @@ let test_registry_cache_and_thread_normalization () =
   let _, hit2 = Registry.compiled reg ~model:"m0" ~schedule:s1 in
   check_bool "normalized schedule hits" true hit2;
   check_int "one compile" 1 (Registry.compile_count reg);
-  check_int "one clamp warning" 1 (List.length (Registry.clamp_warnings reg))
+  check_int "one clamp warning" 1 (List.length (Registry.clamp_warnings reg));
+  (* Canonicalization: fields the backend provably ignores must not fork
+     the cache. Basic tiling never reads alpha/beta ... *)
+  let base =
+    (* interleave differs from Schedule.default so this is a fresh entry *)
+    { Schedule.default with
+      Schedule.tiling = Schedule.Basic; alpha = 0.05; interleave = 2 }
+  in
+  let _, hit3 = Registry.compiled reg ~model:"m0" ~schedule:base in
+  check_bool "basic-tiling alpha variant compiles once" false hit3;
+  let _, hit4 =
+    Registry.compiled reg ~model:"m0"
+      ~schedule:{ base with Schedule.alpha = 0.1; beta = 0.5 }
+  in
+  check_bool "basic-tiling alpha/beta variant hits" true hit4;
+  (* ... an unpadded schedule never reads pad_imbalance_limit ... *)
+  let _, hit5 =
+    Registry.compiled reg ~model:"m0"
+      ~schedule:{ base with Schedule.pad_and_unroll = false }
+  in
+  check_bool "unpadded variant compiles once" false hit5;
+  let _, hit6 =
+    Registry.compiled reg ~model:"m0"
+      ~schedule:
+        { base with Schedule.pad_and_unroll = false; pad_imbalance_limit = 7 }
+  in
+  check_bool "pad-limit-without-padding variant hits" true hit6;
+  (* ... and at tile_size 1 the tiling kind is irrelevant. *)
+  let nt1 = { base with Schedule.tile_size = 1 } in
+  let _, hit7 = Registry.compiled reg ~model:"m0" ~schedule:nt1 in
+  check_bool "tile_size-1 variant compiles once" false hit7;
+  let _, hit8 =
+    Registry.compiled reg ~model:"m0"
+      ~schedule:{ nt1 with Schedule.tiling = Schedule.Probability_based }
+  in
+  check_bool "tile_size-1 tiling-kind variant hits" true hit8;
+  (* default, base, unpadded, tile-size-1 — every other lookup hit. *)
+  check_int "four compiles total" 4 (Registry.compile_count reg)
 
 (* ---------------- schedule clamp + S013 ---------------- *)
 

@@ -1,0 +1,229 @@
+(* Soundness harness for the LIR walk-bounds analysis.
+
+   The static analysis (Lir_check.analyze_program) claims, for every
+   buffer a walk program touches, a hull of all indices the reporting
+   pass can reach. The harness replays real executions against those
+   claims: the Reg_ir interpreter is instrumented (Interp.compile ~trace)
+   to log every concrete buffer access, and each logged index must lie
+   inside the hull the analysis proved for that group's program — under
+   both the legacy interval analysis and the relational
+   congruence/stride one. A concrete access outside the hull would be an
+   unsoundness in the abstract domains, the kind of bug the census
+   numbers cannot see.
+
+   The seeded-mutation tests are the negative half: falsify the facts the
+   relational analysis relies on (corrupt a child pointer so the layout's
+   tile-advance range no longer bounds the walk; splice a cross-lane
+   statement into a jammed program) and assert the corresponding
+   diagnostic (L011 / L013) actually fires. Together they show the
+   discharge is evidence-based, not unconditional. *)
+
+open Helpers
+module Prng = Tb_util.Prng
+module Forest = Tb_model.Forest
+module Schedule = Tb_hir.Schedule
+module Layout = Tb_lir.Layout
+module Lower = Tb_lir.Lower
+module Reg_ir = Tb_lir.Reg_ir
+module Reg_codegen = Tb_lir.Reg_codegen
+module Interp = Tb_vm.Interp
+module Lir_check = Tb_analysis.Lir_check
+module Alias = Tb_analysis.Alias
+module D = Tb_diag.Diagnostic
+
+let grid = Array.of_list Schedule.table2_grid
+
+let num_features = 6
+
+let random_forest rng =
+  Forest.random
+    ~num_trees:(1 + Prng.int rng 10)
+    ~max_depth:(2 + Prng.int rng 6)
+    ~num_features rng
+
+(* Every concrete access of every interpreted walk lies inside the hull
+   the analysis proved for that group's program. *)
+let soundness_property seed =
+  let rng = Prng.create seed in
+  let forest = random_forest rng in
+  let schedule = grid.(Prng.int rng (Array.length grid)) in
+  let rows = random_rows rng num_features (1 + Prng.int rng 20) in
+  let lp = Lower.lower forest schedule in
+  let env = Lir_check.env_of_layout ~num_features lp.Lower.layout in
+  let hulls =
+    List.map
+      (fun (g, p) ->
+        ( g,
+          List.map
+            (fun rel ->
+              (rel, snd (Lir_check.analyze_program ~relational:rel env p)))
+            [ true; false ] ))
+      (Reg_codegen.all_variants lp.Lower.layout lp.Lower.mir)
+  in
+  let violation = ref None in
+  let trace ~group buffer idx =
+    if !violation = None then
+      List.iter
+        (fun (rel, facts) ->
+          match List.assoc_opt buffer facts with
+          | Some { Lir_check.lo; hi }
+            when float_of_int idx >= lo && float_of_int idx <= hi -> ()
+          | Some { Lir_check.lo; hi } ->
+            violation :=
+              Some
+                (Printf.sprintf
+                   "group %d: %s access at %d outside proved hull [%g, %g] \
+                    (relational=%b)"
+                   group (Reg_ir.buffer_name buffer) idx lo hi rel)
+          | None ->
+            violation :=
+              Some
+                (Printf.sprintf
+                   "group %d: %s access at %d but the analysis recorded no \
+                    fact for that buffer (relational=%b)"
+                   group (Reg_ir.buffer_name buffer) idx rel))
+        (List.assoc group hulls)
+  in
+  ignore (Interp.compile ~trace lp rows);
+  match !violation with
+  | None -> true
+  | Some msg ->
+    QCheck2.Test.fail_reportf "unsound under %s: %s"
+      (Schedule.to_string schedule) msg
+
+(* Deterministic version over the full grid on one forest, so every
+   Table II point (both layouts, every interleave factor, peel/unroll)
+   is replayed at least once per run. *)
+let test_full_grid_replay () =
+  let rng = Prng.create 7 in
+  let forest = Forest.random ~num_trees:7 ~max_depth:6 ~num_features rng in
+  let rows = random_rows rng num_features 8 in
+  List.iter
+    (fun schedule ->
+      let lp = Lower.lower forest schedule in
+      let env = Lir_check.env_of_layout ~num_features lp.Lower.layout in
+      let hulls =
+        List.map
+          (fun (g, p) ->
+            (g, snd (Lir_check.analyze_program ~relational:true env p)))
+          (Reg_codegen.all_variants lp.Lower.layout lp.Lower.mir)
+      in
+      let trace ~group buffer idx =
+        match List.assoc_opt buffer (List.assoc group hulls) with
+        | Some { Lir_check.lo; hi }
+          when float_of_int idx >= lo && float_of_int idx <= hi -> ()
+        | Some { Lir_check.lo; hi } ->
+          Alcotest.failf "%s: group %d %s at %d outside [%g, %g]"
+            (Schedule.to_string schedule) group
+            (Reg_ir.buffer_name buffer) idx lo hi
+        | None ->
+          Alcotest.failf "%s: group %d %s access with no recorded fact"
+            (Schedule.to_string schedule) group (Reg_ir.buffer_name buffer)
+      in
+      ignore (Interp.compile ~trace lp rows))
+    Schedule.table2_grid
+
+(* ---------------- seeded mutations ---------------- *)
+
+let sparse_schedule =
+  {
+    Schedule.default with
+    Schedule.tile_size = 4;
+    interleave = 1;
+    pad_and_unroll = false;
+    peel = false;
+    layout = Schedule.Sparse_layout;
+  }
+
+let codes ds = List.map (fun d -> d.D.code) ds
+
+(* The relational analysis discharges the sparse slot-indexed loads by
+   pairing the cursor with the layout's measured child_ptr + lut-child
+   advance range. Corrupting one child pointer past the slot extent must
+   widen that range and bring the L011 back — the discharge depends on
+   the measured facts, it is not unconditional. *)
+let test_corrupted_child_ptr_revives_l011 () =
+  let rng = Prng.create 11 in
+  let forest = Forest.random ~num_trees:6 ~max_depth:5 ~num_features rng in
+  let lp = Lower.lower forest sparse_schedule in
+  let lay = lp.Lower.layout in
+  let analyze () =
+    let env = Lir_check.env_of_layout ~num_features lay in
+    List.concat_map
+      (fun (g, p) -> Lir_check.check_variant env ~variant:g p)
+      (Reg_codegen.all_variants lay lp.Lower.mir)
+  in
+  let slot_warnings ds =
+    List.length
+      (List.filter
+         (fun d -> d.D.code = "L011" || d.D.code = "L010")
+         ds)
+  in
+  let intact = slot_warnings (analyze ()) in
+  (* Pick a non-leaf slot and point it far past the slot arrays. *)
+  let victim = ref (-1) in
+  Array.iteri
+    (fun i cp -> if !victim < 0 && cp >= 0 then victim := i)
+    lay.Layout.child_ptr;
+  Alcotest.(check bool) "forest has an internal sparse slot" true (!victim >= 0);
+  let saved = lay.Layout.child_ptr.(!victim) in
+  lay.Layout.child_ptr.(!victim) <- Array.length lay.Layout.shape_ids + 999;
+  let mutated = slot_warnings (analyze ()) in
+  lay.Layout.child_ptr.(!victim) <- saved;
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "corrupt child_ptr revives bounds warnings (%d intact -> %d mutated)"
+       intact mutated)
+    true
+    (mutated > intact)
+
+(* Splicing a statement that reads lane 1's registers into a jammed
+   program must refute the lane partition: Alias.check and the full
+   variant analysis both report L013, and the lanes-independent L014
+   fact disappears. *)
+let test_lane_collision_mutant_caught () =
+  let rng = Prng.create 23 in
+  let forest = Forest.random ~num_trees:8 ~max_depth:5 ~num_features rng in
+  let schedule = { sparse_schedule with Schedule.interleave = 4 } in
+  let lp = Lower.lower forest schedule in
+  let lay = lp.Lower.layout in
+  let env = Lir_check.env_of_layout ~num_features lay in
+  let jammed =
+    List.filter (fun (_, p) -> p.Reg_ir.lanes > 1)
+      (Reg_codegen.jammed_variants lay lp.Lower.mir)
+  in
+  Alcotest.(check bool) "schedule produced jammed variants" true (jammed <> []);
+  List.iter
+    (fun (g, p) ->
+      (* Intact: partition proved, L014 fact, no L013. *)
+      let intact = Lir_check.check_variant env ~variant:g p in
+      Alcotest.(check bool) "intact jam has no L013" false
+        (List.mem "L013" (codes intact));
+      Alcotest.(check bool) "intact jam proves lane independence (L014)" true
+        (List.mem "L014" (codes intact));
+      (* Mutant: lane 0 reads a lane-1 register. *)
+      let w = Reg_ir.lane_width p in
+      let mutant =
+        { p with Reg_ir.body = p.Reg_ir.body @ [ Reg_ir.Iset (0, Reg_ir.Imov w) ] }
+      in
+      Alcotest.(check bool) "alias analysis refutes the mutant" true
+        ((Alias.check mutant).Alias.diags <> []);
+      let ds = Lir_check.check_variant env ~variant:g mutant in
+      Alcotest.(check bool) "mutant reports L013" true
+        (List.mem "L013" (codes ds));
+      Alcotest.(check bool) "mutant loses the L014 fact" false
+        (List.mem "L014" (codes ds)))
+    jammed
+
+let suite =
+  [
+    qcheck ~count:150
+      ~name:"concrete accesses inside proved hulls (random grid point)"
+      seed_gen soundness_property;
+    quick "full Table II grid replay against relational hulls"
+      test_full_grid_replay;
+    quick "corrupt child_ptr revives discharged L011"
+      test_corrupted_child_ptr_revives_l011;
+    quick "jam lane-collision mutant caught as L013"
+      test_lane_collision_mutant_caught;
+  ]
