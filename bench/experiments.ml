@@ -546,12 +546,14 @@ let wallclock () =
         r.Tb_util.Timer.mean_s /. n *. 1e6
       in
       let scalar =
-        Tb_core.Treebeard.compile ~schedule:Schedule.scalar_baseline forest
+        Tb_core.Treebeard.make
+          ~plan:(`Schedule Schedule.scalar_baseline)
+          (`Forest forest)
       in
       let best =
-        Tb_core.Treebeard.compile
-          ~schedule:(best_schedule name intel).Explore.schedule
-          ~profiles:b.profiles forest
+        Tb_core.Treebeard.make
+          ~plan:(`Schedule (best_schedule name intel).Explore.schedule)
+          ~profiles:b.profiles (`Forest forest)
       in
       let xgb = Xgboost.compile forest in
       let tl = Treelite.compile forest in
@@ -764,9 +766,11 @@ let calibrate () =
   Printf.printf "report: calibration.json\n"
 
 (* Serving runtime: dynamic-batching policy sweep (throughput vs tail
-   latency) and eviction-policy comparison under cache pressure. All
-   numbers come from the deterministic virtual clock, so this table is
-   machine-independent. Writes BENCH_serve.json. *)
+   latency) and eviction-policy comparison under cache pressure. Sweeps 1
+   and 2 come from the deterministic virtual clock, so those tables are
+   machine-independent; sweep 3 runs the dual clock and reports the
+   measured wall/virtual drift per zoo model (host-dependent by nature)
+   plus one Registry.calibrate round. Writes BENCH_serve.json. *)
 let serve () =
   let module Simulate = Tb_serve.Simulate in
   let module Runtime = Tb_serve.Runtime in
@@ -902,7 +906,72 @@ let serve () =
         :: !rows_json)
     [ Policy.Lru; Policy.Sieve ];
   Table.print t2;
-  let json = J.Obj [ ("rows", J.List (List.rev !rows_json)) ] in
+  (* Sweep 3: dual clock. Serve the full zoo mix in Dual mode, report how
+     far the measured wall predict/compile times drift from the virtual
+     cost model, fit a calibration from that drift and show the corrected
+     ratios of a second run. The ratios are wall measurements — the one
+     part of this bench that depends on the host. *)
+  let module Serve_check = Tb_analysis.Serve_check in
+  let module Registry = Tb_serve.Registry in
+  let models_dual = List.map spec [ "abalone"; "letter"; "covtype"; "airline" ] in
+  let dual_config =
+    {
+      Simulate.default_config with
+      Simulate.rate_rps = 100_000.0;
+      num_requests = 4000;
+      mode = Runtime.Dual;
+    }
+  in
+  let rep1 = Simulate.run dual_config models_dual in
+  let drift1 = rep1.Simulate.result.Runtime.drift in
+  let cal = Registry.calibration_of_drift drift1 in
+  let rep2 = Simulate.run ~calibration:cal dual_config models_dual in
+  let drift2 = rep2.Simulate.result.Runtime.drift in
+  let pct_ratio (d : Serve_check.model_drift) p =
+    match List.find_opt (fun (q, _, _) -> q = p) d.Serve_check.percentiles with
+    | Some (_, v, w) when v > 0.0 -> w /. v
+    | _ -> 0.0
+  in
+  let t3 =
+    Table.create
+      [ "model"; "batches"; "wall/virtual"; "p50 ratio"; "p99 ratio";
+        "compile ratio"; "calibrated" ]
+  in
+  List.iter
+    (fun (d : Serve_check.model_drift) ->
+      let after =
+        List.find_opt
+          (fun (d2 : Serve_check.model_drift) ->
+            d2.Serve_check.model = d.Serve_check.model)
+          drift2
+      in
+      Table.add_row t3
+        [
+          d.Serve_check.model;
+          string_of_int d.Serve_check.batches;
+          Printf.sprintf "%.1f" d.Serve_check.service_ratio;
+          Printf.sprintf "%.1f" (pct_ratio d 0.5);
+          Printf.sprintf "%.1f" (pct_ratio d 0.99);
+          (match d.Serve_check.compile_ratio with
+          | Some r -> Printf.sprintf "%.1f" r
+          | None -> "-");
+          (match after with
+          | Some d2 -> Printf.sprintf "%.2f" d2.Serve_check.service_ratio
+          | None -> "-");
+        ])
+    drift1;
+  Table.print t3;
+  let dual_json =
+    J.Obj
+      [
+        ("round1", J.List (List.map Serve_check.drift_to_json drift1));
+        ("calibration", Registry.calibration_to_json cal);
+        ("round2", J.List (List.map Serve_check.drift_to_json drift2));
+      ]
+  in
+  let json =
+    J.Obj [ ("rows", J.List (List.rev !rows_json)); ("dual", dual_json) ]
+  in
   let oc = open_out "BENCH_serve.json" in
   output_string oc (J.to_string ~indent:true json);
   output_string oc "\n";

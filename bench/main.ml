@@ -19,7 +19,8 @@ let bechamel_suite () =
   let forest = b.Context.entry.Tb_gbt.Zoo.forest in
   let rows = Array.sub b.Context.rows_1024 0 256 in
   let compile schedule =
-    Tb_core.Treebeard.compile ~schedule ~profiles:b.Context.profiles forest
+    Tb_core.Treebeard.make ~plan:(`Schedule schedule)
+      ~profiles:b.Context.profiles (`Forest forest)
   in
   let predict compiled () =
     ignore (Tb_core.Treebeard.predict_forest compiled rows)

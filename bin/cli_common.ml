@@ -1,0 +1,135 @@
+(* Shared Cmdliner terms for the treebeard subcommands.
+
+   lint, calibrate and serve-sim grew the same flag vocabulary
+   independently (--model/--zoo selection, --strict exit-status policy,
+   --grid sweeps, -o JSON report output, the schedule/target flags); this
+   module is the single definition each subcommand composes from. *)
+
+open Cmdliner
+module Schedule = Tb_hir.Schedule
+module Config = Tb_cpu.Config
+
+let model_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "m"; "model" ] ~docv:"FILE" ~doc:"Serialized model (JSON).")
+
+(* Subcommands that also accept --zoo make the model optional. *)
+let model_opt_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "m"; "model" ] ~docv:"FILE" ~doc:"Serialized model (JSON).")
+
+let target_arg =
+  let parse s =
+    match Config.by_name s with
+    | t -> Ok t
+    | exception Not_found ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown target %s (try intel-rocket-lake or amd-ryzen7)" s))
+  in
+  let print fmt (t : Config.t) = Format.fprintf fmt "%s" t.Config.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.intel_rocket_lake
+    & info [ "target" ] ~docv:"CPU" ~doc:"Cost-model target CPU.")
+
+let zoo_flag ~doc = Arg.(value & flag & info [ "zoo" ] ~doc)
+let grid_flag ~doc = Arg.(value & flag & info [ "grid" ] ~doc)
+let strict_flag ~doc = Arg.(value & flag & info [ "strict" ] ~doc)
+
+let out_arg ~doc =
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+(* Write an indented JSON report, newline-terminated — every report the
+   CLI persists goes through here so determinism diffs compare like for
+   like. *)
+let write_report path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Tb_util.Json.to_string ~indent:true json);
+      output_string oc "\n")
+
+let schedule_term =
+  let tile_size =
+    Arg.(value & opt int 8 & info [ "tile-size" ] ~doc:"Tile size (1-8).")
+  in
+  let tiling =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("basic", Schedule.Basic); ("prob", Schedule.Probability_based);
+               ("prob-opt", Schedule.Optimal_probability_based);
+               ("minmax", Schedule.Min_max_depth) ])
+          Schedule.Basic
+      & info [ "tiling" ]
+          ~doc:"Tiling algorithm: basic, prob, prob-opt or minmax.")
+  in
+  let loop_order =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("tree", Schedule.One_tree_at_a_time);
+               ("row", Schedule.One_row_at_a_time) ])
+          Schedule.One_tree_at_a_time
+      & info [ "loop-order" ] ~doc:"Loop order: tree or row.")
+  in
+  let interleave =
+    Arg.(
+      value & opt int 4
+      & info [ "interleave" ] ~doc:"Walk interleaving factor.")
+  in
+  let unroll =
+    Arg.(value & flag & info [ "no-unroll" ] ~doc:"Disable padding + unrolling.")
+  in
+  let layout =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("array", Schedule.Array_layout);
+               ("sparse", Schedule.Sparse_layout) ])
+          Schedule.Sparse_layout
+      & info [ "layout" ] ~doc:"Memory layout: array or sparse.")
+  in
+  let threads =
+    Arg.(
+      value & opt int 1
+      & info [ "threads" ] ~doc:"Row-loop parallelism (domains).")
+  in
+  let build tile_size tiling loop_order interleave no_unroll layout threads =
+    {
+      Schedule.default with
+      tile_size;
+      tiling;
+      loop_order;
+      interleave;
+      pad_and_unroll = not no_unroll;
+      peel = not no_unroll;
+      layout;
+      num_threads = threads;
+    }
+  in
+  let schedule_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "schedule-file" ] ~docv:"FILE"
+          ~doc:"Load the schedule from a JSON file (e.g. saved by explore                 --save); overrides the individual schedule flags.")
+  in
+  let finish schedule = function
+    | None -> schedule
+    | Some path -> Schedule.of_file path
+  in
+  Term.(
+    const finish
+    $ (const build $ tile_size $ tiling $ loop_order $ interleave $ unroll
+      $ layout $ threads)
+    $ schedule_file)

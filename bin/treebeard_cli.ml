@@ -13,95 +13,11 @@ open Cmdliner
 module Schedule = Tb_hir.Schedule
 module Config = Tb_cpu.Config
 
-(* ---------------- shared args ---------------- *)
+(* ---------------- shared args (Cli_common) ---------------- *)
 
-let model_arg =
-  Arg.(
-    required
-    & opt (some file) None
-    & info [ "m"; "model" ] ~docv:"FILE" ~doc:"Serialized model (JSON).")
-
-let target_arg =
-  let parse s =
-    match Config.by_name s with
-    | t -> Ok t
-    | exception Not_found ->
-      Error (`Msg (Printf.sprintf "unknown target %s (try intel-rocket-lake or amd-ryzen7)" s))
-  in
-  let print fmt (t : Config.t) = Format.fprintf fmt "%s" t.Config.name in
-  Arg.(
-    value
-    & opt (conv (parse, print)) Config.intel_rocket_lake
-    & info [ "target" ] ~docv:"CPU" ~doc:"Cost-model target CPU.")
-
-let schedule_term =
-  let tile_size =
-    Arg.(value & opt int 8 & info [ "tile-size" ] ~doc:"Tile size (1-8).")
-  in
-  let tiling =
-    Arg.(
-      value
-      & opt
-          (enum
-             [ ("basic", Schedule.Basic); ("prob", Schedule.Probability_based);
-               ("prob-opt", Schedule.Optimal_probability_based);
-               ("minmax", Schedule.Min_max_depth) ])
-          Schedule.Basic
-      & info [ "tiling" ] ~doc:"Tiling algorithm: basic, prob, prob-opt or minmax.")
-  in
-  let loop_order =
-    Arg.(
-      value
-      & opt
-          (enum
-             [ ("tree", Schedule.One_tree_at_a_time); ("row", Schedule.One_row_at_a_time) ])
-          Schedule.One_tree_at_a_time
-      & info [ "loop-order" ] ~doc:"Loop order: tree or row.")
-  in
-  let interleave =
-    Arg.(value & opt int 4 & info [ "interleave" ] ~doc:"Walk interleaving factor.")
-  in
-  let unroll =
-    Arg.(value & flag & info [ "no-unroll" ] ~doc:"Disable padding + unrolling.")
-  in
-  let layout =
-    Arg.(
-      value
-      & opt (enum [ ("array", Schedule.Array_layout); ("sparse", Schedule.Sparse_layout) ])
-          Schedule.Sparse_layout
-      & info [ "layout" ] ~doc:"Memory layout: array or sparse.")
-  in
-  let threads =
-    Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Row-loop parallelism (domains).")
-  in
-  let build tile_size tiling loop_order interleave no_unroll layout threads =
-    {
-      Schedule.default with
-      tile_size;
-      tiling;
-      loop_order;
-      interleave;
-      pad_and_unroll = not no_unroll;
-      peel = not no_unroll;
-      layout;
-      num_threads = threads;
-    }
-  in
-  let schedule_file =
-    Arg.(
-      value & opt (some file) None
-      & info [ "schedule-file" ] ~docv:"FILE"
-          ~doc:"Load the schedule from a JSON file (e.g. saved by explore                 --save); overrides the individual schedule flags.")
-  in
-  let finish schedule = function
-    | None -> schedule
-    | Some path -> Schedule.of_file path
-  in
-  Term.(
-    const finish
-    $ (const build $ tile_size $ tiling $ loop_order $ interleave $ unroll
-      $ layout $ threads)
-    $ schedule_file)
+let model_arg = Cli_common.model_arg
+let target_arg = Cli_common.target_arg
+let schedule_term = Cli_common.schedule_term
 
 (* ---------------- train ---------------- *)
 
@@ -136,7 +52,7 @@ let train_cmd =
 
 let compile_cmd =
   let run model schedule =
-    let compiled = Tb_core.Treebeard.of_file ~schedule model in
+    let compiled = Tb_core.Treebeard.make ~plan:(`Schedule schedule) (`File model) in
     print_string (Tb_core.Treebeard.dump_ir compiled)
   in
   Cmd.v
@@ -234,25 +150,18 @@ let explore_cmd =
 (* ---------------- lint ---------------- *)
 
 let lint_cmd =
-  let model =
-    Arg.(
-      value
-      & opt (some file) None
-      & info [ "m"; "model" ] ~docv:"FILE" ~doc:"Serialized model (JSON).")
-  in
+  let model = Cli_common.model_opt_arg in
   let zoo =
-    Arg.(
-      value & flag
-      & info [ "zoo" ]
-          ~doc:"Lint every benchmark model in the zoo (training/loading them \
-                from the cache as needed).")
+    Cli_common.zoo_flag
+      ~doc:
+        "Lint every benchmark model in the zoo (training/loading them from \
+         the cache as needed)."
   in
   let grid =
-    Arg.(
-      value & flag
-      & info [ "grid" ]
-          ~doc:"Lint each model over the full Table II schedule grid instead \
-                of a single schedule.")
+    Cli_common.grid_flag
+      ~doc:
+        "Lint each model over the full Table II schedule grid instead of a \
+         single schedule."
   in
   let batch =
     Arg.(
@@ -261,9 +170,8 @@ let lint_cmd =
           ~doc:"Batch size assumed by the deployment-dependent checks.")
   in
   let strict =
-    Arg.(
-      value & flag
-      & info [ "strict" ] ~doc:"Treat warnings as errors for the exit status.")
+    Cli_common.strict_flag
+      ~doc:"Treat warnings as errors for the exit status."
   in
   let verbose =
     Arg.(
@@ -391,25 +299,18 @@ let calibrate_cmd =
   let module Cost_check = Tb_analysis.Cost_check in
   let module D = Tb_diag.Diagnostic in
   let module Passman = Tb_core.Passman in
-  let model =
-    Arg.(
-      value
-      & opt (some file) None
-      & info [ "m"; "model" ] ~docv:"FILE" ~doc:"Serialized model (JSON).")
-  in
+  let model = Cli_common.model_opt_arg in
   let zoo =
-    Arg.(
-      value & flag
-      & info [ "zoo" ]
-          ~doc:"Calibrate against every benchmark model in the zoo \
-                (training/loading them from the cache as needed).")
+    Cli_common.zoo_flag
+      ~doc:
+        "Calibrate against every benchmark model in the zoo \
+         (training/loading them from the cache as needed)."
   in
   let grid =
-    Arg.(
-      value & flag
-      & info [ "grid" ]
-          ~doc:"Sweep the full 256-point Table II schedule grid instead of \
-                the reduced representative grid.")
+    Cli_common.grid_flag
+      ~doc:
+        "Sweep the full 256-point Table II schedule grid instead of the \
+         reduced representative grid."
   in
   let top_k =
     Arg.(
@@ -458,15 +359,11 @@ let calibrate_cmd =
                 is profiled on.")
   in
   let out =
-    Arg.(
-      value & opt (some string) None
-      & info [ "o"; "out" ] ~docv:"FILE"
-          ~doc:"Write the combined calibration report as JSON.")
+    Cli_common.out_arg ~doc:"Write the combined calibration report as JSON."
   in
   let strict =
-    Arg.(
-      value & flag
-      & info [ "strict" ] ~doc:"Treat warnings as errors for the exit status.")
+    Cli_common.strict_flag
+      ~doc:"Treat warnings as errors for the exit status."
   in
   let run model zoo grid target top_k min_tau max_regret event_tol stall_tol
       batch sample out strict =
@@ -548,10 +445,7 @@ let calibrate_cmd =
               Tb_util.Json.List (List.map Cost_check.report_to_json reports) );
           ]
       in
-      let oc = open_out path in
-      output_string oc (Tb_util.Json.to_string ~indent:true json);
-      output_string oc "\n";
-      close_out oc;
+      Cli_common.write_report path json;
       Printf.printf "report: %s\n" path);
     if !errors > 0 || (strict && !warnings > 0) then exit 1
   in
@@ -648,20 +542,71 @@ let serve_sim_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Trace PRNG seed.")
   in
-  let out =
+  let mode =
+    let parse s =
+      match Runtime.mode_of_string s with
+      | Ok m -> Ok m
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt m = Format.fprintf fmt "%s" (Runtime.mode_to_string m) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Runtime.Virtual
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Execution mode: virtual (deterministic simulation only), \
+                wall (also time real execution and report wall metrics), or \
+                dual (wall metrics plus per-model wall/virtual drift and \
+                V001/V002 checks).")
+  in
+  let max_service_drift =
+    Arg.(
+      value
+      & opt float
+          Tb_analysis.Serve_check.default_tolerance
+            .Tb_analysis.Serve_check.max_service_drift
+      & info [ "max-service-drift" ] ~docv:"X"
+          ~doc:"Allowed wall/virtual service-time ratio (either direction) \
+                per percentile before a V001 finding (dual mode).")
+  in
+  let max_compile_drift =
+    Arg.(
+      value
+      & opt float
+          Tb_analysis.Serve_check.default_tolerance
+            .Tb_analysis.Serve_check.max_compile_drift
+      & info [ "max-compile-drift" ] ~docv:"X"
+          ~doc:"Allowed measured/modeled compile-cost ratio before a V002 \
+                finding (dual mode).")
+  in
+  let min_drift_batches =
+    Arg.(
+      value
+      & opt int
+          Tb_analysis.Serve_check.default_tolerance
+            .Tb_analysis.Serve_check.min_batches
+      & info [ "min-drift-batches" ] ~docv:"N"
+          ~doc:"A model's drift is only judged once it has at least this \
+                many measured batches (noise guard, dual mode).")
+  in
+  let out = Cli_common.out_arg ~doc:"Write the JSON report here." in
+  let virtual_out =
     Arg.(
       value & opt (some string) None
-      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the JSON report here.")
+      & info [ "virtual-out" ] ~docv:"FILE"
+          ~doc:"Also write the report's deterministic virtual half (wall \
+                and drift sections stripped) here — byte-identical across \
+                same-seed runs in any mode.")
   in
   let strict =
-    Arg.(
-      value & flag
-      & info [ "strict" ]
-          ~doc:"Exit non-zero unless every served output is bitwise equal \
-                to the direct single-call JIT prediction.")
+    Cli_common.strict_flag
+      ~doc:
+        "Exit non-zero unless every served output is bitwise equal to the \
+         direct single-call JIT prediction and (dual mode) no V001/V002 \
+         drift finding fired."
   in
   let run zoo arrival rate requests schedule target batch_max deadline
-      workers queue_cap cache cache_cap seed out strict =
+      workers queue_cap cache cache_cap seed mode max_service_drift
+      max_compile_drift min_drift_batches out virtual_out strict =
     let names =
       String.split_on_char ',' zoo
       |> List.map String.trim
@@ -708,6 +653,7 @@ let serve_sim_cmd =
             dispatch_overhead_us =
               Runtime.default_config.Runtime.dispatch_overhead_us;
           };
+        mode;
         cache_policy = cache;
         cache_capacity = cache_cap;
         target;
@@ -719,26 +665,46 @@ let serve_sim_cmd =
     (match out with
     | None -> print_string text
     | Some path ->
-      let oc = open_out path in
-      output_string oc text;
-      close_out oc;
+      Cli_common.write_report path json;
       Printf.printf "report: %s\n" path);
+    (match virtual_out with
+    | None -> ()
+    | Some path ->
+      Cli_common.write_report path
+        (Simulate.report_to_json ~virtual_only:true report);
+      Printf.printf "virtual report: %s\n" path);
     let failures = report.Simulate.result.Runtime.equivalence_failures in
     if failures > 0 then
       Printf.eprintf "serve-sim: %d served output(s) diverge from the JIT\n"
         failures;
-    if strict && failures > 0 then exit 1
+    let drift_findings =
+      let module S = Tb_analysis.Serve_check in
+      let tol =
+        { S.max_service_drift; max_compile_drift;
+          min_batches = min_drift_batches }
+      in
+      S.check ~tol report.Simulate.result.Runtime.drift
+    in
+    List.iter
+      (fun d -> print_endline (Tb_diag.Diagnostic.to_string d))
+      drift_findings;
+    if drift_findings <> [] then
+      Printf.printf "serve-sim: %d drift finding(s)\n"
+        (List.length drift_findings);
+    if strict && (failures > 0 || drift_findings <> []) then exit 1
   in
   Cmd.v
     (Cmd.info "serve-sim"
        ~doc:"Simulate the dynamic-batching serving runtime on a \
              deterministic trace (virtual-clock latencies, predictor \
              cache, backpressure) and report p50/p95/p99, throughput and \
-             cache behaviour as JSON")
+             cache behaviour as JSON; --mode wall/dual also times real \
+             execution and (dual) checks wall/virtual drift (V001/V002)")
     Term.(
       const run $ zoo $ arrival $ rate $ requests $ schedule_term
       $ target_arg $ batch_max $ deadline $ workers $ queue_cap $ cache
-      $ cache_cap $ seed $ out $ strict)
+      $ cache_cap $ seed $ mode $ max_service_drift $ max_compile_drift
+      $ min_drift_batches $ out $ virtual_out $ strict)
 
 (* ---------------- import ---------------- *)
 

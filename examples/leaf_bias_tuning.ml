@@ -42,9 +42,14 @@ let () =
     { Schedule.default with
       tiling; tile_size = 2; interleave = 1; pad_and_unroll = false; peel = false }
   in
-  let basic = Treebeard.compile ~schedule:(schedule Schedule.Basic) ~profiles forest in
+  let basic =
+    Treebeard.make ~plan:(`Schedule (schedule Schedule.Basic)) ~profiles
+      (`Forest forest)
+  in
   let prob =
-    Treebeard.compile ~schedule:(schedule Schedule.Probability_based) ~profiles forest
+    Treebeard.make
+      ~plan:(`Schedule (schedule Schedule.Probability_based))
+      ~profiles (`Forest forest)
   in
 
   (* Compare the expected number of tile steps per walk — the §III-C

@@ -21,7 +21,9 @@ let () =
     (Array.length rows);
   let time_with threads =
     let compiled =
-      Treebeard.compile ~schedule:(Schedule.with_threads Schedule.default threads) forest
+      Treebeard.make
+        ~plan:(`Schedule (Schedule.with_threads Schedule.default threads))
+        (`Forest forest)
     in
     let r =
       Tb_util.Timer.measure ~warmup:1 ~min_iters:3 ~min_time_s:0.5 (fun () ->

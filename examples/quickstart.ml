@@ -23,7 +23,7 @@ let () =
 
   (* 3. Compile with the default schedule (tile size 8, tree-at-a-time,
      padding + unrolling, interleave 4, sparse layout). *)
-  let compiled = Treebeard.compile forest in
+  let compiled = Treebeard.make (`Forest forest) in
   Printf.printf "compiled with schedule: %s\n"
     (Tb_hir.Schedule.to_string compiled.Treebeard.schedule);
 

@@ -23,7 +23,7 @@ let () =
     ((Unix.stat path).Unix.st_size / 1024);
 
   (* --- serving side: load, compile, predict --- *)
-  let compiled = Treebeard.of_file path in
+  let compiled = Treebeard.make (`File path) in
   let batch = Dataset.subsample_rows ds 512 rng in
   let out = Treebeard.predict_forest compiled batch in
   Printf.printf "served a %d-row batch; first predictions: %.3f %.3f %.3f\n"

@@ -6,6 +6,7 @@ type level =
   | Mir
   | Lir
   | Cost
+  | Serve
 
 type t = {
   code : string;
@@ -33,6 +34,7 @@ let level_string = function
   | Mir -> "mir"
   | Lir -> "lir"
   | Cost -> "cost"
+  | Serve -> "serve"
 
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds

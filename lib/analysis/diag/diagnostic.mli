@@ -54,7 +54,14 @@
     - [C003] stall-attribution mismatch: a top-down stall bucket share of
       the supplied breakdown disagrees with the breakdown recomputed from
       the measured event counts (cost-model drift against the profiler,
-      à la the paper's §VI-E VTune analysis) *)
+      à la the paper's §VI-E VTune analysis)
+    - [V001] virtual-clock drift: a model's measured wall-clock batch
+      service time diverges from the virtual clock's modeled service time
+      beyond tolerance at some percentile (the serving runtime's dual-clock
+      calibration, {!Tb_analysis.Serve_check})
+    - [V002] compile-cost drift: the measured wall-clock compile time of
+      cache misses diverges from the registry's modeled compile cost
+      beyond tolerance *)
 
 type severity = Info | Warning | Error
 
@@ -64,6 +71,9 @@ type level =
   | Mir
   | Lir
   | Cost  (** cost-model calibration findings ({!Tb_analysis.Cost_check}) *)
+  | Serve
+      (** serving-runtime dual-clock calibration findings
+          ({!Tb_analysis.Serve_check}) *)
 
 type t = {
   code : string;  (** stable registry code, e.g. ["L010"] *)

@@ -1,0 +1,119 @@
+module D = Tb_diag.Diagnostic
+module J = Tb_util.Json
+module Stats = Tb_util.Stats
+
+type sample = {
+  rows : int;
+  virtual_us : float;
+  wall_us : float;
+}
+
+type compile_sample = {
+  modeled_us : float;
+  wall_compile_us : float;
+}
+
+type model_drift = {
+  model : string;
+  batches : int;
+  rows : int;
+  percentiles : (float * float * float) list;
+  service_ratio : float;
+  compiles : int;
+  compile_ratio : float option;
+}
+
+let drift_percentiles = [ 0.5; 0.9; 0.99 ]
+
+let drift_of_samples ~model samples compiles =
+  let vs = Array.of_list (List.map (fun s -> s.virtual_us) samples) in
+  let ws = Array.of_list (List.map (fun s -> s.wall_us) samples) in
+  let sum_v = Stats.sum vs and sum_w = Stats.sum ws in
+  let percentiles =
+    if samples = [] then []
+    else
+      List.map
+        (fun p -> (p, Stats.percentile vs p, Stats.percentile ws p))
+        drift_percentiles
+  in
+  let sum_modeled =
+    Stats.sum (Array.of_list (List.map (fun c -> c.modeled_us) compiles))
+  and sum_wall_compile =
+    Stats.sum (Array.of_list (List.map (fun c -> c.wall_compile_us) compiles))
+  in
+  {
+    model;
+    batches = List.length samples;
+    rows = List.fold_left (fun a (s : sample) -> a + s.rows) 0 samples;
+    percentiles;
+    service_ratio = (if sum_v > 0.0 then sum_w /. sum_v else 0.0);
+    compiles = List.length compiles;
+    compile_ratio =
+      (if sum_modeled > 0.0 then Some (sum_wall_compile /. sum_modeled)
+       else None);
+  }
+
+type tolerance = {
+  max_service_drift : float;
+  max_compile_drift : float;
+  min_batches : int;
+}
+
+let default_tolerance =
+  { max_service_drift = 25.0; max_compile_drift = 50.0; min_batches = 8 }
+
+(* Symmetric drift: 4x too slow and 4x too fast are equally wrong. *)
+let fold_ratio r = if r > 0.0 then Float.max r (1.0 /. r) else infinity
+
+let check ?(tol = default_tolerance) drifts =
+  let findings = ref [] in
+  List.iter
+    (fun d ->
+      if d.batches >= tol.min_batches then begin
+        List.iter
+          (fun (p, v, w) ->
+            if v > 0.0 && w > 0.0 && fold_ratio (w /. v) > tol.max_service_drift
+            then
+              findings :=
+                D.warningf ~level:D.Serve ~code:"V001" ~path:[ d.model ]
+                  "virtual-clock drift at p%g: wall service %.1f us vs \
+                   virtual %.1f us (x%.2f, tolerance x%.0f over %d batches)"
+                  (100.0 *. p) w v (w /. v) tol.max_service_drift d.batches
+                :: !findings)
+          d.percentiles;
+        match d.compile_ratio with
+        | Some r when fold_ratio r > tol.max_compile_drift ->
+          findings :=
+            D.warningf ~level:D.Serve ~code:"V002" ~path:[ d.model ]
+              "compile-cost drift: measured wall compile is x%.2f the \
+               modeled cost over %d miss(es) (tolerance x%.0f)"
+              r d.compiles tol.max_compile_drift
+            :: !findings
+        | Some _ | None -> ()
+      end)
+    drifts;
+  List.sort D.compare !findings
+
+let drift_to_json d =
+  J.Obj
+    [
+      ("model", J.Str d.model);
+      ("batches", J.Num (float_of_int d.batches));
+      ("rows", J.Num (float_of_int d.rows));
+      ( "percentiles",
+        J.List
+          (List.map
+             (fun (p, v, w) ->
+               J.Obj
+                 [
+                   ("p", J.Num p);
+                   ("virtual_us", J.Num v);
+                   ("wall_us", J.Num w);
+                   ("ratio", J.Num (if v > 0.0 then w /. v else 0.0));
+                 ])
+             d.percentiles) );
+      ("service_ratio", J.Num d.service_ratio);
+      ("compiles", J.Num (float_of_int d.compiles));
+      ( "compile_ratio",
+        match d.compile_ratio with None -> J.Null | Some r -> J.Num r );
+    ]

@@ -1,0 +1,81 @@
+(** Dual-clock serving calibration: does the virtual clock track the wall?
+
+    The serving runtime ({!Tb_serve.Runtime}) schedules batches on a
+    deterministic virtual clock whose service times come from the cost
+    model, and (in wall/dual mode) also times each batch's real [predict]
+    call — plus each cache miss's real compile — with monotonic timers on
+    the worker pool. This module turns those paired measurements into a
+    per-model {e drift summary} (wall/virtual ratio per percentile) and
+    checks it against tolerances, the same way {!Cost_check} calibrates
+    cycles:
+
+    - [V001] {e virtual-clock drift}: at some latency percentile a model's
+      wall service time is more than [max_service_drift]× away (in either
+      direction) from the virtual one;
+    - [V002] {e compile-cost drift}: the measured compile cost of cache
+      misses is more than [max_compile_drift]× away from the registry's
+      modeled compile cost.
+
+    Both clocks are microseconds; ratios are dimensionless, so drift
+    statements survive hardware changes. The module is pure — it never
+    reads a clock itself — which keeps the virtual simulator deterministic
+    and lets tests fault-inject drift by scaling the modeled costs. *)
+
+type sample = {
+  rows : int;  (** batch size *)
+  virtual_us : float;  (** modeled predict time charged by the simulator *)
+  wall_us : float;  (** measured wall-clock predict time *)
+}
+
+type compile_sample = {
+  modeled_us : float;  (** the registry's deterministic compile cost *)
+  wall_compile_us : float;  (** measured wall-clock compile time *)
+}
+
+type model_drift = {
+  model : string;
+  batches : int;  (** number of paired service samples *)
+  rows : int;  (** total rows across those batches *)
+  percentiles : (float * float * float) list;
+      (** [(p, virtual_q, wall_q)] at the {!drift_percentiles} *)
+  service_ratio : float;
+      (** Σ wall / Σ virtual service time — the headline wall/virtual
+          drift factor (0 when there are no samples) *)
+  compiles : int;
+  compile_ratio : float option;
+      (** Σ wall / Σ modeled compile cost over misses; [None] when no
+          compile was measured *)
+}
+
+val drift_percentiles : float list
+(** The percentiles a drift summary reports: 0.5, 0.9, 0.99. *)
+
+val drift_of_samples :
+  model:string -> sample list -> compile_sample list -> model_drift
+(** Summarize one model's paired measurements. *)
+
+type tolerance = {
+  max_service_drift : float;
+      (** allowed wall/virtual ratio (either direction) per percentile
+          before V001 *)
+  max_compile_drift : float;
+      (** allowed measured/modeled compile ratio before V002 *)
+  min_batches : int;
+      (** drift of a model with fewer paired batches is not judged (one
+          noisy measurement must not fail a run) *)
+}
+
+val default_tolerance : tolerance
+(** 25× service drift, 50× compile drift, 8 batches minimum. The virtual
+    clock models a vectorized native backend while execution runs OCaml
+    closures, so a wide corridor is the honest default; calibration
+    ({!Tb_serve.Registry.calibrate}) is how the corridor narrows. *)
+
+val check :
+  ?tol:tolerance -> model_drift list -> Tb_diag.Diagnostic.t list
+(** V001/V002 warnings ([Serve] level) for every model whose drift
+    summary leaves the tolerance corridor, sorted
+    ({!Tb_diag.Diagnostic.compare}). *)
+
+val drift_to_json : model_drift -> Tb_util.Json.t
+(** Machine-readable drift section for serving reports. *)

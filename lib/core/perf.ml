@@ -54,7 +54,7 @@ let simulate ~target ?threads ?batch ?(sample = 48) (lowered : Tb_lir.Lower.t) r
   let cycles_per_row = cycles /. float_of_int (max 1 w.Cost_model.rows) in
   {
     cycles_per_row;
-    time_per_row_us = cycles_per_row /. 3500.0;
+    time_per_row_us = Tb_cpu.Config.us_of_cycles target cycles_per_row;
     breakdown;
     workload = w;
   }

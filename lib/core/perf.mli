@@ -6,7 +6,8 @@
 
 type t = {
   cycles_per_row : float;
-  time_per_row_us : float;  (** at the target's nominal 3.5 GHz *)
+  time_per_row_us : float;
+      (** at the target's nominal clock ({!Tb_cpu.Config.us_of_cycles}) *)
   breakdown : Tb_cpu.Cost_model.breakdown;
   workload : Tb_cpu.Cost_model.workload;
 }

@@ -10,26 +10,58 @@ type t = {
   predict : float array array -> float array array;
 }
 
-let compile ?(schedule = Schedule.default) ?profiles forest =
-  let lowered = Lower.lower ?profiles forest schedule in
-  { forest; schedule; lowered; predict = Jit.compile lowered }
-
-let compile_auto ?(target = Tb_cpu.Config.intel_rocket_lake) ?training_rows forest =
+let make ?(plan = `Schedule Schedule.default) ?profiles ?training_rows
+    ?(backend = `Threaded) source =
+  let forest =
+    match source with
+    | `Forest f -> f
+    | `File path -> Tb_model.Serialize.of_file path
+  in
   let profiles =
-    Option.map (Tb_model.Model_stats.profile_forest forest) training_rows
+    match profiles with
+    | Some _ as p -> p
+    | None ->
+      Option.map (Tb_model.Model_stats.profile_forest forest) training_rows
   in
-  let sample =
-    match training_rows with
-    | Some rows when Array.length rows > 0 -> rows
-    | Some _ | None ->
-      (* No data provided: synthesize a neutral probe batch. *)
-      let rng = Tb_util.Prng.create 7 in
-      Array.init 48 (fun _ ->
-          Array.init forest.Forest.num_features (fun _ ->
-              Tb_util.Prng.gaussian rng))
+  let schedule =
+    match plan with
+    | `Schedule s -> s
+    | `Auto target ->
+      let sample =
+        match training_rows with
+        | Some rows when Array.length rows > 0 -> rows
+        | Some _ | None ->
+          (* No data provided: synthesize a neutral probe batch. *)
+          let rng = Tb_util.Prng.create 7 in
+          Array.init 48 (fun _ ->
+              Array.init forest.Forest.num_features (fun _ ->
+                  Tb_util.Prng.gaussian rng))
+      in
+      let result = Explore.greedy ~target ?profiles forest sample in
+      result.Explore.schedule
   in
-  let result = Explore.greedy ~target ?profiles forest sample in
-  compile ~schedule:result.Explore.schedule ?profiles forest
+  let schedule =
+    match backend with
+    | `Threaded -> schedule
+    | `Single_thread -> fst (Schedule.clamp_threads ~max_threads:1 schedule)
+  in
+  let lowered = Lower.lower ?profiles forest schedule in
+  let predict =
+    match backend with
+    | `Threaded -> Jit.compile lowered
+    | `Single_thread -> Jit.compile_single_thread lowered
+  in
+  { forest; schedule; lowered; predict }
+
+let compile ?(schedule = Schedule.default) ?profiles forest =
+  make ~plan:(`Schedule schedule) ?profiles (`Forest forest)
+
+let compile_auto ?(target = Tb_cpu.Config.intel_rocket_lake) ?training_rows
+    forest =
+  make ~plan:(`Auto target) ?training_rows (`Forest forest)
+
+let of_file ?schedule path =
+  make ?plan:(Option.map (fun s -> `Schedule s) schedule) (`File path)
 
 let predict_forest t rows = t.predict rows
 
@@ -37,8 +69,5 @@ let predict_one t row =
   match t.predict [| row |] with
   | [| out |] -> out
   | _ -> assert false
-
-let of_file ?schedule path =
-  compile ?schedule (Tb_model.Serialize.of_file path)
 
 let dump_ir t = Lower.dump t.lowered

@@ -1,22 +1,30 @@
 (** TREEBEARD — an optimizing compiler for decision-tree ensemble inference.
 
-    This is the library's public entry point. Given a trained (or
-    deserialized) ensemble and a {!Tb_hir.Schedule.t}, {!compile} runs the
-    full pipeline — tiling, padding and reordering on the high-level IR;
-    loop ordering, walk interleaving, peeling/unrolling and
-    parallelization on the mid-level IR; layout selection and vectorized
-    walk lowering on the low-level IR — and returns a batch inference
-    function ([predictForest] in the paper).
+    This is the library's public entry point. {!make} takes an ensemble
+    source (an in-memory forest or a serialized model file) and a
+    compilation plan (an explicit {!Tb_hir.Schedule.t} or the {!Explore}
+    autotuner aimed at a CPU target), runs the full pipeline — tiling,
+    padding and reordering on the high-level IR; loop ordering, walk
+    interleaving, peeling/unrolling and parallelization on the mid-level
+    IR; layout selection and vectorized walk lowering on the low-level IR
+    — and returns a batch inference function ([predictForest] in the
+    paper).
 
     {[
-      let model = Tb_model.Serialize.of_file "model.json" in
-      let compiled = Treebeard.compile model in
+      (* explicit schedule, model file on disk *)
+      let compiled = Treebeard.make (`File "model.json") in
       let predictions = Treebeard.predict_forest compiled rows in
+
+      (* autotuned for a CPU target, in-memory forest *)
+      let tuned =
+        Treebeard.make ~plan:(`Auto Tb_cpu.Config.intel_rocket_lake)
+          ~training_rows (`Forest forest)
+      in
       ...
     ]}
 
-    Use {!Explore} to pick the best schedule for a model/CPU pair, and
-    {!Perf} to obtain simulated performance estimates and stall
+    Use {!Explore} directly for visibility into the autotuner's search,
+    and {!Perf} for simulated performance estimates and stall
     breakdowns. *)
 
 type t = {
@@ -26,23 +34,31 @@ type t = {
   predict : float array array -> float array array;
 }
 
-val compile :
-  ?schedule:Tb_hir.Schedule.t ->
+val make :
+  ?plan:[ `Schedule of Tb_hir.Schedule.t | `Auto of Tb_cpu.Config.t ] ->
   ?profiles:Tb_model.Model_stats.tree_profile array ->
-  Tb_model.Forest.t ->
-  t
-(** Compile with an explicit schedule (default {!Tb_hir.Schedule.default}).
-    Pass [profiles] (leaf-probability estimates from training data) to
-    enable probability-based tiling. *)
-
-val compile_auto :
-  ?target:Tb_cpu.Config.t ->
   ?training_rows:float array array ->
-  Tb_model.Forest.t ->
+  ?backend:[ `Threaded | `Single_thread ] ->
+  [ `Forest of Tb_model.Forest.t | `File of string ] ->
   t
-(** Compile with the schedule chosen by the {!Explore} autotuner for the
-    given CPU target (default Intel Rocket Lake). [training_rows] enable
-    leaf-probability profiling (and thus probability-based tiling). *)
+(** The one compilation entry point.
+
+    - [source]: [`Forest f] compiles an in-memory ensemble; [`File path]
+      deserializes one first (see {!Tb_model.Serialize}).
+    - [plan]: [`Schedule s] compiles exactly [s] (default
+      {!Tb_hir.Schedule.default}); [`Auto target] runs the {!Explore}
+      greedy autotuner for the given CPU and compiles its champion.
+    - [profiles]: leaf-probability estimates enabling probability-based
+      tiling. When omitted but [training_rows] is given, profiles are
+      derived from those rows ({!Tb_model.Model_stats.profile_forest}).
+    - [training_rows]: representative input rows. Besides profiling,
+      [`Auto] measures candidate schedules on them (a synthetic Gaussian
+      probe batch is used when absent).
+    - [backend]: [`Single_thread] clamps the schedule's row-loop
+      parallelism to one thread ({!Tb_hir.Schedule.clamp_threads}) and
+      builds the predictor with {!Tb_vm.Jit.compile_single_thread} — for
+      hosts like the serving runtime whose workers each own a core.
+      Default [`Threaded] keeps the schedule's own [num_threads]. *)
 
 val predict_forest : t -> float array array -> float array array
 (** Batch inference: one raw margin vector per row. Feature values must be
@@ -51,10 +67,34 @@ val predict_forest : t -> float array array -> float array array
 
 val predict_one : t -> float array -> float array
 
-val of_file :
-  ?schedule:Tb_hir.Schedule.t -> string -> t
-(** Load a serialized ensemble (see {!Tb_model.Serialize}) and compile. *)
-
 val dump_ir : t -> string
 (** The compiled program's IR dump (schedule, MIR loop nest, LIR walk,
     layout stats). *)
+
+(** {2 Deprecated entry points}
+
+    Thin wrappers over {!make}, kept for source compatibility. *)
+
+val compile :
+  ?schedule:Tb_hir.Schedule.t ->
+  ?profiles:Tb_model.Model_stats.tree_profile array ->
+  Tb_model.Forest.t ->
+  t
+[@@ocaml.deprecated "Use Treebeard.make (`Forest f) instead."]
+(** [compile ?schedule ?profiles f] is
+    [make ~plan:(`Schedule schedule) ?profiles (`Forest f)]. *)
+
+val compile_auto :
+  ?target:Tb_cpu.Config.t ->
+  ?training_rows:float array array ->
+  Tb_model.Forest.t ->
+  t
+[@@ocaml.deprecated "Use Treebeard.make ~plan:(`Auto target) (`Forest f) instead."]
+(** [compile_auto ?target ?training_rows f] is
+    [make ~plan:(`Auto target) ?training_rows (`Forest f)]. *)
+
+val of_file :
+  ?schedule:Tb_hir.Schedule.t -> string -> t
+[@@ocaml.deprecated "Use Treebeard.make (`File path) instead."]
+(** [of_file ?schedule path] is
+    [make ~plan:(`Schedule schedule) (`File path)]. *)

@@ -22,7 +22,10 @@ type t = {
   loop_exit_mispredict_rate : float;
   l2_size_bytes : int;
   l2_spill_penalty : float;
+  nominal_mhz : float;
 }
+
+let us_of_cycles t cycles = cycles /. t.nominal_mhz
 
 let op_latency t (op : Ops.op) =
   match op with
@@ -75,6 +78,7 @@ let intel_rocket_lake =
     loop_exit_mispredict_rate = 0.5;
     l2_size_bytes = 512 * 1024;
     l2_spill_penalty = 1.5;
+    nominal_mhz = 3500.0;
   }
 
 let amd_ryzen7 =
@@ -102,6 +106,7 @@ let amd_ryzen7 =
     loop_exit_mispredict_rate = 0.5;
     l2_size_bytes = 512 * 1024;
     l2_spill_penalty = 1.5;
+    nominal_mhz = 3500.0;
   }
 
 let targets = [ intel_rocket_lake; amd_ryzen7 ]

@@ -38,7 +38,17 @@ type t = {
   l2_spill_penalty : float;
       (** multiplier on the L1 miss penalty once the model working set
           spills past L2 (captures L3/TLB pressure of bloated layouts) *)
+  nominal_mhz : float;
+      (** nominal clock used to convert modeled cycles into (virtual)
+          microseconds — every virtual-time figure (Perf, the serving
+          simulator's service model) goes through {!us_of_cycles}, so a
+          target's simulated clock is declared here, not hardcoded at the
+          conversion sites *)
 }
+
+val us_of_cycles : t -> float -> float
+(** [us_of_cycles t cycles] = cycles / nominal_mhz: modeled cycles as
+    virtual microseconds at the target's nominal clock. *)
 
 val op_latency : t -> Tb_lir.Ops.op -> float
 (** Serial result latency of an op on this target. *)

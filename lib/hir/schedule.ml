@@ -206,10 +206,19 @@ let validate t =
   else if t.pad_imbalance_limit < 0 then Error "pad_imbalance_limit must be >= 0"
   else Ok ()
 
-let canonicalize t =
+let canonicalize ?num_trees t =
   (* At tile_size 1 every tiling algorithm degenerates to singleton tiles,
      so the tiling kind cannot affect the compiled artifact. *)
   let tiling = if t.tile_size = 1 then Basic else t.tiling in
+  (* Under row-major order the interleaver jams trees of one group and
+     clamps the factor at the group size; groups never exceed the model's
+     tree count, so any factor >= num_trees yields the same per-group
+     clamp as num_trees itself. (Tree-major jams rows — not clamped.) *)
+  let interleave =
+    match (num_trees, t.loop_order) with
+    | Some n, One_row_at_a_time when n >= 1 -> min t.interleave n
+    | _ -> t.interleave
+  in
   (* The leaf-bias test (and hence alpha/beta) only runs for the
      probability-based tilings. *)
   let alpha, beta =
@@ -221,7 +230,7 @@ let canonicalize t =
     if t.pad_and_unroll then t.pad_imbalance_limit
     else scalar_baseline.pad_imbalance_limit
   in
-  { t with tiling; alpha; beta; pad_imbalance_limit }
+  { t with tiling; interleave; alpha; beta; pad_imbalance_limit }
 
 let clamp_threads ~max_threads t =
   if max_threads < 1 then invalid_arg "Schedule.clamp_threads: max_threads < 1";

@@ -74,15 +74,19 @@ val validate : t -> (unit, string) result
 (** Check field ranges (tile size 1..8, interleave >= 1, threads >= 1,
     alpha/beta in (0,1]). *)
 
-val canonicalize : t -> t
+val canonicalize : ?num_trees:int -> t -> t
 (** Collapse fields the lowering pipeline provably ignores to their
     defaults, so schedules that compile to the same artifact compare
     equal: at [tile_size = 1] the tiling kind is irrelevant (every
     algorithm degenerates to singleton tiles) and becomes [Basic];
     [alpha]/[beta] are reset unless the tiling is probability-based (the
     leaf-bias test is the only reader); [pad_imbalance_limit] is reset
-    when [pad_and_unroll] is off. Idempotent. Used by
-    {!Tb_serve.Registry} to canonicalize predictor-cache keys. *)
+    when [pad_and_unroll] is off. With [num_trees] (per-model
+    canonicalization), a row-major [interleave] is clamped to the model's
+    tree count: the MIR interleaver caps the jam factor at each group's
+    size and no group exceeds the forest, so larger factors compile to
+    the same artifact. Idempotent. Used by {!Tb_serve.Registry} to
+    canonicalize predictor-cache keys. *)
 
 val clamp_threads : max_threads:int -> t -> t * string option
 (** [clamp_threads ~max_threads t] caps [num_threads] at [max_threads]

@@ -17,6 +17,15 @@ type t = {
   mutable by_flush : int;
   mutable rows_served : int;
   mutable makespan_us : float;
+  (* Parallel wall-clock set, populated only by wall/dual-mode runs. The
+     virtual histograms above are never touched by wall recording, so a
+     virtual report stays byte-identical whatever the mode measured. *)
+  wall_queue_wait_us : H.t;
+  wall_service_us : H.t;
+  wall_total_us : H.t;
+  mutable wall_completed : int;
+  mutable wall_rows : int;
+  mutable wall_makespan_us : float;
 }
 
 let create () =
@@ -38,6 +47,12 @@ let create () =
     by_flush = 0;
     rows_served = 0;
     makespan_us = 0.0;
+    wall_queue_wait_us = H.create ();
+    wall_service_us = H.create ();
+    wall_total_us = H.create ();
+    wall_completed = 0;
+    wall_rows = 0;
+    wall_makespan_us = 0.0;
   }
 
 let record_arrival t ~depth =
@@ -63,12 +78,35 @@ let record_completion t ~arrival_us ~start_us ~finish_us =
   H.add t.total_us (finish_us -. arrival_us);
   if finish_us > t.makespan_us then t.makespan_us <- finish_us
 
+let record_wall_completion t ~arrival_us ~start_us ~finish_us =
+  t.wall_completed <- t.wall_completed + 1;
+  t.wall_rows <- t.wall_rows + 1;
+  H.add t.wall_queue_wait_us (start_us -. arrival_us);
+  H.add t.wall_service_us (finish_us -. start_us);
+  H.add t.wall_total_us (finish_us -. arrival_us);
+  if finish_us > t.wall_makespan_us then t.wall_makespan_us <- finish_us
+
 let throughput_rows_per_s t =
   if t.makespan_us <= 0.0 then 0.0
   else float_of_int t.rows_served /. (t.makespan_us /. 1e6)
 
-let to_json t =
+let wall_throughput_rows_per_s t =
+  if t.wall_makespan_us <= 0.0 then 0.0
+  else float_of_int t.wall_rows /. (t.wall_makespan_us /. 1e6)
+
+let wall_to_json t =
   J.Obj
+    [
+      ("completed", J.Num (float_of_int t.wall_completed));
+      ("latency_total_us", H.to_json t.wall_total_us);
+      ("latency_queue_wait_us", H.to_json t.wall_queue_wait_us);
+      ("latency_service_us", H.to_json t.wall_service_us);
+      ("makespan_us", J.Num t.wall_makespan_us);
+      ("throughput_rows_per_s", J.Num (wall_throughput_rows_per_s t));
+    ]
+
+let to_json ?(include_wall = true) t =
+  let fields =
     [
       ("arrivals", J.Num (float_of_int t.arrivals));
       ("admitted", J.Num (float_of_int t.admitted));
@@ -90,3 +128,12 @@ let to_json t =
       ("makespan_us", J.Num t.makespan_us);
       ("throughput_rows_per_s", J.Num (throughput_rows_per_s t));
     ]
+    (* The wall key appears only when a wall/dual run actually recorded
+       completions: stripping it (or never measuring) recovers the
+       byte-identical virtual report. *)
+    @
+    if include_wall && t.wall_completed > 0 then
+      [ ("wall", wall_to_json t) ]
+    else []
+  in
+  J.Obj fields

@@ -12,8 +12,12 @@
       p50/p95/p99 the acceptance criteria quote.
 
     Histograms are fixed-bucket ({!Tb_util.Stats.Histogram}), so memory
-    stays constant over arbitrarily long traces. All times are virtual
-    microseconds from the deterministic simulator. *)
+    stays constant over arbitrarily long traces. All times in the primary
+    set are virtual microseconds from the deterministic simulator; a
+    parallel {e wall} set (same decomposition, measured microseconds)
+    is populated only by wall/dual-mode runs ({!Runtime.mode}) and never
+    perturbs the virtual set, so a run's virtual report stays
+    byte-identical whatever was measured alongside it. *)
 
 type t = {
   queue_wait_us : Tb_util.Stats.Histogram.t;
@@ -32,6 +36,13 @@ type t = {
   mutable by_flush : int;
   mutable rows_served : int;
   mutable makespan_us : float;  (** last completion's virtual finish time *)
+  wall_queue_wait_us : Tb_util.Stats.Histogram.t;
+  wall_service_us : Tb_util.Stats.Histogram.t;
+  wall_total_us : Tb_util.Stats.Histogram.t;
+  mutable wall_completed : int;
+  mutable wall_rows : int;
+  mutable wall_makespan_us : float;
+      (** last completion's finish on the reconstructed wall timeline *)
 }
 
 val create : unit -> t
@@ -45,7 +56,20 @@ val record_batch : t -> size:int -> cause:Batcher.cause -> unit
 val record_completion :
   t -> arrival_us:float -> start_us:float -> finish_us:float -> unit
 
+val record_wall_completion :
+  t -> arrival_us:float -> start_us:float -> finish_us:float -> unit
+(** Same decomposition into the wall set; [arrival_us] is the trace's
+    (virtual) arrival, [start_us]/[finish_us] come from the reconstructed
+    wall timeline. *)
+
 val throughput_rows_per_s : t -> float
 (** completed rows / virtual makespan; 0 for an empty run. *)
 
-val to_json : t -> Tb_util.Json.t
+val wall_throughput_rows_per_s : t -> float
+(** completed rows / wall makespan; 0 when nothing was measured. *)
+
+val to_json : ?include_wall:bool -> t -> Tb_util.Json.t
+(** The snapshot. A ["wall"] sub-object (wall latency histograms,
+    makespan, throughput) is appended only when wall completions were
+    recorded; pass [~include_wall:false] to suppress it — the remaining
+    fields are exactly the virtual-only report. *)

@@ -161,6 +161,15 @@ let hit_ratio t =
   let total = t.hits + t.misses in
   if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
 
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+      f node.key node.value;
+      go node.next
+  in
+  go t.head
+
 let contents t =
   let rec go acc = function
     | None -> List.rev acc

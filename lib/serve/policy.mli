@@ -57,6 +57,11 @@ val stats : ('k, 'v) t -> stats
 val hit_ratio : ('k, 'v) t -> float
 (** hits / (hits + misses); 0 before any lookup. *)
 
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Visit every binding, head to tail. Pure with respect to the policy:
+    no recency/visited-mark or counter updates — calibration sweeps over
+    cached entries must not skew hit statistics. *)
+
 val contents : ('k, 'v) t -> 'k list
 (** Keys from the insertion/recency head to the eviction tail — test
     visibility into the policy's internal order. *)

@@ -2,19 +2,21 @@ module Schedule = Tb_hir.Schedule
 module Forest = Tb_model.Forest
 module Lower = Tb_lir.Lower
 module Layout = Tb_lir.Layout
-module Jit = Tb_vm.Jit
 module Config = Tb_cpu.Config
 module Perf = Tb_core.Perf
+module Treebeard = Tb_core.Treebeard
 module Json = Tb_util.Json
 module Prng = Tb_util.Prng
+module Timer = Tb_util.Timer
 
 type compiled = {
   model : string;
   schedule : Schedule.t;
   lowered : Lower.t;
   predict : float array array -> float array array;
-  us_per_row : float;
-  compile_us : float;
+  mutable us_per_row : float;
+  mutable compile_us : float;
+  wall_compile_us : float;
 }
 
 type source = {
@@ -30,6 +32,11 @@ type t = {
   cache : (string, compiled) Policy.t;
   mutable compiles : int;
   mutable clamps : (string * string) list;
+  (* Calibration state: multiplicative corrections learned from measured
+     dual-clock runs, applied to every subsequent compile's modeled costs.
+     1.0 = uncalibrated. *)
+  service_scales : (string, float) Hashtbl.t;
+  mutable compile_scale : float;
 }
 
 let create ?(target = Config.intel_rocket_lake) ?(policy = Policy.Lru)
@@ -41,6 +48,8 @@ let create ?(target = Config.intel_rocket_lake) ?(policy = Policy.Lru)
     cache = Policy.create ~capacity policy;
     compiles = 0;
     clamps = [];
+    service_scales = Hashtbl.create 8;
+    compile_scale = 1.0;
   }
 
 let default_sample_rows name forest =
@@ -74,29 +83,49 @@ let key t name schedule =
 let modeled_compile_us lowered =
   150.0 +. (0.05 *. float_of_int (Layout.num_slots lowered.Lower.layout))
 
+let service_scale t name =
+  match Hashtbl.find_opt t.service_scales name with
+  | Some s -> s
+  | None -> 1.0
+
 let compile t name schedule =
   let src = Hashtbl.find t.sources name in
-  let lowered = Lower.lower ?profiles:src.profiles src.forest schedule in
-  let perf = Perf.simulate ~target:t.target lowered src.sample_rows in
+  let t0 = Timer.now () in
+  let tb =
+    Treebeard.make ~plan:(`Schedule schedule) ?profiles:src.profiles
+      ~backend:`Single_thread (`Forest src.forest)
+  in
+  let perf = Perf.simulate ~target:t.target tb.Treebeard.lowered src.sample_rows in
+  let wall_compile_us = (Timer.now () -. t0) *. 1e6 in
   t.compiles <- t.compiles + 1;
   {
     model = name;
-    schedule;
-    lowered;
-    predict = Jit.compile_single_thread lowered;
-    us_per_row = perf.Perf.time_per_row_us;
-    compile_us = modeled_compile_us lowered;
+    schedule = tb.Treebeard.schedule;
+    lowered = tb.Treebeard.lowered;
+    predict = tb.Treebeard.predict;
+    us_per_row = perf.Perf.time_per_row_us *. service_scale t name;
+    compile_us = modeled_compile_us tb.Treebeard.lowered *. t.compile_scale;
+    wall_compile_us;
   }
 
 let compiled t ~model ~schedule =
-  if not (Hashtbl.mem t.sources model) then raise Not_found;
+  let src =
+    match Hashtbl.find_opt t.sources model with
+    | Some src -> src
+    | None -> raise Not_found
+  in
   (* Normalize before keying, so schedules differing only in fields the
      compiled artifact cannot depend on — the (now irrelevant) thread
      count, tiling knobs at tile_size 1, alpha/beta under non-probability
-     tilings, the pad limit without padding — share one cache entry and
-     one compile. *)
+     tilings, the pad limit without padding, a row-major interleave factor
+     beyond the model's tree count — share one cache entry and one
+     compile. *)
   let schedule, warning = Schedule.clamp_threads ~max_threads:1 schedule in
-  let schedule = Schedule.canonicalize schedule in
+  let schedule =
+    Schedule.canonicalize
+      ~num_trees:(Array.length src.forest.Forest.trees)
+      schedule
+  in
   let k = key t model schedule in
   match Policy.find t.cache k with
   | Some c -> (c, true)
@@ -107,6 +136,77 @@ let compiled t ~model ~schedule =
     let c = compile t model schedule in
     ignore (Policy.put t.cache k c);
     (c, false)
+
+(* ------------------------------------------------------------------ *)
+(* Calibration: refit modeled costs from measured dual-clock runs      *)
+
+type calibration = {
+  service_scale : (string * float) list;
+  compile_scale : float option;
+}
+
+let calibration_of_drift drifts =
+  let module S = Tb_analysis.Serve_check in
+  let service_scale =
+    List.filter_map
+      (fun (d : S.model_drift) ->
+        if d.S.service_ratio > 0.0 && Float.is_finite d.S.service_ratio then
+          Some (d.S.model, d.S.service_ratio)
+        else None)
+      drifts
+  in
+  (* One global compile scale: the compile pipeline is shared, and single
+     models rarely see enough misses for a per-model fit. Weight each
+     model's ratio by its miss count. *)
+  let num, den =
+    List.fold_left
+      (fun (num, den) (d : S.model_drift) ->
+        match d.S.compile_ratio with
+        | Some r when r > 0.0 && Float.is_finite r ->
+          (num +. (r *. float_of_int d.S.compiles), den + d.S.compiles)
+        | Some _ | None -> (num, den))
+      (0.0, 0) drifts
+  in
+  {
+    service_scale;
+    compile_scale = (if den > 0 then Some (num /. float_of_int den) else None);
+  }
+
+let calibrate t cal =
+  List.iter
+    (fun (model, s) ->
+      if s > 0.0 && Float.is_finite s then
+        Hashtbl.replace t.service_scales model (service_scale t model *. s))
+    cal.service_scale;
+  (match cal.compile_scale with
+  | Some s when s > 0.0 && Float.is_finite s ->
+    t.compile_scale <- t.compile_scale *. s
+  | Some _ | None -> ());
+  (* Rescale what's already compiled, in place, without touching the
+     eviction policy's recency state or hit statistics. *)
+  Policy.iter
+    (fun _ c ->
+      (match List.assoc_opt c.model cal.service_scale with
+      | Some s when s > 0.0 && Float.is_finite s ->
+        c.us_per_row <- c.us_per_row *. s
+      | Some _ | None -> ());
+      match cal.compile_scale with
+      | Some s when s > 0.0 && Float.is_finite s ->
+        c.compile_us <- c.compile_us *. s
+      | Some _ | None -> ())
+    t.cache
+
+let calibration_to_json cal =
+  Json.Obj
+    [
+      ( "service_scale",
+        Json.Obj (List.map (fun (m, s) -> (m, Json.Num s)) cal.service_scale)
+      );
+      ( "compile_scale",
+        match cal.compile_scale with
+        | None -> Json.Null
+        | Some s -> Json.Num s );
+    ]
 
 let cache_stats t = Policy.stats t.cache
 let cache_policy t = Policy.kind_of t.cache

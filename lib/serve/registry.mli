@@ -8,25 +8,38 @@
     the cache and cold or evicted entries pay one recompile.
 
     Serving-level parallelism replaces the schedule's row-loop threads: a
-    worker owns a whole core, so every schedule is normalized to
-    [num_threads = 1] ({!Tb_hir.Schedule.clamp_threads}) and executed via
-    {!Tb_vm.Jit.compile_single_thread}. Each compiled entry also carries a
-    deterministic service-time model ([us_per_row], from
-    {!Tb_core.Perf.simulate} on the registered sample rows, and a modeled
-    [compile_us]) that the virtual-clock simulator charges instead of wall
-    time, keeping every run reproducible. *)
+    worker owns a whole core, so every schedule is compiled through
+    {!Tb_core.Treebeard.make} with [~backend:`Single_thread] (thread count
+    normalized to 1, {!Tb_vm.Jit.compile_single_thread} predictor). Each
+    compiled entry also carries a deterministic service-time model
+    ([us_per_row], from {!Tb_core.Perf.simulate} on the registered sample
+    rows, and a modeled [compile_us]) that the virtual-clock simulator
+    charges instead of wall time, keeping every run reproducible — plus
+    the {e measured} wall-clock cost of the compile itself
+    ([wall_compile_us]), which the dual-clock mode compares against the
+    model.
+
+    {!calibrate} closes the loop: given the drift a dual-clock run
+    measured ({!Tb_analysis.Serve_check.model_drift}), it refits the
+    modeled costs — a per-model service scale and a global compile scale —
+    rescaling both the cached entries (in place) and every future
+    compile. *)
 
 type compiled = {
   model : string;
   schedule : Tb_hir.Schedule.t;  (** normalized: [num_threads = 1] *)
   lowered : Tb_lir.Lower.t;
   predict : float array array -> float array array;
-      (** {!Tb_vm.Jit.compile_single_thread} closure *)
-  us_per_row : float;
+      (** single-thread JIT closure *)
+  mutable us_per_row : float;
       (** deterministic per-row service time (simulated cycles at the
-          target's nominal clock) *)
-  compile_us : float;
-      (** modeled compilation cost, charged to the batch that misses *)
+          target's nominal clock), times any calibrated service scale *)
+  mutable compile_us : float;
+      (** modeled compilation cost, charged to the batch that misses;
+          times any calibrated compile scale *)
+  wall_compile_us : float;
+      (** measured wall-clock time of the compile that built this entry
+          (lowering + JIT + service-time simulation), microseconds *)
 }
 
 type t
@@ -60,11 +73,41 @@ val compiled :
   t -> model:string -> schedule:Tb_hir.Schedule.t -> compiled * bool
 (** Get-or-compile; the flag is [true] on a cache hit. The schedule is
     normalized before keying — [num_threads] clamped to 1 (each worker
-    owns its core) and {!Tb_hir.Schedule.canonicalize} applied — so
-    schedules differing only in fields the compiled artifact cannot
-    depend on share one entry and one compile. On a miss the compile may
-    evict another entry per the policy.
+    owns its core) and {!Tb_hir.Schedule.canonicalize} applied with the
+    model's tree count (so e.g. a row-major interleave factor beyond the
+    forest shares the entry of the clamped factor) — so schedules
+    differing only in fields the compiled artifact cannot depend on share
+    one entry and one compile. On a miss the compile may evict another
+    entry per the policy.
     @raise Not_found for unregistered names. *)
+
+(** {2 Calibration} *)
+
+type calibration = {
+  service_scale : (string * float) list;
+      (** per-model multiplicative correction to [us_per_row] *)
+  compile_scale : float option;
+      (** global multiplicative correction to [compile_us] *)
+}
+
+val calibration_of_drift :
+  Tb_analysis.Serve_check.model_drift list -> calibration
+(** Fit a calibration from a dual-clock run's measured drift: each
+    model's service scale is its Σwall/Σvirtual ratio, and the compile
+    scale is the miss-count-weighted mean of the per-model compile
+    ratios (absent when the run measured no compile). Scales of
+    non-positive or non-finite ratios are dropped. *)
+
+val calibrate : t -> calibration -> unit
+(** Apply a calibration: fold the scales into the registry's correction
+    state (so future compiles are scaled) and rescale the already-cached
+    entries' [us_per_row] / [compile_us] in place ({!Policy.iter} — no
+    eviction-policy or hit-statistic side effects). Calibrations compose
+    multiplicatively; because a drift ratio is measured against the
+    {e currently} modeled costs, repeated measure-calibrate rounds
+    converge toward ratio 1. *)
+
+val calibration_to_json : calibration -> Tb_util.Json.t
 
 val cache_stats : t -> Policy.stats
 val cache_policy : t -> Policy.kind

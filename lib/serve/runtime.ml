@@ -5,6 +5,23 @@ type request = {
   arrival_us : float;
 }
 
+type mode = Virtual | Wall | Dual
+
+let mode_to_string = function
+  | Virtual -> "virtual"
+  | Wall -> "wall"
+  | Dual -> "dual"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "virtual" -> Ok Virtual
+  | "wall" -> Ok Wall
+  | "dual" -> Ok Dual
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown execution mode %S (expected virtual, wall or dual)" s)
+
 type config = {
   queue_capacity : int;
   batch_max : int;
@@ -32,6 +49,7 @@ type batch_exec = {
   formed_us : float;
   start_us : float;
   finish_us : float;
+  mutable wall_predict_us : float;
 }
 
 type result = {
@@ -43,6 +61,7 @@ type result = {
   cache_stats : Policy.stats;
   compile_count : int;
   equivalence_failures : int;
+  drift : Tb_analysis.Serve_check.model_drift list;
 }
 
 let validate_config c =
@@ -124,6 +143,7 @@ let dispatch st (b : request Batcher.batch) =
       formed_us = b.Batcher.formed_us;
       start_us = start;
       finish_us = finish;
+      wall_predict_us = 0.0;
     }
     :: st.batches_rev
 
@@ -166,7 +186,7 @@ let schedule_trace st requests =
 (* ------------------------------------------------------------------ *)
 (* Phase 2: parallel execution on domains                              *)
 
-let execute cfg batches outputs =
+let execute ~timed cfg batches outputs =
   let by_worker = Array.make cfg.workers [] in
   List.iter
     (fun b -> by_worker.(b.worker) <- b :: by_worker.(b.worker))
@@ -175,7 +195,18 @@ let execute cfg batches outputs =
     List.iter
       (fun b ->
         let rows = Array.map (fun r -> r.row) b.requests in
-        let outs = b.compiled.Registry.predict rows in
+        let outs =
+          if timed then begin
+            (* Each batch belongs to exactly one worker, so writing its
+               wall measurement from that worker's domain is race-free;
+               the joins below publish it to the replay. *)
+            let t0 = Tb_util.Timer.now () in
+            let outs = b.compiled.Registry.predict rows in
+            b.wall_predict_us <- (Tb_util.Timer.now () -. t0) *. 1e6;
+            outs
+          end
+          else b.compiled.Registry.predict rows
+        in
         Array.iteri
           (fun i r -> outputs.(r.id) <- Some outs.(i))
           b.requests)
@@ -188,6 +219,65 @@ let execute cfg batches outputs =
            else Some (Domain.spawn (run_worker assigned)))
   in
   List.iter Domain.join domains
+
+(* ------------------------------------------------------------------ *)
+(* Wall timeline + drift (wall/dual modes)                             *)
+
+(* Replay the virtual schedule's decisions — batch composition, worker
+   assignment, formation times — substituting measured service durations
+   for modeled ones. Queue wait on this clock still starts at the trace's
+   (virtual) arrival: the trace defines the workload, execution defines
+   the speed. *)
+let wall_replay cfg batches metrics =
+  let busy = Array.make cfg.workers 0.0 in
+  List.iter
+    (fun b ->
+      let start = Float.max b.formed_us busy.(b.worker) in
+      let compile_us =
+        if b.cache_hit then 0.0 else b.compiled.Registry.wall_compile_us
+      in
+      let service = cfg.dispatch_overhead_us +. compile_us +. b.wall_predict_us in
+      let finish = start +. service in
+      busy.(b.worker) <- finish;
+      Array.iter
+        (fun r ->
+          Metrics.record_wall_completion metrics ~arrival_us:r.arrival_us
+            ~start_us:start ~finish_us:finish)
+        b.requests)
+    batches
+
+let drift_of_batches registry batches =
+  let module S = Tb_analysis.Serve_check in
+  let samples : (string, S.sample list) Hashtbl.t = Hashtbl.create 8 in
+  let compiles : (string, S.compile_sample list) Hashtbl.t = Hashtbl.create 8 in
+  let push tbl k v =
+    Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  List.iter
+    (fun b ->
+      let size = Array.length b.requests in
+      let c = b.compiled in
+      push samples c.Registry.model
+        {
+          S.rows = size;
+          virtual_us = float_of_int size *. c.Registry.us_per_row;
+          wall_us = b.wall_predict_us;
+        };
+      if not b.cache_hit then
+        push compiles c.Registry.model
+          {
+            S.modeled_us = c.Registry.compile_us;
+            wall_compile_us = c.Registry.wall_compile_us;
+          })
+    batches;
+  List.filter_map
+    (fun model ->
+      match Hashtbl.find_opt samples model with
+      | None -> None
+      | Some ss ->
+        let cs = Option.value ~default:[] (Hashtbl.find_opt compiles model) in
+        Some (S.drift_of_samples ~model (List.rev ss) (List.rev cs)))
+    (Registry.models registry)
 
 (* ------------------------------------------------------------------ *)
 (* Equivalence: serving must not change results                        *)
@@ -219,7 +309,8 @@ let check_equivalence st requests outputs =
     (Registry.models st.registry);
   !failures
 
-let run ?(config = default_config) ~schedule registry requests =
+let run ?(config = default_config) ?(mode = Virtual) ~schedule registry
+    requests =
   validate_config config;
   let n = Array.length requests in
   let seen = Array.make (max n 1) false in
@@ -259,7 +350,14 @@ let run ?(config = default_config) ~schedule registry requests =
   let compile_count = Registry.compile_count registry in
   let batches = List.rev st.batches_rev in
   let outputs = Array.make n None in
-  execute config batches outputs;
+  let timed = match mode with Virtual -> false | Wall | Dual -> true in
+  execute ~timed config batches outputs;
+  if timed then wall_replay config batches st.metrics;
+  let drift =
+    match mode with
+    | Virtual | Wall -> []
+    | Dual -> drift_of_batches registry batches
+  in
   let equivalence_failures = check_equivalence st requests outputs in
   {
     outputs;
@@ -270,4 +368,5 @@ let run ?(config = default_config) ~schedule registry requests =
     cache_stats;
     compile_count;
     equivalence_failures;
+    drift;
   }

@@ -21,7 +21,20 @@
       threads). Outputs land in per-request slots, and an equivalence
       check compares them bitwise against one direct whole-trace predictor
       call per model: batching, caching and parallel dispatch must never
-      change a result. *)
+      change a result.
+
+    The execution {!mode} decides whether the second phase also runs the
+    {e wall clock}: in [Wall] and [Dual] modes each batch's real [predict]
+    call is timed on its worker, a wall timeline is replayed from the
+    virtual schedule's decisions (same batches, workers and formation
+    times, measured service durations — cache misses charged their
+    {e measured} compile time), and the wall latencies land in
+    {!Metrics}'s parallel wall set. [Dual] additionally pairs the two
+    clocks per batch into a per-model drift summary
+    ({!Tb_analysis.Serve_check.model_drift}) — the input to V001/V002
+    drift checking and {!Registry.calibrate}. The virtual phase never
+    reads a wall measurement, so the virtual half of a dual run is
+    byte-identical to a pure virtual run of the same trace. *)
 
 type request = {
   id : int;  (** dense 0..n-1; indexes the result's output slots *)
@@ -29,6 +42,16 @@ type request = {
   row : float array;
   arrival_us : float;
 }
+
+type mode =
+  | Virtual  (** deterministic simulation only (the default) *)
+  | Wall  (** also time real execution and report wall metrics *)
+  | Dual  (** wall metrics plus per-model wall/virtual drift *)
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> (mode, string) Stdlib.result
+(** ["virtual"], ["wall"], ["dual"]. *)
 
 type config = {
   queue_capacity : int;
@@ -53,6 +76,9 @@ type batch_exec = {
   formed_us : float;
   start_us : float;
   finish_us : float;
+  mutable wall_predict_us : float;
+      (** measured wall time of this batch's [predict] call; 0 in
+          [Virtual] mode *)
 }
 
 type result = {
@@ -67,15 +93,20 @@ type result = {
   equivalence_failures : int;
       (** requests whose served output differs bitwise from the direct
           single-call JIT prediction; 0 on a healthy run *)
+  drift : Tb_analysis.Serve_check.model_drift list;
+      (** per-model wall/virtual drift (registration order); empty unless
+          the run was [Dual] *)
 }
 
 val run :
   ?config:config ->
+  ?mode:mode ->
   schedule:Tb_hir.Schedule.t ->
   Registry.t ->
   request array ->
   result
-(** Serve a trace. Requests may arrive in any order (they are sorted by
-    arrival time, stably); ids must be exactly 0..n-1.
+(** Serve a trace (default mode [Virtual]). Requests may arrive in any
+    order (they are sorted by arrival time, stably); ids must be exactly
+    0..n-1.
     @raise Invalid_argument on malformed ids or config fields, and
     [Not_found] when a request names an unregistered model. *)

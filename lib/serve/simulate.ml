@@ -39,6 +39,7 @@ type config = {
   seed : int;
   schedule : Schedule.t;
   runtime : Runtime.config;
+  mode : Runtime.mode;
   cache_policy : Policy.kind;
   cache_capacity : int;
   target : Config.t;
@@ -52,6 +53,7 @@ let default_config =
     seed = 42;
     schedule = Schedule.default;
     runtime = Runtime.default_config;
+    mode = Runtime.Virtual;
     cache_policy = Policy.Lru;
     cache_capacity = 8;
     target = Config.intel_rocket_lake;
@@ -107,6 +109,7 @@ let config_to_json (c : config) models =
       ("rate_rps", J.Num c.rate_rps);
       ("num_requests", J.Num (float_of_int c.num_requests));
       ("seed", J.Num (float_of_int c.seed));
+      ("mode", J.Str (Runtime.mode_to_string c.mode));
       ("schedule", Schedule.to_json c.schedule);
       ("queue_capacity", J.Num (float_of_int c.runtime.Runtime.queue_capacity));
       ("batch_max", J.Num (float_of_int c.runtime.Runtime.batch_max));
@@ -124,7 +127,7 @@ let config_to_json (c : config) models =
              models) );
     ]
 
-let run (c : config) models =
+let run ?calibration (c : config) models =
   if models = [] then invalid_arg "Simulate.run: no models";
   List.iter
     (fun m ->
@@ -145,6 +148,7 @@ let run (c : config) models =
       Registry.register registry ~name:m.name ?profiles:m.profiles
         ~sample_rows:m.pool m.forest)
     models;
+  Option.iter (Registry.calibrate registry) calibration;
   let rng = Prng.create c.seed in
   let arrivals =
     gen_arrivals rng c.arrival ~rate_rps:c.rate_rps ~n:c.num_requests
@@ -163,7 +167,8 @@ let run (c : config) models =
       arrivals
   in
   let result =
-    Runtime.run ~config:c.runtime ~schedule:c.schedule registry requests
+    Runtime.run ~config:c.runtime ~mode:c.mode ~schedule:c.schedule registry
+      requests
   in
   let per_model =
     List.map
@@ -179,13 +184,13 @@ let run (c : config) models =
   in
   { config_json = config_to_json c models; result; per_model }
 
-let report_to_json r =
+let report_to_json ?(virtual_only = false) r =
   let res = r.result in
   let m = res.Runtime.metrics in
-  J.Obj
+  let fields =
     [
       ("config", r.config_json);
-      ("metrics", Metrics.to_json m);
+      ("metrics", Metrics.to_json ~include_wall:(not virtual_only) m);
       ("queue", Rqueue.stats_to_json res.Runtime.queue_stats);
       ("cache", Policy.stats_to_json res.Runtime.cache_stats);
       ("compiles", J.Num (float_of_int res.Runtime.compile_count));
@@ -199,3 +204,16 @@ let report_to_json r =
       ( "equivalent",
         J.Bool (res.Runtime.equivalence_failures = 0) );
     ]
+    (* Like the metrics' wall set: the drift section exists only when a
+       dual run measured one, and the virtual view omits it. *)
+    @
+    if virtual_only || res.Runtime.drift = [] then []
+    else
+      [
+        ( "drift",
+          J.List
+            (List.map Tb_analysis.Serve_check.drift_to_json res.Runtime.drift)
+        );
+      ]
+  in
+  J.Obj fields

@@ -1,10 +1,15 @@
 (** Deterministic trace simulation: arrival processes → {!Runtime.run} →
     JSON report.
 
-    Everything is derived from the PRNG seed and the configuration — the
-    report contains no wall-clock times, so the same seed produces a
-    byte-identical report on any machine (the acceptance criterion for
-    [treebeard serve-sim]). *)
+    Everything is derived from the PRNG seed and the configuration — in
+    the default [Virtual] mode the report contains no wall-clock times, so
+    the same seed produces a byte-identical report on any machine (the
+    acceptance criterion for [treebeard serve-sim]). In [Wall]/[Dual]
+    modes ({!Runtime.mode}) the report additionally carries measured wall
+    metrics (and, for [Dual], a per-model drift section); the virtual
+    fields are still byte-identical across same-seed runs, and
+    [report_to_json ~virtual_only:true] extracts exactly that
+    deterministic half. *)
 
 type arrival_kind =
   | Poisson  (** exponential inter-arrival gaps at [rate_rps] *)
@@ -38,6 +43,7 @@ type config = {
   seed : int;
   schedule : Tb_hir.Schedule.t;
   runtime : Runtime.config;
+  mode : Runtime.mode;  (** virtual / wall / dual execution *)
   cache_policy : Policy.kind;
   cache_capacity : int;
   target : Tb_cpu.Config.t;
@@ -45,7 +51,8 @@ type config = {
 
 val default_config : config
 (** Poisson at 50k rps, 2000 requests, seed 42, default schedule and
-    runtime config, LRU cache of 8, Intel Rocket Lake target. *)
+    runtime config, virtual mode, LRU cache of 8, Intel Rocket Lake
+    target. *)
 
 val gen_arrivals :
   Tb_util.Prng.t -> arrival_kind -> rate_rps:float -> n:int -> float array
@@ -58,13 +65,19 @@ type report = {
   per_model : (string * int) list;  (** completed request count per model *)
 }
 
-val run : config -> model_spec list -> report
+val run : ?calibration:Registry.calibration -> config -> model_spec list -> report
 (** Build a {!Registry}, generate the trace (model choice and row choice
     are drawn from the same seeded PRNG as the arrival times) and serve
-    it. @raise Invalid_argument on an empty model list or a model with an
+    it. [calibration] (typically fitted from a previous dual run's drift
+    via {!Registry.calibration_of_drift}) is applied to the fresh registry
+    before any compile, so the run's modeled costs are the corrected ones.
+    @raise Invalid_argument on an empty model list or a model with an
     empty row pool. *)
 
-val report_to_json : report -> Tb_util.Json.t
-(** The deterministic serve-sim report: config echo, counts, latency
-    percentiles, batch/queue/cache statistics, throughput, equivalence
-    flag and per-model totals. *)
+val report_to_json : ?virtual_only:bool -> report -> Tb_util.Json.t
+(** The serve-sim report: config echo, counts, latency percentiles,
+    batch/queue/cache statistics, throughput, equivalence flag and
+    per-model totals — plus, when the run measured them, the metrics'
+    ["wall"] sub-object and a top-level ["drift"] section (dual mode).
+    [~virtual_only:true] omits both, leaving exactly the deterministic
+    virtual report (used for determinism diffs of dual runs). *)

@@ -14,7 +14,7 @@ let test_compile_predict_equivalence () =
   let rng = Prng.create 1 in
   let forest = random_forest 1 in
   let rows = random_rows rng 6 100 in
-  let compiled = Treebeard.compile forest in
+  let compiled = Treebeard.make (`Forest forest) in
   let out = Treebeard.predict_forest compiled rows in
   let expected = Forest.predict_batch_raw forest rows in
   check_bool "equal" true (Array.for_all2 arrays_close out expected)
@@ -23,13 +23,13 @@ let test_predict_one () =
   let rng = Prng.create 2 in
   let forest = random_forest 2 in
   let row = random_row rng 6 in
-  let compiled = Treebeard.compile forest in
+  let compiled = Treebeard.make (`Forest forest) in
   check_bool "single row" true
     (arrays_close (Treebeard.predict_one compiled row) (Forest.predict_raw forest row))
 
 let test_compile_explicit_schedule () =
   let forest = random_forest 3 in
-  let compiled = Treebeard.compile ~schedule:Schedule.scalar_baseline forest in
+  let compiled = Treebeard.make ~plan:(`Schedule Schedule.scalar_baseline) (`Forest forest) in
   check_bool "schedule stored" true (compiled.Treebeard.schedule = Schedule.scalar_baseline)
 
 let test_of_file () =
@@ -39,7 +39,7 @@ let test_of_file () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Tb_model.Serialize.to_file path forest;
-      let compiled = Treebeard.of_file path in
+      let compiled = Treebeard.make (`File path) in
       let rng = Prng.create 5 in
       let rows = random_rows rng 6 16 in
       check_bool "roundtrip compile" true
@@ -48,14 +48,17 @@ let test_of_file () =
            (Forest.predict_batch_raw forest rows)))
 
 let test_dump_ir_nonempty () =
-  let compiled = Treebeard.compile (random_forest 6) in
+  let compiled = Treebeard.make (`Forest (random_forest 6)) in
   check_bool "dump" true (String.length (Treebeard.dump_ir compiled) > 200)
 
 let test_compile_auto_equivalence () =
   let rng = Prng.create 7 in
   let forest = random_forest 7 in
   let rows = random_rows rng 6 64 in
-  let compiled = Treebeard.compile_auto ~training_rows:rows forest in
+  let compiled =
+    Treebeard.make ~plan:(`Auto Tb_cpu.Config.intel_rocket_lake)
+      ~training_rows:rows (`Forest forest)
+  in
   check_bool "auto compile correct" true
     (Array.for_all2 arrays_close
        (Treebeard.predict_forest compiled rows)

@@ -141,7 +141,10 @@ let test_dp_through_full_pipeline () =
   List.iter
     (fun tiling ->
       let schedule = { Schedule.default with tiling } in
-      let compiled = Tb_core.Treebeard.compile ~schedule ~profiles forest in
+      let compiled =
+        Tb_core.Treebeard.make ~plan:(`Schedule schedule) ~profiles
+          (`Forest forest)
+      in
       let out = Tb_core.Treebeard.predict_forest compiled rows in
       check_bool (Schedule.to_string schedule) true
         (Array.for_all2 arrays_close out expected))

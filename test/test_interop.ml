@@ -83,7 +83,7 @@ let test_imported_model_compiles () =
   let f = Xgb_import.of_dump_string sample_dump in
   let rng = Prng.create 1 in
   let rows = random_rows rng 3 32 in
-  let compiled = Tb_core.Treebeard.compile f in
+  let compiled = Tb_core.Treebeard.make (`Forest f) in
   check_bool "compiled import correct" true
     (Array.for_all2 arrays_close
        (Tb_core.Treebeard.predict_forest compiled rows)

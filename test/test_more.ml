@@ -247,7 +247,10 @@ let test_end_to_end_trained_model () =
   let expected = Forest.predict_batch_raw forest rows in
   List.iter
     (fun schedule ->
-      let compiled = Tb_core.Treebeard.compile ~schedule ~profiles forest in
+      let compiled =
+        Tb_core.Treebeard.make ~plan:(`Schedule schedule) ~profiles
+          (`Forest forest)
+      in
       let out = Tb_core.Treebeard.predict_forest compiled rows in
       check_bool
         ("trained model: " ^ Schedule.to_string schedule)

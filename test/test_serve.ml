@@ -562,6 +562,304 @@ let test_simulate_deterministic_report () =
   in
   check_bool "different seed, different report" true (report () <> shifted)
 
+(* ---------------- dual clock: drift math, calibration, wall mode -------- *)
+
+module Serve_check = Tb_analysis.Serve_check
+module Metrics = Tb_serve.Metrics
+module J = Tb_util.Json
+
+let test_serve_check_drift_math () =
+  let samples =
+    List.init 10 (fun _ ->
+        { Serve_check.rows = 2; virtual_us = 10.0; wall_us = 20.0 })
+  in
+  let compiles =
+    [ { Serve_check.modeled_us = 100.0; wall_compile_us = 400.0 } ]
+  in
+  let d = Serve_check.drift_of_samples ~model:"m" samples compiles in
+  check_int "batches" 10 d.Serve_check.batches;
+  check_int "rows" 20 d.Serve_check.rows;
+  check_float "service ratio = sum wall / sum virtual" 2.0
+    d.Serve_check.service_ratio;
+  check_int "percentile count" 3 (List.length d.Serve_check.percentiles);
+  List.iter
+    (fun (_, v, w) ->
+      check_float "virtual quantile" 10.0 v;
+      check_float "wall quantile" 20.0 w)
+    d.Serve_check.percentiles;
+  check_int "compiles" 1 d.Serve_check.compiles;
+  (match d.Serve_check.compile_ratio with
+  | Some r -> check_float "compile ratio" 4.0 r
+  | None -> Alcotest.fail "compile ratio missing");
+  let d0 = Serve_check.drift_of_samples ~model:"m" samples [] in
+  check_bool "no compile measured -> no compile ratio" true
+    (d0.Serve_check.compile_ratio = None)
+
+let test_serve_check_tolerances () =
+  let mk ~n ~virtual_us ~wall_us compiles =
+    Serve_check.drift_of_samples ~model:"m"
+      (List.init n (fun _ -> { Serve_check.rows = 1; virtual_us; wall_us }))
+      compiles
+  in
+  let codes ds = List.map (fun d -> d.Tb_diag.Diagnostic.code) ds in
+  (* Within the corridor: ratio 2 against tolerance 25 is fine. *)
+  check_bool "small drift passes" true
+    (Serve_check.check [ mk ~n:10 ~virtual_us:10.0 ~wall_us:20.0 [] ] = []);
+  (* Beyond it, in either direction. *)
+  check_bool "wall >> virtual fires V001" true
+    (codes (Serve_check.check [ mk ~n:10 ~virtual_us:1.0 ~wall_us:100.0 [] ])
+    = [ "V001"; "V001"; "V001" ]);
+  check_bool "virtual >> wall fires V001 too" true
+    (List.mem "V001"
+       (codes
+          (Serve_check.check [ mk ~n:10 ~virtual_us:100.0 ~wall_us:1.0 [] ])));
+  (* Too few batches: one noisy measurement must not fail a run. *)
+  check_bool "below min_batches stays silent" true
+    (Serve_check.check [ mk ~n:3 ~virtual_us:1.0 ~wall_us:1000.0 [] ] = []);
+  (* Compile drift is judged independently of service drift. *)
+  let compile_off =
+    mk ~n:10 ~virtual_us:10.0 ~wall_us:20.0
+      [ { Serve_check.modeled_us = 1.0; wall_compile_us = 1000.0 } ]
+  in
+  check_bool "compile drift fires V002" true
+    (codes (Serve_check.check [ compile_off ]) = [ "V002" ])
+
+let test_interleave_clamp_cache_hit () =
+  (* m0 has 5 trees. A row-major walk interleaves tree groups, and MIR
+     clamps the jam factor at the group size — so interleave 8 and 5
+     compile to the same artifact and must share one cache entry. *)
+  let reg, _ = small_registry 51 in
+  let row k =
+    { Schedule.default with
+      Schedule.loop_order = Schedule.One_row_at_a_time; interleave = k }
+  in
+  let _, h1 = Registry.compiled reg ~model:"m0" ~schedule:(row 8) in
+  check_bool "row-major interleave 8 compiles" false h1;
+  let _, h2 = Registry.compiled reg ~model:"m0" ~schedule:(row 5) in
+  check_bool "row-major interleave 5 hits the clamped entry" true h2;
+  let _, h3 = Registry.compiled reg ~model:"m0" ~schedule:(row 16) in
+  check_bool "row-major interleave 16 hits too" true h3;
+  check_int "one compile for the clamped family" 1
+    (Registry.compile_count reg);
+  (* Below the tree count the factor is meaningful: distinct entries. *)
+  let _, h4 = Registry.compiled reg ~model:"m0" ~schedule:(row 3) in
+  check_bool "row-major interleave 3 is a different artifact" false h4;
+  (* Tree-major interleave jams rows, not trees — never clamped. *)
+  let tree k = { Schedule.default with Schedule.interleave = k } in
+  let _, h5 = Registry.compiled reg ~model:"m0" ~schedule:(tree 8) in
+  let _, h6 = Registry.compiled reg ~model:"m0" ~schedule:(tree 5) in
+  check_bool "tree-major 8 compiles" false h5;
+  check_bool "tree-major 5 compiles separately" false h6
+
+let test_registry_calibration () =
+  let reg, _ = small_registry 61 in
+  let c0, _ = Registry.compiled reg ~model:"m0" ~schedule:Schedule.default in
+  let u0 = c0.Registry.us_per_row and k0 = c0.Registry.compile_us in
+  check_bool "baseline costs positive" true (u0 > 0.0 && k0 > 0.0);
+  Registry.calibrate reg
+    { Registry.service_scale = [ ("m0", 2.0) ]; compile_scale = Some 3.0 };
+  (* The cached entry is rescaled in place... *)
+  check_float "cached us_per_row rescaled" (2.0 *. u0) c0.Registry.us_per_row;
+  check_float "cached compile_us rescaled" (3.0 *. k0) c0.Registry.compile_us;
+  let c0', hit = Registry.compiled reg ~model:"m0" ~schedule:Schedule.default in
+  check_bool "calibration does not evict" true hit;
+  check_float "hit returns the rescaled entry" (2.0 *. u0)
+    c0'.Registry.us_per_row;
+  (* ... and future compiles carry the scales. *)
+  let s2 = { Schedule.default with Schedule.tile_size = 4 } in
+  let c2, _ = Registry.compiled reg ~model:"m0" ~schedule:s2 in
+  let fresh, _ = small_registry 61 in
+  let d2, _ = Registry.compiled fresh ~model:"m0" ~schedule:s2 in
+  check_float "future compile's service model scaled"
+    (2.0 *. d2.Registry.us_per_row) c2.Registry.us_per_row;
+  check_float "future compile's compile model scaled"
+    (3.0 *. d2.Registry.compile_us) c2.Registry.compile_us;
+  (* Calibrations compose multiplicatively (and can undo each other). *)
+  Registry.calibrate reg
+    { Registry.service_scale = [ ("m0", 0.5) ];
+      compile_scale = Some (1.0 /. 3.0) };
+  check_float "scales compose back to baseline" u0 c0.Registry.us_per_row
+
+let test_calibration_of_drift () =
+  let sample virtual_us wall_us =
+    { Serve_check.rows = 1; virtual_us; wall_us }
+  in
+  let da =
+    Serve_check.drift_of_samples ~model:"a"
+      (List.init 8 (fun _ -> sample 10.0 30.0))
+      [ { Serve_check.modeled_us = 100.0; wall_compile_us = 500.0 } ]
+  in
+  let db =
+    Serve_check.drift_of_samples ~model:"b"
+      (List.init 8 (fun _ -> sample 10.0 5.0))
+      []
+  in
+  let cal = Registry.calibration_of_drift [ da; db ] in
+  check_int "one service scale per model" 2
+    (List.length cal.Registry.service_scale);
+  check_float "a's scale is its wall/virtual ratio" 3.0
+    (List.assoc "a" cal.Registry.service_scale);
+  check_float "b's scale corrects downward" 0.5
+    (List.assoc "b" cal.Registry.service_scale);
+  (match cal.Registry.compile_scale with
+  | Some s -> check_float "compile scale from the only measured model" 5.0 s
+  | None -> Alcotest.fail "compile scale missing");
+  let none = Registry.calibration_of_drift [ db ] in
+  check_bool "no compile measured -> no compile scale" true
+    (none.Registry.compile_scale = None)
+
+let test_runtime_dual_wall_sanity () =
+  let reg, _ = small_registry 71 in
+  let rng = Prng.create 72 in
+  let requests =
+    mk_requests rng ~n:300 ~models:[| "m0" |] ~features:6 ~rate:200_000.0
+  in
+  let r =
+    Runtime.run ~mode:Runtime.Dual ~schedule:Schedule.default reg requests
+  in
+  check_int "dual mode keeps equivalence" 0 r.Runtime.equivalence_failures;
+  List.iter
+    (fun (b : Runtime.batch_exec) ->
+      check_bool "every batch has a finite wall measurement" true
+        (Float.is_finite b.Runtime.wall_predict_us
+        && b.Runtime.wall_predict_us >= 0.0))
+    r.Runtime.batches;
+  let m = r.Runtime.metrics in
+  check_int "wall set covers every completion" m.Metrics.completed
+    m.Metrics.wall_completed;
+  check_int "wall rows match virtual rows" m.Metrics.rows_served
+    m.Metrics.wall_rows;
+  check_bool "wall makespan positive" true (m.Metrics.wall_makespan_us > 0.0);
+  check_bool "wall throughput positive" true
+    (Metrics.wall_throughput_rows_per_s m > 0.0);
+  (match r.Runtime.drift with
+  | [ d ] ->
+    check_string "drift is per registered model" "m0" d.Serve_check.model;
+    check_int "drift pairs every batch" (List.length r.Runtime.batches)
+      d.Serve_check.batches;
+    check_bool "service ratio finite and positive" true
+      (Float.is_finite d.Serve_check.service_ratio
+      && d.Serve_check.service_ratio > 0.0);
+    check_bool "misses were paired with compile samples" true
+      (d.Serve_check.compiles >= 1)
+  | l -> Alcotest.failf "expected 1 drift summary, got %d" (List.length l));
+  (* A virtual run of the same trace measures nothing. *)
+  let reg2, _ = small_registry 71 in
+  let rv = Runtime.run ~schedule:Schedule.default reg2 requests in
+  check_bool "virtual mode records no wall time" true
+    (List.for_all
+       (fun (b : Runtime.batch_exec) -> b.Runtime.wall_predict_us = 0.0)
+       rv.Runtime.batches);
+  check_int "virtual mode has no wall completions" 0
+    rv.Runtime.metrics.Metrics.wall_completed;
+  check_bool "virtual mode reports no drift" true (rv.Runtime.drift = [])
+
+let test_runtime_wall_monotone_in_batch_size () =
+  (* Bigger batches take longer on the wall clock. Comparing the median
+     per-batch predict time of 1-row batches against 128-row batches
+     leaves orders of magnitude of headroom for scheduler noise. *)
+  let median_wall batch_max =
+    let reg, _ = small_registry 81 in
+    let rng = Prng.create 82 in
+    let requests =
+      mk_requests rng ~n:256 ~models:[| "m0" |] ~features:6 ~rate:10_000_000.0
+    in
+    let config =
+      { Runtime.default_config with Runtime.batch_max; queue_capacity = 4096 }
+    in
+    let r =
+      Runtime.run ~config ~mode:Runtime.Wall ~schedule:Schedule.default reg
+        requests
+    in
+    let ws =
+      List.map (fun b -> b.Runtime.wall_predict_us) r.Runtime.batches
+      |> List.sort compare
+    in
+    check_bool "run produced batches" true (ws <> []);
+    List.nth ws (List.length ws / 2)
+  in
+  let small = median_wall 1 and large = median_wall 128 in
+  check_bool
+    (Printf.sprintf "median wall predict: 128-row %.1fus > 1-row %.1fus"
+       large small)
+    true (large > small)
+
+let test_dual_drift_fault_injection () =
+  (* Inflate the modeled costs absurdly before a dual run: the virtual
+     clock now disagrees with any real machine by orders of magnitude
+     beyond the tolerance corridor, so V001 and V002 must fire. *)
+  let reg, _ = small_registry 91 in
+  Registry.calibrate reg
+    { Registry.service_scale = [ ("m0", 1e6) ]; compile_scale = Some 1e8 };
+  let rng = Prng.create 92 in
+  let requests =
+    mk_requests rng ~n:300 ~models:[| "m0" |] ~features:6 ~rate:200_000.0
+  in
+  let r =
+    Runtime.run ~mode:Runtime.Dual ~schedule:Schedule.default reg requests
+  in
+  let codes =
+    List.map (fun d -> d.Tb_diag.Diagnostic.code)
+      (Serve_check.check r.Runtime.drift)
+  in
+  check_bool "inflated service model fires V001" true (List.mem "V001" codes);
+  check_bool "inflated compile model fires V002" true (List.mem "V002" codes)
+
+let test_simulate_dual_determinism () =
+  let rng = Prng.create 87 in
+  let forest = Forest.random ~num_trees:6 ~max_depth:4 ~num_features:5 rng in
+  let models =
+    [
+      {
+        Simulate.name = "rand";
+        forest;
+        profiles = None;
+        pool = random_rows rng 5 32;
+        weight = 1;
+      };
+    ]
+  in
+  let config =
+    { Simulate.default_config with
+      Simulate.num_requests = 300; mode = Runtime.Dual }
+  in
+  let virtual_half r =
+    J.to_string ~indent:true (Simulate.report_to_json ~virtual_only:true r)
+  in
+  let rep1 = Simulate.run config models in
+  let rep2 = Simulate.run config models in
+  check_string "dual runs: virtual halves byte-identical" (virtual_half rep1)
+    (virtual_half rep2);
+  (* The virtual half must equal a pure virtual run's report everywhere
+     except the config echo (which records the mode). *)
+  let vrep = Simulate.run { config with Simulate.mode = Runtime.Virtual } models in
+  let section r name =
+    J.to_string (J.member name (Simulate.report_to_json ~virtual_only:true r))
+  in
+  List.iter
+    (fun name ->
+      check_string
+        (Printf.sprintf "dual virtual %s == pure virtual %s" name name)
+        (section vrep name) (section rep1 name))
+    [ "metrics"; "queue"; "cache"; "compiles"; "per_model";
+      "equivalence_failures" ];
+  (* The full dual report additionally carries both clocks. *)
+  let full = Simulate.report_to_json rep1 in
+  check_bool "dual report has a wall section" true
+    (match J.member "wall" (J.member "metrics" full) with
+    | J.Obj _ -> true
+    | _ -> false);
+  (match J.member "drift" full with
+  | J.List (_ :: _) -> ()
+  | _ -> Alcotest.fail "dual report missing drift section");
+  check_bool "virtual half omits wall" true
+    (match
+       J.member "wall"
+         (J.member "metrics" (Simulate.report_to_json ~virtual_only:true rep1))
+     with
+    | exception J.Parse_error _ -> true
+    | _ -> false)
+
 let suite =
   [
     quick "histogram quantiles" test_histogram_quantiles;
@@ -589,4 +887,16 @@ let suite =
     qcheck ~count:25 ~name:"serve == direct JIT (bitwise)" serve_equiv_gen
       serve_equiv_property;
     quick "simulate deterministic report" test_simulate_deterministic_report;
+    quick "serve-check drift math" test_serve_check_drift_math;
+    quick "serve-check tolerances" test_serve_check_tolerances;
+    quick "interleave clamp shares cache entry" test_interleave_clamp_cache_hit;
+    quick "registry calibration rescales costs" test_registry_calibration;
+    quick "calibration fitted from drift" test_calibration_of_drift;
+    quick "dual mode wall sanity" test_runtime_dual_wall_sanity;
+    quick "wall time monotone in batch size"
+      test_runtime_wall_monotone_in_batch_size;
+    quick "drift fault injection fires V001/V002"
+      test_dual_drift_fault_injection;
+    quick "dual mode virtual half deterministic"
+      test_simulate_dual_determinism;
   ]
