@@ -1095,6 +1095,140 @@ let lint () =
   Printf.printf "report: BENCH_lint.json\n";
   Printf.printf "baseline: lint_census_baseline.json\n"
 
+(* Translation validation: validator wall-clock and summary sizes per
+   (model, schedule) over the reduced representative grid — the cost
+   that justifies keeping the validate:* stages on by default in
+   Passman's Verify_each — plus the T00x census. Writes
+   BENCH_validate.json and validate_census_baseline.json (the file CI
+   diffs against). *)
+let validate () =
+  let module Census = Tb_analysis.Census in
+  let module Validate = Tb_analysis.Validate in
+  let module Cost_check = Tb_analysis.Cost_check in
+  let module Mir = Tb_mir.Mir in
+  let module J = Tb_util.Json in
+  heading
+    "Translation validation: validator cost + T00x census,\n\
+     zoo x reduced schedule grid";
+  let t =
+    Table.create
+      [ "Model"; "scheds"; "trees"; "paths/tree"; "max paths";
+        "validate ms/sched"; "T001"; "T002"; "T003"; "T004" ]
+  in
+  let census = ref [] and cells = ref [] and summary_rows = ref [] in
+  List.iter
+    (fun name ->
+      let b = load name in
+      let forest = b.entry.Zoo.forest in
+      let num_trees = Array.length forest.Forest.trees in
+      let scheds = ref 0 and total_ms = ref 0.0 in
+      let sum_paths = ref 0 and max_paths = ref 0 and path_cells = ref 0 in
+      let totals = Hashtbl.create 4 in
+      List.iter
+        (fun s ->
+          let hir = Program.build forest s in
+          let mir = Mir.lower hir in
+          match Layout.build hir with
+          | exception Invalid_argument _ -> ()
+          | lay ->
+            incr scheds;
+            let t0 = Unix.gettimeofday () in
+            let fs = Validate.check_all hir mir lay in
+            let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+            total_ms := !total_ms +. ms;
+            (* Summary sizes: per-tree path counts of the HIR form (equal
+               across stages when validation passes). *)
+            let cell_paths = ref 0 and cell_max = ref 0 in
+            Array.iter
+              (fun (e : Program.tree_entry) ->
+                let n =
+                  Validate.num_paths (Validate.summarize_hir e.Program.tiled)
+                in
+                cell_paths := !cell_paths + n;
+                cell_max := max !cell_max n)
+              hir.Program.trees;
+            sum_paths := !sum_paths + !cell_paths;
+            max_paths := max !max_paths !cell_max;
+            path_cells := !path_cells + num_trees;
+            let ds = Validate.to_diagnostics fs in
+            let sched = Schedule.to_string s in
+            let row =
+              Census.row_of_diags ~family:Census.validate_family ~model:name
+                ~schedule:sched ds
+            in
+            List.iter
+              (fun code ->
+                Hashtbl.replace totals code
+                  ((try Hashtbl.find totals code with Not_found -> 0)
+                   + Census.get row code))
+              Census.validate_family.Census.codes;
+            census := row :: !census;
+            cells :=
+              J.Obj
+                [
+                  ("model", J.Str name);
+                  ("schedule", J.Str sched);
+                  ("validate_us", J.Num (1000.0 *. ms));
+                  ("findings", J.Num (float_of_int (List.length fs)));
+                  ("total_paths", J.Num (float_of_int !cell_paths));
+                  ("max_paths_per_tree", J.Num (float_of_int !cell_max));
+                ]
+              :: !cells)
+        Cost_check.reduced_grid;
+      let tcount code =
+        try Hashtbl.find totals code with Not_found -> 0
+      in
+      let mean_paths =
+        if !path_cells = 0 then 0.0
+        else float_of_int !sum_paths /. float_of_int !path_cells
+      in
+      let ms_per_sched =
+        if !scheds = 0 then 0.0 else !total_ms /. float_of_int !scheds
+      in
+      Table.add_row t
+        [
+          name; string_of_int !scheds; string_of_int num_trees;
+          Printf.sprintf "%.1f" mean_paths; string_of_int !max_paths;
+          Printf.sprintf "%.1f" ms_per_sched;
+          string_of_int (tcount "T001"); string_of_int (tcount "T002");
+          string_of_int (tcount "T003"); string_of_int (tcount "T004");
+        ];
+      summary_rows :=
+        J.Obj
+          [
+            ("model", J.Str name);
+            ("schedules", J.Num (float_of_int !scheds));
+            ("trees", J.Num (float_of_int num_trees));
+            ("mean_paths_per_tree", J.Num mean_paths);
+            ("max_paths_per_tree", J.Num (float_of_int !max_paths));
+            ("validate_ms_per_schedule", J.Num ms_per_sched);
+            ("t001", J.Num (float_of_int (tcount "T001")));
+            ("t002", J.Num (float_of_int (tcount "T002")));
+            ("t003", J.Num (float_of_int (tcount "T003")));
+            ("t004", J.Num (float_of_int (tcount "T004")));
+          ]
+        :: !summary_rows;
+      Printf.printf "[validate] %s: %d schedules in %.1fs\n%!" name !scheds
+        (!total_ms /. 1000.0))
+    all_names;
+  Table.print t;
+  let census = List.rev !census in
+  let json =
+    J.Obj
+      [
+        ("summary", J.List (List.rev !summary_rows));
+        ("cells", J.List (List.rev !cells));
+        ("census", Census.to_json census);
+      ]
+  in
+  let oc = open_out "BENCH_validate.json" in
+  output_string oc (J.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  Census.to_file "validate_census_baseline.json" census;
+  Printf.printf "report: BENCH_validate.json\n";
+  Printf.printf "baseline: validate_census_baseline.json\n"
+
 let all_experiments =
   [
     ("table1", table1);
@@ -1119,4 +1253,5 @@ let all_experiments =
     ("calibrate", calibrate);
     ("serve", serve);
     ("lint", lint);
+    ("validate", validate);
   ]

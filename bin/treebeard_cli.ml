@@ -271,7 +271,7 @@ let lint_cmd =
       match census_baseline with
       | None -> false
       | Some path -> (
-        match Census.diff ~baseline:(Census.of_file path) ~current:census with
+        match Census.diff ~baseline:(Census.of_file path) census with
         | [] ->
           Printf.printf "census baseline : ok (no regression vs %s)\n" path;
           false
@@ -292,6 +292,232 @@ let lint_cmd =
     Term.(
       const run $ model $ zoo $ grid $ schedule_term $ batch $ strict
       $ verbose $ census_out $ census_baseline)
+
+(* ---------------- validate ---------------- *)
+
+let validate_cmd =
+  let module D = Tb_diag.Diagnostic in
+  let module Census = Tb_analysis.Census in
+  let module Validate = Tb_analysis.Validate in
+  let module Cost_check = Tb_analysis.Cost_check in
+  let module Program = Tb_hir.Program in
+  let module Mir = Tb_mir.Mir in
+  let module Layout = Tb_lir.Layout in
+  let module Json = Tb_util.Json in
+  let model = Cli_common.model_opt_arg in
+  let zoo =
+    Cli_common.zoo_flag
+      ~doc:
+        "Validate every benchmark model in the zoo (training/loading them \
+         from the cache as needed)."
+  in
+  let grid =
+    Cli_common.grid_flag
+      ~doc:
+        "Sweep the full 256-point Table II schedule grid instead of the \
+         reduced representative grid."
+  in
+  let stage =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("all", `All); ("hir", `Hir); ("mir", `Mir); ("lir", `Lir);
+               ("reg", `Reg) ])
+          `All
+      & info [ "stage" ] ~docv:"STAGE"
+          ~doc:
+            "Restrict validation to one cross-stage pair: hir \
+             (source<->HIR), mir (HIR<->walk kinds), lir (MIR<->layout \
+             buffers), reg (layout<->register IR + jam projection), or \
+             all.")
+  in
+  let strict =
+    Cli_common.strict_flag
+      ~doc:"Treat warnings as errors for the exit status."
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print every finding, including infos.")
+  in
+  let out =
+    Cli_common.out_arg
+      ~doc:"Write the per-(model, schedule) findings report as JSON."
+  in
+  let census_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "census" ] ~docv:"FILE"
+          ~doc:"Write a T001..T004 census (per model x schedule counts) to \
+                FILE as JSON.")
+  in
+  let census_baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "census-baseline" ] ~docv:"FILE"
+          ~doc:"Diff this run's census against a checked-in baseline; any \
+                T004 finding or T001..T003 count regression fails the \
+                run.")
+  in
+  let run model zoo grid stage strict verbose out census_out census_baseline =
+    let models =
+      match (zoo, model) with
+      | true, _ ->
+        List.map
+          (fun (s : Tb_gbt.Zoo.spec) ->
+            let e = Tb_gbt.Zoo.get s.Tb_gbt.Zoo.name in
+            (s.Tb_gbt.Zoo.name, e.Tb_gbt.Zoo.forest))
+          Tb_gbt.Zoo.specs
+      | false, Some path -> [ (path, Tb_model.Serialize.of_file path) ]
+      | false, None ->
+        prerr_endline "validate: pass --model FILE or --zoo"; exit 2
+    in
+    let schedules =
+      if grid then Schedule.table2_grid else Cost_check.reduced_grid
+    in
+    let errors = ref 0 and warnings = ref 0 in
+    let census = ref [] and cells = ref [] in
+    List.iter
+      (fun (name, forest) ->
+        List.iter
+          (fun schedule ->
+            let findings =
+              let hir = Program.build forest schedule in
+              let mir = Mir.lower hir in
+              match Layout.build hir with
+              | exception Invalid_argument msg ->
+                (* Slab cap on degenerate array-layout points: nothing to
+                   validate below MIR. *)
+                Printf.printf "%-12s %-55s skip (%s)\n" name
+                  (Schedule.to_string schedule) msg;
+                None
+              | lay ->
+                Some
+                  (match stage with
+                  | `All -> Validate.check_all hir mir lay
+                  | `Hir -> Validate.check_hir hir
+                  | `Mir -> Validate.check_mir hir mir
+                  | `Lir -> Validate.check_lir hir mir lay
+                  | `Reg -> Validate.check_reg hir mir lay)
+            in
+            match findings with
+            | None -> ()
+            | Some fs ->
+              let ds = Validate.to_diagnostics fs in
+              census :=
+                Census.row_of_diags ~family:Census.validate_family ~model:name
+                  ~schedule:(Schedule.to_string schedule) ds
+                :: !census;
+              cells := (name, schedule, fs) :: !cells;
+              let n_err = List.length (D.errors ds) in
+              let n_warn =
+                List.length
+                  (List.filter (fun d -> d.D.severity = D.Warning) ds)
+              in
+              errors := !errors + n_err;
+              warnings := !warnings + n_warn;
+              let verdict =
+                if n_err > 0 then "FAIL"
+                else if n_warn > 0 then "warn"
+                else "ok"
+              in
+              Printf.printf "%-12s %-55s %s\n" name
+                (Schedule.to_string schedule)
+                verdict;
+              let shown =
+                if verbose then ds
+                else List.filter (fun d -> d.D.severity <> D.Info) ds
+              in
+              List.iter (fun d -> Printf.printf "  %s\n" (D.to_string d)) shown)
+          schedules)
+      models;
+    Printf.printf
+      "validate: %d model(s) x %d schedule(s): %d error(s), %d warning(s)\n"
+      (List.length models) (List.length schedules) !errors !warnings;
+    let census = List.rev !census in
+    (match out with
+    | None -> ()
+    | Some path ->
+      let cell_json (name, schedule, fs) =
+        Json.Obj
+          [
+            ("model", Json.Str name);
+            ("schedule", Json.Str (Schedule.to_string schedule));
+            ( "findings",
+              Json.List
+                (List.map
+                   (fun (f : Validate.finding) ->
+                     Json.Obj
+                       [
+                         ("code", Json.Str f.Validate.code);
+                         ( "severity",
+                           Json.Str (D.severity_string f.Validate.severity) );
+                         ("pair", Json.Str
+                            (Validate.stage_name (fst f.Validate.pair)
+                             ^ "<->"
+                             ^ Validate.stage_name (snd f.Validate.pair)));
+                         ("tree", Json.Num (float_of_int f.Validate.tree));
+                         ( "witness",
+                           match f.Validate.witness with
+                           | None -> Json.Null
+                           | Some w ->
+                             Json.List
+                               (Array.to_list
+                                  (Array.map (fun x -> Json.Num x) w)) );
+                         ("message", Json.Str f.Validate.message);
+                       ])
+                   fs) );
+          ]
+      in
+      Cli_common.write_report path
+        (Json.Obj [ ("cells", Json.List (List.rev_map cell_json !cells)) ]);
+      Printf.printf "report          : %s\n" path);
+    if census_out <> None || census_baseline <> None then begin
+      Printf.printf "census totals:\n";
+      List.iter
+        (fun (c, n) -> Printf.printf "  %-6s %d\n" c n)
+        (Census.totals ~family:Census.validate_family census)
+    end;
+    (match census_out with
+    | None -> ()
+    | Some path ->
+      Census.to_file path census;
+      Printf.printf "census          : %s (%d rows)\n" path
+        (List.length census));
+    let census_regressed =
+      match census_baseline with
+      | None -> false
+      | Some path -> (
+        match
+          Census.diff ~family:Census.validate_family
+            ~baseline:(Census.of_file path) census
+        with
+        | [] ->
+          Printf.printf "census baseline : ok (no regression vs %s)\n" path;
+          false
+        | problems ->
+          Printf.printf "census baseline : %d regression(s) vs %s\n"
+            (List.length problems) path;
+          List.iter (fun p -> Printf.printf "  %s\n" p) problems;
+          true)
+    in
+    if !errors > 0 || census_regressed || (strict && !warnings > 0) then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Translation-validate the lowering pipeline: symbolic per-tree \
+          path summaries of each compiled form (HIR tiled trees, MIR walk \
+          kinds, LIR layout buffers, register-IR walk programs) are \
+          compared pairwise, and any divergence is refuted with a \
+          concrete witness row (T001..T004)")
+    Term.(
+      const run $ model $ zoo $ grid $ stage $ strict $ verbose $ out
+      $ census_out $ census_baseline)
 
 (* ---------------- calibrate ---------------- *)
 
@@ -739,5 +965,5 @@ let () =
        (Cmd.group (Cmd.info "treebeard" ~version:"1.0.0" ~doc)
           [
             train_cmd; compile_cmd; predict_cmd; explore_cmd; import_cmd;
-            lint_cmd; calibrate_cmd; serve_sim_cmd;
+            lint_cmd; validate_cmd; calibrate_cmd; serve_sim_cmd;
           ]))

@@ -1,17 +1,47 @@
-(* Warning census: counts of the walk-bounds diagnostic family per
-   (model, schedule) cell, with a JSON wire format and a baseline diff.
+(* Warning census: counts of a diagnostic family per (model, schedule)
+   cell, with a JSON wire format and a baseline diff.
 
-   The census is the measurable surface of the relational analysis: the
-   lint CLI emits one, the bench lint experiment compares the legacy and
-   relational analyses, and CI diffs the current census against a
-   checked-in baseline so bounds-precision regressions fail the build. *)
+   A census is the measurable surface of an analysis: the lint and
+   validate CLIs emit one each, the bench lint/validate experiments
+   record them, and CI diffs the current census against a checked-in
+   baseline so a precision regression fails the build.
+
+   Two families are tracked today: the walk-bounds family (L010..L014,
+   the relational LIR analysis) and the translation-validation family
+   (T001..T004, {!Validate}). A family names its column order and the
+   diff policy: [hard] codes are never acceptable, baseline or not;
+   [soft] codes may not grow in any cell; anything else in [codes] is an
+   informational fact and is counted but not diffed. *)
 
 module D = Tb_diag.Diagnostic
 module Json = Tb_util.Json
 
-(* Codes tracked per cell; everything else in a diagnostic list is
-   ignored. Order fixes the JSON and pretty-print column order. *)
-let codes = [ "L010"; "L011"; "L012"; "L013"; "L014" ]
+type family = {
+  family_name : string;
+  codes : string list;  (* column order *)
+  hard : string list;  (* never acceptable *)
+  soft : string list;  (* per-cell counts may not regress vs baseline *)
+}
+
+let lir_family =
+  {
+    family_name = "lir-bounds";
+    codes = [ "L010"; "L011"; "L012"; "L013"; "L014" ];
+    hard = [ "L010"; "L013" ];
+    soft = [ "L011"; "L012" ];
+    (* L014 is a proof fact: counted, not diffed. *)
+  }
+
+let validate_family =
+  {
+    family_name = "validate";
+    codes = [ "T001"; "T002"; "T003"; "T004" ];
+    hard = [ "T004" ];
+    soft = [ "T001"; "T002"; "T003" ];
+  }
+
+(* Default family, fixed by the original census consumers (lint). *)
+let codes = lir_family.codes
 
 type row = {
   model : string;
@@ -21,7 +51,7 @@ type row = {
 
 type t = row list
 
-let row_of_diags ~model ~schedule diags =
+let row_of_diags ?(family = lir_family) ~model ~schedule diags =
   let count c =
     List.length (List.filter (fun d -> d.D.code = c) diags)
   in
@@ -31,17 +61,17 @@ let row_of_diags ~model ~schedule diags =
     counts =
       List.filter_map
         (fun c -> match count c with 0 -> None | n -> Some (c, n))
-        codes;
+        family.codes;
   }
 
 let get row code =
   try List.assoc code row.counts with Not_found -> 0
 
-let totals (census : t) =
+let totals ?(family = lir_family) (census : t) =
   List.map
     (fun c ->
       (c, List.fold_left (fun acc row -> acc + get row c) 0 census))
-    codes
+    family.codes
 
 (* ---------------- JSON ---------------- *)
 
@@ -92,12 +122,10 @@ let of_file path =
 
 (* ---------------- baseline diff ---------------- *)
 
-(* CI contract: errors of the family (L010 definite out-of-bounds, L013
-   lane collision) are never acceptable, baseline or not; the warning /
-   info counts (L011, L012) may not grow in any cell. L014 is a proof
-   fact — gaining some is fine, losing them is not a correctness issue,
-   so it is not diffed. *)
-let diff ~baseline ~(current : t) =
+(* CI contract, per family: [hard] findings are never acceptable,
+   baseline or not; [soft] counts may not grow in any cell; the remaining
+   codes are facts and are not diffed. *)
+let diff ?(family = lir_family) ~baseline (current : t) =
   let key row = (row.model, row.schedule) in
   let base = Hashtbl.create (List.length baseline) in
   List.iter (fun row -> Hashtbl.replace base (key row) row) baseline;
@@ -110,21 +138,24 @@ let diff ~baseline ~(current : t) =
           if get row c > 0 then
             problem "%s / %s: %d %s error(s)" row.model row.schedule
               (get row c) c)
-        [ "L010"; "L013" ];
+        family.hard;
+      let soft_total r = List.fold_left (fun acc c -> acc + get r c) 0 family.soft in
       match Hashtbl.find_opt base (key row) with
       | None ->
-        if get row "L011" > 0 || get row "L012" > 0 then
+        if soft_total row > 0 then
           problem
-            "%s / %s: not in baseline with L011=%d L012=%d (regenerate the \
-             baseline)"
-            row.model row.schedule (get row "L011") (get row "L012")
+            "%s / %s: not in baseline with %s (regenerate the baseline)"
+            row.model row.schedule
+            (String.concat " "
+               (List.map (fun c -> Printf.sprintf "%s=%d" c (get row c))
+                  family.soft))
       | Some b ->
         List.iter
           (fun c ->
             if get row c > get b c then
               problem "%s / %s: %s regressed %d -> %d" row.model row.schedule
                 c (get b c) (get row c))
-          [ "L011"; "L012" ])
+          family.soft)
     current;
   let current_keys = Hashtbl.create (List.length current) in
   List.iter (fun row -> Hashtbl.replace current_keys (key row) ()) current;
@@ -136,9 +167,9 @@ let diff ~baseline ~(current : t) =
     baseline;
   List.rev !problems
 
-let pp_totals fmt census =
+let pp_totals ?family fmt census =
   Format.fprintf fmt "@[<v>";
   List.iter
     (fun (c, n) -> Format.fprintf fmt "%-6s %d@," c n)
-    (totals census);
+    (totals ?family census);
   Format.fprintf fmt "@]"

@@ -1,15 +1,35 @@
-(** Warning census for the walk-bounds diagnostic family.
+(** Warning census for a diagnostic family.
 
-    A census is a list of per-(model, schedule) rows counting the
-    {b L010}..{b L014} diagnostics produced by a lint run. It is the
-    measurable surface of the relational LIR analysis: [treebeard lint
-    --census] writes one, the bench [lint] experiment compares the legacy
-    interval analysis against the relational one, and CI diffs the
-    current census against a checked-in baseline so a bounds-precision
-    regression fails the build. *)
+    A census is a list of per-(model, schedule) rows counting one
+    diagnostic family's codes in a lint or validate run. It is the
+    measurable surface of an analysis: [treebeard lint --census] writes
+    one for the walk-bounds family, [treebeard validate --census] for the
+    translation-validation family, the bench [lint]/[validate]
+    experiments record them, and CI diffs the current census against a
+    checked-in baseline so a precision regression fails the build. *)
+
+type family = {
+  family_name : string;
+  codes : string list;  (** tracked codes, in column order *)
+  hard : string list;
+      (** never-acceptable codes: any count fails the baseline diff *)
+  soft : string list;
+      (** per-cell counts may not grow vs the baseline; codes in [codes]
+          but in neither [hard] nor [soft] are informational facts and
+          are counted but not diffed *)
+}
+
+val lir_family : family
+(** The walk-bounds family: codes [L010..L014]; [L010]/[L013] hard,
+    [L011]/[L012] soft, [L014] a fact. *)
+
+val validate_family : family
+(** The translation-validation family: codes [T001..T004]; [T004] hard,
+    [T001..T003] soft. *)
 
 val codes : string list
-(** Tracked codes, in column order: [L010; L011; L012; L013; L014]. *)
+(** Tracked codes of {!lir_family}, in column order (the census's
+    original single family; kept for compatibility). *)
 
 type row = {
   model : string;
@@ -20,14 +40,16 @@ type row = {
 type t = row list
 
 val row_of_diags :
+  ?family:family ->
   model:string -> schedule:string -> Tb_diag.Diagnostic.t list -> row
-(** Count the tracked codes in one lint run's diagnostics. *)
+(** Count the tracked codes in one run's diagnostics (default family:
+    {!lir_family}). *)
 
 val get : row -> string -> int
 (** Count for one code, 0 when absent. *)
 
-val totals : t -> (string * int) list
-(** Per-code totals over all rows, in {!codes} order. *)
+val totals : ?family:family -> t -> (string * int) list
+(** Per-code totals over all rows, in the family's code order. *)
 
 val to_json : t -> Tb_util.Json.t
 val of_json : Tb_util.Json.t -> t
@@ -36,12 +58,12 @@ val of_json : Tb_util.Json.t -> t
 val to_file : string -> t -> unit
 val of_file : string -> t
 
-val diff : baseline:t -> current:t -> string list
+val diff : ?family:family -> baseline:t -> t -> string list
 (** Regression check for CI. Empty result = acceptable. Reported as
-    problems: any L010/L013 count in [current] (errors are never
-    acceptable, baseline or not); an L011 or L012 count in a cell
-    exceeding the same cell in [baseline]; cells present on one side
-    only. L014 facts are informational and not diffed. *)
+    problems: any [hard]-code count in [current] (never acceptable,
+    baseline or not); a [soft]-code count in a cell exceeding the same
+    cell in [baseline]; cells present on one side only. Fact codes are
+    not diffed. Default family: {!lir_family}. *)
 
-val pp_totals : Format.formatter -> t -> unit
+val pp_totals : ?family:family -> Format.formatter -> t -> unit
 (** Per-code totals, one per line. *)

@@ -7,6 +7,7 @@ type level =
   | Lir
   | Cost
   | Serve
+  | Validate
 
 type t = {
   code : string;
@@ -35,6 +36,7 @@ let level_string = function
   | Lir -> "lir"
   | Cost -> "cost"
   | Serve -> "serve"
+  | Validate -> "validate"
 
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds

@@ -61,7 +61,23 @@
       calibration, {!Tb_analysis.Serve_check})
     - [V002] compile-cost drift: the measured wall-clock compile time of
       cache misses diverges from the registry's modeled compile cost
-      beyond tolerance *)
+      beyond tolerance
+    - [T001] translation-validation partition mismatch: a feature-space
+      region reachable in one compiled form has no corresponding path in
+      the adjacent form's summary ({!Tb_analysis.Validate}); the finding
+      carries a witness row inside the disagreeing box
+    - [T002] translation-validation leaf-value mismatch: two adjacent
+      forms agree on a path's feature box but claim different leaf
+      contributions, yet concrete replay at the witness row did not
+      diverge (symbolic-summary imprecision — investigate, not fatal)
+    - [T003] translation-validation unreachable-region introduced: a
+      lowered form executes (or gets stuck) on a region the earlier form
+      proves unreachable, e.g. a walk stepping out of bounds or running
+      out of fuel on a corrupt layout
+    - [T004] witness-confirmed miscompile: the cross-stage summaries
+      disagree on a region AND concretely replaying both forms on the
+      witness row (midpoint of the disagreeing box) produced diverging
+      predictions — the only error-severity member of the family *)
 
 type severity = Info | Warning | Error
 
@@ -74,6 +90,9 @@ type level =
   | Serve
       (** serving-runtime dual-clock calibration findings
           ({!Tb_analysis.Serve_check}) *)
+  | Validate
+      (** cross-stage translation-validation findings
+          ({!Tb_analysis.Validate}) *)
 
 type t = {
   code : string;  (** stable registry code, e.g. ["L010"] *)

@@ -10,6 +10,7 @@ module Hir_check = Tb_analysis.Hir_check
 module Mir_check = Tb_analysis.Mir_check
 module Lir_check = Tb_analysis.Lir_check
 module Tbcheck = Tb_analysis.Tbcheck
+module Validate = Tb_analysis.Validate
 
 type mode = No_verify | Verify_final | Verify_each
 
@@ -59,15 +60,22 @@ let lower ?(mode = Verify_each) ?(batch_size = 1024) ?profiles forest schedule
         Hir_check.check_schedule ~batch_size schedule);
     let hir = Program.build ?profiles forest schedule in
     run_stage "hir" (fun () -> Hir_check.check_program hir);
+    run_stage "validate:hir" (fun () ->
+        Validate.to_diagnostics (Validate.check_hir hir));
     let mir_stage name mir =
       run_stage name (fun () -> Mir_check.check ~batch_size hir mir);
       mir
     in
-    let mir =
+    let specialized =
       Mir.lower_of_hir hir
       |> mir_stage "mir:lower"
       |> Mir.apply_walk_specialization hir
       |> mir_stage "mir:specialize"
+    in
+    run_stage "validate:mir" (fun () ->
+        Validate.to_diagnostics (Validate.check_mir hir specialized));
+    let mir =
+      specialized
       |> Mir.apply_interleaving
       |> mir_stage "mir:interleave"
       |> Mir.apply_parallelization
@@ -77,11 +85,15 @@ let lower ?(mode = Verify_each) ?(batch_size = 1024) ?profiles forest schedule
     let num_features = forest.Forest.num_features in
     run_stage "lir:layout" (fun () ->
         Lir_check.check_layout ~num_features layout);
+    run_stage "validate:lir" (fun () ->
+        Validate.to_diagnostics (Validate.check_lir hir mir layout));
     run_stage "lir:walks" (fun () ->
         let env = Lir_check.env_of_layout ~num_features layout in
         Reg_codegen.jammed_variants layout mir
         |> List.concat_map (fun (i, prog) ->
                Lir_check.check_variant env ~variant:i prog));
+    run_stage "validate:reg" (fun () ->
+        Validate.to_diagnostics (Validate.check_reg hir mir layout));
     let lowered = Lower.assemble hir mir layout in
     (match mode with
     | Verify_final ->

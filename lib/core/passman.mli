@@ -7,11 +7,17 @@
     (or a crash) at inference time.
 
     Stages, in order: [schedule] (legality), [hir] (tiling / LUT / padding
-    / groups vs. the source model), [mir:lower], [mir:specialize],
-    [mir:interleave], [mir:parallelize] (loop-nest well-formedness and the
-    row-partition race proof after every MIR pass), [lir:layout] (buffer
-    closure) and [lir:walks] (interval dataflow over every generated walk
-    variant).
+    / groups vs. the source model), [validate:hir] (source ↔ HIR
+    translation validation), [mir:lower], [mir:specialize],
+    [validate:mir] (HIR ↔ walk-kind semantics), [mir:interleave],
+    [mir:parallelize] (loop-nest well-formedness and the row-partition
+    race proof after every MIR pass), [lir:layout] (buffer closure),
+    [validate:lir] (MIR ↔ layout buffers), [lir:walks] (interval dataflow
+    over every generated walk variant) and [validate:reg] (layout ↔
+    register-IR walk programs plus the unroll-and-jam renaming check).
+    The [validate:*] stages run {!Tb_analysis.Validate}'s per-tree path
+    summaries and refute any divergence with a concrete witness row (the
+    T00x diagnostic family).
 
     Compilation fails — [Error report] — as soon as a stage produces an
     [Error]-severity diagnostic; warnings and infos are collected and
@@ -56,4 +62,4 @@ val compile :
   Tb_model.Forest.t ->
   (Treebeard.t * report, report) result
 (** {!lower} plus backend code generation — the verified counterpart of
-    {!Treebeard.compile}. *)
+    {!Treebeard.make}. *)

@@ -53,16 +53,6 @@ let make ?(plan = `Schedule Schedule.default) ?profiles ?training_rows
   in
   { forest; schedule; lowered; predict }
 
-let compile ?(schedule = Schedule.default) ?profiles forest =
-  make ~plan:(`Schedule schedule) ?profiles (`Forest forest)
-
-let compile_auto ?(target = Tb_cpu.Config.intel_rocket_lake) ?training_rows
-    forest =
-  make ~plan:(`Auto target) ?training_rows (`Forest forest)
-
-let of_file ?schedule path =
-  make ?plan:(Option.map (fun s -> `Schedule s) schedule) (`File path)
-
 let predict_forest t rows = t.predict rows
 
 let predict_one t row =

@@ -70,31 +70,3 @@ val predict_one : t -> float array -> float array
 val dump_ir : t -> string
 (** The compiled program's IR dump (schedule, MIR loop nest, LIR walk,
     layout stats). *)
-
-(** {2 Deprecated entry points}
-
-    Thin wrappers over {!make}, kept for source compatibility. *)
-
-val compile :
-  ?schedule:Tb_hir.Schedule.t ->
-  ?profiles:Tb_model.Model_stats.tree_profile array ->
-  Tb_model.Forest.t ->
-  t
-[@@ocaml.deprecated "Use Treebeard.make (`Forest f) instead."]
-(** [compile ?schedule ?profiles f] is
-    [make ~plan:(`Schedule schedule) ?profiles (`Forest f)]. *)
-
-val compile_auto :
-  ?target:Tb_cpu.Config.t ->
-  ?training_rows:float array array ->
-  Tb_model.Forest.t ->
-  t
-[@@ocaml.deprecated "Use Treebeard.make ~plan:(`Auto target) (`Forest f) instead."]
-(** [compile_auto ?target ?training_rows f] is
-    [make ~plan:(`Auto target) ?training_rows (`Forest f)]. *)
-
-val of_file :
-  ?schedule:Tb_hir.Schedule.t -> string -> t
-[@@ocaml.deprecated "Use Treebeard.make (`File path) instead."]
-(** [of_file ?schedule path] is
-    [make ~plan:(`Schedule schedule) (`File path)]. *)

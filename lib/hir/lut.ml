@@ -53,6 +53,10 @@ let num_shapes t = t.count
 
 let lookup t ~shape_id ~bits = t.rows.(shape_id).(bits)
 
+let row t ~shape_id =
+  if shape_id < 0 || shape_id >= t.count then invalid_arg "Lut.row: bad id";
+  t.rows.(shape_id)
+
 let table t = Array.sub t.rows 0 t.count
 
 let memory_bytes t = t.count * (1 lsl t.tile_size) * 2

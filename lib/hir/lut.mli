@@ -23,6 +23,14 @@ val num_shapes : t -> int
 val lookup : t -> shape_id:int -> bits:int -> int
 (** Child index for a comparison outcome; O(1) array access. *)
 
+val row : t -> shape_id:int -> int array
+(** One shape's LUT row (entry per bitmask). The returned array is the
+    registry's own storage — do not mutate. Rows are physically shared
+    with {!table}'s rows, which lets consumers key per-row caches by
+    physical identity ({!Tb_analysis.Validate} memoizes the child
+    decision structure this way).
+    @raise Invalid_argument on an unknown shape id. *)
+
 val table : t -> int array array
 (** The raw table (row per shape id, 2^tile_size entries) — handed to the
     lowered code as a global buffer. Do not mutate. *)

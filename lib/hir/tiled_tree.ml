@@ -171,6 +171,13 @@ let walk t row =
   | Leaf v -> v
   | Tile _ -> assert false
 
+let step t i row =
+  match t.nodes.(i) with
+  | Leaf _ -> invalid_arg "Tiled_tree.step: node is a leaf"
+  | Tile tile ->
+    let bits = comparison_bits t tile row in
+    tile.children.(Lut.lookup t.lut ~shape_id:tile.shape_id ~bits)
+
 let is_dummy (tile : tile) = Array.length tile.node_ids = 0
 
 (* Children considered by static analyses: a dummy (padding) tile always

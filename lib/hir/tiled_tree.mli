@@ -48,6 +48,12 @@ val walk_leaf_node : t -> float array -> int
 (** Index (into [nodes]) of the leaf reached — used by probability
     accounting. *)
 
+val step : t -> int -> float array -> int
+(** One tile step: index (into [nodes]) of the child the row selects at
+    tile node [i]. Building block for walk-kind-faithful replay
+    ({!Tb_mir.Mir.walk_tree}).
+    @raise Invalid_argument when node [i] is a leaf. *)
+
 val depth : t -> int
 (** Tiled depth in tiles: number of tiles traversed to the deepest leaf. *)
 

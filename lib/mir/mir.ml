@@ -91,6 +91,53 @@ let lower p =
   |> apply_interleaving
   |> apply_parallelization
 
+exception Walk_contract of string
+
+let walk_tree walk (tree : Tiled_tree.t) row =
+  let leaf_value i =
+    match tree.Tiled_tree.nodes.(i) with
+    | Tiled_tree.Leaf v -> v
+    | Tiled_tree.Tile _ -> assert false
+  in
+  let is_leaf i =
+    match tree.Tiled_tree.nodes.(i) with
+    | Tiled_tree.Leaf _ -> true
+    | Tiled_tree.Tile _ -> false
+  in
+  let rec loop i = if is_leaf i then leaf_value i else loop (Tiled_tree.step tree i row) in
+  match walk with
+  | Loop_walk -> loop 0
+  | Peeled_walk { peel } ->
+    (* The peeled iterations carry no leaf checks: stepping on a leaf is a
+       contract violation, not a prediction. *)
+    let i = ref 0 in
+    for step = 1 to peel do
+      if is_leaf !i then
+        raise
+          (Walk_contract
+             (Printf.sprintf "peeled walk reached a leaf at depth %d < peel %d"
+                (step - 1) peel));
+      i := Tiled_tree.step tree !i row
+    done;
+    loop !i
+  | Unrolled_walk { depth } ->
+    let i = ref 0 in
+    for step = 1 to depth do
+      if is_leaf !i then
+        raise
+          (Walk_contract
+             (Printf.sprintf
+                "unrolled walk reached a leaf at depth %d < unroll depth %d"
+                (step - 1) depth));
+      i := Tiled_tree.step tree !i row
+    done;
+    if not (is_leaf !i) then
+      raise
+        (Walk_contract
+           (Printf.sprintf "unrolled walk not at a leaf after %d tile steps"
+              depth));
+    leaf_value !i
+
 let pp_walk fmt (plan : group_plan) =
   let n = Array.length plan.group.Reorder.positions in
   let describe =

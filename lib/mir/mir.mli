@@ -57,6 +57,19 @@ val row_partition : num_threads:int -> batch:int -> (int * int) array
 val lower : Tb_hir.Program.t -> t
 (** All MIR passes in paper order. *)
 
+exception Walk_contract of string
+(** A walk-kind contract violation during {!walk_tree} replay: a peeled or
+    unrolled walk met a leaf before its check-free steps ran out, or an
+    unrolled walk was not at a leaf after exactly [depth] steps. *)
+
+val walk_tree : walk_kind -> Tb_hir.Tiled_tree.t -> float array -> float
+(** Concrete walk-kind-faithful replay of one tree: executes the tiled
+    walk under the MIR-level semantics of [walk_kind] — a peeled walk runs
+    its first [peel] steps without leaf checks, an unrolled walk takes
+    exactly [depth] steps with no termination checks. Used by
+    {!Tb_analysis.Validate} to confirm divergence witnesses concretely.
+    @raise Walk_contract when the walk kind's precondition is violated. *)
+
 val pp : Format.formatter -> t -> unit
 (** Render the loop nest in the paper's pseudo-IR style (Fig. 2). *)
 

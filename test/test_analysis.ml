@@ -24,6 +24,7 @@ module Hir_check = Tb_analysis.Hir_check
 module Mir_check = Tb_analysis.Mir_check
 module Lir_check = Tb_analysis.Lir_check
 module Tbcheck = Tb_analysis.Tbcheck
+module Validate = Tb_analysis.Validate
 module Passman = Tb_core.Passman
 
 let show ds = String.concat "; " (List.map D.to_string ds)
@@ -504,6 +505,90 @@ let test_jam_analysis_does_not_multiply_findings () =
     (count "L011" legacy_jammed + count "L012" legacy_jammed
      >= count "L011" jammed + count "L012" jammed)
 
+(* --- translation validation (T00x) --- *)
+
+let fail_findings where schedule fs =
+  Alcotest.failf "validator findings under %s at %s: %s"
+    (Schedule.to_string schedule)
+    where
+    (show (Validate.to_diagnostics fs))
+
+let test_validate_table2_clean () =
+  let rng = Prng.create 21 in
+  let forest = Forest.random ~num_trees:6 ~max_depth:5 ~num_features:5 rng in
+  List.iter
+    (fun schedule ->
+      let lp = Lower.lower forest schedule in
+      match Validate.check_all lp.Lower.hir lp.Lower.mir lp.Lower.layout with
+      | [] -> ()
+      | fs -> fail_findings "check_all" schedule fs)
+    Schedule.table2_grid
+
+(* The ISSUE-level property: on random models x Table II schedules the
+   validator passes, and every per-form summary is an exact partition of
+   feature space — each input row hits exactly one (box, leaf) path. *)
+let validate_clean_and_tiling_property seed =
+  let rng = Prng.create seed in
+  let forest =
+    Forest.random
+      ~num_trees:(1 + Prng.int rng 6)
+      ~max_depth:(1 + Prng.int rng 6)
+      ~num_features:(2 + Prng.int rng 6)
+      rng
+  in
+  let grid = Array.of_list Schedule.table2_grid in
+  let schedule = grid.(Prng.int rng (Array.length grid)) in
+  let lp = Lower.lower forest schedule in
+  (match Validate.check_all lp.Lower.hir lp.Lower.mir lp.Lower.layout with
+  | [] -> ()
+  | fs ->
+    QCheck2.Test.fail_reportf "validator findings under %s: %s"
+      (Schedule.to_string schedule)
+      (show (Validate.to_diagnostics fs)));
+  let check what tree (s : Validate.summary) =
+    if s.Validate.stuck <> [] then
+      QCheck2.Test.fail_reportf "%s summary of tree %d has stuck regions" what
+        tree;
+    if not (Validate.exact_partition s) then
+      QCheck2.Test.fail_reportf
+        "%s summary of tree %d does not tile feature space" what tree
+  in
+  Array.iteri
+    (fun i (e : Program.tree_entry) ->
+      let src =
+        lp.Lower.hir.Program.forest.Forest.trees.(e.Program.original_index)
+      in
+      check "source" i (Validate.summarize_source src);
+      check "hir" i (Validate.summarize_hir e.Program.tiled);
+      check "layout" i (Validate.summarize_layout lp.Lower.layout ~tree:i))
+    lp.Lower.hir.Program.trees;
+  true
+
+let test_validate_summary_shape () =
+  (* The reduced LUT decision structures must keep summaries linear in
+     the source leaf count: padding and hop tiles add no paths. *)
+  let rng = Prng.create 23 in
+  let forest = Forest.random ~num_trees:4 ~max_depth:6 ~num_features:5 rng in
+  List.iter
+    (fun schedule ->
+      let lp = Lower.lower forest schedule in
+      Array.iteri
+        (fun i (e : Program.tree_entry) ->
+          let src =
+            lp.Lower.hir.Program.forest.Forest.trees.(e.Program.original_index)
+          in
+          let leaves = Validate.num_paths (Validate.summarize_source src) in
+          let hir = Validate.num_paths (Validate.summarize_hir e.Program.tiled) in
+          let lir =
+            Validate.num_paths (Validate.summarize_layout lp.Lower.layout ~tree:i)
+          in
+          check_int (Printf.sprintf "tree %d: hir paths = source leaves" i)
+            leaves hir;
+          check_int (Printf.sprintf "tree %d: layout paths = source leaves" i)
+            leaves lir)
+        lp.Lower.hir.Program.trees)
+    [ Schedule.default; { Schedule.default with Schedule.layout = Schedule.Sparse_layout } ]
+
 let suite =
   [
     quick "verified pipeline accepts the default schedule"
@@ -550,4 +635,11 @@ let suite =
       test_relational_discharges_sparse_l011;
     quick "jam per-lane analysis: lane-0 findings once + L014"
       test_jam_analysis_does_not_multiply_findings;
+    quick "translation validation: Table II grid validates cleanly"
+      test_validate_table2_clean;
+    qcheck ~count:25
+      ~name:"translation validation: clean + summaries tile feature space"
+      seed_gen validate_clean_and_tiling_property;
+    quick "translation validation: path counts stay linear in source leaves"
+      test_validate_summary_shape;
   ]

@@ -20,8 +20,13 @@
 
 open Helpers
 module Prng = Tb_util.Prng
+module Tree = Tb_model.Tree
 module Forest = Tb_model.Forest
 module Schedule = Tb_hir.Schedule
+module Program = Tb_hir.Program
+module Tiled_tree = Tb_hir.Tiled_tree
+module Mir = Tb_mir.Mir
+module Validate = Tb_analysis.Validate
 module Layout = Tb_lir.Layout
 module Lower = Tb_lir.Lower
 module Reg_ir = Tb_lir.Reg_ir
@@ -215,6 +220,171 @@ let test_lane_collision_mutant_caught () =
         (List.mem "L014" (codes ds)))
     jammed
 
+(* ------------- seeded miscompiles vs the translation validator ------------- *)
+
+(* The negative half of Tb_analysis.Validate: inject a concrete
+   miscompile into one compiled form and require (a) the validator to
+   reject it with a T004 finding carrying a witness row, and (b) the
+   register-IR interpreter — an independent backend — to confirm the
+   witness diverges from the source model's prediction. *)
+
+let find_t004 fs = List.find_opt (fun f -> f.Validate.code = "T004") fs
+
+(* The Reg_ir interpreter's verdict on one tree at one row. *)
+let interp_tree (lp : Lower.t) tree row =
+  let gi = ref (-1) in
+  Array.iteri
+    (fun g (plan : Mir.group_plan) ->
+      if Array.exists (Int.equal tree) plan.Mir.group.Tb_hir.Reorder.positions
+      then gi := g)
+    lp.Lower.mir.Mir.group_plans;
+  let prog =
+    List.assoc !gi (Reg_codegen.all_variants lp.Lower.layout lp.Lower.mir)
+  in
+  Interp.run_walk prog lp ~tree ~row
+
+let confirm_with_interp what (lp : Lower.t) (f : Validate.finding) =
+  let row =
+    match f.Validate.witness with
+    | Some w -> w
+    | None -> Alcotest.failf "%s: T004 finding carries no witness row" what
+  in
+  let tree = f.Validate.tree in
+  let src =
+    lp.Lower.hir.Program.forest.Forest.trees.(
+      lp.Lower.hir.Program.trees.(tree).Program.original_index)
+  in
+  let want = Tree.predict src row in
+  match interp_tree lp tree row with
+  | exception _ -> ()  (* the corrupt form crashes outright: divergent *)
+  | got ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: Interp diverges from the source at the witness" what)
+      true
+      (Float.compare got want <> 0)
+
+(* (a) Flipped routing: swap the first two children of a tree's root
+   tile — every row that took the left route now takes the right. *)
+let test_miscompile_flipped_route () =
+  let rng = Prng.create 31 in
+  let forest = Forest.random ~num_trees:6 ~max_depth:5 ~num_features rng in
+  let hir = Program.build forest Schedule.default in
+  let found = ref false in
+  Array.iter
+    (fun (e : Program.tree_entry) ->
+      if not !found then
+        match e.Program.tiled.Tiled_tree.nodes.(0) with
+        | Tiled_tree.Tile tile
+          when (not (Tiled_tree.is_dummy tile))
+               && Array.length tile.Tiled_tree.children >= 2 ->
+          let c = tile.Tiled_tree.children in
+          let swap () =
+            let t0 = c.(0) in
+            c.(0) <- c.(1);
+            c.(1) <- t0
+          in
+          swap ();
+          (match find_t004 (Validate.check_hir hir) with
+          | Some f ->
+            found := true;
+            (* Lower the mutated HIR; the interpreter executes the
+               miscompiled route and must diverge at the witness. *)
+            let mir = Mir.lower hir in
+            let lay = Layout.build hir in
+            confirm_with_interp "flipped route" (Lower.assemble hir mir lay) f
+          | None -> swap () (* twin subtrees; undo and try the next tree *))
+        | _ -> ())
+    hir.Program.trees;
+  Alcotest.(check bool) "a flipped-route mutant was caught with T004" true
+    !found
+
+(* (b) Off-by-one child pointer in the sparse layout. *)
+let test_miscompile_offby1_child_ptr () =
+  let rng = Prng.create 37 in
+  let forest = Forest.random ~num_trees:8 ~max_depth:6 ~num_features rng in
+  let hir = Program.build forest sparse_schedule in
+  let mir = Mir.lower hir in
+  let lay = Layout.build hir in
+  let found = ref false in
+  Array.iteri
+    (fun s cp ->
+      if (not !found) && cp >= 0 then begin
+        let cp' = Array.copy lay.Layout.child_ptr in
+        cp'.(s) <- cp'.(s) + 1;
+        let mutant = { lay with Layout.child_ptr = cp' } in
+        match find_t004 (Validate.check_lir hir mir mutant) with
+        | Some f ->
+          found := true;
+          confirm_with_interp "off-by-one child_ptr"
+            (Lower.assemble hir mir mutant) f
+        | None -> ()
+      end)
+    lay.Layout.child_ptr;
+  Alcotest.(check bool) "an off-by-one child_ptr mutant was caught with T004"
+    true !found
+
+(* (c) Swapped LUT entries: two distinct exits of one child table trade
+   places. Swaps between bit patterns no input can produce (padding
+   lanes) are semantically neutral and must NOT fire — the loop skips
+   them until a reachable pair is hit. *)
+let test_miscompile_swapped_lut_entries () =
+  let rng = Prng.create 41 in
+  let forest = Forest.random ~num_trees:4 ~max_depth:5 ~num_features rng in
+  let hir = Program.build forest Schedule.default in
+  let mir = Mir.lower hir in
+  let lay = Layout.build hir in
+  let found = ref false in
+  let attempts = ref 0 in
+  Array.iteri
+    (fun sid row ->
+      for i = 0 to Array.length row - 1 do
+        for j = i + 1 to Array.length row - 1 do
+          if (not !found) && !attempts < 200 && row.(i) <> row.(j) then begin
+            incr attempts;
+            let lut' = Array.map Array.copy lay.Layout.lut in
+            let r = lut'.(sid) in
+            let t = r.(i) in
+            r.(i) <- r.(j);
+            r.(j) <- t;
+            let mutant = { lay with Layout.lut = lut' } in
+            match find_t004 (Validate.check_lir hir mir mutant) with
+            | Some f ->
+              found := true;
+              confirm_with_interp "swapped LUT entries"
+                (Lower.assemble hir mir mutant) f
+            | None -> ()
+          end
+        done
+      done)
+    lay.Layout.lut;
+  Alcotest.(check bool) "a swapped-LUT-entry mutant was caught with T004" true
+    !found
+
+(* (d) Wrong leaf constant in the sparse dense leaf store. *)
+let test_miscompile_wrong_leaf_constant () =
+  let rng = Prng.create 43 in
+  let forest = Forest.random ~num_trees:6 ~max_depth:5 ~num_features rng in
+  let hir = Program.build forest sparse_schedule in
+  let mir = Mir.lower hir in
+  let lay = Layout.build hir in
+  let found = ref false in
+  Array.iteri
+    (fun idx v ->
+      if not !found then begin
+        let lv = Array.copy lay.Layout.leaf_values in
+        lv.(idx) <- v +. 1.0;
+        let mutant = { lay with Layout.leaf_values = lv } in
+        match find_t004 (Validate.check_lir hir mir mutant) with
+        | Some f ->
+          found := true;
+          confirm_with_interp "wrong leaf constant"
+            (Lower.assemble hir mir mutant) f
+        | None -> ()
+      end)
+    lay.Layout.leaf_values;
+  Alcotest.(check bool) "a wrong-leaf-constant mutant was caught with T004" true
+    !found
+
 let suite =
   [
     qcheck ~count:150
@@ -226,4 +396,12 @@ let suite =
       test_corrupted_child_ptr_revives_l011;
     quick "jam lane-collision mutant caught as L013"
       test_lane_collision_mutant_caught;
+    quick "miscompile: flipped route -> T004 + Interp-confirmed witness"
+      test_miscompile_flipped_route;
+    quick "miscompile: off-by-one child_ptr -> T004 + Interp-confirmed witness"
+      test_miscompile_offby1_child_ptr;
+    quick "miscompile: swapped LUT entries -> T004 + Interp-confirmed witness"
+      test_miscompile_swapped_lut_entries;
+    quick "miscompile: wrong leaf constant -> T004 + Interp-confirmed witness"
+      test_miscompile_wrong_leaf_constant;
   ]
