@@ -1229,6 +1229,181 @@ let validate () =
   Printf.printf "report: BENCH_validate.json\n";
   Printf.printf "baseline: validate_census_baseline.json\n"
 
+(* Packed predictor artifacts: what a warm restart actually buys. Per zoo
+   model, measure the cold path (lower + pack + instantiate), each codec
+   stage (encode / decode) and the hydrate path (decode + instantiate),
+   then replay the same comparison through the two-tier registry — one
+   process compiles and persists, a second hydrates from the same cache
+   directory. Wall-clock, so host-dependent; the *ratio* (hydrate vs
+   compile) is the claim. Writes BENCH_artifacts.json. *)
+let artifacts () =
+  let module Pack = Tb_lir.Pack in
+  let module Jit = Tb_vm.Jit in
+  let module Registry = Tb_serve.Registry in
+  let module Timer = Tb_util.Timer in
+  let module J = Tb_util.Json in
+  heading
+    "Packed artifacts: cold compile vs disk hydration, per codec stage\n\
+     and end-to-end through the two-tier registry (wall-clock)";
+  let names = [ "abalone"; "letter"; "covtype"; "airline"; "higgs" ] in
+  (* Best of 3: these are sub-millisecond paths on the small models. *)
+  let time3 f =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Timer.now () in
+      let r = f () in
+      let us = (Timer.now () -. t0) *. 1e6 in
+      if us < !best then best := us;
+      result := Some r
+    done;
+    (!best, Option.get !result)
+  in
+  let t =
+    Table.create
+      [ "model"; "pack KB"; "lower+pack us"; "encode us"; "decode us";
+        "instantiate us"; "cold us"; "hydrate us"; "speedup" ]
+  in
+  let rows_json = ref [] in
+  let speedups = ref [] in
+  List.iter
+    (fun name ->
+      let b = load name in
+      let forest = b.entry.Zoo.forest in
+      let compile_us, pk =
+        time3 (fun () ->
+            Pack.of_lower ~model:name ~target:intel.Config.name
+              (Lower.lower ~profiles:b.profiles forest Schedule.default))
+      in
+      let encode_us, bytes = time3 (fun () -> Pack.encode pk) in
+      let decode_us, decoded =
+        time3 (fun () ->
+            match Pack.decode bytes with
+            | Ok p -> p
+            | Error e -> failwith ("bench artifact rejected: " ^ e.Pack.message))
+      in
+      let instantiate_us, predict =
+        time3 (fun () -> Jit.instantiate_single_thread decoded)
+      in
+      ignore (predict (Array.sub b.rows_1024 0 8));
+      let cold_us = compile_us +. instantiate_us in
+      let hydrate_us = decode_us +. instantiate_us in
+      let speedup = cold_us /. hydrate_us in
+      speedups := speedup :: !speedups;
+      Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.0f" (float_of_int (Bytes.length bytes) /. 1024.0);
+          Printf.sprintf "%.0f" compile_us;
+          Printf.sprintf "%.0f" encode_us;
+          Printf.sprintf "%.0f" decode_us;
+          Printf.sprintf "%.0f" instantiate_us;
+          Printf.sprintf "%.0f" cold_us;
+          Printf.sprintf "%.0f" hydrate_us;
+          Printf.sprintf "%.1fx" speedup;
+        ];
+      rows_json :=
+        J.Obj
+          [
+            ("model", J.Str name);
+            ("pack_bytes", J.Num (float_of_int (Bytes.length bytes)));
+            ("lower_pack_us", J.Num compile_us);
+            ("encode_us", J.Num encode_us);
+            ("decode_us", J.Num decode_us);
+            ("instantiate_us", J.Num instantiate_us);
+            ("cold_compile_us", J.Num cold_us);
+            ("hydrate_us", J.Num hydrate_us);
+            ("speedup", J.Num speedup);
+          ]
+        :: !rows_json)
+    names;
+  Table.print t;
+  (* End to end: a registry with a disk tier, cold then warm-restarted. *)
+  let cache_dir =
+    let f = Filename.temp_file "tb_bench_artifacts" ".cache" in
+    Sys.remove f;
+    f
+  in
+  let mk_registry () =
+    let reg = Registry.create ~capacity:16 ~cache_dir () in
+    List.iter
+      (fun name ->
+        let b = load name in
+        Registry.register reg ~name ~profiles:b.profiles b.entry.Zoo.forest)
+      names;
+    reg
+  in
+  let t2 =
+    Table.create
+      [ "model"; "cold tier"; "cold wall us"; "warm tier"; "warm wall us";
+        "restart speedup" ]
+  in
+  let cold_reg = mk_registry () in
+  let cold_rows =
+    List.map
+      (fun name ->
+        let c, prov =
+          Registry.compiled cold_reg ~model:name ~schedule:Schedule.default
+        in
+        (name, c.Registry.wall_compile_us, prov))
+      names
+  in
+  let warm_reg = mk_registry () in
+  let registry_json =
+    List.map
+      (fun (name, cold_wall, _cold_prov) ->
+        let c, prov =
+          Registry.compiled warm_reg ~model:name ~schedule:Schedule.default
+        in
+        let warm_wall = c.Registry.wall_compile_us in
+        let restart_speedup = cold_wall /. warm_wall in
+        Table.add_row t2
+          [
+            name;
+            "compile";
+            Printf.sprintf "%.0f" cold_wall;
+            Registry.provenance_string prov;
+            Printf.sprintf "%.0f" warm_wall;
+            Printf.sprintf "%.1fx" restart_speedup;
+          ];
+        J.Obj
+          [
+            ("model", J.Str name);
+            ("cold_wall_us", J.Num cold_wall);
+            ("warm_tier", J.Str (Registry.provenance_string prov));
+            ("warm_wall_us", J.Num warm_wall);
+            ("restart_speedup", J.Num restart_speedup);
+          ])
+      cold_rows
+  in
+  Table.print t2;
+  Printf.printf "warm restart: %d compiles, %d hydrations\n"
+    (Registry.compile_count warm_reg)
+    (Registry.hydration_count warm_reg);
+  let min_speedup = List.fold_left min infinity !speedups in
+  Printf.printf "minimum hydrate-vs-cold speedup: %.1fx (target >= 5x)\n"
+    min_speedup;
+  let json =
+    J.Obj
+      [
+        ("codec", J.List (List.rev !rows_json));
+        ("registry", J.List registry_json);
+        ("min_speedup", J.Num min_speedup);
+        ( "warm_restart",
+          J.Obj
+            [
+              ("compiles", J.Num (float_of_int (Registry.compile_count warm_reg)));
+              ( "hydrations",
+                J.Num (float_of_int (Registry.hydration_count warm_reg)) );
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_artifacts.json" in
+  output_string oc (J.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "report: BENCH_artifacts.json\n"
+
 let all_experiments =
   [
     ("table1", table1);
@@ -1252,6 +1427,7 @@ let all_experiments =
     ("wallclock", wallclock);
     ("calibrate", calibrate);
     ("serve", serve);
+    ("artifacts", artifacts);
     ("lint", lint);
     ("validate", validate);
   ]

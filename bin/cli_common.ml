@@ -42,6 +42,17 @@ let zoo_flag ~doc = Arg.(value & flag & info [ "zoo" ] ~doc)
 let grid_flag ~doc = Arg.(value & flag & info [ "grid" ] ~doc)
 let strict_flag ~doc = Arg.(value & flag & info [ "strict" ] ~doc)
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "On-disk packed-artifact store for the predictor registry \
+           (created if absent). A later run pointed at the same directory \
+           hydrates compiled predictors from disk instead of recompiling \
+           — warm restarts report disk hits, not compiles.")
+
 let out_arg ~doc =
   Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
 

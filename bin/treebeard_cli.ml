@@ -814,6 +814,17 @@ let serve_sim_cmd =
           ~doc:"A model's drift is only judged once it has at least this \
                 many measured batches (noise guard, dual mode).")
   in
+  let cache_dir = Cli_common.cache_dir_arg in
+  let require_warm =
+    Arg.(
+      value & flag
+      & info [ "require-warm" ]
+          ~doc:
+            "Exit non-zero if any dispatch paid a fresh compile — i.e. \
+             assert the run was served entirely from the in-memory and \
+             on-disk cache tiers (use with --cache-dir on a second run to \
+             verify warm-restart behaviour).")
+  in
   let out = Cli_common.out_arg ~doc:"Write the JSON report here." in
   let virtual_out =
     Arg.(
@@ -831,8 +842,9 @@ let serve_sim_cmd =
          drift finding fired."
   in
   let run zoo arrival rate requests schedule target batch_max deadline
-      workers queue_cap cache cache_cap seed mode max_service_drift
-      max_compile_drift min_drift_batches out virtual_out strict =
+      workers queue_cap cache cache_cap cache_dir require_warm seed mode
+      max_service_drift max_compile_drift min_drift_batches out virtual_out
+      strict =
     let names =
       String.split_on_char ',' zoo
       |> List.map String.trim
@@ -882,6 +894,7 @@ let serve_sim_cmd =
         mode;
         cache_policy = cache;
         cache_capacity = cache_cap;
+        cache_dir;
         target;
       }
     in
@@ -903,6 +916,15 @@ let serve_sim_cmd =
     if failures > 0 then
       Printf.eprintf "serve-sim: %d served output(s) diverge from the JIT\n"
         failures;
+    let compiles = report.Simulate.result.Runtime.compile_count in
+    let hydrations = report.Simulate.result.Runtime.hydration_count in
+    Printf.printf "compiles: %d, disk hydrations: %d\n" compiles hydrations;
+    if require_warm && compiles > 0 then begin
+      Printf.eprintf
+        "serve-sim: --require-warm but %d dispatch(es) paid a fresh compile\n"
+        compiles;
+      exit 1
+    end;
     let drift_findings =
       let module S = Tb_analysis.Serve_check in
       let tol =
@@ -929,8 +951,9 @@ let serve_sim_cmd =
     Term.(
       const run $ zoo $ arrival $ rate $ requests $ schedule_term
       $ target_arg $ batch_max $ deadline $ workers $ queue_cap $ cache
-      $ cache_cap $ seed $ mode $ max_service_drift $ max_compile_drift
-      $ min_drift_batches $ out $ virtual_out $ strict)
+      $ cache_cap $ cache_dir $ require_warm $ seed $ mode
+      $ max_service_drift $ max_compile_drift $ min_drift_batches $ out
+      $ virtual_out $ strict)
 
 (* ---------------- import ---------------- *)
 

@@ -8,6 +8,7 @@ type level =
   | Cost
   | Serve
   | Validate
+  | Artifact
 
 type t = {
   code : string;
@@ -37,6 +38,7 @@ let level_string = function
   | Cost -> "cost"
   | Serve -> "serve"
   | Validate -> "validate"
+  | Artifact -> "artifact"
 
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds

@@ -77,7 +77,19 @@
     - [T004] witness-confirmed miscompile: the cross-stage summaries
       disagree on a region AND concretely replaying both forms on the
       witness row (midpoint of the disagreeing box) produced diverging
-      predictions — the only error-severity member of the family *)
+      predictions — the only error-severity member of the family
+    - [A001] artifact magic mismatch: the bytes are not a packed predictor
+      artifact (wrong/absent magic, or shorter than a header)
+    - [A002] artifact version unsupported: the decoder does not speak the
+      artifact's declared format version
+    - [A003] artifact checksum mismatch: the payload's CRC32 disagrees with
+      the header — bit rot or torn write; the artifact is discarded and the
+      registry falls back to a fresh compile
+    - [A004] artifact body malformed: the payload parses out of bounds,
+      declares inconsistent block lengths, fails structural validation
+      (layout buffer lengths, walk-program register discipline) or is
+      truncated — every decode failure is one of A001..A004, never a crash
+      ({!Tb_lir.Pack}) *)
 
 type severity = Info | Warning | Error
 
@@ -93,6 +105,8 @@ type level =
   | Validate
       (** cross-stage translation-validation findings
           ({!Tb_analysis.Validate}) *)
+  | Artifact
+      (** packed-predictor-artifact decode findings ({!Tb_lir.Pack}) *)
 
 type t = {
   code : string;  (** stable registry code, e.g. ["L010"] *)

@@ -1,0 +1,121 @@
+module Pack = Tb_lir.Pack
+module Schedule = Tb_hir.Schedule
+module Json = Tb_util.Json
+
+let write_file path bytes =
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_bytes oc bytes);
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error m ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error m
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> Ok (Bytes.unsafe_of_string s)
+  | exception Sys_error m -> Error m
+  | exception End_of_file -> Error (path ^ ": truncated read")
+
+type load_error =
+  | Absent
+  | Io of string
+  | Decode of Pack.error
+  | Mismatch of string
+
+let load_error_to_string = function
+  | Absent -> "absent"
+  | Io m -> "io: " ^ m
+  | Decode e -> Printf.sprintf "decode[%s]: %s" e.Pack.code e.Pack.message
+  | Mismatch m -> "mismatch: " ^ m
+
+type t = { root : string }
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    (* A concurrent creator racing us is fine — only a still-absent
+       directory is an error. *)
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let create ~dir =
+  mkdirs dir;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"));
+  { root = dir }
+
+let dir t = t.root
+
+(* FNV-1a 64-bit over the registry cache key: deterministic across
+   processes (unlike Hashtbl.hash, which is documented to vary). *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let sanitize name =
+  let name = if name = "" then "model" else name in
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> ch
+      | _ -> '_')
+    name
+
+let path t ~key ~model =
+  Filename.concat t.root
+    (Printf.sprintf "%s-%016Lx.tbpack" (sanitize model) (fnv1a64 key))
+
+let load t ~key ~model ~target ~schedule =
+  let file = path t ~key ~model in
+  if not (Sys.file_exists file) then Error Absent
+  else
+    match read_file file with
+    | Error m -> Error (Io m)
+    | Ok bytes -> (
+      match Pack.decode bytes with
+      | Error e -> Error (Decode e)
+      | Ok pk ->
+        let meta = pk.Pack.meta in
+        if meta.Pack.model <> model then
+          Error
+            (Mismatch
+               (Printf.sprintf "artifact is for model %S, wanted %S"
+                  meta.Pack.model model))
+        else if meta.Pack.target <> target then
+          Error
+            (Mismatch
+               (Printf.sprintf "artifact was compiled for target %S, wanted %S"
+                  meta.Pack.target target))
+        else
+          let got = Json.to_string (Schedule.to_json meta.Pack.schedule) in
+          let want = Json.to_string (Schedule.to_json schedule) in
+          if got <> want then
+            Error
+              (Mismatch
+                 (Printf.sprintf "artifact schedule %s, wanted %s" got want))
+          else Ok pk)
+
+let save t ~key ~model pk = write_file (path t ~key ~model) (Pack.encode pk)
+
+let remove t ~key ~model =
+  let file = path t ~key ~model in
+  if Sys.file_exists file then
+    try Sys.remove file with Sys_error _ -> ()

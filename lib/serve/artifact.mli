@@ -1,0 +1,68 @@
+(** On-disk packed-artifact store — the second tier of the registry's
+    compiled-predictor cache.
+
+    The in-memory {!Policy} tier answers repeat dispatches within a
+    process; this store answers them {e across} processes: a warm restart
+    finds the artifact a previous run packed, decodes it
+    ({!Tb_lir.Pack.decode}) and instantiates the predictor
+    ({!Tb_vm.Jit.instantiate}) instead of recompiling. Entries are keyed
+    by the registry's cache key — [(model, canonical schedule, target)] —
+    hashed into a filename; the decoded artifact's own metadata is checked
+    against the expected key material, so a hash collision or a stale file
+    under a reused name is a miss, never a wrong predictor.
+
+    Corruption safety: every load failure is a structured value — an I/O
+    error, a {!Tb_lir.Pack.error} (family [A001]..[A004]) or a metadata
+    mismatch — and the registry's contract is to treat each as a miss and
+    fall back to a fresh compile, overwriting the bad file. Writes are
+    atomic (temp file + rename), so a crash mid-save leaves either the old
+    artifact or none, not a torn one. *)
+
+val write_file : string -> bytes -> (unit, string) result
+(** Atomically write [bytes] to a path: write to a [.tmp] sibling, then
+    rename over the destination. *)
+
+val read_file : string -> (bytes, string) result
+(** Read a whole file. [Error] carries the system message. *)
+
+type load_error =
+  | Absent  (** no artifact on disk for this key *)
+  | Io of string  (** the file exists but could not be read *)
+  | Decode of Tb_lir.Pack.error  (** structured [A00x] decode failure *)
+  | Mismatch of string
+      (** decoded fine, but the artifact's own metadata disagrees with the
+          requested (model, schedule, target) — treat as a miss *)
+
+val load_error_to_string : load_error -> string
+
+type t
+(** A store rooted at one directory. *)
+
+val create : dir:string -> t
+(** Open (creating the directory, parents included, if needed).
+    @raise Sys_error when the directory cannot be created. *)
+
+val dir : t -> string
+
+val path : t -> key:string -> model:string -> string
+(** The filename an artifact for [key] lives at:
+    [<dir>/<sanitized model>-<fnv1a64(key)>.tbpack]. Deterministic, so
+    separate processes agree on it. *)
+
+val load :
+  t ->
+  key:string ->
+  model:string ->
+  target:string ->
+  schedule:Tb_hir.Schedule.t ->
+  (Tb_lir.Pack.t, load_error) result
+(** Look up, read, decode and verify the artifact for [key]. The metadata
+    check compares the decoded pack's model, target and exact canonical
+    schedule JSON against the arguments. *)
+
+val save : t -> key:string -> model:string -> Tb_lir.Pack.t -> (unit, string) result
+(** Encode and atomically write the artifact for [key]. *)
+
+val remove : t -> key:string -> model:string -> unit
+(** Delete the artifact for [key] if present (used to clear a corrupt
+    file before rewriting). Never raises. *)

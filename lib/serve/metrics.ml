@@ -15,6 +15,9 @@ type t = {
   mutable by_size : int;
   mutable by_deadline : int;
   mutable by_flush : int;
+  mutable tier_hit : int;
+  mutable tier_disk : int;
+  mutable tier_compile : int;
   mutable rows_served : int;
   mutable makespan_us : float;
   (* Parallel wall-clock set, populated only by wall/dual-mode runs. The
@@ -45,6 +48,9 @@ let create () =
     by_size = 0;
     by_deadline = 0;
     by_flush = 0;
+    tier_hit = 0;
+    tier_disk = 0;
+    tier_compile = 0;
     rows_served = 0;
     makespan_us = 0.0;
     wall_queue_wait_us = H.create ();
@@ -69,6 +75,12 @@ let record_batch t ~size ~cause =
   | Batcher.By_size -> t.by_size <- t.by_size + 1
   | Batcher.By_deadline -> t.by_deadline <- t.by_deadline + 1
   | Batcher.By_flush -> t.by_flush <- t.by_flush + 1
+
+let record_tier t tier =
+  match (tier : [ `Hit | `Disk | `Compile ]) with
+  | `Hit -> t.tier_hit <- t.tier_hit + 1
+  | `Disk -> t.tier_disk <- t.tier_disk + 1
+  | `Compile -> t.tier_compile <- t.tier_compile + 1
 
 let record_completion t ~arrival_us ~start_us ~finish_us =
   t.completed <- t.completed + 1;
@@ -119,6 +131,13 @@ let to_json ?(include_wall = true) t =
             ("size", J.Num (float_of_int t.by_size));
             ("deadline", J.Num (float_of_int t.by_deadline));
             ("flush", J.Num (float_of_int t.by_flush));
+          ] );
+      ( "cache_tier",
+        J.Obj
+          [
+            ("hit", J.Num (float_of_int t.tier_hit));
+            ("disk", J.Num (float_of_int t.tier_disk));
+            ("compile", J.Num (float_of_int t.tier_compile));
           ] );
       ("latency_total_us", H.to_json t.total_us);
       ("latency_queue_wait_us", H.to_json t.queue_wait_us);

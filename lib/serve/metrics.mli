@@ -34,6 +34,11 @@ type t = {
   mutable by_size : int;
   mutable by_deadline : int;
   mutable by_flush : int;
+  mutable tier_hit : int;
+      (** dispatches answered by the in-memory compiled cache *)
+  mutable tier_disk : int;
+      (** dispatches answered by hydrating an on-disk artifact *)
+  mutable tier_compile : int;  (** dispatches that paid a fresh compile *)
   mutable rows_served : int;
   mutable makespan_us : float;  (** last completion's virtual finish time *)
   wall_queue_wait_us : Tb_util.Stats.Histogram.t;
@@ -52,6 +57,10 @@ val record_reject : t -> unit
 val record_admit : t -> unit
 
 val record_batch : t -> size:int -> cause:Batcher.cause -> unit
+
+val record_tier : t -> [ `Hit | `Disk | `Compile ] -> unit
+(** Count which registry tier answered a batch's {!Registry.compiled}
+    lookup ({!Registry.provenance}). *)
 
 val record_completion :
   t -> arrival_us:float -> start_us:float -> finish_us:float -> unit

@@ -2,21 +2,31 @@ module Schedule = Tb_hir.Schedule
 module Forest = Tb_model.Forest
 module Lower = Tb_lir.Lower
 module Layout = Tb_lir.Layout
+module Pack = Tb_lir.Pack
+module Jit = Tb_vm.Jit
 module Config = Tb_cpu.Config
 module Perf = Tb_core.Perf
-module Treebeard = Tb_core.Treebeard
 module Json = Tb_util.Json
 module Prng = Tb_util.Prng
 module Timer = Tb_util.Timer
 
+type provenance = [ `Hit | `Disk | `Compile ]
+
+let provenance_string = function
+  | `Hit -> "hit"
+  | `Disk -> "disk"
+  | `Compile -> "compile"
+
 type compiled = {
   model : string;
   schedule : Schedule.t;
-  lowered : Lower.t;
+  artifact : Pack.t;
   predict : float array array -> float array array;
   mutable us_per_row : float;
   mutable compile_us : float;
+  hydrate_us : float;
   wall_compile_us : float;
+  wall_instantiate_us : float;
 }
 
 type source = {
@@ -30,8 +40,11 @@ type t = {
   sources : (string, source) Hashtbl.t;
   mutable order : string list;  (* reversed registration order *)
   cache : (string, compiled) Policy.t;
+  store : Artifact.t option;
   mutable compiles : int;
+  mutable hydrations : int;
   mutable clamps : (string * string) list;
+  mutable artifact_errors : (string * string) list;
   (* Calibration state: multiplicative corrections learned from measured
      dual-clock runs, applied to every subsequent compile's modeled costs.
      1.0 = uncalibrated. *)
@@ -40,14 +53,17 @@ type t = {
 }
 
 let create ?(target = Config.intel_rocket_lake) ?(policy = Policy.Lru)
-    ?(capacity = 8) () =
+    ?(capacity = 8) ?cache_dir () =
   {
     target;
     sources = Hashtbl.create 8;
     order = [];
     cache = Policy.create ~capacity policy;
+    store = Option.map (fun dir -> Artifact.create ~dir) cache_dir;
     compiles = 0;
+    hydrations = 0;
     clamps = [];
+    artifact_errors = [];
     service_scales = Hashtbl.create 8;
     compile_scale = 1.0;
   }
@@ -80,33 +96,93 @@ let key t name schedule =
    tracks slot count, so charge a fixed pipeline overhead plus a per-slot
    term. Deterministic by construction — the simulator's virtual clock
    must not depend on host wall time. *)
-let modeled_compile_us lowered =
-  150.0 +. (0.05 *. float_of_int (Layout.num_slots lowered.Lower.layout))
+let modeled_compile_us_of_slots slots =
+  150.0 +. (0.05 *. float_of_int slots)
+
+(* Modeled disk-hydration cost: a bounded Bytes decode plus closure
+   instantiation, linear in layout size with a far smaller constant and
+   slope than a compile — deterministic for the same reason as above. *)
+let modeled_hydrate_us_of_slots slots =
+  10.0 +. (0.002 *. float_of_int slots)
 
 let service_scale t name =
   match Hashtbl.find_opt t.service_scales name with
   | Some s -> s
   | None -> 1.0
 
+let artifact_error t name what =
+  t.artifact_errors <- (name, what) :: t.artifact_errors
+
 let compile t name schedule =
   let src = Hashtbl.find t.sources name in
+  (* Inlined Treebeard.make pipeline, so the two wall-clock halves of a
+     compile — lowering/packing vs closure instantiation — are timed
+     separately, and the service-time simulation (a serving-layer concern,
+     not compilation) is excluded from both. *)
   let t0 = Timer.now () in
-  let tb =
-    Treebeard.make ~plan:(`Schedule schedule) ?profiles:src.profiles
-      ~backend:`Single_thread (`Forest src.forest)
+  let lowered = Lower.lower ?profiles:src.profiles src.forest schedule in
+  let packed =
+    Pack.of_lower ~model:name ~target:t.target.Config.name lowered
   in
-  let perf = Perf.simulate ~target:t.target tb.Treebeard.lowered src.sample_rows in
-  let wall_compile_us = (Timer.now () -. t0) *. 1e6 in
+  let t1 = Timer.now () in
+  let predict = Jit.instantiate_single_thread packed in
+  let t2 = Timer.now () in
+  let perf = Perf.simulate ~target:t.target lowered src.sample_rows in
+  let artifact =
+    {
+      packed with
+      Pack.meta = { packed.Pack.meta with Pack.us_per_row = perf.Perf.time_per_row_us };
+    }
+  in
+  let slots = Layout.num_slots lowered.Lower.layout in
   t.compiles <- t.compiles + 1;
   {
     model = name;
-    schedule = tb.Treebeard.schedule;
-    lowered = tb.Treebeard.lowered;
-    predict = tb.Treebeard.predict;
+    schedule;
+    artifact;
+    predict;
     us_per_row = perf.Perf.time_per_row_us *. service_scale t name;
-    compile_us = modeled_compile_us tb.Treebeard.lowered *. t.compile_scale;
-    wall_compile_us;
+    compile_us = modeled_compile_us_of_slots slots *. t.compile_scale;
+    hydrate_us = modeled_hydrate_us_of_slots slots;
+    wall_compile_us = (t2 -. t0) *. 1e6;
+    wall_instantiate_us = (t2 -. t1) *. 1e6;
   }
+
+(* Disk tier: read + decode + verify the stored artifact, instantiate the
+   predictor. Service and compile cost models are rebuilt from the pack's
+   own (uncalibrated) metadata, so hydration touches neither the source
+   forest nor the simulator. *)
+let hydrate t name schedule k =
+  match t.store with
+  | None -> None
+  | Some store -> (
+    let t0 = Timer.now () in
+    match
+      Artifact.load store ~key:k ~model:name ~target:t.target.Config.name
+        ~schedule
+    with
+    | Error Artifact.Absent -> None
+    | Error e ->
+      artifact_error t name (Artifact.load_error_to_string e);
+      None
+    | Ok artifact ->
+      let t1 = Timer.now () in
+      let predict = Jit.instantiate_single_thread artifact in
+      let t2 = Timer.now () in
+      let slots = Layout.num_slots artifact.Pack.layout in
+      t.hydrations <- t.hydrations + 1;
+      Some
+        {
+          model = name;
+          schedule;
+          artifact;
+          predict;
+          us_per_row = artifact.Pack.meta.Pack.us_per_row *. service_scale t name;
+          compile_us = modeled_compile_us_of_slots slots *. t.compile_scale;
+          hydrate_us = modeled_hydrate_us_of_slots slots;
+          wall_compile_us = (t2 -. t0) *. 1e6;
+          wall_instantiate_us = (t2 -. t1) *. 1e6;
+        })
 
 let compiled t ~model ~schedule =
   let src =
@@ -128,14 +204,25 @@ let compiled t ~model ~schedule =
   in
   let k = key t model schedule in
   match Policy.find t.cache k with
-  | Some c -> (c, true)
-  | None ->
+  | Some c -> (c, `Hit)
+  | None -> (
     (match warning with
     | Some w -> t.clamps <- (model, w) :: t.clamps
     | None -> ());
-    let c = compile t model schedule in
-    ignore (Policy.put t.cache k c);
-    (c, false)
+    match hydrate t model schedule k with
+    | Some c ->
+      ignore (Policy.put t.cache k c);
+      (c, `Disk)
+    | None ->
+      let c = compile t model schedule in
+      (match t.store with
+      | None -> ()
+      | Some store -> (
+        match Artifact.save store ~key:k ~model c.artifact with
+        | Ok () -> ()
+        | Error m -> artifact_error t model ("save: " ^ m)));
+      ignore (Policy.put t.cache k c);
+      (c, `Compile))
 
 (* ------------------------------------------------------------------ *)
 (* Calibration: refit modeled costs from measured dual-clock runs      *)
@@ -210,5 +297,8 @@ let calibration_to_json cal =
 
 let cache_stats t = Policy.stats t.cache
 let cache_policy t = Policy.kind_of t.cache
+let cache_dir t = Option.map Artifact.dir t.store
 let compile_count t = t.compiles
+let hydration_count t = t.hydrations
 let clamp_warnings t = t.clamps
+let artifact_errors t = t.artifact_errors

@@ -1,23 +1,34 @@
-(** Model registry + compiled-predictor cache.
+(** Model registry + two-tier compiled-predictor cache.
 
     Serving hot-swaps models out of a zoo, and a Treebeard compile
     (tiling, reordering, lowering, layout) is far too slow to sit on the
     request path of every batch. The registry keeps the source forests and
-    a bounded {!Policy} cache of compiled predictors keyed by
-    [(model, schedule, target)], so repeated dispatches of a hot model hit
-    the cache and cold or evicted entries pay one recompile.
+    two cache tiers keyed by [(model, canonical schedule, target)]:
+
+    - a bounded in-memory {!Policy} tier of instantiated predictors, so
+      repeated dispatches of a hot model hit the cache;
+    - optionally (when created with [?cache_dir]) an on-disk
+      {!Artifact} store of packed artifacts ({!Tb_lir.Pack}), so a cold
+      or evicted entry — and, crucially, a {e warm restart} of a fresh
+      process — hydrates by decode + {!Tb_vm.Jit.instantiate} instead of
+      recompiling. Every fresh compile writes its artifact back.
+
+    {!compiled} reports which tier answered as a {!provenance}. Any disk
+    failure (I/O, a structured [A00x] decode error, metadata mismatch) is
+    a miss that falls back to a fresh compile — see {!artifact_errors}.
 
     Serving-level parallelism replaces the schedule's row-loop threads: a
-    worker owns a whole core, so every schedule is compiled through
-    {!Tb_core.Treebeard.make} with [~backend:`Single_thread] (thread count
-    normalized to 1, {!Tb_vm.Jit.compile_single_thread} predictor). Each
-    compiled entry also carries a deterministic service-time model
-    ([us_per_row], from {!Tb_core.Perf.simulate} on the registered sample
-    rows, and a modeled [compile_us]) that the virtual-clock simulator
-    charges instead of wall time, keeping every run reproducible — plus
-    the {e measured} wall-clock cost of the compile itself
-    ([wall_compile_us]), which the dual-clock mode compares against the
-    model.
+    worker owns a whole core, so every schedule is normalized to
+    [num_threads = 1] and instantiated with
+    {!Tb_vm.Jit.instantiate_single_thread}. Each compiled entry also
+    carries a deterministic service-time model ([us_per_row], from
+    {!Tb_core.Perf.simulate} on the registered sample rows — persisted
+    uncalibrated in the artifact's metadata so hydration never touches the
+    simulator — and modeled [compile_us] / [hydrate_us]) that the
+    virtual-clock simulator charges instead of wall time, keeping every
+    run reproducible; plus the {e measured} wall-clock costs
+    ([wall_compile_us], [wall_instantiate_us]), which the dual-clock mode
+    compares against the model.
 
     {!calibrate} closes the loop: given the drift a dual-clock run
     measured ({!Tb_analysis.Serve_check.model_drift}), it refits the
@@ -25,21 +36,38 @@
     rescaling both the cached entries (in place) and every future
     compile. *)
 
+type provenance = [ `Hit | `Disk | `Compile ]
+(** Which cache tier satisfied a {!compiled} request: the in-memory
+    tier, the on-disk artifact store, or a fresh compile. *)
+
+val provenance_string : provenance -> string
+
 type compiled = {
   model : string;
   schedule : Tb_hir.Schedule.t;  (** normalized: [num_threads = 1] *)
-  lowered : Tb_lir.Lower.t;
+  artifact : Tb_lir.Pack.t;
+      (** the packed form this entry was instantiated from (for [`Compile]
+          entries, the pack just constructed and written back to disk) *)
   predict : float array array -> float array array;
-      (** single-thread JIT closure *)
+      (** single-thread instantiated closure *)
   mutable us_per_row : float;
       (** deterministic per-row service time (simulated cycles at the
           target's nominal clock), times any calibrated service scale *)
   mutable compile_us : float;
-      (** modeled compilation cost, charged to the batch that misses;
-          times any calibrated compile scale *)
+      (** modeled full-compilation cost, charged to a batch that misses
+          both tiers; times any calibrated compile scale *)
+  hydrate_us : float;
+      (** modeled disk-hydration (decode + instantiate) cost, charged to a
+          batch answered by the disk tier — far below [compile_us] *)
   wall_compile_us : float;
-      (** measured wall-clock time of the compile that built this entry
-          (lowering + JIT + service-time simulation), microseconds *)
+      (** measured wall-clock cost of building this entry, microseconds:
+          lowering + packing + instantiation for a [`Compile] entry,
+          read + decode + instantiation for a [`Disk] one. Excludes the
+          service-time simulation (a serving-layer concern the old
+          all-in-one timer wrongly lumped in). *)
+  wall_instantiate_us : float;
+      (** measured wall-clock cost of closure instantiation alone — the
+          part both tiers share *)
 }
 
 type t
@@ -48,9 +76,12 @@ val create :
   ?target:Tb_cpu.Config.t ->
   ?policy:Policy.kind ->
   ?capacity:int ->
+  ?cache_dir:string ->
   unit ->
   t
-(** Defaults: Intel Rocket Lake, LRU, capacity 8 compiled entries. *)
+(** Defaults: Intel Rocket Lake, LRU, capacity 8 compiled entries, no
+    disk tier. [cache_dir] enables the on-disk artifact store (created,
+    parents included, if absent). *)
 
 val register :
   t ->
@@ -70,15 +101,19 @@ val forest : t -> string -> Tb_model.Forest.t
 (** @raise Not_found for unregistered names. *)
 
 val compiled :
-  t -> model:string -> schedule:Tb_hir.Schedule.t -> compiled * bool
-(** Get-or-compile; the flag is [true] on a cache hit. The schedule is
-    normalized before keying — [num_threads] clamped to 1 (each worker
-    owns its core) and {!Tb_hir.Schedule.canonicalize} applied with the
-    model's tree count (so e.g. a row-major interleave factor beyond the
-    forest shares the entry of the clamped factor) — so schedules
-    differing only in fields the compiled artifact cannot depend on share
-    one entry and one compile. On a miss the compile may evict another
-    entry per the policy.
+  t -> model:string -> schedule:Tb_hir.Schedule.t -> compiled * provenance
+(** Get-or-hydrate-or-compile; the provenance names the tier that
+    answered ([`Hit] in-memory, [`Disk] artifact store, [`Compile]
+    fresh). The schedule is normalized before keying — [num_threads]
+    clamped to 1 (each worker owns its core) and
+    {!Tb_hir.Schedule.canonicalize} applied with the model's tree count
+    (so e.g. a row-major interleave factor beyond the forest shares the
+    entry of the clamped factor) — so schedules differing only in fields
+    the compiled artifact cannot depend on share one entry and one
+    compile. On a memory miss the inserted entry may evict another per
+    the policy; a fresh compile also writes its artifact to the disk
+    store (when enabled), and any disk-tier failure falls back to a
+    fresh compile.
     @raise Not_found for unregistered names. *)
 
 (** {2 Calibration} *)
@@ -111,10 +146,23 @@ val calibration_to_json : calibration -> Tb_util.Json.t
 
 val cache_stats : t -> Policy.stats
 val cache_policy : t -> Policy.kind
+
+val cache_dir : t -> string option
+(** The disk tier's directory, when one is enabled. *)
+
 val compile_count : t -> int
-(** Total compiles performed (= cache insertions, counting recompiles
-    after eviction). *)
+(** Total fresh compiles performed (misses of both tiers). *)
+
+val hydration_count : t -> int
+(** Total disk-tier hydrations (memory misses answered by a stored
+    artifact). *)
 
 val clamp_warnings : t -> (string * string) list
 (** [(model, warning)] for every schedule whose [num_threads] the
     registry normalized away, newest first. *)
+
+val artifact_errors : t -> (string * string) list
+(** [(model, error)] for every disk-tier failure the registry fell back
+    from — read errors, structured [A00x] decode rejections, metadata
+    mismatches, failed writes — newest first. Absent files are normal
+    cold misses, not errors. *)

@@ -44,7 +44,7 @@ type batch_exec = {
   worker : int;
   cause : Batcher.cause;
   compiled : Registry.compiled;
-  cache_hit : bool;
+  tier : Registry.provenance;
   requests : request array;
   formed_us : float;
   start_us : float;
@@ -60,6 +60,7 @@ type result = {
   queue_stats : Rqueue.stats;
   cache_stats : Policy.stats;
   compile_count : int;
+  hydration_count : int;
   equivalence_failures : int;
   drift : Tb_analysis.Serve_check.model_drift list;
 }
@@ -106,7 +107,7 @@ let retire_started st ~now =
   done
 
 let dispatch st (b : request Batcher.batch) =
-  let compiled, cache_hit =
+  let compiled, tier =
     Registry.compiled st.registry ~model:b.Batcher.model ~schedule:st.schedule
   in
   Hashtbl.replace st.by_model b.Batcher.model compiled;
@@ -117,15 +118,25 @@ let dispatch st (b : request Batcher.batch) =
   let w = !worker in
   let size = Array.length b.Batcher.requests in
   let start = Float.max b.Batcher.formed_us st.busy_until.(w) in
+  (* Each tier's modeled cost on the virtual clock: a memory hit is free,
+     a disk hydration pays the (cheap) decode+instantiate model, a fresh
+     compile pays the full pipeline model. All three are deterministic. *)
+  let acquire_us =
+    match tier with
+    | `Hit -> 0.0
+    | `Disk -> compiled.Registry.hydrate_us
+    | `Compile -> compiled.Registry.compile_us
+  in
   let service =
     st.cfg.dispatch_overhead_us
-    +. (if cache_hit then 0.0 else compiled.Registry.compile_us)
+    +. acquire_us
     +. (float_of_int size *. compiled.Registry.us_per_row)
   in
   let finish = start +. service in
   st.busy_until.(w) <- finish;
   Queue.push (start, size) st.inflight;
   Metrics.record_batch st.metrics ~size ~cause:b.Batcher.cause;
+  Metrics.record_tier st.metrics tier;
   Array.iteri
     (fun i _ ->
       Metrics.record_completion st.metrics
@@ -138,7 +149,7 @@ let dispatch st (b : request Batcher.batch) =
       worker = w;
       cause = b.Batcher.cause;
       compiled;
-      cache_hit;
+      tier;
       requests = b.Batcher.requests;
       formed_us = b.Batcher.formed_us;
       start_us = start;
@@ -233,10 +244,15 @@ let wall_replay cfg batches metrics =
   List.iter
     (fun b ->
       let start = Float.max b.formed_us busy.(b.worker) in
-      let compile_us =
-        if b.cache_hit then 0.0 else b.compiled.Registry.wall_compile_us
+      (* wall_compile_us already holds the tier-appropriate measurement:
+         lowering+packing+instantiation for a compile, read+decode+
+         instantiation for a disk hydration. *)
+      let acquire_us =
+        match b.tier with
+        | `Hit -> 0.0
+        | `Disk | `Compile -> b.compiled.Registry.wall_compile_us
       in
-      let service = cfg.dispatch_overhead_us +. compile_us +. b.wall_predict_us in
+      let service = cfg.dispatch_overhead_us +. acquire_us +. b.wall_predict_us in
       let finish = start +. service in
       busy.(b.worker) <- finish;
       Array.iter
@@ -263,7 +279,9 @@ let drift_of_batches registry batches =
           virtual_us = float_of_int size *. c.Registry.us_per_row;
           wall_us = b.wall_predict_us;
         };
-      if not b.cache_hit then
+      (* Only true compiles feed V002: a disk hydration's wall cost is a
+         decode, not a compile, and would poison the compile-drift fit. *)
+      if b.tier = `Compile then
         push compiles c.Registry.model
           {
             S.modeled_us = c.Registry.compile_us;
@@ -348,6 +366,7 @@ let run ?(config = default_config) ?(mode = Virtual) ~schedule registry
      itself can't distort the reported hit ratio. *)
   let cache_stats = Registry.cache_stats registry in
   let compile_count = Registry.compile_count registry in
+  let hydration_count = Registry.hydration_count registry in
   let batches = List.rev st.batches_rev in
   let outputs = Array.make n None in
   let timed = match mode with Virtual -> false | Wall | Dual -> true in
@@ -367,6 +386,7 @@ let run ?(config = default_config) ?(mode = Virtual) ~schedule registry
     queue_stats = Rqueue.stats st.rq;
     cache_stats;
     compile_count;
+    hydration_count;
     equivalence_failures;
     drift;
   }

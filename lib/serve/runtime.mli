@@ -71,7 +71,11 @@ type batch_exec = {
   worker : int;
   cause : Batcher.cause;
   compiled : Registry.compiled;
-  cache_hit : bool;
+  tier : Registry.provenance;
+      (** which registry tier answered this batch's lookup; decides the
+          modeled acquire cost charged on the virtual clock ([`Hit] free,
+          [`Disk] [hydrate_us], [`Compile] [compile_us]) and the measured
+          cost on the wall replay *)
   requests : request array;
   formed_us : float;
   start_us : float;
@@ -90,6 +94,9 @@ type result = {
   queue_stats : Rqueue.stats;
   cache_stats : Policy.stats;
   compile_count : int;
+  hydration_count : int;
+      (** registry disk-tier hydrations over the run (0 without a
+          [cache_dir]) *)
   equivalence_failures : int;
       (** requests whose served output differs bitwise from the direct
           single-call JIT prediction; 0 on a healthy run *)

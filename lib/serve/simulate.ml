@@ -42,6 +42,7 @@ type config = {
   mode : Runtime.mode;
   cache_policy : Policy.kind;
   cache_capacity : int;
+  cache_dir : string option;
   target : Config.t;
 }
 
@@ -56,6 +57,7 @@ let default_config =
     mode = Runtime.Virtual;
     cache_policy = Policy.Lru;
     cache_capacity = 8;
+    cache_dir = None;
     target = Config.intel_rocket_lake;
   }
 
@@ -119,6 +121,8 @@ let config_to_json (c : config) models =
         J.Num c.runtime.Runtime.dispatch_overhead_us );
       ("cache_policy", J.Str (Policy.kind_to_string c.cache_policy));
       ("cache_capacity", J.Num (float_of_int c.cache_capacity));
+      ( "cache_dir",
+        match c.cache_dir with None -> J.Null | Some d -> J.Str d );
       ("target", J.Str c.target.Config.name);
       ( "models",
         J.Obj
@@ -141,7 +145,7 @@ let run ?calibration (c : config) models =
     models;
   let registry =
     Registry.create ~target:c.target ~policy:c.cache_policy
-      ~capacity:c.cache_capacity ()
+      ~capacity:c.cache_capacity ?cache_dir:c.cache_dir ()
   in
   List.iter
     (fun m ->
@@ -194,6 +198,7 @@ let report_to_json ?(virtual_only = false) r =
       ("queue", Rqueue.stats_to_json res.Runtime.queue_stats);
       ("cache", Policy.stats_to_json res.Runtime.cache_stats);
       ("compiles", J.Num (float_of_int res.Runtime.compile_count));
+      ("hydrations", J.Num (float_of_int res.Runtime.hydration_count));
       ( "per_model",
         J.Obj
           (List.map

@@ -46,6 +46,8 @@ type config = {
   mode : Runtime.mode;  (** virtual / wall / dual execution *)
   cache_policy : Policy.kind;
   cache_capacity : int;
+  cache_dir : string option;
+      (** registry on-disk artifact store; [None] = memory tier only *)
   target : Tb_cpu.Config.t;
 }
 

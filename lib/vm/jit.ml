@@ -1,8 +1,8 @@
 module Layout = Tb_lir.Layout
 module Lower = Tb_lir.Lower
+module Pack = Tb_lir.Pack
 module Mir = Tb_mir.Mir
 module Schedule = Tb_hir.Schedule
-module Reorder = Tb_hir.Reorder
 
 type predictor = float array array -> float array array
 
@@ -215,20 +215,20 @@ let jam_rows_unrolled (lay : Layout.t) tree rows i0 count out cls ~depth =
 (* Drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_range (lp : Lower.t) rows out lo hi =
+let run_range (pk : Pack.t) rows out lo hi =
   (* Compute predictions for rows[lo..hi) into out (same indexing). *)
-  let lay = lp.Lower.layout in
-  let plans = lp.Lower.mir.Mir.group_plans in
-  match lp.Lower.mir.Mir.loop_order with
+  let lay = pk.Pack.layout in
+  let groups = pk.Pack.groups in
+  match pk.Pack.loop_order with
   | Schedule.One_tree_at_a_time ->
     Array.iter
-      (fun (plan : Mir.group_plan) ->
-        let k = plan.Mir.interleave in
+      (fun (g : Pack.group) ->
+        let k = g.Pack.interleave in
         Array.iter
           (fun tree ->
-            let cls = lp.Lower.tree_class.(tree) in
+            let cls = pk.Pack.tree_class.(tree) in
             if k <= 1 then begin
-              let walk = walk_fn lay plan.Mir.walk in
+              let walk = walk_fn lay g.Pack.walk in
               for i = lo to hi - 1 do
                 out.(i).(cls) <- out.(i).(cls) +. walk tree rows.(i)
               done
@@ -237,51 +237,51 @@ let run_range (lp : Lower.t) rows out lo hi =
               let i = ref lo in
               while !i < hi do
                 let count = min k (hi - !i) in
-                (match plan.Mir.walk with
+                (match g.Pack.walk with
                 | Mir.Unrolled_walk { depth } ->
                   jam_rows_unrolled lay tree rows !i count out cls ~depth
                 | Mir.Loop_walk | Mir.Peeled_walk _ ->
-                  jam_rows_generic lay plan.Mir.walk tree rows !i count out cls);
+                  jam_rows_generic lay g.Pack.walk tree rows !i count out cls);
                 i := !i + count
               done
             end)
-          plan.Mir.group.Reorder.positions)
-      plans
+          g.Pack.positions)
+      groups
   | Schedule.One_row_at_a_time ->
     (* Innermost loop over a group's trees; interleaving jams k trees of
        the same row. Tree cursors live in per-plan scratch. *)
-    let walks = Array.map (fun plan -> walk_fn lay plan.Mir.walk) plans in
+    let walks = Array.map (fun (g : Pack.group) -> walk_fn lay g.Pack.walk) groups in
     for i = lo to hi - 1 do
       let row = rows.(i) in
       Array.iteri
-        (fun pi (plan : Mir.group_plan) ->
-          let walk = walks.(pi) in
+        (fun gi (g : Pack.group) ->
+          let walk = walks.(gi) in
           (* Tree-jamming on one row is a scheduling decision; walks of
              distinct trees are independent, so executing them back to back
              is semantically identical. The profiler models the jam's ILP
              effect; here we just follow group order. *)
           Array.iter
             (fun tree ->
-              let cls = lp.Lower.tree_class.(tree) in
+              let cls = pk.Pack.tree_class.(tree) in
               out.(i).(cls) <- out.(i).(cls) +. walk tree row)
-            plan.Mir.group.Reorder.positions)
-        plans
+            g.Pack.positions)
+        groups
     done
 
-let compile_single_thread (lp : Lower.t) rows =
+let instantiate_single_thread (pk : Pack.t) rows =
   let n = Array.length rows in
-  let out = Array.init n (fun _ -> Array.make lp.Lower.num_outputs lp.Lower.base_score) in
-  run_range lp rows out 0 n;
+  let out = Array.init n (fun _ -> Array.make pk.Pack.num_outputs pk.Pack.base_score) in
+  run_range pk rows out 0 n;
   out
 
-let compile lp =
-  let threads = lp.Lower.mir.Mir.num_threads in
-  if threads <= 1 then compile_single_thread lp
+let instantiate pk =
+  let threads = pk.Pack.num_threads in
+  if threads <= 1 then instantiate_single_thread pk
   else
     fun rows ->
       let n = Array.length rows in
       let out =
-        Array.init n (fun _ -> Array.make lp.Lower.num_outputs lp.Lower.base_score)
+        Array.init n (fun _ -> Array.make pk.Pack.num_outputs pk.Pack.base_score)
       in
       (* Tile the row loop by thread count (§IV-C); each domain owns a
          contiguous block of rows (Mir.row_partition, statically checked
@@ -290,7 +290,10 @@ let compile lp =
         Array.to_list (Mir.row_partition ~num_threads:threads ~batch:n)
         |> List.map (fun (lo, hi) ->
                if lo >= hi then None
-               else Some (Domain.spawn (fun () -> run_range lp rows out lo hi)))
+               else Some (Domain.spawn (fun () -> run_range pk rows out lo hi)))
       in
       List.iter (function Some d -> Domain.join d | None -> ()) domains;
       out
+
+let compile_single_thread (lp : Lower.t) = instantiate_single_thread (Pack.of_lower lp)
+let compile (lp : Lower.t) = instantiate (Pack.of_lower lp)

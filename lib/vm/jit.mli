@@ -15,10 +15,19 @@
 type predictor = float array array -> float array array
 (** Batch inference: one margin vector per input row. *)
 
+val instantiate : Tb_lir.Pack.t -> predictor
+(** Closure instantiation: build the specialized predictor from a packed
+    artifact — the cheap half of a compile, run on registry disk hits. The
+    closure graph is constructed once here; calling the predictor performs
+    no per-call compilation work. *)
+
+val instantiate_single_thread : Tb_lir.Pack.t -> predictor
+(** Same, ignoring the artifact's thread count (used by benchmarks that
+    sweep thread counts externally). *)
+
 val compile : Tb_lir.Lower.t -> predictor
-(** Build the specialized predictor. The closure graph is constructed once
-    here; calling the predictor performs no per-call compilation work. *)
+(** [instantiate] of {!Tb_lir.Pack.of_lower} — artifact construction plus
+    closure instantiation in one step. *)
 
 val compile_single_thread : Tb_lir.Lower.t -> predictor
-(** Same, ignoring the schedule's thread count (used by benchmarks that
-    sweep thread counts externally). *)
+(** Single-threaded {!compile}. *)

@@ -55,4 +55,21 @@ let () =
       close_out oc;
       Printf.printf "wrote %s (%d rows x %d outputs)\n" path num_rows
         (Array.length predictions.(0)))
-    names
+    names;
+  (* One golden *artifact* fixture pins the Pack wire format itself: the
+     byte-stability test re-encodes it and compares bit for bit, so any
+     unintended format change (or a forgotten format_version bump) fails
+     loudly. us_per_row stays at its 0 default — fixture bytes must not
+     depend on the perf simulator. *)
+  let forest = Tb_model.Serialize.of_file "_models/abalone.json" in
+  let pack =
+    Tb_lir.Pack.of_lower ~model:"abalone"
+      (Tb_lir.Lower.lower forest Schedule.default)
+  in
+  let bytes = Tb_lir.Pack.encode pack in
+  let path = "test/golden/abalone.tbpack" in
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes, format v%d)\n" path (Bytes.length bytes)
+    Tb_lir.Pack.format_version

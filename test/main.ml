@@ -22,5 +22,6 @@ let () =
       ("differential", Test_differential.suite);
       ("cost-check", Test_cost_check.suite);
       ("serve", Test_serve.suite);
+      ("artifact", Test_artifact.suite);
       ("soundness", Test_soundness.suite);
     ]

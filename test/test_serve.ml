@@ -226,16 +226,19 @@ let small_registry ?(policy = Policy.Lru) ?(capacity = 8) seed =
   Registry.register reg ~name:"m0" forest;
   (reg, forest)
 
+(* Provenance as a plain hit flag, for the cache-sharing assertions. *)
+let is_hit = function `Hit -> true | `Disk | `Compile -> false
+
 let test_registry_cache_and_thread_normalization () =
   let reg, _ = small_registry 3 in
   let s8 = { Schedule.default with Schedule.num_threads = 8 } in
   let s1 = { Schedule.default with Schedule.num_threads = 1 } in
   let _, hit1 = Registry.compiled reg ~model:"m0" ~schedule:s8 in
-  check_bool "first lookup misses" false hit1;
+  check_bool "first lookup misses" false (is_hit hit1);
   (* Thread counts are normalized to 1 per worker, so these two schedules
      share one cache entry — no recompile. *)
   let _, hit2 = Registry.compiled reg ~model:"m0" ~schedule:s1 in
-  check_bool "normalized schedule hits" true hit2;
+  check_bool "normalized schedule hits" true (is_hit hit2);
   check_int "one compile" 1 (Registry.compile_count reg);
   check_int "one clamp warning" 1 (List.length (Registry.clamp_warnings reg));
   (* Canonicalization: fields the backend provably ignores must not fork
@@ -246,33 +249,33 @@ let test_registry_cache_and_thread_normalization () =
       Schedule.tiling = Schedule.Basic; alpha = 0.05; interleave = 2 }
   in
   let _, hit3 = Registry.compiled reg ~model:"m0" ~schedule:base in
-  check_bool "basic-tiling alpha variant compiles once" false hit3;
+  check_bool "basic-tiling alpha variant compiles once" false (is_hit hit3);
   let _, hit4 =
     Registry.compiled reg ~model:"m0"
       ~schedule:{ base with Schedule.alpha = 0.1; beta = 0.5 }
   in
-  check_bool "basic-tiling alpha/beta variant hits" true hit4;
+  check_bool "basic-tiling alpha/beta variant hits" true (is_hit hit4);
   (* ... an unpadded schedule never reads pad_imbalance_limit ... *)
   let _, hit5 =
     Registry.compiled reg ~model:"m0"
       ~schedule:{ base with Schedule.pad_and_unroll = false }
   in
-  check_bool "unpadded variant compiles once" false hit5;
+  check_bool "unpadded variant compiles once" false (is_hit hit5);
   let _, hit6 =
     Registry.compiled reg ~model:"m0"
       ~schedule:
         { base with Schedule.pad_and_unroll = false; pad_imbalance_limit = 7 }
   in
-  check_bool "pad-limit-without-padding variant hits" true hit6;
+  check_bool "pad-limit-without-padding variant hits" true (is_hit hit6);
   (* ... and at tile_size 1 the tiling kind is irrelevant. *)
   let nt1 = { base with Schedule.tile_size = 1 } in
   let _, hit7 = Registry.compiled reg ~model:"m0" ~schedule:nt1 in
-  check_bool "tile_size-1 variant compiles once" false hit7;
+  check_bool "tile_size-1 variant compiles once" false (is_hit hit7);
   let _, hit8 =
     Registry.compiled reg ~model:"m0"
       ~schedule:{ nt1 with Schedule.tiling = Schedule.Probability_based }
   in
-  check_bool "tile_size-1 tiling-kind variant hits" true hit8;
+  check_bool "tile_size-1 tiling-kind variant hits" true (is_hit hit8);
   (* default, base, unpadded, tile-size-1 — every other lookup hit. *)
   check_int "four compiles total" 4 (Registry.compile_count reg)
 
@@ -634,22 +637,22 @@ let test_interleave_clamp_cache_hit () =
       Schedule.loop_order = Schedule.One_row_at_a_time; interleave = k }
   in
   let _, h1 = Registry.compiled reg ~model:"m0" ~schedule:(row 8) in
-  check_bool "row-major interleave 8 compiles" false h1;
+  check_bool "row-major interleave 8 compiles" false (is_hit h1);
   let _, h2 = Registry.compiled reg ~model:"m0" ~schedule:(row 5) in
-  check_bool "row-major interleave 5 hits the clamped entry" true h2;
+  check_bool "row-major interleave 5 hits the clamped entry" true (is_hit h2);
   let _, h3 = Registry.compiled reg ~model:"m0" ~schedule:(row 16) in
-  check_bool "row-major interleave 16 hits too" true h3;
+  check_bool "row-major interleave 16 hits too" true (is_hit h3);
   check_int "one compile for the clamped family" 1
     (Registry.compile_count reg);
   (* Below the tree count the factor is meaningful: distinct entries. *)
   let _, h4 = Registry.compiled reg ~model:"m0" ~schedule:(row 3) in
-  check_bool "row-major interleave 3 is a different artifact" false h4;
+  check_bool "row-major interleave 3 is a different artifact" false (is_hit h4);
   (* Tree-major interleave jams rows, not trees — never clamped. *)
   let tree k = { Schedule.default with Schedule.interleave = k } in
   let _, h5 = Registry.compiled reg ~model:"m0" ~schedule:(tree 8) in
   let _, h6 = Registry.compiled reg ~model:"m0" ~schedule:(tree 5) in
-  check_bool "tree-major 8 compiles" false h5;
-  check_bool "tree-major 5 compiles separately" false h6
+  check_bool "tree-major 8 compiles" false (is_hit h5);
+  check_bool "tree-major 5 compiles separately" false (is_hit h6)
 
 let test_registry_calibration () =
   let reg, _ = small_registry 61 in
@@ -662,7 +665,7 @@ let test_registry_calibration () =
   check_float "cached us_per_row rescaled" (2.0 *. u0) c0.Registry.us_per_row;
   check_float "cached compile_us rescaled" (3.0 *. k0) c0.Registry.compile_us;
   let c0', hit = Registry.compiled reg ~model:"m0" ~schedule:Schedule.default in
-  check_bool "calibration does not evict" true hit;
+  check_bool "calibration does not evict" true (is_hit hit);
   check_float "hit returns the rescaled entry" (2.0 *. u0)
     c0'.Registry.us_per_row;
   (* ... and future compiles carry the scales. *)
