@@ -780,7 +780,7 @@ let serve () =
   heading
     "Serving runtime: batch-size/deadline sweep and LRU-vs-SIEVE predictor\n\
      cache, on a deterministic Poisson trace (virtual-clock latencies)";
-  let spec ?(weight = 1) name =
+  let spec ?(weight = 1) ?slo_us name =
     let b = load name in
     {
       Simulate.name;
@@ -788,6 +788,7 @@ let serve () =
       profiles = Some b.profiles;
       pool = Array.sub b.rows_1024 0 128;
       weight;
+      slo_us;
     }
   in
   let run ~models ~policy ~capacity ~batch_max ~deadline_us ~rate ~n =
@@ -969,8 +970,294 @@ let serve () =
         ("round2", J.List (List.map Serve_check.drift_to_json drift2));
       ]
   in
+  (* Sweep 4: sharded fleet on a Zipf-popular trace. Three legs:
+     (a) routing rebalance — warm a 3-shard fleet, add a fourth and replay
+     the same trace on the surviving registries: affinity (consistent
+     hashing) moves few models so in-memory caches stay warm, hash-mod
+     remaps most keys; (b) FIFO vs EDF pending-batch dispatch at equal
+     load with per-model SLO budgets; (c) a warm restart of the whole
+     fleet over the shared artifact store — every shard hydrates foreign
+     artifacts, nobody recompiles. All virtual-clock, machine-independent. *)
+  let module Router = Tb_serve.Router in
+  let module Scheduler = Tb_serve.Scheduler in
+  let module Metrics = Tb_serve.Metrics in
+  let module Prng = Tb_util.Prng in
+  let fresh_cache_dir tag =
+    let base = Filename.get_temp_dir_name () in
+    let rec go i =
+      let d =
+        Filename.concat base
+          (Printf.sprintf "tb_bench_%s_%d_%d" tag (Unix.getpid ()) i)
+      in
+      if Sys.file_exists d then go (i + 1) else d
+    in
+    go 0
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  let shard_models =
+    List.map spec [ "abalone"; "letter"; "covtype"; "airline" ]
+  in
+  let shard_config ~cache_dir ~scheduling =
+    {
+      Simulate.default_config with
+      Simulate.rate_rps = 100_000.0;
+      num_requests = 4000;
+      popularity = Simulate.Zipf 1.1;
+      shards = 4;
+      cache_dir = Some cache_dir;
+      runtime = { Runtime.default_config with Runtime.scheduling };
+    }
+  in
+  (* Core-seconds of fleet capacity spent per million rows served: the
+     fleet holds shards × workers cores for the whole makespan. *)
+  let cost_core_s_per_mrow ~shards (m : Metrics.t) =
+    if m.Metrics.rows_served = 0 then 0.0
+    else
+      float_of_int (shards * Runtime.default_config.Runtime.workers)
+      *. m.Metrics.makespan_us /. float_of_int m.Metrics.rows_served
+  in
+  let make_reg (c : Simulate.config) =
+    let reg =
+      Registry.create ~target:c.Simulate.target ~policy:c.Simulate.cache_policy
+        ~capacity:c.Simulate.cache_capacity ?cache_dir:c.Simulate.cache_dir ()
+    in
+    List.iter
+      (fun (m : Simulate.model_spec) ->
+        Registry.register reg ~name:m.Simulate.name
+          ?profiles:m.Simulate.profiles ~sample_rows:m.Simulate.pool
+          m.Simulate.forest)
+      shard_models;
+    reg
+  in
+  let trace (c : Simulate.config) =
+    let rng = Prng.create c.Simulate.seed in
+    Simulate.gen_requests rng c shard_models
+  in
+  (* Leg (a): rebalance. Registry counters are cumulative, so warm-phase
+     numbers are deltas across the second run. *)
+  let snap regs =
+    List.fold_left
+      (fun (h, mi, co, hy, fo) (_, reg) ->
+        let cs = Registry.cache_stats reg in
+        ( h + cs.Policy.hits,
+          mi + cs.Policy.misses,
+          co + Registry.compile_count reg,
+          hy + Registry.hydration_count reg,
+          fo + Registry.foreign_hydration_count reg ))
+      (0, 0, 0, 0, 0) regs
+  in
+  let rebalance policy =
+    let cache_dir = fresh_cache_dir ("reb_" ^ Router.policy_to_string policy) in
+    let c = shard_config ~cache_dir ~scheduling:Scheduler.Fifo in
+    let reqs = trace c in
+    let router3 = Router.create policy ~shards:3 in
+    let regs3 =
+      List.map (fun sid -> (sid, make_reg c)) (Router.shard_ids router3)
+    in
+    let _cold : Runtime.fleet_result =
+      Runtime.run_fleet ~config:c.Simulate.runtime ~schedule:c.Simulate.schedule
+        ~router:router3 regs3 reqs
+    in
+    let router4 = Router.add_shard router3 3 in
+    let regs4 = regs3 @ [ (3, make_reg c) ] in
+    let h0, m0, c0, y0, f0 = snap regs4 in
+    let after =
+      Runtime.run_fleet ~config:c.Simulate.runtime ~schedule:c.Simulate.schedule
+        ~router:router4 regs4 reqs
+    in
+    let h1, m1, c1, y1, f1 = snap regs4 in
+    let moved =
+      List.length
+        (List.filter
+           (fun (ms : Simulate.model_spec) ->
+             Router.route router3 ms.Simulate.name
+             <> Router.route router4 ms.Simulate.name)
+           shard_models)
+    in
+    rm_rf cache_dir;
+    let hits = h1 - h0 and lookups = h1 - h0 + (m1 - m0) in
+    let hit_ratio =
+      if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
+    in
+    (moved, hit_ratio, c1 - c0, y1 - y0, f1 - f0, after.Runtime.fleet_metrics)
+  in
+  let t4 =
+    Table.create
+      [ "routing"; "moved"; "warm hit ratio"; "compiles"; "hydrations";
+        "foreign"; "p99 us"; "core-s/Mrow" ]
+  in
+  let rebalance_json = ref [] in
+  List.iter
+    (fun policy ->
+      let moved, hit_ratio, compiles, hydrations, foreign, m =
+        rebalance policy
+      in
+      let p99 = H.quantile m.Metrics.total_us 0.99 in
+      let cost = cost_core_s_per_mrow ~shards:4 m in
+      Table.add_row t4
+        [
+          Router.policy_to_string policy;
+          string_of_int moved;
+          Printf.sprintf "%.4f" hit_ratio;
+          string_of_int compiles;
+          string_of_int hydrations;
+          string_of_int foreign;
+          Printf.sprintf "%.0f" p99;
+          Printf.sprintf "%.2f" cost;
+        ];
+      rebalance_json :=
+        J.Obj
+          [
+            ("routing", J.Str (Router.policy_to_string policy));
+            ("moved_models", J.Num (float_of_int moved));
+            ("warm_hit_ratio", J.Num hit_ratio);
+            ("compiles", J.Num (float_of_int compiles));
+            ("hydrations", J.Num (float_of_int hydrations));
+            ("foreign_hydrations", J.Num (float_of_int foreign));
+            ("p99_us", J.Num p99);
+            ("cost_core_s_per_mrow", J.Num cost);
+          ]
+        :: !rebalance_json)
+    [ Router.Hash; Router.Affinity ];
+  Printf.printf
+    "\nRouting rebalance: 3 -> 4 shards, same Zipf trace replayed on the\n\
+     surviving registries (warm-phase deltas; shared artifact store)\n";
+  Table.print t4;
+  (* Leg (b): FIFO vs EDF at equal load. Tight budgets on the two hot
+     models, loose on the cold heavy ones — FIFO head-of-line blocking
+     behind heavy batches is exactly what EDF undoes. *)
+  let slo_spec_models =
+    [
+      spec ~slo_us:1500.0 "abalone"; spec ~slo_us:2500.0 "letter";
+      spec ~slo_us:60000.0 "covtype"; spec ~slo_us:60000.0 "airline";
+    ]
+  in
+  let slo_run scheduling =
+    let c =
+      {
+        Simulate.default_config with
+        Simulate.rate_rps = 1_000_000.0;
+        num_requests = 4000;
+        popularity = Simulate.Zipf 1.1;
+        runtime = { Runtime.default_config with Runtime.scheduling };
+      }
+    in
+    Simulate.run c slo_spec_models
+  in
+  let t5 =
+    Table.create
+      [ "scheduling"; "model"; "slo us"; "attainment"; "met (>=0.95)" ]
+  in
+  let slo_json = ref [] in
+  let slos_met = Hashtbl.create 4 in
+  List.iter
+    (fun scheduling ->
+      let r = slo_run scheduling in
+      let m = r.Simulate.result.Runtime.metrics in
+      let met = ref 0 in
+      let per_model =
+        List.map
+          (fun (ms : Simulate.model_spec) ->
+            let a =
+              Option.value ~default:0.0
+                (Metrics.slo_attainment m ms.Simulate.name)
+            in
+            if a >= 0.95 then incr met;
+            Table.add_row t5
+              [
+                Scheduler.policy_to_string scheduling;
+                ms.Simulate.name;
+                (match ms.Simulate.slo_us with
+                | Some b -> Printf.sprintf "%.0f" b
+                | None -> "-");
+                Printf.sprintf "%.3f" a;
+                (if a >= 0.95 then "yes" else "no");
+              ];
+            (ms.Simulate.name, J.Num a))
+          slo_spec_models
+      in
+      Hashtbl.replace slos_met (Scheduler.policy_to_string scheduling) !met;
+      slo_json :=
+        J.Obj
+          [
+            ("scheduling", J.Str (Scheduler.policy_to_string scheduling));
+            ("attainment", J.Obj per_model);
+            ("slos_met", J.Num (float_of_int !met));
+            ( "p99_us",
+              J.Num (H.quantile m.Metrics.total_us 0.99) );
+          ]
+        :: !slo_json)
+    [ Scheduler.Fifo; Scheduler.Edf ];
+  Printf.printf
+    "\nSLO attainment at equal load (same trace, same budgets):\n\
+     fifo meets %d budgets at >=0.95 attainment, edf meets %d\n"
+    (try Hashtbl.find slos_met "fifo" with Not_found -> 0)
+    (try Hashtbl.find slos_met "edf" with Not_found -> 0);
+  Table.print t5;
+  (* Leg (c): warm restart of the whole fleet. The second run builds
+     fresh registries over the same artifact store — the process-restart
+     case: everything hydrates (foreign), nothing recompiles. *)
+  let restart_dir = fresh_cache_dir "restart" in
+  let restart_config =
+    shard_config ~cache_dir:restart_dir ~scheduling:Scheduler.Fifo
+  in
+  let cold = Simulate.run_fleet restart_config shard_models in
+  let warm = Simulate.run_fleet restart_config shard_models in
+  rm_rf restart_dir;
+  let t6 =
+    Table.create
+      [ "run"; "compiles"; "hydrations"; "foreign"; "p99 us"; "core-s/Mrow" ]
+  in
+  let restart_row label (fr : Simulate.fleet_report) =
+    let f = fr.Simulate.fleet in
+    let m = f.Runtime.fleet_metrics in
+    Table.add_row t6
+      [
+        label;
+        string_of_int f.Runtime.fleet_compiles;
+        string_of_int f.Runtime.fleet_hydrations;
+        string_of_int f.Runtime.fleet_foreign_hydrations;
+        Printf.sprintf "%.0f" (H.quantile m.Metrics.total_us 0.99);
+        Printf.sprintf "%.2f" (cost_core_s_per_mrow ~shards:4 m);
+      ];
+    J.Obj
+      [
+        ("run", J.Str label);
+        ("compiles", J.Num (float_of_int f.Runtime.fleet_compiles));
+        ("hydrations", J.Num (float_of_int f.Runtime.fleet_hydrations));
+        ( "foreign_hydrations",
+          J.Num (float_of_int f.Runtime.fleet_foreign_hydrations) );
+        ("p99_us", J.Num (H.quantile m.Metrics.total_us 0.99));
+        ("cost_core_s_per_mrow", J.Num (cost_core_s_per_mrow ~shards:4 m));
+      ]
+  in
+  let cold_json = restart_row "cold" cold in
+  let warm_json = restart_row "warm restart" warm in
+  Printf.printf
+    "\nFleet warm restart over the shared artifact store (4 shards):\n";
+  Table.print t6;
+  let sharding_json =
+    J.Obj
+      [
+        ("rebalance", J.List (List.rev !rebalance_json));
+        ("slo", J.List (List.rev !slo_json));
+        ("restart", J.List [ cold_json; warm_json ]);
+      ]
+  in
   let json =
-    J.Obj [ ("rows", J.List (List.rev !rows_json)); ("dual", dual_json) ]
+    J.Obj
+      [
+        ("rows", J.List (List.rev !rows_json));
+        ("dual", dual_json);
+        ("sharding", sharding_json);
+      ]
   in
   let oc = open_out "BENCH_serve.json" in
   output_string oc (J.to_string ~indent:true json);

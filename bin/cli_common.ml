@@ -53,6 +53,141 @@ let cache_dir_arg =
            hydrates compiled predictors from disk instead of recompiling \
            — warm restarts report disk hits, not compiles.")
 
+let cache_max_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Size cap for the on-disk artifact store: after every artifact \
+           write, oldest artifacts (by mtime) are evicted until the store \
+           fits. Requires --cache-dir; unbounded by default.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Serve the trace across N shards, each with its own registry \
+           and worker pool, behind routed admission (see --routing). \
+           Shards share --cache-dir, so a compile on one shard ships its \
+           artifact to the others.")
+
+let routing_arg =
+  let parse s =
+    match Tb_serve.Router.policy_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt p =
+    Format.fprintf fmt "%s" (Tb_serve.Router.policy_to_string p)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tb_serve.Router.Affinity
+    & info [ "routing" ] ~docv:"POLICY"
+        ~doc:
+          "Admission routing across shards: hash (modulo — balanced but \
+           unstable under resharding) or affinity (consistent hashing — \
+           a reshard moves only the keys it must).")
+
+let scheduling_arg =
+  let parse s =
+    match Tb_serve.Scheduler.policy_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt p =
+    Format.fprintf fmt "%s" (Tb_serve.Scheduler.policy_to_string p)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tb_serve.Scheduler.Fifo
+    & info [ "scheduling" ] ~docv:"POLICY"
+        ~doc:
+          "Pending-batch dispatch order: fifo (formation order) or edf \
+           (earliest deadline first, driven by --slo-us budgets).")
+
+let popularity_arg =
+  let parse s =
+    match Tb_serve.Simulate.popularity_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt p =
+    Format.fprintf fmt "%s" (Tb_serve.Simulate.popularity_to_string p)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tb_serve.Simulate.Uniform
+    & info [ "popularity" ] ~docv:"DIST"
+        ~doc:
+          "Model-popularity distribution of the trace: uniform or \
+           zipf[:theta] (first --zoo model hottest).")
+
+(* --slo-us "m1=4000,m2=1500" per-model budgets; a bare number is the
+   default budget for every unlisted model. *)
+let slo_arg =
+  let parse s =
+    let parts =
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun p -> p <> "")
+    in
+    let rec go pairs default = function
+      | [] -> Ok (List.rev pairs, default)
+      | p :: rest -> (
+        match String.index_opt p '=' with
+        | Some i -> (
+          let name = String.trim (String.sub p 0 i) in
+          let v = String.sub p (i + 1) (String.length p - i - 1) in
+          match float_of_string_opt (String.trim v) with
+          | Some b when b > 0.0 -> go ((name, b) :: pairs) default rest
+          | _ -> Error (`Msg (Printf.sprintf "invalid SLO budget in %S" p)))
+        | None -> (
+          match float_of_string_opt p with
+          | Some b when b > 0.0 -> go pairs (Some b) rest
+          | _ -> Error (`Msg (Printf.sprintf "invalid SLO budget %S" p))))
+    in
+    go [] None parts
+  in
+  let print fmt (pairs, default) =
+    let ps = List.map (fun (m, b) -> Printf.sprintf "%s=%g" m b) pairs in
+    let ps =
+      match default with
+      | None -> ps
+      | Some b -> ps @ [ Printf.sprintf "%g" b ]
+    in
+    Format.fprintf fmt "%s" (String.concat "," ps)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) ([], None)
+    & info [ "slo-us" ] ~docv:"SPEC"
+        ~doc:
+          "Per-model end-to-end latency budgets in virtual microseconds, \
+           e.g. 'abalone=4000,letter=1500'; a bare number is the default \
+           budget for unlisted models. Budgets drive EDF deadlines \
+           (--scheduling edf), per-model SLO attainment in the report and \
+           graded overload shedding.")
+
+let shed_lo_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "shed-lo" ] ~docv:"FRAC"
+        ~doc:
+          "Admission-window occupancy (0..1) where graded overload \
+           shedding starts turning away the loosest-SLO classes; the \
+           default 2.0 disables shedding.")
+
+let shed_hi_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "shed-hi" ] ~docv:"FRAC"
+        ~doc:
+          "Occupancy where every class but the tightest is shed; between \
+           --shed-lo and --shed-hi the ladder degrades gradually.")
+
 let out_arg ~doc =
   Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
 

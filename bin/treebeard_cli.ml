@@ -815,6 +815,14 @@ let serve_sim_cmd =
                 many measured batches (noise guard, dual mode).")
   in
   let cache_dir = Cli_common.cache_dir_arg in
+  let cache_max_bytes = Cli_common.cache_max_bytes_arg in
+  let shards = Cli_common.shards_arg in
+  let routing = Cli_common.routing_arg in
+  let scheduling = Cli_common.scheduling_arg in
+  let popularity = Cli_common.popularity_arg in
+  let slo = Cli_common.slo_arg in
+  let shed_lo = Cli_common.shed_lo_arg in
+  let shed_hi = Cli_common.shed_hi_arg in
   let require_warm =
     Arg.(
       value & flag
@@ -842,9 +850,10 @@ let serve_sim_cmd =
          drift finding fired."
   in
   let run zoo arrival rate requests schedule target batch_max deadline
-      workers queue_cap cache cache_cap cache_dir require_warm seed mode
-      max_service_drift max_compile_drift min_drift_batches out virtual_out
-      strict =
+      workers queue_cap cache cache_cap cache_dir cache_max_bytes shards
+      routing scheduling popularity slo shed_lo shed_hi require_warm seed
+      mode max_service_drift max_compile_drift min_drift_batches out
+      virtual_out strict =
     let names =
       String.split_on_char ',' zoo
       |> List.map String.trim
@@ -854,6 +863,11 @@ let serve_sim_cmd =
       prerr_endline "serve-sim: pass at least one model via --zoo";
       exit 2
     end;
+    if shards < 1 then begin
+      prerr_endline "serve-sim: --shards must be >= 1";
+      exit 2
+    end;
+    let slo_pairs, slo_default = slo in
     let models =
       List.map
         (fun name ->
@@ -872,6 +886,7 @@ let serve_sim_cmd =
             profiles = Some profiles;
             pool;
             weight = 1;
+            slo_us = List.assoc_opt name slo_pairs;
           })
         names
     in
@@ -881,25 +896,58 @@ let serve_sim_cmd =
         rate_rps = rate;
         num_requests = requests;
         seed;
+        popularity;
         schedule;
         runtime =
           {
+            Runtime.default_config with
             Runtime.queue_capacity = queue_cap;
             batch_max;
             deadline_us = deadline;
             workers;
-            dispatch_overhead_us =
-              Runtime.default_config.Runtime.dispatch_overhead_us;
+            scheduling;
+            default_slo_us = slo_default;
+            shed_lo;
+            shed_hi;
           };
         mode;
+        shards;
+        routing;
         cache_policy = cache;
         cache_capacity = cache_cap;
         cache_dir;
+        cache_max_bytes;
         target;
       }
     in
-    let report = Simulate.run config models in
-    let json = Simulate.report_to_json report in
+    (* The fleet path subsumes the single-shard one, but the 1-shard
+       report keeps its historical shape (and byte-compatibility with
+       determinism diffs), so only route through the fleet when asked. *)
+    let json, virtual_json, failures, compiles, hydrations, foreign, drift =
+      if shards = 1 then begin
+        let report = Simulate.run config models in
+        ( Simulate.report_to_json report,
+          (fun () -> Simulate.report_to_json ~virtual_only:true report),
+          report.Simulate.result.Runtime.equivalence_failures,
+          report.Simulate.result.Runtime.compile_count,
+          report.Simulate.result.Runtime.hydration_count,
+          report.Simulate.result.Runtime.foreign_hydration_count,
+          report.Simulate.result.Runtime.drift )
+      end
+      else begin
+        let report = Simulate.run_fleet config models in
+        let f = report.Simulate.fleet in
+        ( Simulate.fleet_report_to_json report,
+          (fun () -> Simulate.fleet_report_to_json ~virtual_only:true report),
+          f.Runtime.fleet_equivalence_failures,
+          f.Runtime.fleet_compiles,
+          f.Runtime.fleet_hydrations,
+          f.Runtime.fleet_foreign_hydrations,
+          List.concat_map
+            (fun (_, (r : Runtime.result)) -> r.Runtime.drift)
+            f.Runtime.shard_results )
+      end
+    in
     let text = Tb_util.Json.to_string ~indent:true json ^ "\n" in
     (match out with
     | None -> print_string text
@@ -909,16 +957,13 @@ let serve_sim_cmd =
     (match virtual_out with
     | None -> ()
     | Some path ->
-      Cli_common.write_report path
-        (Simulate.report_to_json ~virtual_only:true report);
+      Cli_common.write_report path (virtual_json ());
       Printf.printf "virtual report: %s\n" path);
-    let failures = report.Simulate.result.Runtime.equivalence_failures in
     if failures > 0 then
       Printf.eprintf "serve-sim: %d served output(s) diverge from the JIT\n"
         failures;
-    let compiles = report.Simulate.result.Runtime.compile_count in
-    let hydrations = report.Simulate.result.Runtime.hydration_count in
-    Printf.printf "compiles: %d, disk hydrations: %d\n" compiles hydrations;
+    Printf.printf "compiles: %d, disk hydrations: %d (foreign: %d)\n" compiles
+      hydrations foreign;
     if require_warm && compiles > 0 then begin
       Printf.eprintf
         "serve-sim: --require-warm but %d dispatch(es) paid a fresh compile\n"
@@ -931,7 +976,7 @@ let serve_sim_cmd =
         { S.max_service_drift; max_compile_drift;
           min_batches = min_drift_batches }
       in
-      S.check ~tol report.Simulate.result.Runtime.drift
+      S.check ~tol drift
     in
     List.iter
       (fun d -> print_endline (Tb_diag.Diagnostic.to_string d))
@@ -946,14 +991,17 @@ let serve_sim_cmd =
        ~doc:"Simulate the dynamic-batching serving runtime on a \
              deterministic trace (virtual-clock latencies, predictor \
              cache, backpressure) and report p50/p95/p99, throughput and \
-             cache behaviour as JSON; --mode wall/dual also times real \
-             execution and (dual) checks wall/virtual drift (V001/V002)")
+             cache behaviour as JSON; --shards/--routing/--scheduling add \
+             a routed fleet with EDF dispatch and artifact shipping; \
+             --mode wall/dual also times real execution and (dual) checks \
+             wall/virtual drift (V001/V002)")
     Term.(
       const run $ zoo $ arrival $ rate $ requests $ schedule_term
       $ target_arg $ batch_max $ deadline $ workers $ queue_cap $ cache
-      $ cache_cap $ cache_dir $ require_warm $ seed $ mode
-      $ max_service_drift $ max_compile_drift $ min_drift_batches $ out
-      $ virtual_out $ strict)
+      $ cache_cap $ cache_dir $ cache_max_bytes $ shards $ routing
+      $ scheduling $ popularity $ slo $ shed_lo $ shed_hi $ require_warm
+      $ seed $ mode $ max_service_drift $ max_compile_drift
+      $ min_drift_batches $ out $ virtual_out $ strict)
 
 (* ---------------- import ---------------- *)
 

@@ -60,15 +60,7 @@ let dir t = t.root
 
 (* FNV-1a 64-bit over the registry cache key: deterministic across
    processes (unlike Hashtbl.hash, which is documented to vary). *)
-let fnv1a64 s =
-  let prime = 0x100000001b3L in
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun ch ->
-      h := Int64.logxor !h (Int64.of_int (Char.code ch));
-      h := Int64.mul !h prime)
-    s;
-  !h
+let fnv1a64 = Tb_util.Hashing.fnv1a64
 
 let sanitize name =
   let name = if name = "" then "model" else name in
@@ -119,3 +111,47 @@ let remove t ~key ~model =
   let file = path t ~key ~model in
   if Sys.file_exists file then
     try Sys.remove file with Sys_error _ -> ()
+
+type gc_result = {
+  scanned : int;
+  removed : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+let gc t ~max_bytes =
+  if max_bytes < 0 then invalid_arg "Artifact.gc: max_bytes < 0";
+  let entries =
+    Sys.readdir t.root |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tbpack")
+    |> List.filter_map (fun f ->
+           let file = Filename.concat t.root f in
+           match Unix.stat file with
+           | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+             Some (st_mtime, f, st_size)
+           | _ -> None
+           | exception Unix.Unix_error _ -> None)
+  in
+  let bytes_before = List.fold_left (fun a (_, _, s) -> a + s) 0 entries in
+  (* Oldest mtime first; name breaks ties so the victim order is stable
+     when a batch of artifacts lands within one clock tick. *)
+  let victims =
+    List.stable_sort
+      (fun (ma, fa, _) (mb, fb, _) -> compare (ma, fa) (mb, fb))
+      entries
+  in
+  let live = ref bytes_before and removed = ref 0 in
+  List.iter
+    (fun (_, f, size) ->
+      if !live > max_bytes then begin
+        (try Sys.remove (Filename.concat t.root f) with Sys_error _ -> ());
+        live := !live - size;
+        incr removed
+      end)
+    victims;
+  {
+    scanned = List.length entries;
+    removed = !removed;
+    bytes_before;
+    bytes_after = !live;
+  }

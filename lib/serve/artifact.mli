@@ -66,3 +66,18 @@ val save : t -> key:string -> model:string -> Tb_lir.Pack.t -> (unit, string) re
 val remove : t -> key:string -> model:string -> unit
 (** Delete the artifact for [key] if present (used to clear a corrupt
     file before rewriting). Never raises. *)
+
+type gc_result = {
+  scanned : int;  (** [.tbpack] files found in the store *)
+  removed : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+val gc : t -> max_bytes:int -> gc_result
+(** Evict oldest artifacts (by mtime, filename breaking ties) until the
+    store's total [.tbpack] size is [<= max_bytes]. Unlinks are the same
+    atomic deletes as {!remove}: a reader that raced an unlink sees
+    [Absent] and recompiles — never a torn file. Files that vanish or
+    error mid-scan are skipped.
+    @raise Invalid_argument when [max_bytes < 0]. *)

@@ -28,6 +28,10 @@ type 'r group = {
 
 type 'r t = {
   cfg : config;
+  (* Per-model batching-deadline override; defaults to cfg.deadline_us.
+     Deadline-aware scheduling wants tight-SLO models to stop batching
+     well before their budget, while loose models still batch deep. *)
+  deadline_us_for : string -> float;
   groups : (string, 'r group) Hashtbl.t;
   (* Model names in first-seen order: Hashtbl iteration order is not a
      stable public contract, and expiry ties must break deterministically. *)
@@ -35,11 +39,16 @@ type 'r t = {
   mutable pending : int;
 }
 
-let create cfg =
+let create ?deadline_us_for cfg =
   if cfg.batch_max < 1 then invalid_arg "Batcher.create: batch_max < 1";
   if not (cfg.deadline_us > 0.0) then
     invalid_arg "Batcher.create: deadline_us <= 0";
-  { cfg; groups = Hashtbl.create 8; order = []; pending = 0 }
+  let deadline_us_for =
+    match deadline_us_for with
+    | None -> fun _ -> cfg.deadline_us
+    | Some f -> fun model -> Float.max 1e-6 (f model)
+  in
+  { cfg; deadline_us_for; groups = Hashtbl.create 8; order = []; pending = 0 }
 
 let config t = t.cfg
 
@@ -79,7 +88,8 @@ let add t ~model ~arrival_us r =
     Some (form t By_size arrival_us g)
   else None
 
-let group_deadline t g = snd (Queue.peek g.items) +. t.cfg.deadline_us
+let group_deadline t g =
+  snd (Queue.peek g.items) +. t.deadline_us_for g.g_model
 
 let next_deadline t =
   List.fold_left

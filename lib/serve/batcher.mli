@@ -36,8 +36,14 @@ type 'r batch = {
 
 type 'r t
 
-val create : config -> 'r t
-(** @raise Invalid_argument when [batch_max < 1] or [deadline_us <= 0]. *)
+val create : ?deadline_us_for:(string -> float) -> config -> 'r t
+(** [deadline_us_for] overrides the batching deadline per model (values
+    are clamped to be positive); the default is the uniform
+    [cfg.deadline_us]. Deadline-aware serving caps a tight-SLO model's
+    batching delay at a fraction of its budget while loose models still
+    batch deep — the override must be a pure function of the model name
+    so formation stays deterministic.
+    @raise Invalid_argument when [batch_max < 1] or [deadline_us <= 0]. *)
 
 val config : 'r t -> config
 

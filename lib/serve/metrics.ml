@@ -1,15 +1,22 @@
 module H = Tb_util.Stats.Histogram
 module J = Tb_util.Json
 
+(* Per-model SLO attainment: completions within / beyond the model's
+   latency budget on the virtual clock. *)
+type slo_cell = { mutable slo_met : int; mutable slo_missed : int }
+
 type t = {
   queue_wait_us : H.t;
   service_us : H.t;
   total_us : H.t;
   batch_size : H.t;
   queue_depth : H.t;
+  slo_by_model : (string, slo_cell) Hashtbl.t;
   mutable arrivals : int;
   mutable admitted : int;
   mutable rejected : int;
+  mutable shed_admission : int;
+  mutable shed_backlog : int;
   mutable completed : int;
   mutable batches : int;
   mutable by_size : int;
@@ -40,9 +47,12 @@ let create () =
        near-1 resolution keeps their quantiles exact. *)
     batch_size = H.create ~lo:1.0 ~hi:1e6 ~per_decade:32 ();
     queue_depth = H.create ~lo:1.0 ~hi:1e6 ~per_decade:32 ();
+    slo_by_model = Hashtbl.create 8;
     arrivals = 0;
     admitted = 0;
     rejected = 0;
+    shed_admission = 0;
+    shed_backlog = 0;
     completed = 0;
     batches = 0;
     by_size = 0;
@@ -68,6 +78,11 @@ let record_arrival t ~depth =
 let record_reject t = t.rejected <- t.rejected + 1
 let record_admit t = t.admitted <- t.admitted + 1
 
+let record_shed t ~n cause =
+  match (cause : [ `Admission | `Backlog ]) with
+  | `Admission -> t.shed_admission <- t.shed_admission + n
+  | `Backlog -> t.shed_backlog <- t.shed_backlog + n
+
 let record_batch t ~size ~cause =
   t.batches <- t.batches + 1;
   H.add t.batch_size (float_of_int size);
@@ -82,12 +97,26 @@ let record_tier t tier =
   | `Disk -> t.tier_disk <- t.tier_disk + 1
   | `Compile -> t.tier_compile <- t.tier_compile + 1
 
-let record_completion t ~arrival_us ~start_us ~finish_us =
+let slo_cell t model =
+  match Hashtbl.find_opt t.slo_by_model model with
+  | Some c -> c
+  | None ->
+    let c = { slo_met = 0; slo_missed = 0 } in
+    Hashtbl.replace t.slo_by_model model c;
+    c
+
+let record_completion ?slo t ~arrival_us ~start_us ~finish_us =
   t.completed <- t.completed + 1;
   t.rows_served <- t.rows_served + 1;
   H.add t.queue_wait_us (start_us -. arrival_us);
   H.add t.service_us (finish_us -. start_us);
   H.add t.total_us (finish_us -. arrival_us);
+  (match slo with
+  | None -> ()
+  | Some (model, budget_us) ->
+    let c = slo_cell t model in
+    if finish_us -. arrival_us <= budget_us then c.slo_met <- c.slo_met + 1
+    else c.slo_missed <- c.slo_missed + 1);
   if finish_us > t.makespan_us then t.makespan_us <- finish_us
 
 let record_wall_completion t ~arrival_us ~start_us ~finish_us =
@@ -105,6 +134,80 @@ let throughput_rows_per_s t =
 let wall_throughput_rows_per_s t =
   if t.wall_makespan_us <= 0.0 then 0.0
   else float_of_int t.wall_rows /. (t.wall_makespan_us /. 1e6)
+
+let slo_attainment t model =
+  match Hashtbl.find_opt t.slo_by_model model with
+  | None -> None
+  | Some c ->
+    let n = c.slo_met + c.slo_missed in
+    if n = 0 then None else Some (float_of_int c.slo_met /. float_of_int n)
+
+let slo_models t =
+  Hashtbl.fold (fun m _ acc -> m :: acc) t.slo_by_model []
+  |> List.sort compare
+
+(* Roll per-shard snapshots into one fleet view. The geometric-bucket
+   histograms merge exactly (Histogram.merge_into), counters add, and
+   the fleet makespan is the latest shard's; per-model SLO cells add
+   across shards (a model lives on one shard, but a rebalance can split
+   its completions across two). *)
+let merge ts =
+  let m = create () in
+  List.iter
+    (fun s ->
+      H.merge_into m.queue_wait_us s.queue_wait_us;
+      H.merge_into m.service_us s.service_us;
+      H.merge_into m.total_us s.total_us;
+      H.merge_into m.batch_size s.batch_size;
+      H.merge_into m.queue_depth s.queue_depth;
+      Hashtbl.iter
+        (fun model c ->
+          let dst = slo_cell m model in
+          dst.slo_met <- dst.slo_met + c.slo_met;
+          dst.slo_missed <- dst.slo_missed + c.slo_missed)
+        s.slo_by_model;
+      m.arrivals <- m.arrivals + s.arrivals;
+      m.admitted <- m.admitted + s.admitted;
+      m.rejected <- m.rejected + s.rejected;
+      m.shed_admission <- m.shed_admission + s.shed_admission;
+      m.shed_backlog <- m.shed_backlog + s.shed_backlog;
+      m.completed <- m.completed + s.completed;
+      m.batches <- m.batches + s.batches;
+      m.by_size <- m.by_size + s.by_size;
+      m.by_deadline <- m.by_deadline + s.by_deadline;
+      m.by_flush <- m.by_flush + s.by_flush;
+      m.tier_hit <- m.tier_hit + s.tier_hit;
+      m.tier_disk <- m.tier_disk + s.tier_disk;
+      m.tier_compile <- m.tier_compile + s.tier_compile;
+      m.rows_served <- m.rows_served + s.rows_served;
+      if s.makespan_us > m.makespan_us then m.makespan_us <- s.makespan_us;
+      H.merge_into m.wall_queue_wait_us s.wall_queue_wait_us;
+      H.merge_into m.wall_service_us s.wall_service_us;
+      H.merge_into m.wall_total_us s.wall_total_us;
+      m.wall_completed <- m.wall_completed + s.wall_completed;
+      m.wall_rows <- m.wall_rows + s.wall_rows;
+      if s.wall_makespan_us > m.wall_makespan_us then
+        m.wall_makespan_us <- s.wall_makespan_us)
+    ts;
+  m
+
+let slo_to_json t =
+  J.Obj
+    (List.map
+       (fun model ->
+         let c = Hashtbl.find t.slo_by_model model in
+         let n = c.slo_met + c.slo_missed in
+         ( model,
+           J.Obj
+             [
+               ("met", J.Num (float_of_int c.slo_met));
+               ("missed", J.Num (float_of_int c.slo_missed));
+               ( "attainment",
+                 J.Num
+                   (if n = 0 then 0.0
+                    else float_of_int c.slo_met /. float_of_int n) );
+             ] ))
+       (slo_models t))
 
 let wall_to_json t =
   J.Obj
@@ -139,6 +242,12 @@ let to_json ?(include_wall = true) t =
             ("disk", J.Num (float_of_int t.tier_disk));
             ("compile", J.Num (float_of_int t.tier_compile));
           ] );
+      ( "shed",
+        J.Obj
+          [
+            ("admission", J.Num (float_of_int t.shed_admission));
+            ("backlog", J.Num (float_of_int t.shed_backlog));
+          ] );
       ("latency_total_us", H.to_json t.total_us);
       ("latency_queue_wait_us", H.to_json t.queue_wait_us);
       ("latency_service_us", H.to_json t.service_us);
@@ -147,6 +256,10 @@ let to_json ?(include_wall = true) t =
       ("makespan_us", J.Num t.makespan_us);
       ("throughput_rows_per_s", J.Num (throughput_rows_per_s t));
     ]
+    (* SLO scoring appears only when budgets were supplied, so unscored
+       runs keep their exact historical report shape. *)
+    @ (if Hashtbl.length t.slo_by_model > 0 then [ ("slo", slo_to_json t) ]
+       else [])
     (* The wall key appears only when a wall/dual run actually recorded
        completions: stripping it (or never measuring) recovers the
        byte-identical virtual report. *)

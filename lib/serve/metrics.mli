@@ -19,6 +19,10 @@
     perturbs the virtual set, so a run's virtual report stays
     byte-identical whatever was measured alongside it. *)
 
+type slo_cell = { mutable slo_met : int; mutable slo_missed : int }
+(** Per-model SLO attainment cell: completions whose virtual end-to-end
+    latency landed within / beyond the model's budget. *)
+
 type t = {
   queue_wait_us : Tb_util.Stats.Histogram.t;
   service_us : Tb_util.Stats.Histogram.t;
@@ -26,9 +30,14 @@ type t = {
   batch_size : Tb_util.Stats.Histogram.t;
   queue_depth : Tb_util.Stats.Histogram.t;
       (** sampled at every arrival, before admission *)
+  slo_by_model : (string, slo_cell) Hashtbl.t;
   mutable arrivals : int;
   mutable admitted : int;
   mutable rejected : int;
+  mutable shed_admission : int;
+      (** rejects from the graded overload ladder at admission *)
+  mutable shed_backlog : int;
+      (** formed batches dropped because the pending pool overflowed *)
   mutable completed : int;
   mutable batches : int;
   mutable by_size : int;
@@ -62,8 +71,21 @@ val record_tier : t -> [ `Hit | `Disk | `Compile ] -> unit
 (** Count which registry tier answered a batch's {!Registry.compiled}
     lookup ({!Registry.provenance}). *)
 
+val record_shed : t -> n:int -> [ `Admission | `Backlog ] -> unit
+(** Count [n] requests shed by the overload ladder ([`Admission]) or
+    dropped with an evicted pending batch ([`Backlog]). Sheds are also
+    rejects — callers still bump {!record_reject} per request so the
+    admit/reject ledger stays whole. *)
+
 val record_completion :
-  t -> arrival_us:float -> start_us:float -> finish_us:float -> unit
+  ?slo:string * float ->
+  t ->
+  arrival_us:float ->
+  start_us:float ->
+  finish_us:float ->
+  unit
+(** [?slo:(model, budget_us)] additionally scores the completion against
+    the model's latency budget (met iff [finish - arrival <= budget]). *)
 
 val record_wall_completion :
   t -> arrival_us:float -> start_us:float -> finish_us:float -> unit
@@ -76,6 +98,20 @@ val throughput_rows_per_s : t -> float
 
 val wall_throughput_rows_per_s : t -> float
 (** completed rows / wall makespan; 0 when nothing was measured. *)
+
+val slo_attainment : t -> string -> float option
+(** Fraction of this model's scored completions that met their budget;
+    [None] when the model recorded no scored completions. *)
+
+val slo_models : t -> string list
+(** Models with at least one scored completion, sorted. *)
+
+val merge : t list -> t
+(** Roll per-shard snapshots into one fleet view: histograms merge
+    exactly ({!Tb_util.Stats.Histogram.merge_into} — all inputs share the
+    default bucket shapes), counters and per-model SLO cells add, and
+    each makespan is the max over shards (shards run concurrently).
+    @raise Invalid_argument if histogram shapes differ. *)
 
 val to_json : ?include_wall:bool -> t -> Tb_util.Json.t
 (** The snapshot. A ["wall"] sub-object (wall latency histograms,

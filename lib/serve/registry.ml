@@ -41,8 +41,17 @@ type t = {
   mutable order : string list;  (* reversed registration order *)
   cache : (string, compiled) Policy.t;
   store : Artifact.t option;
+  (* Disk-store budget: after every save, evict oldest artifacts beyond
+     this many bytes. None = unbounded. *)
+  cache_max_bytes : int option;
   mutable compiles : int;
   mutable hydrations : int;
+  (* Keys this instance itself compiled: a hydration of any other key is
+     {e foreign} — evidence an artifact shipped in from another shard or
+     survived from a previous process. *)
+  compiled_keys : (string, unit) Hashtbl.t;
+  mutable foreign_hydrations : int;
+  mutable gc_removed : int;
   mutable clamps : (string * string) list;
   mutable artifact_errors : (string * string) list;
   (* Calibration state: multiplicative corrections learned from measured
@@ -53,15 +62,22 @@ type t = {
 }
 
 let create ?(target = Config.intel_rocket_lake) ?(policy = Policy.Lru)
-    ?(capacity = 8) ?cache_dir () =
+    ?(capacity = 8) ?cache_dir ?cache_max_bytes () =
+  (match cache_max_bytes with
+  | Some b when b < 0 -> invalid_arg "Registry.create: cache_max_bytes < 0"
+  | Some _ | None -> ());
   {
     target;
     sources = Hashtbl.create 8;
     order = [];
     cache = Policy.create ~capacity policy;
     store = Option.map (fun dir -> Artifact.create ~dir) cache_dir;
+    cache_max_bytes;
     compiles = 0;
     hydrations = 0;
+    compiled_keys = Hashtbl.create 8;
+    foreign_hydrations = 0;
+    gc_removed = 0;
     clamps = [];
     artifact_errors = [];
     service_scales = Hashtbl.create 8;
@@ -171,6 +187,8 @@ let hydrate t name schedule k =
       let t2 = Timer.now () in
       let slots = Layout.num_slots artifact.Pack.layout in
       t.hydrations <- t.hydrations + 1;
+      if not (Hashtbl.mem t.compiled_keys k) then
+        t.foreign_hydrations <- t.foreign_hydrations + 1;
       Some
         {
           model = name;
@@ -215,12 +233,18 @@ let compiled t ~model ~schedule =
       (c, `Disk)
     | None ->
       let c = compile t model schedule in
+      Hashtbl.replace t.compiled_keys k ();
       (match t.store with
       | None -> ()
       | Some store -> (
-        match Artifact.save store ~key:k ~model c.artifact with
+        (match Artifact.save store ~key:k ~model c.artifact with
         | Ok () -> ()
-        | Error m -> artifact_error t model ("save: " ^ m)));
+        | Error m -> artifact_error t model ("save: " ^ m));
+        match t.cache_max_bytes with
+        | None -> ()
+        | Some max_bytes ->
+          let r = Artifact.gc store ~max_bytes in
+          t.gc_removed <- t.gc_removed + r.Artifact.removed));
       ignore (Policy.put t.cache k c);
       (c, `Compile))
 
@@ -300,5 +324,7 @@ let cache_policy t = Policy.kind_of t.cache
 let cache_dir t = Option.map Artifact.dir t.store
 let compile_count t = t.compiles
 let hydration_count t = t.hydrations
+let foreign_hydration_count t = t.foreign_hydrations
+let gc_removed_count t = t.gc_removed
 let clamp_warnings t = t.clamps
 let artifact_errors t = t.artifact_errors

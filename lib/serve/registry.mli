@@ -77,11 +77,15 @@ val create :
   ?policy:Policy.kind ->
   ?capacity:int ->
   ?cache_dir:string ->
+  ?cache_max_bytes:int ->
   unit ->
   t
 (** Defaults: Intel Rocket Lake, LRU, capacity 8 compiled entries, no
     disk tier. [cache_dir] enables the on-disk artifact store (created,
-    parents included, if absent). *)
+    parents included, if absent). [cache_max_bytes] caps the store's
+    total size: after every artifact write the registry runs
+    {!Artifact.gc}, evicting oldest-mtime files until under the cap.
+    @raise Invalid_argument when [cache_max_bytes < 0]. *)
 
 val register :
   t ->
@@ -156,6 +160,15 @@ val compile_count : t -> int
 val hydration_count : t -> int
 (** Total disk-tier hydrations (memory misses answered by a stored
     artifact). *)
+
+val foreign_hydration_count : t -> int
+(** Hydrations of keys this registry instance never compiled itself — the
+    artifact was produced by another shard sharing the store, or by a
+    previous process (warm restart). Evidence that artifact shipping, not
+    recompilation, satisfied the dispatch. *)
+
+val gc_removed_count : t -> int
+(** Artifacts evicted by the [cache_max_bytes] garbage collector. *)
 
 val clamp_warnings : t -> (string * string) list
 (** [(model, warning)] for every schedule whose [num_threads] the

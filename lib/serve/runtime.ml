@@ -1,45 +1,36 @@
-type request = {
+(* The single-shard serving engine lives in {!Shard}; this module keeps
+   the historical single-shard entry point (a fleet of one) and adds the
+   sharded fleet: routed admission, per-shard engines, merged metrics. *)
+
+type request = Shard.request = {
   id : int;
   model : string;
   row : float array;
   arrival_us : float;
 }
 
-type mode = Virtual | Wall | Dual
+type mode = Shard.mode = Virtual | Wall | Dual
 
-let mode_to_string = function
-  | Virtual -> "virtual"
-  | Wall -> "wall"
-  | Dual -> "dual"
+let mode_to_string = Shard.mode_to_string
+let mode_of_string = Shard.mode_of_string
 
-let mode_of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "virtual" -> Ok Virtual
-  | "wall" -> Ok Wall
-  | "dual" -> Ok Dual
-  | s ->
-    Error
-      (Printf.sprintf
-         "unknown execution mode %S (expected virtual, wall or dual)" s)
-
-type config = {
+type config = Shard.config = {
   queue_capacity : int;
   batch_max : int;
   deadline_us : float;
   workers : int;
   dispatch_overhead_us : float;
+  scheduling : Scheduler.policy;
+  slo_us : (string * float) list;
+  default_slo_us : float option;
+  shed_lo : float;
+  shed_hi : float;
+  pending_cap : int;
 }
 
-let default_config =
-  {
-    queue_capacity = 1024;
-    batch_max = 32;
-    deadline_us = 500.0;
-    workers = 2;
-    dispatch_overhead_us = 20.0;
-  }
+let default_config = Shard.default_config
 
-type batch_exec = {
+type batch_exec = Shard.batch_exec = {
   batch_id : int;
   worker : int;
   cause : Batcher.cause;
@@ -52,7 +43,7 @@ type batch_exec = {
   mutable wall_predict_us : float;
 }
 
-type result = {
+type result = Shard.result = {
   outputs : float array option array;
   batches : batch_exec list;
   rejects : request list;
@@ -61,275 +52,12 @@ type result = {
   cache_stats : Policy.stats;
   compile_count : int;
   hydration_count : int;
+  foreign_hydration_count : int;
   equivalence_failures : int;
   drift : Tb_analysis.Serve_check.model_drift list;
 }
 
-let validate_config c =
-  if c.queue_capacity < 1 then invalid_arg "Runtime: queue_capacity < 1";
-  if c.batch_max < 1 then invalid_arg "Runtime: batch_max < 1";
-  if not (c.deadline_us > 0.0) then invalid_arg "Runtime: deadline_us <= 0";
-  if c.workers < 1 then invalid_arg "Runtime: workers < 1";
-  if c.dispatch_overhead_us < 0.0 then
-    invalid_arg "Runtime: dispatch_overhead_us < 0"
-
-type state = {
-  cfg : config;
-  registry : Registry.t;
-  schedule : Tb_hir.Schedule.t;
-  rq : request Rqueue.t;
-  batcher : request Batcher.t;
-  busy_until : float array;  (* per worker *)
-  (* Dispatched batches whose virtual start hasn't passed yet: (start,
-     size), FIFO. Starts are non-decreasing in dispatch order (each
-     dispatch takes the current earliest-free worker, and formation times
-     are non-decreasing), so retiring the head suffices. *)
-  inflight : (float * int) Queue.t;
-  metrics : Metrics.t;
-  mutable batch_seq : int;
-  mutable batches_rev : batch_exec list;
-  mutable rejects_rev : request list;
-  (* Last compiled entry per model, kept out of the eviction cache so the
-     post-run equivalence check doesn't perturb cache statistics. *)
-  by_model : (string, Registry.compiled) Hashtbl.t;
-}
-
-(* Retire queue slots of batches that have started by [now]: those
-   requests are on a worker, not in the bounded admission window. *)
-let retire_started st ~now =
-  let continue = ref true in
-  while !continue do
-    match Queue.peek_opt st.inflight with
-    | Some (start, size) when start <= now ->
-      ignore (Queue.pop st.inflight);
-      Rqueue.drop_n st.rq size
-    | _ -> continue := false
-  done
-
-let dispatch st (b : request Batcher.batch) =
-  let compiled, tier =
-    Registry.compiled st.registry ~model:b.Batcher.model ~schedule:st.schedule
-  in
-  Hashtbl.replace st.by_model b.Batcher.model compiled;
-  let worker = ref 0 in
-  for w = 1 to Array.length st.busy_until - 1 do
-    if st.busy_until.(w) < st.busy_until.(!worker) then worker := w
-  done;
-  let w = !worker in
-  let size = Array.length b.Batcher.requests in
-  let start = Float.max b.Batcher.formed_us st.busy_until.(w) in
-  (* Each tier's modeled cost on the virtual clock: a memory hit is free,
-     a disk hydration pays the (cheap) decode+instantiate model, a fresh
-     compile pays the full pipeline model. All three are deterministic. *)
-  let acquire_us =
-    match tier with
-    | `Hit -> 0.0
-    | `Disk -> compiled.Registry.hydrate_us
-    | `Compile -> compiled.Registry.compile_us
-  in
-  let service =
-    st.cfg.dispatch_overhead_us
-    +. acquire_us
-    +. (float_of_int size *. compiled.Registry.us_per_row)
-  in
-  let finish = start +. service in
-  st.busy_until.(w) <- finish;
-  Queue.push (start, size) st.inflight;
-  Metrics.record_batch st.metrics ~size ~cause:b.Batcher.cause;
-  Metrics.record_tier st.metrics tier;
-  Array.iteri
-    (fun i _ ->
-      Metrics.record_completion st.metrics
-        ~arrival_us:b.Batcher.arrivals_us.(i) ~start_us:start ~finish_us:finish)
-    b.Batcher.requests;
-  st.batch_seq <- st.batch_seq + 1;
-  st.batches_rev <-
-    {
-      batch_id = st.batch_seq - 1;
-      worker = w;
-      cause = b.Batcher.cause;
-      compiled;
-      tier;
-      requests = b.Batcher.requests;
-      formed_us = b.Batcher.formed_us;
-      start_us = start;
-      finish_us = finish;
-      wall_predict_us = 0.0;
-    }
-    :: st.batches_rev
-
-(* ------------------------------------------------------------------ *)
-(* Phase 1: virtual-time scheduling                                    *)
-
-let schedule_trace st requests =
-  Array.iter
-    (fun req ->
-      let now = req.arrival_us in
-      (* Deadlines that elapsed before this arrival fire first. *)
-      List.iter (dispatch st) (Batcher.expire st.batcher ~now);
-      retire_started st ~now;
-      Metrics.record_arrival st.metrics ~depth:(Rqueue.length st.rq);
-      if Rqueue.try_push st.rq req then begin
-        Metrics.record_admit st.metrics;
-        match
-          Batcher.add st.batcher ~model:req.model ~arrival_us:now req
-        with
-        | Some b -> dispatch st b
-        | None -> ()
-      end
-      else begin
-        Metrics.record_reject st.metrics;
-        st.rejects_rev <- req :: st.rejects_rev
-      end)
-    requests;
-  (* The trace is over but the server keeps running: every remaining
-     group fires at its own deadline. *)
-  let rec drain () =
-    match Batcher.next_deadline st.batcher with
-    | None -> ()
-    | Some d ->
-      List.iter (dispatch st) (Batcher.expire st.batcher ~now:d);
-      drain ()
-  in
-  drain ();
-  retire_started st ~now:infinity
-
-(* ------------------------------------------------------------------ *)
-(* Phase 2: parallel execution on domains                              *)
-
-let execute ~timed cfg batches outputs =
-  let by_worker = Array.make cfg.workers [] in
-  List.iter
-    (fun b -> by_worker.(b.worker) <- b :: by_worker.(b.worker))
-    (List.rev batches);
-  let run_worker assigned () =
-    List.iter
-      (fun b ->
-        let rows = Array.map (fun r -> r.row) b.requests in
-        let outs =
-          if timed then begin
-            (* Each batch belongs to exactly one worker, so writing its
-               wall measurement from that worker's domain is race-free;
-               the joins below publish it to the replay. *)
-            let t0 = Tb_util.Timer.now () in
-            let outs = b.compiled.Registry.predict rows in
-            b.wall_predict_us <- (Tb_util.Timer.now () -. t0) *. 1e6;
-            outs
-          end
-          else b.compiled.Registry.predict rows
-        in
-        Array.iteri
-          (fun i r -> outputs.(r.id) <- Some outs.(i))
-          b.requests)
-      (List.rev assigned)
-  in
-  let domains =
-    Array.to_list by_worker
-    |> List.filter_map (fun assigned ->
-           if assigned = [] then None
-           else Some (Domain.spawn (run_worker assigned)))
-  in
-  List.iter Domain.join domains
-
-(* ------------------------------------------------------------------ *)
-(* Wall timeline + drift (wall/dual modes)                             *)
-
-(* Replay the virtual schedule's decisions — batch composition, worker
-   assignment, formation times — substituting measured service durations
-   for modeled ones. Queue wait on this clock still starts at the trace's
-   (virtual) arrival: the trace defines the workload, execution defines
-   the speed. *)
-let wall_replay cfg batches metrics =
-  let busy = Array.make cfg.workers 0.0 in
-  List.iter
-    (fun b ->
-      let start = Float.max b.formed_us busy.(b.worker) in
-      (* wall_compile_us already holds the tier-appropriate measurement:
-         lowering+packing+instantiation for a compile, read+decode+
-         instantiation for a disk hydration. *)
-      let acquire_us =
-        match b.tier with
-        | `Hit -> 0.0
-        | `Disk | `Compile -> b.compiled.Registry.wall_compile_us
-      in
-      let service = cfg.dispatch_overhead_us +. acquire_us +. b.wall_predict_us in
-      let finish = start +. service in
-      busy.(b.worker) <- finish;
-      Array.iter
-        (fun r ->
-          Metrics.record_wall_completion metrics ~arrival_us:r.arrival_us
-            ~start_us:start ~finish_us:finish)
-        b.requests)
-    batches
-
-let drift_of_batches registry batches =
-  let module S = Tb_analysis.Serve_check in
-  let samples : (string, S.sample list) Hashtbl.t = Hashtbl.create 8 in
-  let compiles : (string, S.compile_sample list) Hashtbl.t = Hashtbl.create 8 in
-  let push tbl k v =
-    Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
-  in
-  List.iter
-    (fun b ->
-      let size = Array.length b.requests in
-      let c = b.compiled in
-      push samples c.Registry.model
-        {
-          S.rows = size;
-          virtual_us = float_of_int size *. c.Registry.us_per_row;
-          wall_us = b.wall_predict_us;
-        };
-      (* Only true compiles feed V002: a disk hydration's wall cost is a
-         decode, not a compile, and would poison the compile-drift fit. *)
-      if b.tier = `Compile then
-        push compiles c.Registry.model
-          {
-            S.modeled_us = c.Registry.compile_us;
-            wall_compile_us = c.Registry.wall_compile_us;
-          })
-    batches;
-  List.filter_map
-    (fun model ->
-      match Hashtbl.find_opt samples model with
-      | None -> None
-      | Some ss ->
-        let cs = Option.value ~default:[] (Hashtbl.find_opt compiles model) in
-        Some (S.drift_of_samples ~model (List.rev ss) (List.rev cs)))
-    (Registry.models registry)
-
-(* ------------------------------------------------------------------ *)
-(* Equivalence: serving must not change results                        *)
-
-let check_equivalence st requests outputs =
-  let failures = ref 0 in
-  List.iter
-    (fun model ->
-      match Hashtbl.find_opt st.by_model model with
-      | None -> ()  (* no batch of this model was dispatched *)
-      | Some compiled ->
-        let served =
-          Array.to_list requests
-          |> List.filter (fun r -> r.model = model && outputs.(r.id) <> None)
-        in
-        if served <> [] then begin
-          let rows = Array.of_list (List.map (fun r -> r.row) served) in
-          let direct = compiled.Registry.predict rows in
-          List.iteri
-            (fun i r ->
-              match outputs.(r.id) with
-              | Some got
-                when Array.length got = Array.length direct.(i)
-                     && Array.for_all2 Float.equal got direct.(i) ->
-                ()
-              | _ -> incr failures)
-            served
-        end)
-    (Registry.models st.registry);
-  !failures
-
-let run ?(config = default_config) ?(mode = Virtual) ~schedule registry
-    requests =
-  validate_config config;
+let validate_ids requests =
   let n = Array.length requests in
   let seen = Array.make (max n 1) false in
   Array.iter
@@ -337,56 +65,80 @@ let run ?(config = default_config) ?(mode = Virtual) ~schedule registry
       if r.id < 0 || r.id >= n || seen.(r.id) then
         invalid_arg "Runtime.run: request ids must be exactly 0..n-1";
       seen.(r.id) <- true)
-    requests;
-  let requests = Array.copy requests in
-  Array.stable_sort (fun a b -> compare a.arrival_us b.arrival_us) requests;
-  let st =
-    {
-      cfg = config;
-      registry;
-      schedule;
-      rq = Rqueue.create ~capacity:config.queue_capacity;
-      batcher =
-        Batcher.create
-          {
-            Batcher.batch_max = config.batch_max;
-            deadline_us = config.deadline_us;
-          };
-      busy_until = Array.make config.workers 0.0;
-      inflight = Queue.create ();
-      metrics = Metrics.create ();
-      batch_seq = 0;
-      batches_rev = [];
-      rejects_rev = [];
-      by_model = Hashtbl.create 8;
-    }
+    requests
+
+let run ?(config = default_config) ?(mode = Virtual) ~schedule registry
+    requests =
+  validate_ids requests;
+  let shard = Shard.create ~config ~schedule registry in
+  let outputs = Array.make (Array.length requests) None in
+  Shard.serve ~mode shard ~outputs requests
+
+(* ------------------------------------------------------------------ *)
+(* The fleet: routed admission over per-shard engines                  *)
+
+type fleet_result = {
+  fleet_outputs : float array option array;
+  shard_results : (int * result) list;  (** ascending shard id *)
+  fleet_metrics : Metrics.t;  (** {!Metrics.merge} over the shards *)
+  fleet_rejects : request list;  (** arrival order across the fleet *)
+  fleet_router : Router.t;
+  fleet_compiles : int;
+  fleet_hydrations : int;
+  fleet_foreign_hydrations : int;
+  fleet_equivalence_failures : int;
+}
+
+let run_fleet ?(config = default_config) ?(mode = Virtual) ~schedule ~router
+    registries requests =
+  validate_ids requests;
+  let registries =
+    List.sort (fun (a, _) (b, _) -> compare a b) registries
   in
-  schedule_trace st requests;
-  (* Snapshot cache statistics before the equivalence pass so the check
-     itself can't distort the reported hit ratio. *)
-  let cache_stats = Registry.cache_stats registry in
-  let compile_count = Registry.compile_count registry in
-  let hydration_count = Registry.hydration_count registry in
-  let batches = List.rev st.batches_rev in
+  if List.map fst registries <> Router.shard_ids router then
+    invalid_arg
+      "Runtime.run_fleet: registries must cover the router's live shards";
+  let n = Array.length requests in
   let outputs = Array.make n None in
-  let timed = match mode with Virtual -> false | Wall | Dual -> true in
-  execute ~timed config batches outputs;
-  if timed then wall_replay config batches st.metrics;
-  let drift =
-    match mode with
-    | Virtual | Wall -> []
-    | Dual -> drift_of_batches registry batches
+  (* Routed admission: the router partitions the trace by model, so a
+     model's requests all land on one shard (its artifacts stay hot
+     there) and every process agrees on the split. Partitioning preserves
+     arrival order within a shard. *)
+  let parts = Hashtbl.create 8 in
+  Array.iter
+    (fun r ->
+      let sid = Router.route router r.model in
+      Hashtbl.replace parts sid
+        (r :: Option.value ~default:[] (Hashtbl.find_opt parts sid)))
+    requests;
+  (* Shards run one after another (each one's virtual phase is already
+     sequential, and its execution phase joins its domains), in ascending
+     id order — the fleet is deterministic end to end. *)
+  let shard_results =
+    List.map
+      (fun (sid, reg) ->
+        let part =
+          Option.value ~default:[] (Hashtbl.find_opt parts sid)
+          |> List.rev |> Array.of_list
+        in
+        let shard = Shard.create ~id:sid ~config ~schedule reg in
+        (sid, Shard.serve ~mode shard ~outputs part))
+      registries
   in
-  let equivalence_failures = check_equivalence st requests outputs in
+  let results = List.map snd shard_results in
+  let rejects =
+    List.concat_map (fun r -> r.rejects) results
+    |> List.stable_sort (fun a b -> compare (a.arrival_us, a.id) (b.arrival_us, b.id))
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
   {
-    outputs;
-    batches;
-    rejects = List.rev st.rejects_rev;
-    metrics = st.metrics;
-    queue_stats = Rqueue.stats st.rq;
-    cache_stats;
-    compile_count;
-    hydration_count;
-    equivalence_failures;
-    drift;
+    fleet_outputs = outputs;
+    shard_results;
+    fleet_metrics = Metrics.merge (List.map (fun r -> r.metrics) results);
+    fleet_rejects = rejects;
+    fleet_router = router;
+    fleet_compiles = sum (fun r -> r.compile_count);
+    fleet_hydrations = sum (fun r -> r.hydration_count);
+    fleet_foreign_hydrations = sum (fun r -> r.foreign_hydration_count);
+    fleet_equivalence_failures = sum (fun r -> r.equivalence_failures);
   }

@@ -1,49 +1,38 @@
-(** The serving runtime: admission queue → dynamic batcher → worker pool,
-    driven on a deterministic virtual clock.
+(** The serving runtime: a fleet of {!Shard}s behind routed admission —
+    or, the historical entry point, a fleet of one.
 
-    The engine runs in two phases:
+    {!run} drives the single-shard engine (admission queue → dynamic
+    batcher → deadline-aware scheduler → worker pool; see {!Shard} for
+    the two-phase design). {!run_fleet} scales it out: a {!Router}
+    partitions the trace by model, each live shard serves its slice with
+    its own registry, metrics merge exactly across shards
+    ({!Metrics.merge}), and shards sharing an artifact [cache_dir] ship
+    compiled artifacts to each other through the disk tier — a model that
+    moves after a rebalance hydrates on its new shard instead of
+    recompiling ({!Registry.foreign_hydration_count}).
 
-    + {e Virtual-time scheduling} (single-threaded, deterministic): walk
-      the arrival trace in time order; admit each request through the
-      bounded {!Rqueue} (rejecting with backpressure when the window of
-      queued-but-unstarted requests is full), form batches per
-      {!Batcher}'s size-or-deadline policy, and assign each batch to the
-      earliest-free worker of a pool of [workers] logical servers. Batch
-      service time is charged from the {!Registry}'s deterministic model:
-      a fixed dispatch overhead, the modeled compile cost when the
-      predictor cache misses, and [size × us_per_row]. Every latency in
-      {!Metrics} comes from this clock, so a fixed trace yields identical
-      numbers on any host.
-    + {e Execution} (parallel, real): the scheduled batches are executed
-      on OCaml [Domain]s — one per worker, each running its assigned
-      batches through {!Tb_vm.Jit.compile_single_thread} predictors
-      (serving-level parallelism replaces the schedule's row-loop
-      threads). Outputs land in per-request slots, and an equivalence
-      check compares them bitwise against one direct whole-trace predictor
-      call per model: batching, caching and parallel dispatch must never
-      change a result.
-
-    The execution {!mode} decides whether the second phase also runs the
-    {e wall clock}: in [Wall] and [Dual] modes each batch's real [predict]
-    call is timed on its worker, a wall timeline is replayed from the
-    virtual schedule's decisions (same batches, workers and formation
-    times, measured service durations — cache misses charged their
-    {e measured} compile time), and the wall latencies land in
+    The execution {!mode} decides whether execution also runs the
+    {e wall clock}: in [Wall] and [Dual] modes each batch's real
+    [predict] call is timed on its worker, a wall timeline is replayed
+    from the virtual schedule's decisions (same batches, workers and
+    formation times, measured service durations — cache misses charged
+    their {e measured} compile time), and the wall latencies land in
     {!Metrics}'s parallel wall set. [Dual] additionally pairs the two
     clocks per batch into a per-model drift summary
     ({!Tb_analysis.Serve_check.model_drift}) — the input to V001/V002
     drift checking and {!Registry.calibrate}. The virtual phase never
     reads a wall measurement, so the virtual half of a dual run is
-    byte-identical to a pure virtual run of the same trace. *)
+    byte-identical to a pure virtual run of the same trace — per shard
+    and for the merged fleet view alike. *)
 
-type request = {
+type request = Shard.request = {
   id : int;  (** dense 0..n-1; indexes the result's output slots *)
   model : string;
   row : float array;
   arrival_us : float;
 }
 
-type mode =
+type mode = Shard.mode =
   | Virtual  (** deterministic simulation only (the default) *)
   | Wall  (** also time real execution and report wall metrics *)
   | Dual  (** wall metrics plus per-model wall/virtual drift *)
@@ -53,7 +42,7 @@ val mode_to_string : mode -> string
 val mode_of_string : string -> (mode, string) Stdlib.result
 (** ["virtual"], ["wall"], ["dual"]. *)
 
-type config = {
+type config = Shard.config = {
   queue_capacity : int;
       (** max requests admitted but not yet dispatched to a worker *)
   batch_max : int;
@@ -61,31 +50,33 @@ type config = {
   workers : int;
   dispatch_overhead_us : float;
       (** fixed virtual cost per batch: queue handoff + output scatter *)
+  scheduling : Scheduler.policy;
+  slo_us : (string * float) list;
+  default_slo_us : float option;
+  shed_lo : float;
+  shed_hi : float;
+  pending_cap : int;
 }
+(** See {!Shard.config} for the scheduling / SLO / shedding knobs. *)
 
 val default_config : config
-(** capacity 1024, batch 32, deadline 500µs, 2 workers, 20µs overhead. *)
+(** capacity 1024, batch 32, deadline 500µs, 2 workers, 20µs overhead,
+    FIFO scheduling, no SLOs, shedding off. *)
 
-type batch_exec = {
+type batch_exec = Shard.batch_exec = {
   batch_id : int;
   worker : int;
   cause : Batcher.cause;
   compiled : Registry.compiled;
   tier : Registry.provenance;
-      (** which registry tier answered this batch's lookup; decides the
-          modeled acquire cost charged on the virtual clock ([`Hit] free,
-          [`Disk] [hydrate_us], [`Compile] [compile_us]) and the measured
-          cost on the wall replay *)
   requests : request array;
   formed_us : float;
   start_us : float;
   finish_us : float;
   mutable wall_predict_us : float;
-      (** measured wall time of this batch's [predict] call; 0 in
-          [Virtual] mode *)
 }
 
-type result = {
+type result = Shard.result = {
   outputs : float array option array;
       (** per request id: the margin vector, [None] when rejected *)
   batches : batch_exec list;  (** dispatch order *)
@@ -95,14 +86,9 @@ type result = {
   cache_stats : Policy.stats;
   compile_count : int;
   hydration_count : int;
-      (** registry disk-tier hydrations over the run (0 without a
-          [cache_dir]) *)
+  foreign_hydration_count : int;
   equivalence_failures : int;
-      (** requests whose served output differs bitwise from the direct
-          single-call JIT prediction; 0 on a healthy run *)
   drift : Tb_analysis.Serve_check.model_drift list;
-      (** per-model wall/virtual drift (registration order); empty unless
-          the run was [Dual] *)
 }
 
 val run :
@@ -112,8 +98,43 @@ val run :
   Registry.t ->
   request array ->
   result
-(** Serve a trace (default mode [Virtual]). Requests may arrive in any
-    order (they are sorted by arrival time, stably); ids must be exactly
-    0..n-1.
+(** Serve a trace on a single shard (default mode [Virtual]). Requests
+    may arrive in any order (they are sorted by arrival time, stably);
+    ids must be exactly 0..n-1.
     @raise Invalid_argument on malformed ids or config fields, and
     [Not_found] when a request names an unregistered model. *)
+
+(** {2 Sharded fleet} *)
+
+type fleet_result = {
+  fleet_outputs : float array option array;
+      (** per request id, whichever shard served it *)
+  shard_results : (int * result) list;  (** ascending shard id *)
+  fleet_metrics : Metrics.t;  (** {!Metrics.merge} over the shards *)
+  fleet_rejects : request list;  (** arrival order across the fleet *)
+  fleet_router : Router.t;
+  fleet_compiles : int;
+  fleet_hydrations : int;
+  fleet_foreign_hydrations : int;
+      (** hydrations of artifacts the hydrating shard never compiled —
+          cross-shard (or cross-process) artifact shipping at work *)
+  fleet_equivalence_failures : int;
+}
+
+val run_fleet :
+  ?config:config ->
+  ?mode:mode ->
+  schedule:Tb_hir.Schedule.t ->
+  router:Router.t ->
+  (int * Registry.t) list ->
+  request array ->
+  fleet_result
+(** Serve a trace across a fleet: the router partitions requests by
+    model (preserving arrival order within a shard), each shard serves
+    its slice in ascending shard-id order — sequentially, so a fixed
+    trace and seed yield a byte-identical fleet result on any host — and
+    the per-shard results are merged. The registry list must carry
+    exactly the router's live shard ids; point the registries at one
+    shared [cache_dir] to let shards hydrate each other's artifacts.
+    @raise Invalid_argument on malformed ids or config fields, or when
+    the registries don't match the router's shards. *)

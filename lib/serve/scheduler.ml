@@ -1,0 +1,78 @@
+type policy = Fifo | Edf
+
+let policy_to_string = function Fifo -> "fifo" | Edf -> "edf"
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fifo" -> Ok Fifo
+  | "edf" -> Ok Edf
+  | s ->
+    Error
+      (Printf.sprintf "unknown scheduling policy %S (expected fifo or edf)" s)
+
+type 'a entry = { deadline_us : float; seq : int; item : 'a }
+
+(* Entries kept sorted by the policy's priority key, best first. The pool
+   holds formed-but-unstarted batches, so its size is bounded by the
+   scheduler backlog cap — linear insertion is fine and keeps ordering
+   trivially deterministic. *)
+type 'a t = {
+  policy : policy;
+  mutable entries : 'a entry list;
+  mutable seq : int;
+}
+
+let create policy = { policy; entries = []; seq = 0 }
+
+let policy_of t = t.policy
+let length t = List.length t.entries
+let is_empty t = t.entries = []
+
+(* Priority order: EDF by (deadline, admission seq), FIFO by admission
+   seq alone. Ties always fall back to seq, so the order is total and a
+   run is reproducible. *)
+let before t (a : 'a entry) (b : 'a entry) =
+  match t.policy with
+  | Fifo -> a.seq < b.seq
+  | Edf ->
+    a.deadline_us < b.deadline_us
+    || (a.deadline_us = b.deadline_us && a.seq < b.seq)
+
+let push t ~deadline_us item =
+  let e = { deadline_us; seq = t.seq; item } in
+  t.seq <- t.seq + 1;
+  let rec insert = function
+    | [] -> [ e ]
+    | x :: rest when before t x e -> x :: insert rest
+    | rest -> e :: rest
+  in
+  t.entries <- insert t.entries
+
+let pop t =
+  match t.entries with
+  | [] -> None
+  | e :: rest ->
+    t.entries <- rest;
+    Some e.item
+
+let peek t = match t.entries with [] -> None | e :: _ -> Some e.item
+
+let shed_last t =
+  (* The entry the policy would serve last: under EDF the latest
+     deadline (the least urgent work), under FIFO the newest admission.
+     Overload sheds from this end first. *)
+  match t.entries with
+  | [] -> None
+  | entries ->
+    let rec split = function
+      | [ last ] -> ([], last)
+      | x :: rest ->
+        let kept, last = split rest in
+        (x :: kept, last)
+      | [] -> assert false
+    in
+    let kept, last = split entries in
+    t.entries <- kept;
+    Some last.item
+
+let to_list t = List.map (fun e -> e.item) t.entries

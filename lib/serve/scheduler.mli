@@ -1,0 +1,53 @@
+(** Deadline-aware dispatch ordering for formed batches.
+
+    The serving engine forms batches faster than workers free up under
+    load, so a pool of pending batches accumulates between formation and
+    dispatch. The scheduler decides which pending batch the next free
+    worker takes:
+
+    - {e FIFO}: formation order — the pre-sharding behaviour, optimal for
+      nothing in particular but fair and simple;
+    - {e EDF} (earliest deadline first): each batch carries the absolute
+      deadline of its {e oldest} request (arrival + the model's SLO
+      budget); the nearest deadline dispatches first. When per-model p99
+      budgets differ, EDF is the classic optimal single-machine policy
+      for meeting them.
+
+    The pool also exposes the opposite end — {!shed_last} removes the
+    entry the policy would serve last (latest deadline under EDF, newest
+    under FIFO), which is exactly the work graded overload shedding
+    discards first.
+
+    Ordering ties break on admission sequence, so a virtual-clock run is
+    deterministic. All operations are O(pool size); the pool is bounded
+    by the engine's backlog cap. *)
+
+type policy = Fifo | Edf
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> (policy, string) result
+(** ["fifo"], ["edf"]. *)
+
+type 'a t
+
+val create : policy -> 'a t
+val policy_of : 'a t -> policy
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> deadline_us:float -> 'a -> unit
+(** Admit a pending item. [deadline_us] is ignored by FIFO ordering but
+    still recorded (shedding and introspection read it). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the highest-priority pending item. *)
+
+val peek : 'a t -> 'a option
+
+val shed_last : 'a t -> 'a option
+(** Remove and return the {e lowest}-priority pending item — the latest
+    deadline (EDF) or newest admission (FIFO). *)
+
+val to_list : 'a t -> 'a list
+(** Pending items in dispatch order (test visibility). *)

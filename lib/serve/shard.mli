@@ -1,0 +1,150 @@
+(** One serving shard: admission queue → dynamic batcher → deadline-aware
+    scheduler → worker pool, wrapped around its own {!Registry}, driven on
+    a deterministic virtual clock.
+
+    A shard is the instantiable unit a sharded fleet replicates: it owns a
+    registry (in-memory predictor cache plus optional on-disk artifact
+    store), a bounded admission window, a batcher, a pending-batch
+    {!Scheduler} and a pool of logical workers, and its own {!Metrics}.
+    {!Runtime.run} is a fleet of one; {!Runtime.run_fleet} routes a trace
+    across many.
+
+    The engine runs in two phases:
+
+    + {e Virtual-time scheduling} (single-threaded, deterministic): walk
+      the arrival trace in time order; admit each request through the
+      graded shed ladder and the bounded {!Rqueue}; form batches per
+      {!Batcher}'s size-or-deadline policy into the pending pool; hand
+      each freed worker the pool's highest-priority batch (formation
+      order under FIFO — exactly the pre-pool greedy assignment — or
+      earliest deadline first under EDF). Batch service time is charged
+      from the {!Registry}'s deterministic model, so a fixed trace yields
+      identical numbers on any host.
+    + {e Execution} (parallel, real): the scheduled batches are executed
+      on OCaml [Domain]s — one per worker — and outputs land in
+      per-request slots. An equivalence check compares them bitwise
+      against one direct whole-trace predictor call per model: batching,
+      caching, scheduling and parallel dispatch must never change a
+      result.
+
+    The execution {!mode} decides whether the second phase also times the
+    wall clock; see {!Runtime} for the dual-clock contract. *)
+
+type request = {
+  id : int;  (** indexes the output array handed to {!serve} *)
+  model : string;
+  row : float array;
+  arrival_us : float;
+}
+
+type mode =
+  | Virtual  (** deterministic simulation only (the default) *)
+  | Wall  (** also time real execution and report wall metrics *)
+  | Dual  (** wall metrics plus per-model wall/virtual drift *)
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> (mode, string) Stdlib.result
+(** ["virtual"], ["wall"], ["dual"]. *)
+
+type config = {
+  queue_capacity : int;
+      (** max requests admitted but not yet dispatched to a worker *)
+  batch_max : int;
+  deadline_us : float;
+  workers : int;
+  dispatch_overhead_us : float;
+      (** fixed virtual cost per batch: queue handoff + output scatter *)
+  scheduling : Scheduler.policy;
+      (** pending-batch dispatch order: FIFO (the historical behaviour)
+          or EDF. Under EDF a model with an SLO budget also stops
+          batching at half its budget
+          ({!Batcher.create}'s [deadline_us_for]). *)
+  slo_us : (string * float) list;
+      (** per-model end-to-end latency budgets, virtual µs; budgets feed
+          EDF deadlines, per-model SLO attainment in {!Metrics} and the
+          shed ladder's classes *)
+  default_slo_us : float option;
+      (** budget for models without an [slo_us] entry; [None] leaves
+          them unscored (and last under EDF) *)
+  shed_lo : float;
+      (** admission-window occupancy (0..1) where graded shedding
+          starts; the default 2.0 can never trigger — shedding off *)
+  shed_hi : float;
+      (** occupancy where every class but the tightest is shed; between
+          [shed_lo] and [shed_hi] the loosest classes go first *)
+  pending_cap : int;
+      (** max formed-but-undispatched batches; overflow sheds the
+          lowest-priority pending batch *)
+}
+
+val default_config : config
+(** capacity 1024, batch 32, deadline 500µs, 2 workers, 20µs overhead,
+    FIFO, no SLOs, shedding off, unbounded pending pool — the exact
+    pre-sharding engine. *)
+
+type batch_exec = {
+  batch_id : int;
+  worker : int;
+  cause : Batcher.cause;
+  compiled : Registry.compiled;
+  tier : Registry.provenance;
+      (** which registry tier answered this batch's lookup; decides the
+          modeled acquire cost charged on the virtual clock ([`Hit] free,
+          [`Disk] [hydrate_us], [`Compile] [compile_us]) and the measured
+          cost on the wall replay *)
+  requests : request array;
+  formed_us : float;
+  start_us : float;
+  finish_us : float;
+  mutable wall_predict_us : float;
+      (** measured wall time of this batch's [predict] call; 0 in
+          [Virtual] mode *)
+}
+
+type result = {
+  outputs : float array option array;
+      (** the array handed to {!serve}: per request id the margin
+          vector, [None] when rejected (or served by another shard) *)
+  batches : batch_exec list;  (** dispatch order *)
+  rejects : request list;  (** arrival order; includes shed requests *)
+  metrics : Metrics.t;
+  queue_stats : Rqueue.stats;
+  cache_stats : Policy.stats;
+  compile_count : int;
+  hydration_count : int;
+      (** registry disk-tier hydrations over the run (0 without a
+          [cache_dir]) *)
+  foreign_hydration_count : int;
+      (** hydrations of artifacts this shard's registry never compiled —
+          shipped in from another shard or a previous process *)
+  equivalence_failures : int;
+      (** requests whose served output differs bitwise from the direct
+          single-call JIT prediction; 0 on a healthy run *)
+  drift : Tb_analysis.Serve_check.model_drift list;
+      (** per-model wall/virtual drift (registration order); empty unless
+          the run was [Dual] *)
+}
+
+type t
+(** A shard: engine configuration plus its registry. Serving state is
+    per-{!serve} call; registry cache state persists across calls. *)
+
+val create :
+  ?id:int -> ?config:config -> schedule:Tb_hir.Schedule.t -> Registry.t -> t
+(** @raise Invalid_argument on malformed config fields (non-positive
+    knobs, [shed_hi < shed_lo], non-positive SLO budgets) or a negative
+    id. *)
+
+val id : t -> int
+val registry : t -> Registry.t
+val config_of : t -> config
+
+val serve :
+  ?mode:mode -> t -> outputs:float array option array -> request array -> result
+(** Serve this shard's slice of a trace (default mode [Virtual]).
+    Requests may arrive in any order (they are sorted by arrival time,
+    stably); each request's [id] must index [outputs] — the fleet hands
+    every shard the same shared array. Counters in the result snapshot
+    the registry's cumulative totals.
+    @raise Not_found when a request names an unregistered model. *)

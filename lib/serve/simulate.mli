@@ -25,6 +25,19 @@ val arrival_kind_to_string : arrival_kind -> string
 val arrival_kind_of_string : string -> (arrival_kind, string) Stdlib.result
 (** ["poisson"], ["burst"] / ["burst:<n>"] (default n = 8), ["ramp"]. *)
 
+type popularity =
+  | Uniform  (** weighted choice by the specs' [weight] fields *)
+  | Zipf of float
+      (** Zipfian skew over declaration order — the first model is the
+          hottest, P(rank k) ∝ 1/(k+1)^θ; [weight]s are ignored. The
+          shape serving fleets actually see, and the regime where
+          affinity routing's cache locality pays. *)
+
+val popularity_to_string : popularity -> string
+
+val popularity_of_string : string -> (popularity, string) Stdlib.result
+(** ["uniform"], ["zipf"] / ["zipf:<theta>"] (default θ = 1). *)
+
 type model_spec = {
   name : string;
   forest : Tb_model.Forest.t;
@@ -34,6 +47,9 @@ type model_spec = {
   weight : int;
       (** relative request frequency (≥ 1); a skewed mix is how serving
           caches see hot and cold models *)
+  slo_us : float option;
+      (** per-model end-to-end latency budget (virtual µs): feeds EDF
+          deadlines, SLO attainment scoring and the shed ladder *)
 }
 
 type config = {
@@ -41,25 +57,38 @@ type config = {
   rate_rps : float;  (** average request rate, requests/second *)
   num_requests : int;
   seed : int;
+  popularity : popularity;  (** model-choice distribution *)
   schedule : Tb_hir.Schedule.t;
   runtime : Runtime.config;
   mode : Runtime.mode;  (** virtual / wall / dual execution *)
+  shards : int;  (** fleet size for {!run_fleet}; {!run} ignores it *)
+  routing : Router.policy;  (** fleet admission routing *)
   cache_policy : Policy.kind;
   cache_capacity : int;
   cache_dir : string option;
-      (** registry on-disk artifact store; [None] = memory tier only *)
+      (** registry on-disk artifact store; [None] = memory tier only. In
+          a fleet every shard shares it — the artifact-shipping channel *)
+  cache_max_bytes : int option;
+      (** artifact-store size cap ({!Registry.create}) *)
   target : Tb_cpu.Config.t;
 }
 
 val default_config : config
-(** Poisson at 50k rps, 2000 requests, seed 42, default schedule and
-    runtime config, virtual mode, LRU cache of 8, Intel Rocket Lake
-    target. *)
+(** Poisson at 50k rps, 2000 requests, seed 42, uniform popularity,
+    default schedule and runtime config, virtual mode, 1 shard with
+    affinity routing, LRU cache of 8, Intel Rocket Lake target. *)
 
 val gen_arrivals :
   Tb_util.Prng.t -> arrival_kind -> rate_rps:float -> n:int -> float array
 (** [n] non-decreasing arrival times in virtual microseconds starting at
     0. Exposed for tests. *)
+
+val gen_requests :
+  Tb_util.Prng.t -> config -> model_spec list -> Runtime.request array
+(** The full request trace: arrivals plus popularity-driven model and
+    row choices, all from the one PRNG. Generated before any routing, so
+    the trace depends only on the seed — resharding re-partitions the
+    same requests. Exposed for tests. *)
 
 type report = {
   config_json : Tb_util.Json.t;
@@ -83,3 +112,26 @@ val report_to_json : ?virtual_only:bool -> report -> Tb_util.Json.t
     ["wall"] sub-object and a top-level ["drift"] section (dual mode).
     [~virtual_only:true] omits both, leaving exactly the deterministic
     virtual report (used for determinism diffs of dual runs). *)
+
+(** {2 Sharded fleet} *)
+
+type fleet_report = {
+  fleet_config_json : Tb_util.Json.t;
+  fleet : Runtime.fleet_result;
+  fleet_per_model : (string * int) list;
+      (** completed request count per model, fleet-wide *)
+}
+
+val run_fleet :
+  ?calibration:Registry.calibration -> config -> model_spec list -> fleet_report
+(** Like {!run} but across [config.shards] shards behind a
+    [config.routing] router: one registry per shard (every model
+    registered on each — compilation stays lazy; all sharing
+    [cache_dir]), the seed-deterministic trace partitioned by model.
+    @raise Invalid_argument as {!run}, or when [shards < 1]. *)
+
+val fleet_report_to_json : ?virtual_only:bool -> fleet_report -> Tb_util.Json.t
+(** The sharded serve-sim report: config echo, the router, the merged
+    fleet metrics, a per-shard breakdown (metrics, queue/cache stats,
+    compiles / hydrations / {e foreign} hydrations), fleet totals and the
+    equivalence flag. Virtual-only filtering as {!report_to_json}. *)

@@ -1,0 +1,16 @@
+(* FNV-1a 64-bit: deterministic across processes and OCaml versions
+   (unlike Hashtbl.hash, which is documented to vary), cheap enough for
+   per-request routing decisions. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let fnv1a64_mod s n =
+  if n < 1 then invalid_arg "Hashing.fnv1a64_mod: n < 1";
+  Int64.to_int (Int64.unsigned_rem (fnv1a64 s) (Int64.of_int n))

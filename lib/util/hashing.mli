@@ -1,0 +1,15 @@
+(** Deterministic string hashing.
+
+    Serving components — the artifact store's filenames, the router's
+    consistent-hash ring — need a hash that every process computes
+    identically, so separate shards (and separate runs) agree on where a
+    key lives. [Hashtbl.hash] is documented to vary across versions;
+    FNV-1a is fixed by specification. *)
+
+val fnv1a64 : string -> int64
+(** FNV-1a over the bytes of the string, 64-bit variant. *)
+
+val fnv1a64_mod : string -> int -> int
+(** [fnv1a64_mod s n] is the hash reduced to [\[0, n)] with {e unsigned}
+    modulus (the raw hash is a full 64-bit pattern).
+    @raise Invalid_argument when [n < 1]. *)

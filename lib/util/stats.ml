@@ -151,6 +151,26 @@ module Histogram = struct
       Float.min t.hi_seen (Float.max t.lo_seen est)
     end
 
+  let same_shape a b =
+    a.lo = b.lo
+    && a.ratio = b.ratio
+    && Array.length a.counts = Array.length b.counts
+
+  let merge_into dst src =
+    (* Geometric buckets make the merge exact: same (lo, ratio, size)
+       means bucket i covers the same interval in both histograms, so
+       adding counts is the histogram of the union of the samples. *)
+    if not (same_shape dst src) then
+      invalid_arg "Histogram.merge_into: bucket shapes differ";
+    Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+    dst.n <- dst.n + src.n;
+    let y = src.sum -. dst.comp in
+    let s = dst.sum +. y in
+    dst.comp <- s -. dst.sum -. y;
+    dst.sum <- s;
+    if src.lo_seen < dst.lo_seen then dst.lo_seen <- src.lo_seen;
+    if src.hi_seen > dst.hi_seen then dst.hi_seen <- src.hi_seen
+
   let to_json t =
     Json.Obj
       [

@@ -66,6 +66,18 @@ module Histogram : sig
       recorded min/max. 0 when empty. @raise Invalid_argument on [q]
       outside [\[0,1\]]. *)
 
+  val same_shape : t -> t -> bool
+  (** Whether two histograms share bucket geometry (lo, growth ratio,
+      bucket count) — the precondition for an exact merge. *)
+
+  val merge_into : t -> t -> unit
+  (** [merge_into dst src] adds [src]'s samples into [dst]. Exact — equal
+      geometric buckets cover equal intervals, so the merged counts are
+      exactly the histogram of the union of the recorded samples (the
+      property per-shard serving metrics rely on to roll up into one
+      fleet report). [src] is unchanged.
+      @raise Invalid_argument when the bucket shapes differ. *)
+
   val to_json : t -> Json.t
-  (** Summary object: count, mean, min, max, p50/p90/p95/p99. *)
+  (** count/mean/min/max and the p50/p90/p95/p99 quantiles. *)
 end

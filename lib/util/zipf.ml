@@ -1,0 +1,73 @@
+(* Zipf-distributed rank sampling by rejection inversion (Hörmann &
+   Derflinger, "Rejection-inversion to generate variates from monotone
+   discrete distributions", TOMACS 1996) — the same algorithm zigache's
+   bench harness and commons-math's ZipfRejectionInversionSampler use.
+
+   P(rank = k) ∝ 1 / (k+1)^theta for k in [0, n). Setup is O(1) in n (no
+   harmonic-number table), draws are O(1) expected with a handful of
+   transcendental calls, and everything is driven by the caller's seeded
+   PRNG, so traces stay reproducible. *)
+
+type t = {
+  n : int;
+  theta : float;
+  h_x1 : float;  (* h_integral 1.5 - 1 *)
+  h_n : float;  (* h_integral (n + 0.5) *)
+  s : float;  (* rejection-test shortcut constant *)
+}
+
+(* helper1 t ~ log1p(t)/t, helper2 t ~ expm1(t)/t, both continuous at 0. *)
+let helper1 t =
+  if Float.abs t > 1e-8 then Float.log1p t /. t
+  else 1.0 -. (t /. 2.0) +. (t *. t /. 3.0)
+
+let helper2 t =
+  if Float.abs t > 1e-8 then Float.expm1 t /. t
+  else 1.0 +. (t /. 2.0) +. (t *. t /. 6.0)
+
+(* ∫ x^-theta dx from 1 to x, continued through theta = 1. *)
+let h_integral c x =
+  let logx = log x in
+  helper2 ((1.0 -. c.theta) *. logx) *. logx
+
+let h c x = exp (-.c.theta *. log x)
+
+let h_integral_inverse c x =
+  let t = Float.max (-1.0) (x *. (1.0 -. c.theta)) in
+  exp (helper1 t *. x)
+
+let create ~n ~theta =
+  if n < 1 then invalid_arg "Zipf.create: n < 1";
+  if not (theta > 0.0 && Float.is_finite theta) then
+    invalid_arg "Zipf.create: theta must be positive and finite";
+  let c = { n; theta; h_x1 = 0.0; h_n = 0.0; s = 0.0 } in
+  {
+    c with
+    h_x1 = h_integral c 1.5 -. 1.0;
+    h_n = h_integral c (float_of_int n +. 0.5);
+    s = 2.0 -. h_integral_inverse c (h_integral c 2.5 -. h c 2.0);
+  }
+
+let size c = c.n
+let theta c = c.theta
+
+let draw c rng =
+  if c.n = 1 then 0
+  else begin
+    let rec loop () =
+      (* u is uniform over [h_n, h_x1) — the integral's range over the
+         support — and inverting puts x in [0.5, n + 0.5). *)
+      let u = c.h_n +. (Prng.uniform rng *. (c.h_x1 -. c.h_n)) in
+      let x = h_integral_inverse c u in
+      let k =
+        let k = int_of_float (Float.round x) in
+        if k < 1 then 1 else if k > c.n then c.n else k
+      in
+      let kf = float_of_int k in
+      (* Accept k when x landed close enough to it (the shortcut covers
+         the bulk of the mass) or the exact rejection test passes. *)
+      if kf -. x <= c.s || u >= h_integral c (kf +. 0.5) -. h c kf then k - 1
+      else loop ()
+    in
+    loop ()
+  end

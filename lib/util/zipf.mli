@@ -1,0 +1,22 @@
+(** Zipfian rank sampling by rejection inversion.
+
+    A multi-tenant serving fleet sees a few hot models and a long cold
+    tail; a Zipf(theta) popularity trace is the standard synthetic stand-in
+    (theta ≈ 0.99 for YCSB-like skew). This sampler draws ranks with
+    [P(rank = k) ∝ 1/(k+1)^theta] without tabulating harmonic sums, so
+    setup is O(1) however many models the trace covers, and every draw
+    comes from the caller's seeded {!Prng} — same seed, same trace. *)
+
+type t
+(** Immutable sampling constants for one (n, theta) pair. *)
+
+val create : n:int -> theta:float -> t
+(** @raise Invalid_argument when [n < 1] or [theta] is not positive and
+    finite. [theta = 1] (the classic harmonic case) is supported. *)
+
+val size : t -> int
+val theta : t -> float
+
+val draw : t -> Prng.t -> int
+(** A rank in [\[0, n)]; rank 0 is the most popular. Expected O(1)
+    rejections per draw. *)

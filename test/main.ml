@@ -22,6 +22,7 @@ let () =
       ("differential", Test_differential.suite);
       ("cost-check", Test_cost_check.suite);
       ("serve", Test_serve.suite);
+      ("shard", Test_shard.suite);
       ("artifact", Test_artifact.suite);
       ("soundness", Test_soundness.suite);
     ]

@@ -547,6 +547,7 @@ let test_simulate_deterministic_report () =
         profiles = None;
         pool = random_rows rng 5 32;
         weight = 1;
+        slo_us = None;
       };
     ]
   in
@@ -819,6 +820,7 @@ let test_simulate_dual_determinism () =
         profiles = None;
         pool = random_rows rng 5 32;
         weight = 1;
+        slo_us = None;
       };
     ]
   in
