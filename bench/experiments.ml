@@ -1691,6 +1691,120 @@ let artifacts () =
   close_out oc;
   Printf.printf "report: BENCH_artifacts.json\n"
 
+(* Quantization certification: per (model, width) the statically proved
+   plan (leaf scale, deviation and accumulator bounds), the N00x census,
+   and a concrete replay — the quantized integer path against the
+   Neumaier float reference on test rows, reporting the measured
+   deviation on routing-stable rows next to the proved bound (the
+   soundness claim, measured). Writes BENCH_numeric.json and
+   numeric_census_baseline.json (the file CI diffs against). *)
+let numeric () =
+  let module Census = Tb_analysis.Census in
+  let module Numeric = Tb_analysis.Numeric in
+  let module J = Tb_util.Json in
+  heading
+    "Quantization certification: N00x census + replayed deviation,\n\
+     zoo x {int8, int16}";
+  let t =
+    Table.create
+      [ "Model"; "width"; "leaf 2^e"; "dev bound"; "acc bound";
+        "N001"; "N002"; "N003"; "N004"; "dz rows"; "measured dev";
+        "certify us" ]
+  in
+  let census = ref [] and summary_rows = ref [] in
+  List.iter
+    (fun name ->
+      let b = load name in
+      let forest = b.entry.Zoo.forest in
+      let rows = Array.sub b.rows_1024 0 256 in
+      List.iter
+        (fun width ->
+          let t0 = Unix.gettimeofday () in
+          let cert = Numeric.certify ~width forest in
+          let certify_us = 1e6 *. (Unix.gettimeofday () -. t0) in
+          let wname = Numeric.width_to_string width in
+          let row =
+            Census.row_of_diags ~family:Census.numeric_family ~model:name
+              ~schedule:wname cert.Numeric.findings
+          in
+          census := row :: !census;
+          (* Replay: quantized path vs float reference on test rows. *)
+          let qm = Numeric.quantize cert.Numeric.plan forest in
+          let dz = ref 0 and measured = ref 0.0 in
+          Array.iter
+            (fun r ->
+              if Numeric.dead_zone_row cert.Numeric.plan forest r then incr dz
+              else begin
+                let q = Numeric.qpredict_raw qm r in
+                let f = Numeric.reference_raw forest r in
+                Array.iteri
+                  (fun c qv ->
+                    measured := Float.max !measured (Float.abs (qv -. f.(c))))
+                  q
+              end)
+            rows;
+          let max_dev =
+            Array.fold_left Float.max 0.0 cert.Numeric.dev_bound
+          in
+          let max_acc =
+            Array.fold_left max 0 cert.Numeric.acc_bound
+          in
+          let n code = Census.get row code in
+          Table.add_row t
+            [
+              name; wname;
+              string_of_int cert.Numeric.plan.Numeric.leaf_exp;
+              Printf.sprintf "%.2e" max_dev;
+              string_of_int max_acc;
+              string_of_int (n "N001"); string_of_int (n "N002");
+              string_of_int (n "N003"); string_of_int (n "N004");
+              Printf.sprintf "%d/%d" !dz (Array.length rows);
+              Printf.sprintf "%.2e" !measured;
+              Printf.sprintf "%.0f" certify_us;
+            ];
+          summary_rows :=
+            J.Obj
+              [
+                ("model", J.Str name);
+                ("width", J.Str wname);
+                ("leaf_exp", J.Num (float_of_int cert.Numeric.plan.Numeric.leaf_exp));
+                ("dev_bound_max", J.Num max_dev);
+                ("acc_bound_max", J.Num (float_of_int max_acc));
+                ("acc_cap", J.Num (float_of_int cert.Numeric.plan.Numeric.acc_max));
+                ("n001", J.Num (float_of_int (n "N001")));
+                ("n002", J.Num (float_of_int (n "N002")));
+                ("n003", J.Num (float_of_int (n "N003")));
+                ("n004", J.Num (float_of_int (n "N004")));
+                ("replay_rows", J.Num (float_of_int (Array.length rows)));
+                ("dead_zone_rows", J.Num (float_of_int !dz));
+                ("measured_dev", J.Num !measured);
+                ("certify_us", J.Num certify_us);
+              ]
+            :: !summary_rows;
+          if !measured > max_dev then
+            Printf.printf
+              "[numeric] %s %s: MEASURED DEVIATION %.3g EXCEEDS PROVED %.3g\n"
+              name wname !measured max_dev)
+        [ Numeric.I8; Numeric.I16 ];
+      Printf.printf "[numeric] %s done\n%!" name)
+    all_names;
+  Table.print t;
+  let census = List.rev !census in
+  let json =
+    J.Obj
+      [
+        ("summary", J.List (List.rev !summary_rows));
+        ("census", Census.to_json census);
+      ]
+  in
+  let oc = open_out "BENCH_numeric.json" in
+  output_string oc (J.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  Census.to_file "numeric_census_baseline.json" census;
+  Printf.printf "report: BENCH_numeric.json\n";
+  Printf.printf "baseline: numeric_census_baseline.json\n"
+
 let all_experiments =
   [
     ("table1", table1);
@@ -1717,4 +1831,5 @@ let all_experiments =
     ("artifacts", artifacts);
     ("lint", lint);
     ("validate", validate);
+    ("numeric", numeric);
   ]

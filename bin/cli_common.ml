@@ -42,6 +42,31 @@ let zoo_flag ~doc = Arg.(value & flag & info [ "zoo" ] ~doc)
 let grid_flag ~doc = Arg.(value & flag & info [ "grid" ] ~doc)
 let strict_flag ~doc = Arg.(value & flag & info [ "strict" ] ~doc)
 
+let bits_arg =
+  let parse s =
+    match Tb_analysis.Numeric.width_of_string s with
+    | Ok w -> Ok w
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt w =
+    Format.fprintf fmt "%s" (Tb_analysis.Numeric.width_to_string w)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tb_analysis.Numeric.I16
+    & info [ "bits"; "width" ] ~docv:"WIDTH"
+        ~doc:"Quantization width to certify: int8 or int16.")
+
+let tolerance_arg =
+  Arg.(
+    value
+    & opt float Tb_analysis.Numeric.default_tolerance
+    & info [ "tolerance" ] ~docv:"EPS"
+        ~doc:
+          "Maximum acceptable proved per-class deviation of the \
+           dequantized output against the float reference before an N003 \
+           finding.")
+
 let cache_dir_arg =
   Arg.(
     value

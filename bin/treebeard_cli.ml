@@ -6,6 +6,7 @@
      predict  run batch inference on a serialized model
      explore  autotune a schedule for a CPU target
      lint     statically verify models through the tbcheck pipeline
+     quantcheck  certify int8/int16 quantization of a model (N00x)
      calibrate  cross-validate the cost model against the profiler + JIT
      serve-sim  simulate the dynamic-batching serving runtime on a trace *)
 
@@ -518,6 +519,171 @@ let validate_cmd =
     Term.(
       const run $ model $ zoo $ grid $ stage $ strict $ verbose $ out
       $ census_out $ census_baseline)
+
+(* ---------------- quantcheck ---------------- *)
+
+let quantcheck_cmd =
+  let module D = Tb_diag.Diagnostic in
+  let module Census = Tb_analysis.Census in
+  let module Numeric = Tb_analysis.Numeric in
+  let module Json = Tb_util.Json in
+  let model = Cli_common.model_opt_arg in
+  let zoo =
+    Cli_common.zoo_flag
+      ~doc:
+        "Certify every benchmark model in the zoo (training/loading them \
+         from the cache as needed)."
+  in
+  let grid =
+    Cli_common.grid_flag
+      ~doc:"Certify at both widths (int8 and int16) instead of just --bits."
+  in
+  let bits = Cli_common.bits_arg in
+  let tolerance = Cli_common.tolerance_arg in
+  let strict =
+    Cli_common.strict_flag
+      ~doc:
+        "Exit non-zero on any finding — or, when --census-baseline is \
+         given, only on a census regression (the baseline records the \
+         findings a model is known not to certify away)."
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Also print per-feature scales and per-class bounds.")
+  in
+  let out =
+    Cli_common.out_arg
+      ~doc:"Write the per-(model, width) certificates as a JSON report."
+  in
+  let census_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "census" ] ~docv:"FILE"
+          ~doc:"Write an N001..N004 census (per model x width counts) to \
+                FILE as JSON.")
+  in
+  let census_baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "census-baseline" ] ~docv:"FILE"
+          ~doc:"Diff this run's census against a checked-in baseline; any \
+                per-cell N00x count growth fails the run.")
+  in
+  let run model zoo grid bits tolerance strict verbose out census_out
+      census_baseline =
+    let models =
+      match (zoo, model) with
+      | true, _ ->
+        List.map
+          (fun (s : Tb_gbt.Zoo.spec) ->
+            let e = Tb_gbt.Zoo.get s.Tb_gbt.Zoo.name in
+            (s.Tb_gbt.Zoo.name, e.Tb_gbt.Zoo.forest))
+          Tb_gbt.Zoo.specs
+      | false, Some path -> [ (path, Tb_model.Serialize.of_file path) ]
+      | false, None ->
+        prerr_endline "quantcheck: pass --model FILE or --zoo"; exit 2
+    in
+    let widths = if grid then [ Numeric.I8; Numeric.I16 ] else [ bits ] in
+    let warnings = ref 0 in
+    let census = ref [] and certs = ref [] in
+    List.iter
+      (fun (name, forest) ->
+        List.iter
+          (fun width ->
+            let cert = Numeric.certify ~tolerance ~width forest in
+            let wname = Numeric.width_to_string width in
+            certs := cert :: !certs;
+            census :=
+              Census.row_of_diags ~family:Census.numeric_family ~model:name
+                ~schedule:wname cert.Numeric.findings
+              :: !census;
+            let n = List.length cert.Numeric.findings in
+            warnings := !warnings + n;
+            Printf.printf "%-12s %-6s %s\n" name wname
+              (if n = 0 then "certified" else "refuted");
+            List.iter
+              (fun d -> Printf.printf "  %s\n" (D.to_string d))
+              cert.Numeric.findings;
+            if verbose then begin
+              Printf.printf "  leaf scale 2^%d, tolerance %g\n"
+                cert.Numeric.plan.Numeric.leaf_exp tolerance;
+              Array.iteri
+                (fun c dev ->
+                  Printf.printf
+                    "  class %d: dev bound %.3g, acc bound %d (cap %d)\n" c
+                    dev
+                    cert.Numeric.acc_bound.(c)
+                    cert.Numeric.plan.Numeric.acc_max)
+                cert.Numeric.dev_bound
+            end)
+          widths)
+      models;
+    let certified =
+      List.length (List.filter Numeric.certified_clean !certs)
+    in
+    Printf.printf
+      "quantcheck: %d model(s) x %d width(s): %d certified, %d finding(s)\n"
+      (List.length models) (List.length widths) certified !warnings;
+    let census = List.rev !census in
+    (match out with
+    | None -> ()
+    | Some path ->
+      Cli_common.write_report path
+        (Json.Obj
+           [
+             ( "certificates",
+               Json.List (List.rev_map Numeric.report_to_json !certs) );
+           ]);
+      Printf.printf "report          : %s\n" path);
+    if census_out <> None || census_baseline <> None then begin
+      Printf.printf "census totals:\n";
+      List.iter
+        (fun (c, n) -> Printf.printf "  %-6s %d\n" c n)
+        (Census.totals ~family:Census.numeric_family census)
+    end;
+    (match census_out with
+    | None -> ()
+    | Some path ->
+      Census.to_file path census;
+      Printf.printf "census          : %s (%d rows)\n" path
+        (List.length census));
+    let census_regressed =
+      match census_baseline with
+      | None -> false
+      | Some path -> (
+        match
+          Census.diff ~family:Census.numeric_family
+            ~baseline:(Census.of_file path) census
+        with
+        | [] ->
+          Printf.printf "census baseline : ok (no regression vs %s)\n" path;
+          false
+        | problems ->
+          Printf.printf "census baseline : %d regression(s) vs %s\n"
+            (List.length problems) path;
+          List.iter (fun p -> Printf.printf "  %s\n" p) problems;
+          true)
+    in
+    let strict_failed =
+      strict && census_baseline = None && !warnings > 0
+    in
+    if census_regressed || strict_failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "quantcheck"
+       ~doc:
+         "Statically certify integer quantization of a model: derive \
+          per-feature power-of-two scales for int8/int16, prove \
+          worst-case accumulator and output-deviation bounds, and report \
+          overflow, threshold-collision, tolerance and argmax-flip risks \
+          (N001..N004)")
+    Term.(
+      const run $ model $ zoo $ grid $ bits $ tolerance $ strict $ verbose
+      $ out $ census_out $ census_baseline)
 
 (* ---------------- calibrate ---------------- *)
 
@@ -1036,5 +1202,6 @@ let () =
        (Cmd.group (Cmd.info "treebeard" ~version:"1.0.0" ~doc)
           [
             train_cmd; compile_cmd; predict_cmd; explore_cmd; import_cmd;
-            lint_cmd; validate_cmd; calibrate_cmd; serve_sim_cmd;
+            lint_cmd; validate_cmd; quantcheck_cmd; calibrate_cmd;
+            serve_sim_cmd;
           ]))

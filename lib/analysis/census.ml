@@ -40,6 +40,22 @@ let validate_family =
     soft = [ "T001"; "T002"; "T003" ];
   }
 
+let numeric_family =
+  {
+    family_name = "numeric";
+    codes = [ "N001"; "N002"; "N003"; "N004" ];
+    hard = [];
+    (* All soft: a zoo model may legitimately fail to certify at a narrow
+       width (the baseline records why), but certification may only get
+       better — any per-cell growth fails the gate. *)
+    soft = [ "N001"; "N002"; "N003"; "N004" ];
+  }
+
+let all_families = [ lir_family; validate_family; numeric_family ]
+
+let family_of_code code =
+  List.find_opt (fun f -> List.mem code f.codes) all_families
+
 (* Default family, fixed by the original census consumers (lint). *)
 let codes = lir_family.codes
 

@@ -27,6 +27,18 @@ val validate_family : family
 (** The translation-validation family: codes [T001..T004]; [T004] hard,
     [T001..T003] soft. *)
 
+val numeric_family : family
+(** The quantization-certification family: codes [N001..N004], all soft —
+    a model may fail to certify at a narrow width (the baseline records
+    the expected findings), but no cell's count may grow. *)
+
+val all_families : family list
+(** Every registered family, for table-driven coverage tests. *)
+
+val family_of_code : string -> family option
+(** The unique family tracking [code], if any (schedule/HIR/MIR/… codes
+    have no census family). *)
+
 val codes : string list
 (** Tracked codes of {!lir_family}, in column order (the census's
     original single family; kept for compatibility). *)

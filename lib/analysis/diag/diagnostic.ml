@@ -9,6 +9,7 @@ type level =
   | Serve
   | Validate
   | Artifact
+  | Numeric
 
 type t = {
   code : string;
@@ -39,6 +40,25 @@ let level_string = function
   | Serve -> "serve"
   | Validate -> "validate"
   | Artifact -> "artifact"
+  | Numeric -> "numeric"
+
+let registry =
+  let codes level cs = List.map (fun c -> (c, level)) cs in
+  codes Schedule
+    [ "S001"; "S002"; "S003"; "S004"; "S005"; "S006"; "S010"; "S011";
+      "S012"; "S013" ]
+  @ codes Hir
+      [ "H001"; "H002"; "H003"; "H004"; "H010"; "H020"; "H030"; "H031";
+        "H032"; "H040"; "H041" ]
+  @ codes Mir [ "M001"; "M002"; "M003"; "M004"; "M005"; "M006"; "M010"; "M011" ]
+  @ codes Lir
+      [ "L001"; "L002"; "L003"; "L004"; "L010"; "L011"; "L012"; "L013";
+        "L014"; "L020"; "L021"; "L022"; "L023"; "L024" ]
+  @ codes Cost [ "C001"; "C002"; "C003" ]
+  @ codes Serve [ "V001"; "V002" ]
+  @ codes Validate [ "T001"; "T002"; "T003"; "T004" ]
+  @ codes Artifact [ "A001"; "A002"; "A003"; "A004" ]
+  @ codes Numeric [ "N001"; "N002"; "N003"; "N004" ]
 
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds

@@ -89,7 +89,24 @@
       declares inconsistent block lengths, fails structural validation
       (layout buffer lengths, walk-program register discipline) or is
       truncated — every decode failure is one of A001..A004, never a crash
-      ({!Tb_lir.Pack}) *)
+      ({!Tb_lir.Pack})
+    - [N001] quantization scaled-value overflow: at the chosen width the
+      quantized per-class accumulator (or a scaled threshold/leaf, or a
+      non-finite model constant) can exceed the integer range the
+      certificate assumes, so integer-only inference could wrap
+      ({!Tb_analysis.Numeric})
+    - [N002] quantization threshold collision: two distinct thresholds on
+      one feature quantize to the same integer — every row whose feature
+      value lands in the dead zone between them can be routed differently
+      by the integer path; the finding reports the collision count and
+      the widest dead zone
+    - [N003] quantization worst-case leaf-sum deviation: the statically
+      proved per-class deviation bound of the dequantized output against
+      the float reference exceeds the requested tolerance
+    - [N004] quantization argmax/sign flip possible: for a classification
+      model, some class pair's reachable margin interval comes within the
+      combined deviation bound of the decision boundary, so quantization
+      alone (routing unchanged) could flip the predicted class *)
 
 type severity = Info | Warning | Error
 
@@ -107,6 +124,9 @@ type level =
           ({!Tb_analysis.Validate}) *)
   | Artifact
       (** packed-predictor-artifact decode findings ({!Tb_lir.Pack}) *)
+  | Numeric
+      (** value-range / quantization certification findings
+          ({!Tb_analysis.Numeric}) *)
 
 type t = {
   code : string;  (** stable registry code, e.g. ["L010"] *)
@@ -131,6 +151,15 @@ val infof :
 
 val severity_string : severity -> string
 val level_string : level -> string
+
+val registry : (string * level) list
+(** Every allocated code with its level — the registry the doc comment
+    above describes, as data. The census families
+    ({!Tb_analysis.Census.all_families}) and the family-coverage test
+    check against it: codes are unique, every family-tracked code is
+    registered, and a code's leading letter determines its level
+    (S=Schedule, H=Hir, M=Mir, L=Lir, C=Cost, V=Serve, T=Validate,
+    A=Artifact, N=Numeric). *)
 
 val is_error : t -> bool
 val errors : t list -> t list

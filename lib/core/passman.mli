@@ -6,7 +6,10 @@
     {e at the pass that introduced it} rather than as a wrong prediction
     (or a crash) at inference time.
 
-    Stages, in order: [schedule] (legality), [hir] (tiling / LUT / padding
+    Stages, in order: [schedule] (legality), [numeric:model]
+    (value-range / int16 quantization certification of the source model,
+    {!Tb_analysis.Numeric} — advisory, so its N00x findings are demoted
+    to info severity here), [hir] (tiling / LUT / padding
     / groups vs. the source model), [validate:hir] (source ↔ HIR
     translation validation), [mir:lower], [mir:specialize],
     [validate:mir] (HIR ↔ walk-kind semantics), [mir:interleave],

@@ -10,6 +10,24 @@ let sum xs =
     xs;
   !total
 
+let neumaier_sum xs =
+  (* Kahan–Babuška–Neumaier: like [sum], but the compensation also
+     absorbs the case where the incoming term is larger than the running
+     total (plain Kahan loses the *total*'s low bits there — the classic
+     [1; 1e100; 1; -1e100] vector sums to 0 instead of 2). Used as the
+     float reference accumulator by the quantization certifier, whose
+     proved deviation bounds assume a near-exact reference. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let t = !total +. x in
+      if Float.abs !total >= Float.abs x then
+        comp := !comp +. (!total -. t +. x)
+      else comp := !comp +. (x -. t +. !total);
+      total := t)
+    xs;
+  !total +. !comp
+
 let mean xs =
   let n = Array.length xs in
   if n = 0 then 0.0 else sum xs /. float_of_int n

@@ -19,6 +19,13 @@ val min_max : float array -> float * float
 val sum : float array -> float
 (** Kahan-compensated sum. *)
 
+val neumaier_sum : float array -> float
+(** Kahan–Babuška–Neumaier compensated sum: like {!sum} but also correct
+    when a term exceeds the running total in magnitude (the adversarial
+    cancellation vector [[|1.; 1e100; 1.; -1e100|]] sums to [2.], where
+    plain Kahan returns [0.]). The reference accumulator for
+    {!Tb_analysis.Numeric}'s leaf sums. *)
+
 val argmax : float array -> int
 (** Index of the largest element of a non-empty array (first on ties). *)
 

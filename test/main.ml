@@ -25,4 +25,5 @@ let () =
       ("shard", Test_shard.suite);
       ("artifact", Test_artifact.suite);
       ("soundness", Test_soundness.suite);
+      ("numeric", Test_numeric.suite);
     ]

@@ -589,10 +589,138 @@ let test_validate_summary_shape () =
         lp.Lower.hir.Program.trees)
     [ Schedule.default; { Schedule.default with Schedule.layout = Schedule.Sparse_layout } ]
 
+(* ---------------- code registry / census families ---------------- *)
+
+let test_registry_codes_and_families () =
+  let module Census = Tb_analysis.Census in
+  let registry = D.registry in
+  (* Codes are unique. *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (code, _) ->
+      if Hashtbl.mem seen code then
+        Alcotest.failf "code %s registered twice" code;
+      Hashtbl.add seen code ())
+    registry;
+  (* The leading letter determines the level. *)
+  let level_of_letter = function
+    | 'S' -> D.Schedule
+    | 'H' -> D.Hir
+    | 'M' -> D.Mir
+    | 'L' -> D.Lir
+    | 'C' -> D.Cost
+    | 'V' -> D.Serve
+    | 'T' -> D.Validate
+    | 'A' -> D.Artifact
+    | 'N' -> D.Numeric
+    | c -> Alcotest.failf "unknown code letter %c" c
+  in
+  List.iter
+    (fun (code, level) ->
+      check_bool
+        (Printf.sprintf "%s level matches its letter" code)
+        true
+        (level = level_of_letter code.[0]))
+    registry;
+  (* Table-driven family coverage: every tracked code of every family
+     maps back to exactly that family, is registered, and hard/soft are
+     subsets of the tracked codes. *)
+  List.iter
+    (fun (f : Census.family) ->
+      List.iter
+        (fun code ->
+          (match Census.family_of_code code with
+          | Some f' ->
+            check_string
+              (Printf.sprintf "%s belongs to one family" code)
+              f.Census.family_name f'.Census.family_name
+          | None -> Alcotest.failf "%s tracked but family_of_code = None" code);
+          check_bool
+            (Printf.sprintf "%s is a registered code" code)
+            true
+            (List.mem_assoc code registry))
+        f.Census.codes;
+      List.iter
+        (fun code ->
+          check_bool
+            (Printf.sprintf "hard code %s is tracked" code)
+            true
+            (List.mem code f.Census.codes))
+        f.Census.hard;
+      List.iter
+        (fun code ->
+          check_bool
+            (Printf.sprintf "soft code %s is tracked" code)
+            true
+            (List.mem code f.Census.codes))
+        f.Census.soft)
+    Census.all_families;
+  (* No code is claimed by two families. *)
+  let all_tracked =
+    List.concat_map (fun (f : Census.family) -> f.Census.codes)
+      Census.all_families
+  in
+  check_int "no family collisions"
+    (List.length all_tracked)
+    (List.length (List.sort_uniq compare all_tracked));
+  (* Expected family per letter, including codes outside any census. *)
+  let family_name code =
+    Option.map
+      (fun (f : Census.family) -> f.Census.family_name)
+      (Census.family_of_code code)
+  in
+  List.iter
+    (fun (code, want) ->
+      check_bool
+        (Printf.sprintf "family_of_code %s" code)
+        true
+        (family_name code = want))
+    [
+      ("L010", Some "lir-bounds"); ("L014", Some "lir-bounds");
+      ("T001", Some "validate");
+      ("T004", Some "validate"); ("N001", Some "numeric");
+      ("N004", Some "numeric"); ("S001", None); ("H010", None);
+      ("M006", None); ("L001", None); ("C001", None); ("V002", None);
+      ("A003", None); ("Z999", None);
+    ]
+
+let test_passman_numeric_stage_advisory () =
+  let rng = Prng.create 29 in
+  let forest = Forest.random ~num_trees:5 ~max_depth:4 ~num_features:4 rng in
+  match Passman.lower forest Schedule.default with
+  | Error report ->
+    Alcotest.failf "pipeline failed: %s" (Passman.report_to_string report)
+  | Ok (_, report) ->
+    let stage =
+      List.find_opt
+        (fun s -> s.Passman.stage = "numeric:model")
+        report.Passman.stages
+    in
+    (match stage with
+    | None -> Alcotest.fail "report has no numeric:model stage"
+    | Some s ->
+      List.iter
+        (fun d ->
+          check_bool "numeric stage findings are info-severity" true
+            (d.D.severity = D.Info);
+          check_bool "numeric stage findings are Numeric-level" true
+            (d.D.level = D.Numeric))
+        s.Passman.diagnostics);
+    (* The stage runs right after the schedule check. *)
+    (match report.Passman.stages with
+    | s0 :: s1 :: _ ->
+      check_string "first stage" "schedule" s0.Passman.stage;
+      check_string "second stage" "numeric:model" s1.Passman.stage
+    | _ -> Alcotest.fail "fewer than two stages")
+
 let suite =
   [
     quick "verified pipeline accepts the default schedule"
       test_passman_default_clean;
+    quick "code registry unique + census family coverage"
+      test_registry_codes_and_families;
+    quick "Passman numeric:model stage is advisory (info-only)"
+      test_passman_numeric_stage_advisory;
     quick "verified pipeline == unverified lowering"
       test_passman_matches_unverified_lower;
     qcheck ~count:50 ~name:"pipeline lint-clean on random models x schedules"

@@ -160,6 +160,59 @@ let test_serialize_file_roundtrip () =
       let f' = Serialize.of_file path in
       check_int "trees" 3 (Array.length f'.Forest.trees))
 
+(* Serialization must preserve thresholds and leaf values to the bit:
+   the quantization certifier proves bounds about the exact IEEE-754
+   constants of the model, so a printer that drops low mantissa bits
+   would silently invalidate every certificate of a reloaded model.
+   Adversarial constants come straight from random 64-bit patterns
+   (full 53-bit mantissas, denormals, extreme exponents), not from
+   "round" values a lossy printer would survive. *)
+let bits_preserving_roundtrip seed =
+  let rng = Prng.create seed in
+  let adversarial_float () =
+    let rec go () =
+      let f = Int64.float_of_bits (Prng.next_int64 rng) in
+      if Float.is_finite f then f else go ()
+    in
+    go ()
+  in
+  let rec build depth =
+    if depth = 0 || Prng.int rng 3 = 0 then leaf (adversarial_float ())
+    else
+      node (Prng.int rng 3)
+        (adversarial_float ())
+        (build (depth - 1))
+        (build (depth - 1))
+  in
+  let forest =
+    Forest.make ~name:"bits"
+      ~base_score:(adversarial_float ())
+      ~task:Forest.Regression ~num_features:3
+      (Array.init (1 + Prng.int rng 4) (fun _ -> build 4))
+  in
+  let forest' = Serialize.of_string (Serialize.to_string forest) in
+  let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let rec same_tree a b =
+    match (a, b) with
+    | Tree.Leaf x, Tree.Leaf y -> same_bits x y
+    | ( Tree.Node { feature = f; threshold = t; left = l; right = r },
+        Tree.Node { feature = f'; threshold = t'; left = l'; right = r' } ) ->
+      f = f' && same_bits t t' && same_tree l l' && same_tree r r'
+    | _ -> false
+  in
+  if not (same_bits forest.Forest.base_score forest'.Forest.base_score) then
+    QCheck2.Test.fail_reportf "base_score drifted: %h -> %h"
+      forest.Forest.base_score forest'.Forest.base_score;
+  Array.iteri
+    (fun i t ->
+      if not (same_tree t forest'.Forest.trees.(i)) then
+        QCheck2.Test.fail_reportf
+          "tree %d: some threshold or leaf changed bit pattern across \
+           serialization"
+          i)
+    forest.Forest.trees;
+  true
+
 let test_serialize_rejects_garbage () =
   check_bool "raises" true
     (match Serialize.of_string "{\"nope\": 1}" with
@@ -233,6 +286,9 @@ let suite =
     quick "serialize multiclass roundtrip" test_serialize_roundtrip_multiclass;
     quick "serialize preserves predictions" test_serialize_preserves_predictions;
     quick "serialize file roundtrip" test_serialize_file_roundtrip;
+    qcheck ~count:100
+      ~name:"serialize preserves IEEE-754 bit patterns exactly" seed_gen
+      bits_preserving_roundtrip;
     quick "serialize rejects garbage" test_serialize_rejects_garbage;
     quick "profile counts hits" test_profile_counts_hits;
     quick "profile of empty rows is uniform" test_profile_empty_rows_uniform;

@@ -80,6 +80,24 @@ let test_stats_kahan_sum () =
   check_bool "kahan keeps precision" true
     (Float.abs (Stats.sum xs -. 1.1) < 1e-9)
 
+let test_stats_neumaier_sum () =
+  (* The adversarial cancellation vector: the incoming 1e100 dwarfs the
+     running total, so plain Kahan loses the total's low bits and
+     returns 0; Neumaier's branch compensates the other way round. *)
+  let xs = [| 1.0; 1e100; 1.0; -1e100 |] in
+  check_float "neumaier survives cancellation" 2.0 (Stats.neumaier_sum xs);
+  check_bool "plain kahan loses the mass here" true
+    (Stats.sum xs <> 2.0);
+  (* Agrees with Kahan on the benign case. *)
+  let ys = Array.make 10_000_001 1e-8 in
+  ys.(0) <- 1.0;
+  check_bool "benign case matches kahan" true
+    (Float.abs (Stats.neumaier_sum ys -. 1.1) < 1e-9);
+  check_float "empty" 0.0 (Stats.neumaier_sum [||]);
+  (* Exact cancellation of permuted magnitudes. *)
+  check_float "signed magnitudes cancel" 0.0
+    (Stats.neumaier_sum [| 1e50; 3.5; -1e50; 2.5; -6.0 |])
+
 let json_roundtrip j =
   Json.of_string (Json.to_string j)
 
@@ -169,6 +187,7 @@ let suite =
     quick "stats percentile" test_stats_percentile;
     quick "stats argmin/argmax" test_stats_argminmax;
     quick "stats kahan sum" test_stats_kahan_sum;
+    quick "stats neumaier sum" test_stats_neumaier_sum;
     quick "json roundtrip basic" test_json_roundtrip_basic;
     quick "json float precision" test_json_float_precision;
     quick "json parse errors" test_json_parse_errors;
