@@ -67,6 +67,33 @@ let tolerance_arg =
            dequantized output against the float reference before an N003 \
            finding.")
 
+let precision_arg =
+  let parse s =
+    match Tb_core.Treebeard.precision_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt p =
+    Format.fprintf fmt "%s" (Tb_core.Treebeard.precision_to_string p)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Float
+    & info [ "precision" ] ~docv:"TIER"
+        ~doc:
+          "Precision tier to compile: float (default), int16 or int8. A \
+           quantized tier certifies the model first (the quantcheck \
+           analysis) and falls back to float — per model, with an N005 \
+           diagnostic — when the certificate is refuted; a model that \
+           certifies clean serves the integer fast path, bitwise-equal \
+           to the certified integer evaluator.")
+
+(* --precision int16 --tolerance 0.5: the tolerance flag (shared with
+   quantcheck) overrides the quantized request's N003 budget. *)
+let with_tolerance tolerance = function
+  | `Float -> `Float
+  | `Quantized q -> `Quantized { q with Tb_core.Treebeard.tolerance }
+
 let cache_dir_arg =
   Arg.(
     value

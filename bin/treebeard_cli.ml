@@ -19,6 +19,7 @@ module Config = Tb_cpu.Config
 let model_arg = Cli_common.model_arg
 let target_arg = Cli_common.target_arg
 let schedule_term = Cli_common.schedule_term
+let precision_arg = Cli_common.precision_arg
 
 (* ---------------- train ---------------- *)
 
@@ -52,13 +53,28 @@ let train_cmd =
 (* ---------------- compile ---------------- *)
 
 let compile_cmd =
-  let run model schedule =
-    let compiled = Tb_core.Treebeard.make ~plan:(`Schedule schedule) (`File model) in
+  let run model schedule precision tolerance =
+    let precision = Cli_common.with_tolerance tolerance precision in
+    let compiled =
+      Tb_core.Treebeard.make ~plan:(`Schedule schedule) ~precision
+        (`File model)
+    in
+    List.iter
+      (fun d -> print_endline (Tb_diag.Diagnostic.to_string d))
+      compiled.Tb_core.Treebeard.precision_diags;
+    Printf.printf "precision: %s%s\n"
+      (Tb_core.Treebeard.tier_to_string compiled.Tb_core.Treebeard.tier)
+      (if compiled.Tb_core.Treebeard.resident_k > 0 then
+         Printf.sprintf " (resident prefix k=%d)"
+           compiled.Tb_core.Treebeard.resident_k
+       else "");
     print_string (Tb_core.Treebeard.dump_ir compiled)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model and dump its IR (schedule, MIR, LIR, layout)")
-    Term.(const run $ model_arg $ schedule_term)
+    Term.(
+      const run $ model_arg $ schedule_term $ precision_arg
+      $ Cli_common.tolerance_arg)
 
 (* ---------------- predict ---------------- *)
 
@@ -73,13 +89,24 @@ let predict_cmd =
       & info [ "backend" ]
           ~doc:"Execution backend: the closure JIT or the register-IR interpreter.")
   in
-  let run model schedule batch backend =
+  let run model schedule batch backend precision tolerance =
+    let precision = Cli_common.with_tolerance tolerance precision in
     let forest = Tb_model.Serialize.of_file model in
-    let lowered = Tb_lir.Lower.lower forest schedule in
-    let predict =
+    let predict, tier =
       match backend with
-      | `Jit -> Tb_vm.Jit.compile lowered
-      | `Interp -> Tb_vm.Interp.compile lowered
+      | `Jit ->
+        let compiled =
+          Tb_core.Treebeard.make ~plan:(`Schedule schedule) ~precision
+            (`Forest forest)
+        in
+        (compiled.Tb_core.Treebeard.predict, compiled.Tb_core.Treebeard.tier)
+      | `Interp ->
+        (match precision with
+        | `Float -> ()
+        | `Quantized _ ->
+          prerr_endline "predict: --precision requires the jit backend";
+          exit 2);
+        (Tb_vm.Interp.compile (Tb_lir.Lower.lower forest schedule), `Float)
     in
     let rng = Tb_util.Prng.create 1 in
     let rows =
@@ -91,15 +118,19 @@ let predict_cmd =
       Tb_util.Timer.measure ~warmup:1 ~min_iters:3 ~min_time_s:0.5 (fun () ->
           ignore (predict rows))
     in
-    Printf.printf "schedule: %s (%s backend)\n" (Schedule.to_string schedule)
-      (match backend with `Jit -> "jit" | `Interp -> "interp");
+    Printf.printf "schedule: %s (%s backend, %s)\n"
+      (Schedule.to_string schedule)
+      (match backend with `Jit -> "jit" | `Interp -> "interp")
+      (Tb_core.Treebeard.tier_to_string tier);
     Printf.printf "batch %d: %.2f ms/batch, %.2f us/row\n" batch
       (r.Tb_util.Timer.mean_s *. 1e3)
       (r.Tb_util.Timer.mean_s *. 1e6 /. float_of_int batch)
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Run batch inference and report wall-clock time")
-    Term.(const run $ model_arg $ schedule_term $ batch $ backend)
+    Term.(
+      const run $ model_arg $ schedule_term $ batch $ backend $ precision_arg
+      $ Cli_common.tolerance_arg)
 
 (* ---------------- explore ---------------- *)
 
@@ -1017,9 +1048,10 @@ let serve_sim_cmd =
   in
   let run zoo arrival rate requests schedule target batch_max deadline
       workers queue_cap cache cache_cap cache_dir cache_max_bytes shards
-      routing scheduling popularity slo shed_lo shed_hi require_warm seed
-      mode max_service_drift max_compile_drift min_drift_batches out
-      virtual_out strict =
+      routing scheduling popularity slo shed_lo shed_hi precision tolerance
+      require_warm seed mode max_service_drift max_compile_drift
+      min_drift_batches out virtual_out strict =
+    let precision = Cli_common.with_tolerance tolerance precision in
     let names =
       String.split_on_char ',' zoo
       |> List.map String.trim
@@ -1075,6 +1107,7 @@ let serve_sim_cmd =
             default_slo_us = slo_default;
             shed_lo;
             shed_hi;
+            precision;
           };
         mode;
         shards;
@@ -1165,9 +1198,11 @@ let serve_sim_cmd =
       const run $ zoo $ arrival $ rate $ requests $ schedule_term
       $ target_arg $ batch_max $ deadline $ workers $ queue_cap $ cache
       $ cache_cap $ cache_dir $ cache_max_bytes $ shards $ routing
-      $ scheduling $ popularity $ slo $ shed_lo $ shed_hi $ require_warm
-      $ seed $ mode $ max_service_drift $ max_compile_drift
-      $ min_drift_batches $ out $ virtual_out $ strict)
+      $ scheduling $ popularity $ slo $ shed_lo $ shed_hi
+      $ Cli_common.precision_arg $ Cli_common.tolerance_arg $ require_warm
+      $ seed $ mode
+      $ max_service_drift $ max_compile_drift $ min_drift_batches $ out
+      $ virtual_out $ strict)
 
 (* ---------------- import ---------------- *)
 

@@ -35,8 +35,8 @@ let lir_family =
 let validate_family =
   {
     family_name = "validate";
-    codes = [ "T001"; "T002"; "T003"; "T004" ];
-    hard = [ "T004" ];
+    codes = [ "T001"; "T002"; "T003"; "T004"; "T005" ];
+    hard = [ "T004"; "T005" ];
     soft = [ "T001"; "T002"; "T003" ];
   }
 

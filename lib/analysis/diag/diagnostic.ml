@@ -56,9 +56,9 @@ let registry =
         "L014"; "L020"; "L021"; "L022"; "L023"; "L024" ]
   @ codes Cost [ "C001"; "C002"; "C003" ]
   @ codes Serve [ "V001"; "V002" ]
-  @ codes Validate [ "T001"; "T002"; "T003"; "T004" ]
+  @ codes Validate [ "T001"; "T002"; "T003"; "T004"; "T005" ]
   @ codes Artifact [ "A001"; "A002"; "A003"; "A004" ]
-  @ codes Numeric [ "N001"; "N002"; "N003"; "N004" ]
+  @ codes Numeric [ "N001"; "N002"; "N003"; "N004"; "N005" ]
 
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds

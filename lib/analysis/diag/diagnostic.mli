@@ -77,7 +77,12 @@
     - [T004] witness-confirmed miscompile: the cross-stage summaries
       disagree on a region AND concretely replaying both forms on the
       witness row (midpoint of the disagreeing box) produced diverging
-      predictions — the only error-severity member of the family
+      predictions — an error-severity member of the family
+    - [T005] quantized-path divergence: the quantized LIR layout's
+      reference evaluation disagrees {e bitwise} with the certified
+      integer evaluator ([Numeric.qpredict_raw]) on a probe row — a
+      miscompile of the integer fast path (error severity; the finding
+      carries the witness row)
     - [A001] artifact magic mismatch: the bytes are not a packed predictor
       artifact (wrong/absent magic, or shorter than a header)
     - [A002] artifact version unsupported: the decoder does not speak the
@@ -106,7 +111,12 @@
     - [N004] quantization argmax/sign flip possible: for a classification
       model, some class pair's reachable margin interval comes within the
       combined deviation bound of the decision boundary, so quantization
-      alone (routing unchanged) could flip the predicted class *)
+      alone (routing unchanged) could flip the predicted class
+    - [N005] precision fallback (info): a quantized tier was requested
+      but N001/N003/N004 findings refuted the certificate (or the
+      quantized stage pair failed), so the compile fell back to the
+      float tier — the blocking findings ride along demoted to info
+      ({!Tb_core.Treebeard.make}) *)
 
 type severity = Info | Warning | Error
 

@@ -762,7 +762,7 @@ let project_lane (p : Reg_ir.walk_program) ~lane =
 (* Cross-stage comparison                                              *)
 (* ------------------------------------------------------------------ *)
 
-type stage = Source | Hir | Mir | Lir | Reg
+type stage = Source | Hir | Mir | Lir | Reg | Quant
 
 let stage_name = function
   | Source -> "source"
@@ -770,6 +770,7 @@ let stage_name = function
   | Mir -> "mir"
   | Lir -> "lir"
   | Reg -> "reg"
+  | Quant -> "quant"
 
 type finding = {
   code : string;
@@ -1075,3 +1076,81 @@ let check_reg (hir : Program.t) (mir : M.t) (lay : Layout.t) =
 let check_all hir mir lay =
   check_hir hir @ check_mir hir mir @ check_lir hir mir lay
   @ check_reg hir mir lay
+
+(* The quantized stage pair is concrete, not symbolic: both sides
+   quantize rows and thresholds with the same saturating rounding, so
+   the quantized layout must agree with the certified integer evaluator
+   {e bit for bit on every probe row} — including threshold ties and
+   dead-zone rows (those may only diverge from the {e float} path). *)
+let check_quant ?(rows = 48) (forest : Forest.t) (plan : Numeric.plan)
+    (lp : Lower.t) =
+  match lp.Lower.layout.Layout.quant with
+  | None ->
+    [
+      {
+        code = "T005";
+        severity = D.Error;
+        tree = -1;
+        pair = (Lir, Quant);
+        region = [];
+        witness = None;
+        message = "quantized stage pair requested on a float lowering";
+      };
+    ]
+  | Some _ ->
+    let qm = Numeric.quantize plan forest in
+    let nf = forest.Forest.num_features in
+    let rng = Tb_util.Prng.create 0x51ab in
+    let gaussian_row () =
+      Array.init nf (fun _ -> 2.0 *. Tb_util.Prng.gaussian rng)
+    in
+    (* Tie probes: pin one feature to an exact source threshold so the
+       quantized compare sits on the rounding boundary. *)
+    let thresholds =
+      Array.to_list forest.Forest.trees
+      |> List.concat_map (fun tree ->
+             Tree.fold
+               ~leaf:(fun _ -> [])
+               ~node:(fun f t l r -> ((f, t) :: l) @ r)
+               tree)
+    in
+    let tie_rows =
+      List.filteri (fun i _ -> i < 32) thresholds
+      |> List.map (fun (f, t) ->
+             let row = gaussian_row () in
+             row.(f) <- t;
+             row)
+    in
+    let probes = List.init rows (fun _ -> gaussian_row ()) @ tie_rows in
+    let out = ref [] in
+    List.iter
+      (fun row ->
+        let a = Lower.reference_qpredict lp row in
+        let b = Numeric.qpredict_raw qm row in
+        let agree =
+          Array.length a = Array.length b
+          && Array.for_all2
+               (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+               a b
+        in
+        if not agree then
+          out :=
+            {
+              code = "T005";
+              severity = D.Error;
+              tree = -1;
+              pair = (Lir, Quant);
+              region = [];
+              witness = Some row;
+              message =
+                Printf.sprintf
+                  "quantized layout evaluation diverges from the certified \
+                   integer evaluator: layout %s, qpredict %s"
+                  (String.concat ","
+                     (Array.to_list (Array.map (Printf.sprintf "%h") a)))
+                  (String.concat ","
+                     (Array.to_list (Array.map (Printf.sprintf "%h") b)));
+            }
+            :: !out)
+      probes;
+    List.rev !out

@@ -97,7 +97,7 @@ val coalesce : summary -> summary
 
 (** {2 Cross-stage comparison} *)
 
-type stage = Source | Hir | Mir | Lir | Reg
+type stage = Source | Hir | Mir | Lir | Reg | Quant
 
 val stage_name : stage -> string
 
@@ -153,3 +153,20 @@ val check_reg :
 val check_all :
   Tb_hir.Program.t -> Tb_mir.Mir.t -> Tb_lir.Layout.t -> finding list
 (** All four pairs in pipeline order. *)
+
+val check_quant :
+  ?rows:int ->
+  Tb_model.Forest.t ->
+  Numeric.plan ->
+  Tb_lir.Lower.t ->
+  finding list
+(** The quantized stage pair (Lir ↔ Quant), checked concretely: the
+    quantized lowering's reference evaluator
+    ({!Tb_lir.Lower.reference_qpredict}) against the certified integer
+    evaluator ({!Numeric.qpredict_raw}) on [rows] deterministic Gaussian
+    probes plus threshold-tie probes, compared {e bitwise} per class —
+    the two integer paths must agree on every row, dead zones included
+    (only the float path may diverge there). Any mismatch is a [T005]
+    error with the witness row. @raise Invalid_argument via
+    [reference_qpredict] if the lowering is not quantized — callers gate
+    on [layout.quant]. *)

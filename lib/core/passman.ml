@@ -124,5 +124,9 @@ let compile ?mode ?batch_size ?profiles ?(schedule = Schedule.default) forest
           schedule;
           lowered;
           predict = Tb_vm.Jit.compile lowered;
+          tier = `Float;
+          resident_k = 0;
+          certificate = None;
+          precision_diags = [];
         },
         report )

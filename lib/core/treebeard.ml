@@ -1,17 +1,113 @@
 module Forest = Tb_model.Forest
 module Schedule = Tb_hir.Schedule
+module Layout = Tb_lir.Layout
 module Lower = Tb_lir.Lower
+module Pack = Tb_lir.Pack
 module Jit = Tb_vm.Jit
+module Numeric = Tb_analysis.Numeric
+module Validate = Tb_analysis.Validate
+module D = Tb_diag.Diagnostic
+module Config = Tb_cpu.Config
+module Cost_model = Tb_cpu.Cost_model
+
+type quant_request = { bits : [ `I8 | `I16 ]; tolerance : float }
+type precision = [ `Float | `Quantized of quant_request ]
+type tier = [ `Float | `Int8 | `Int16 ]
+
+let tier_to_string = function
+  | `Float -> "float"
+  | `Int8 -> "int8"
+  | `Int16 -> "int16"
+
+let precision_of_string = function
+  | "float" -> Ok `Float
+  | "int8" ->
+    Ok (`Quantized { bits = `I8; tolerance = Numeric.default_tolerance })
+  | "int16" ->
+    Ok (`Quantized { bits = `I16; tolerance = Numeric.default_tolerance })
+  | s -> Error (Printf.sprintf "unknown precision %S (float|int8|int16)" s)
+
+let precision_to_string = function
+  | `Float -> "float"
+  | `Quantized { bits = `I8; _ } -> "int8"
+  | `Quantized { bits = `I16; _ } -> "int16"
+
+let width_of_bits = function `I8 -> Numeric.I8 | `I16 -> Numeric.I16
+
+let qspec_of_plan (p : Numeric.plan) =
+  {
+    Layout.qbits = Numeric.bits p.Numeric.width;
+    q_max = p.Numeric.q_max;
+    feature_exp = Array.copy p.Numeric.feature_exp;
+    leaf_exp = p.Numeric.leaf_exp;
+  }
+
+(* N002 (threshold collisions) does not refute the certificate: dead-zone
+   rows may route differently from the float path, which the quantized
+   tier's contract explicitly permits. Overflow (N001), excess deviation
+   (N003) and a possible decision flip (N004) do. *)
+let refuting_findings (cert : Numeric.certificate) =
+  List.filter (fun d -> d.D.code <> "N002") cert.Numeric.findings
+
+type resolution =
+  | Float_tier of D.t list  (** fallback (or explicit) reasons, may be [] *)
+  | Quant_tier of Numeric.certificate
+
+let resolve_precision ?(precision = `Float) forest =
+  match precision with
+  | `Float -> Float_tier []
+  | `Quantized { bits; tolerance } ->
+    let width = width_of_bits bits in
+    let cert = Numeric.certify ~tolerance ~width forest in
+    (match refuting_findings cert with
+    | [] -> Quant_tier cert
+    | blocking ->
+      let info =
+        D.infof ~level:D.Numeric ~code:"N005" ~path:[]
+          "precision %s refused: %d certification finding(s) (%s); falling \
+           back to the float tier"
+          (Numeric.width_to_string width)
+          (List.length blocking)
+          (String.concat ", "
+             (List.sort_uniq compare
+                (List.map (fun d -> d.D.code) blocking)))
+      in
+      Float_tier
+        (info :: List.map (fun d -> { d with D.severity = D.Info }) blocking))
 
 type t = {
   forest : Forest.t;
   schedule : Schedule.t;
   lowered : Lower.t;
   predict : float array array -> float array array;
+  tier : tier;
+  resident_k : int;
+  certificate : Numeric.certificate option;
+  precision_diags : D.t list;
 }
 
+(* Resident-prefix depth cap: past a few levels the baked code grows
+   geometrically while the saved chain latency is already spent. *)
+let max_resident_k = 3
+
+let tune_resident_k ~target (lowered : Lower.t) sample =
+  let q =
+    match lowered.Lower.layout.Layout.quant with
+    | Some q -> q
+    | None -> invalid_arg "Treebeard: tuning resident depth on a float layout"
+  in
+  let probe =
+    if Array.length sample > 32 then Array.sub sample 0 32 else sample
+  in
+  if Array.length probe = 0 then 1
+  else
+    let w = Tb_vm.Profiler.profile ~target lowered probe in
+    Cost_model.tune_resident_k target w lowered.Lower.layout
+      ~walk_depth:lowered.Lower.walk_depth ~qbits:q.Layout.qbits
+      ~max_k:max_resident_k
+
 let make ?(plan = `Schedule Schedule.default) ?profiles ?training_rows
-    ?(backend = `Threaded) source =
+    ?(backend = `Threaded) ?(precision = `Float) source =
   let forest =
     match source with
     | `Forest f -> f
@@ -23,20 +119,20 @@ let make ?(plan = `Schedule Schedule.default) ?profiles ?training_rows
     | None ->
       Option.map (Tb_model.Model_stats.profile_forest forest) training_rows
   in
+  let sample =
+    match training_rows with
+    | Some rows when Array.length rows > 0 -> rows
+    | Some _ | None ->
+      (* No data provided: synthesize a neutral probe batch. *)
+      let rng = Tb_util.Prng.create 7 in
+      Array.init 48 (fun _ ->
+          Array.init forest.Forest.num_features (fun _ ->
+              Tb_util.Prng.gaussian rng))
+  in
   let schedule =
     match plan with
     | `Schedule s -> s
     | `Auto target ->
-      let sample =
-        match training_rows with
-        | Some rows when Array.length rows > 0 -> rows
-        | Some _ | None ->
-          (* No data provided: synthesize a neutral probe batch. *)
-          let rng = Tb_util.Prng.create 7 in
-          Array.init 48 (fun _ ->
-              Array.init forest.Forest.num_features (fun _ ->
-                  Tb_util.Prng.gaussian rng))
-      in
       let result = Explore.greedy ~target ?profiles forest sample in
       result.Explore.schedule
   in
@@ -45,13 +141,75 @@ let make ?(plan = `Schedule Schedule.default) ?profiles ?training_rows
     | `Threaded -> schedule
     | `Single_thread -> fst (Schedule.clamp_threads ~max_threads:1 schedule)
   in
-  let lowered = Lower.lower ?profiles forest schedule in
-  let predict =
-    match backend with
-    | `Threaded -> Jit.compile lowered
-    | `Single_thread -> Jit.compile_single_thread lowered
+  let resolution = resolve_precision ~precision forest in
+  (* A certified plan can still be refuted by the differential stage pair
+     (a compiler bug in the quantized lowering): degrade to the float
+     tier and surface the findings rather than serve wrong integers. *)
+  let resolution =
+    match resolution with
+    | Float_tier _ -> resolution
+    | Quant_tier cert -> (
+      let quant = qspec_of_plan cert.Numeric.plan in
+      let qlowered = Lower.lower ?profiles ~quant forest schedule in
+      match Validate.check_quant forest cert.Numeric.plan qlowered with
+      | [] -> resolution
+      | findings -> Float_tier (Validate.to_diagnostics findings))
   in
-  { forest; schedule; lowered; predict }
+  match resolution with
+  | Float_tier diags ->
+    let lowered = Lower.lower ?profiles forest schedule in
+    let predict =
+      match backend with
+      | `Threaded -> Jit.compile lowered
+      | `Single_thread -> Jit.compile_single_thread lowered
+    in
+    {
+      forest;
+      schedule;
+      lowered;
+      predict;
+      tier = `Float;
+      resident_k = 0;
+      certificate = None;
+      precision_diags = diags;
+    }
+  | Quant_tier cert ->
+    let quant = qspec_of_plan cert.Numeric.plan in
+    let lowered = Lower.lower ?profiles ~quant forest schedule in
+    let target =
+      (* The resident-depth autotune needs a machine model even under an
+         explicit schedule; default to the Intel testbed. *)
+      match plan with
+      | `Auto target -> target
+      | `Schedule _ -> Config.intel_rocket_lake
+    in
+    let resident_k = tune_resident_k ~target lowered sample in
+    let pack_quant =
+      {
+        Pack.resident_k;
+        dev_bound = Array.copy cert.Numeric.dev_bound;
+        tolerance = cert.Numeric.plan.Numeric.tolerance;
+      }
+    in
+    let pack = Pack.of_lower ~quant:pack_quant lowered in
+    let predict =
+      match backend with
+      | `Threaded -> Jit.instantiate pack
+      | `Single_thread -> Jit.instantiate_single_thread pack
+    in
+    {
+      forest;
+      schedule;
+      lowered;
+      predict;
+      tier =
+        (match cert.Numeric.plan.Numeric.width with
+        | Numeric.I8 -> `Int8
+        | Numeric.I16 -> `Int16);
+      resident_k;
+      certificate = Some cert;
+      precision_diags = [];
+    }
 
 let predict_forest t rows = t.predict rows
 

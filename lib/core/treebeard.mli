@@ -27,11 +27,69 @@
     and {!Perf} for simulated performance estimates and stall
     breakdowns. *)
 
+type quant_request = { bits : [ `I8 | `I16 ]; tolerance : float }
+(** A request for the integer fast path: quantized value width and the
+    output-deviation tolerance the certificate must prove. *)
+
+type precision = [ `Float | `Quantized of quant_request ]
+(** The requested precision tier. [`Quantized] is a {e request}: the
+    model is certified first ({!Tb_analysis.Numeric.certify}) and the
+    compile falls back to [`Float] — with an [N005] info diagnostic —
+    when N001/N003/N004 findings refute the plan. N002 (threshold
+    collisions) does not refute: rows inside a dead zone
+    ({!Tb_analysis.Numeric.dead_zone_row}) may route differently from
+    the float path, which the quantized tier permits by contract. *)
+
+type tier = [ `Float | `Int8 | `Int16 ]
+(** The precision tier a compile actually resolved to. *)
+
+val tier_to_string : tier -> string
+(** ["float"] / ["int8"] / ["int16"]. *)
+
+val precision_to_string : precision -> string
+(** The requested tier's name (tolerance is not rendered). *)
+
+val precision_of_string : string -> (precision, string) result
+(** ["float"]/["int8"]/["int16"]; quantized tiers get
+    {!Tb_analysis.Numeric.default_tolerance} — the CLI's [--precision]
+    parser. *)
+
+type resolution =
+  | Float_tier of Tb_diag.Diagnostic.t list
+      (** float path; the diagnostics explain a quantized-request
+          fallback ([[]] when float was requested) *)
+  | Quant_tier of Tb_analysis.Numeric.certificate
+
+val resolve_precision :
+  ?precision:precision -> Tb_model.Forest.t -> resolution
+(** The certification gate {!make} runs, exposed for hosts (the serving
+    registry) that cache the outcome per model. *)
+
+val qspec_of_plan : Tb_analysis.Numeric.plan -> Tb_lir.Layout.qspec
+(** The layout-level quantization spec of a certified plan — what
+    {!Tb_lir.Lower.lower}'s [?quant] expects. *)
+
+val tune_resident_k :
+  target:Tb_cpu.Config.t -> Tb_lir.Lower.t -> float array array -> int
+(** Autotune the register-resident prefix depth of a quantized lowering
+    for a CPU target: profile the walk on (at most 32 of) the sample
+    rows and pick the depth the cost model scores cheapest
+    ({!Tb_cpu.Cost_model.tune_resident_k}), capped at 3 levels.
+    @raise Invalid_argument on a float lowering. *)
+
 type t = {
   forest : Tb_model.Forest.t;
   schedule : Tb_hir.Schedule.t;
   lowered : Tb_lir.Lower.t;
   predict : float array array -> float array array;
+  tier : tier;  (** resolved precision tier *)
+  resident_k : int;
+      (** autotuned register-resident prefix depth (0 on the float tier) *)
+  certificate : Tb_analysis.Numeric.certificate option;
+      (** present iff [tier] is quantized *)
+  precision_diags : Tb_diag.Diagnostic.t list;
+      (** fallback diagnostics when a quantized request resolved to
+          [`Float]; [[]] otherwise *)
 }
 
 val make :
@@ -39,6 +97,7 @@ val make :
   ?profiles:Tb_model.Model_stats.tree_profile array ->
   ?training_rows:float array array ->
   ?backend:[ `Threaded | `Single_thread ] ->
+  ?precision:precision ->
   [ `Forest of Tb_model.Forest.t | `File of string ] ->
   t
 (** The one compilation entry point.
@@ -58,7 +117,15 @@ val make :
       parallelism to one thread ({!Tb_hir.Schedule.clamp_threads}) and
       builds the predictor with {!Tb_vm.Jit.compile_single_thread} — for
       hosts like the serving runtime whose workers each own a core.
-      Default [`Threaded] keeps the schedule's own [num_threads]. *)
+      Default [`Threaded] keeps the schedule's own [num_threads].
+    - [precision]: [`Quantized r] compiles the integer fast path when the
+      model certifies clean at [r.bits]/[r.tolerance] — layout buffers
+      rewritten to the certified fixed-point integers, a
+      register-resident prefix of autotuned depth, predictions
+      bitwise-equal to {!Tb_analysis.Numeric.qpredict_raw}. The
+      quantized stage pair ({!Tb_analysis.Validate.check_quant}) is run
+      on every quantized compile; any finding degrades to [`Float] with
+      the findings in [precision_diags]. Default [`Float]. *)
 
 val predict_forest : t -> float array array -> float array array
 (** Batch inference: one raw margin vector per row. Feature values must be

@@ -5,6 +5,17 @@ module Lut = Tb_hir.Lut
 
 type kind = Array_kind | Sparse_kind
 
+(* Mirror of [Tb_analysis.Numeric.plan]'s layout-relevant fields (the
+   dependency points the other way — Tb_analysis consumes Tb_lir — so the
+   plan is replicated here and the differential tests pin the two
+   quantizers bit for bit). *)
+type qspec = {
+  qbits : int;  (* 8 or 16 *)
+  q_max : int;  (* 2^(qbits-1) - 1 *)
+  feature_exp : int option array;
+  leaf_exp : int;
+}
+
 type t = {
   kind : kind;
   tile_size : int;
@@ -16,6 +27,7 @@ type t = {
   child_ptr : int array;
   leaf_values : float array;
   lut : int array array;
+  quant : qspec option;
 }
 
 let leaf_marker = -1
@@ -94,6 +106,7 @@ let build_array (p : Program.t) =
     child_ptr = [||];
     leaf_values = [||];
     lut = Lut.table p.Program.lut;
+    quant = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -233,6 +246,7 @@ let build_sparse (p : Program.t) =
     child_ptr;
     leaf_values;
     lut = Lut.table p.Program.lut;
+    quant = None;
   }
 
 let build_kind kind p =
@@ -337,6 +351,175 @@ let stride_facts t =
     { lane_stride = t.tile_size; tile_advance = !tile; leaf_advance = !leaf }
 
 (* ------------------------------------------------------------------ *)
+(* Quantization (the integer fast path's layout half)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Bit-for-bit replica of [Tb_analysis.Numeric]'s fixed-point rounding:
+   round-half-away, NaN to 0, saturation at [q_max] / [-q_max - 1]. The
+   quantized buffers store these integers as floats — every integer the
+   certified plan can produce is below 2^31, so float compares and adds
+   on them are exact and the existing walk kernels execute integer
+   semantics unchanged. *)
+let pow2 e = Float.ldexp 1.0 e
+
+let quantize_scaled ~q_max scaled =
+  let v = Float.round scaled in
+  if Float.is_nan v then 0
+  else if v >= float_of_int q_max then q_max
+  else if v <= float_of_int (-q_max - 1) then -q_max - 1
+  else int_of_float v
+
+let quantize_threshold (q : qspec) ~feature x =
+  (* Infinite thresholds are routing markers, not model constants: dummy
+     padding tiles, hop tiles and unused tile lanes compare against +inf
+     so their comparison bit is constant. Quantizing +inf to the
+     saturated q_max would break the constancy exactly on saturated rows
+     (q_max < q_max is false), so the markers pass through untouched —
+     a finite quantized row value still compares against them the same
+     way every float row does. *)
+  if x = infinity || x = neg_infinity then x
+  else
+    let e = match q.feature_exp.(feature) with Some e -> e | None -> 0 in
+    float_of_int (quantize_scaled ~q_max:q.q_max (x *. pow2 e))
+
+let quantize_leaf (q : qspec) v =
+  float_of_int (quantize_scaled ~q_max:q.q_max (v *. pow2 q.leaf_exp))
+
+let quantize_row (q : qspec) row =
+  Array.mapi
+    (fun f x ->
+      match if f < Array.length q.feature_exp then q.feature_exp.(f) else None with
+      | None -> 0.0
+      | Some e -> float_of_int (quantize_scaled ~q_max:q.q_max (x *. pow2 e)))
+    row
+
+let dequant_scale (q : qspec) = pow2 (-q.leaf_exp)
+
+let quantize_row_int (q : qspec) row =
+  Array.mapi
+    (fun f x ->
+      match if f < Array.length q.feature_exp then q.feature_exp.(f) else None with
+      | None -> 0
+      | Some e -> quantize_scaled ~q_max:q.q_max (x *. pow2 e))
+    row
+
+let quantize_leaf_int (q : qspec) v =
+  quantize_scaled ~q_max:q.q_max (v *. pow2 q.leaf_exp)
+
+(* Per-batch row quantization is on the fast path's critical path (it
+   runs once per row per predict call), so the per-feature 2^e scales
+   are hoisted out of the loop — [ldexp] per element costs as much as a
+   tile step on wide-feature models. Unused features keep scale 0, which
+   doubles as the None marker ([pow2] never returns 0). *)
+let row_quantizer (q : qspec) =
+  let nf = Array.length q.feature_exp in
+  let scale = Array.make nf 0.0 in
+  Array.iteri
+    (fun f e -> match e with Some e -> scale.(f) <- pow2 e | None -> ())
+    q.feature_exp;
+  let q_max = q.q_max in
+  fun (row : float array) ->
+    Array.init nf (fun f ->
+        let s = Array.unsafe_get scale f in
+        if s = 0.0 then 0 else quantize_scaled ~q_max (row.(f) *. s))
+
+let quantize (q : qspec) t =
+  if t.quant <> None then invalid_arg "Layout.quantize: already quantized";
+  if q.qbits <> 8 && q.qbits <> 16 then
+    invalid_arg "Layout.quantize: qbits must be 8 or 16";
+  let nt = t.tile_size in
+  let thresholds = Array.copy t.thresholds in
+  Array.iteri
+    (fun s sid ->
+      if sid = leaf_marker then
+        (* Array-layout leaf slot: the value sits in threshold lane 0. *)
+        thresholds.(s * nt) <- quantize_leaf q t.thresholds.(s * nt)
+      else if sid <> unused_marker then
+        for lane = 0 to nt - 1 do
+          let i = (s * nt) + lane in
+          thresholds.(i) <- quantize_threshold q ~feature:t.features.(i) t.thresholds.(i)
+        done)
+    t.shape_ids;
+  let leaf_values = Array.map (quantize_leaf q) t.leaf_values in
+  { t with thresholds; leaf_values; quant = Some q }
+
+(* ------------------------------------------------------------------ *)
+(* Narrow buffers (the materialized int8/int16 execution form)         *)
+(* ------------------------------------------------------------------ *)
+
+(* The quantized float-trick buffers above stay authoritative — they are
+   what [walk] (the reference semantics), the interpreter and the Pack
+   wire format consume. The narrow form re-expresses them at the plan's
+   actual width for the JIT's integer kernels: thresholds and leaves in
+   int8/int16 Bigarrays (2-8x less value traffic than the float64
+   buffers), quantized rows as int arrays. The only values a narrow
+   element cannot carry are the ±inf routing markers, so those are
+   re-encoded exactly:
+
+   - [-inf] lanes (never true) store [-q_max - 1], the smallest value a
+     quantized row can take — [qrow < -q_max - 1] is false for every
+     row, just like [qrow < -inf]. A genuinely saturated threshold at
+     [-q_max - 1] already compares false against every row in the float
+     domain too, so the merge is lossless.
+   - [+inf] lanes (always true) also store [-q_max - 1] (contributing a
+     0 bit) and set their lane's bit in the slot's [always] mask, which
+     the narrow comparison ORs in. *)
+
+type narrow8 = (int, Bigarray.int8_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+type narrow16 = (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type narrow =
+  | Narrow8 of { thr : narrow8; leaves : narrow8; always : int array }
+  | Narrow16 of { thr : narrow16; leaves : narrow16; always : int array }
+
+let narrow t =
+  match t.quant with
+  | None -> invalid_arg "Layout.narrow: float layout has no narrow form"
+  | Some q ->
+    let nt = t.tile_size in
+    let slots = Array.length t.shape_ids in
+    let always = Array.make slots 0 in
+    let never = -q.q_max - 1 in
+    let thr_i = Array.make (Array.length t.thresholds) 0 in
+    Array.iteri
+      (fun s sid ->
+        if sid = leaf_marker then
+          (* Array-layout leaf slot: the (finite) leaf sits in lane 0. *)
+          thr_i.(s * nt) <- int_of_float t.thresholds.(s * nt)
+        else if sid <> unused_marker then
+          for lane = 0 to nt - 1 do
+            let i = (s * nt) + lane in
+            let x = t.thresholds.(i) in
+            if x = infinity then begin
+              always.(s) <- always.(s) lor (1 lsl (nt - 1 - lane));
+              thr_i.(i) <- never
+            end
+            else if x = neg_infinity then thr_i.(i) <- never
+            else thr_i.(i) <- int_of_float x
+          done)
+      t.shape_ids;
+    let leaf_i = Array.map int_of_float t.leaf_values in
+    let fill kind a =
+      let b = Bigarray.Array1.create kind Bigarray.c_layout (Array.length a) in
+      Array.iteri (fun i v -> Bigarray.Array1.set b i v) a;
+      b
+    in
+    if q.qbits = 8 then
+      Narrow8
+        {
+          thr = fill Bigarray.int8_signed thr_i;
+          leaves = fill Bigarray.int8_signed leaf_i;
+          always;
+        }
+    else
+      Narrow16
+        {
+          thr = fill Bigarray.int16_signed thr_i;
+          leaves = fill Bigarray.int16_signed leaf_i;
+          always;
+        }
+
+(* ------------------------------------------------------------------ *)
 (* Accounting                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -345,9 +528,50 @@ let num_slots t = Array.length t.shape_ids
 let memory_bytes t =
   let slots = num_slots t in
   let nt = t.tile_size in
+  (* Quantized layouts store thresholds and leaves at the plan's width
+     instead of float32. *)
+  let value_bytes = match t.quant with None -> 4 | Some q -> q.qbits / 8 in
   let per_slot =
-    (* thresholds f32 + features i16 per lane, shape id i16, and the sparse
+    (* thresholds + features i16 per lane, shape id i16, and the sparse
        layout's i32 child pointer. *)
-    (nt * (4 + 2)) + 2 + (match t.kind with Sparse_kind -> 4 | Array_kind -> 0)
+    (nt * (value_bytes + 2)) + 2
+    + (match t.kind with Sparse_kind -> 4 | Array_kind -> 0)
   in
-  (slots * per_slot) + (4 * Array.length t.leaf_values)
+  (slots * per_slot) + (value_bytes * Array.length t.leaf_values)
+
+let resident_tiles t ~k =
+  if k < 0 then invalid_arg "Layout.resident_tiles: negative depth";
+  let nt = t.tile_size in
+  let count = ref 0 in
+  let fanout = nt + 1 in
+  for tree = 0 to t.num_trees - 1 do
+    match t.kind with
+    | Array_kind ->
+      let base = t.tree_root.(tree) in
+      let rec go local level =
+        if level < k then begin
+          let s = base + local in
+          if t.shape_ids.(s) >= 0 then begin
+            incr count;
+            List.iter
+              (fun c -> go ((local * fanout) + c + 1) (level + 1))
+              (reachable_children t t.shape_ids.(s))
+          end
+        end
+      in
+      go 0 0
+    | Sparse_kind ->
+      let rec go s level =
+        if level < k then begin
+          incr count;
+          let p = t.child_ptr.(s) in
+          if p >= 0 then
+            List.iter
+              (fun c -> go (p + c) (level + 1))
+              (reachable_children t t.shape_ids.(s))
+        end
+      in
+      let r = t.tree_root.(tree) in
+      if r >= 0 then go r 0
+  done;
+  !count

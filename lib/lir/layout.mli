@@ -16,6 +16,22 @@
 
 type kind = Array_kind | Sparse_kind
 
+type qspec = {
+  qbits : int;  (** quantized value width: 8 or 16 *)
+  q_max : int;  (** [2^(qbits-1) - 1], the saturation cap *)
+  feature_exp : int option array;
+      (** per feature: [Some e] scales feature [f] and its thresholds by
+          [2^e]; [None] for unused features *)
+  leaf_exp : int;  (** leaves and the base score are scaled by [2^leaf_exp] *)
+}
+(** Layout-side mirror of [Tb_analysis.Numeric.plan] (the analysis
+    library consumes this one, so the plan's fixed-point parameters are
+    replicated here). A quantized layout stores the plan's integers in
+    the existing float buffers: every certified value is far below
+    [2^53], so float compares/adds on them are bit-identical to integer
+    arithmetic and the float walk kernels execute the integer path
+    unchanged. *)
+
 type t = {
   kind : kind;
   tile_size : int;
@@ -35,6 +51,9 @@ type t = {
   leaf_values : float array;
       (** array layout: per-slot leaf value; sparse: dense leaf store *)
   lut : int array array;  (** LUT rows by shape id *)
+  quant : qspec option;
+      (** [Some q] when thresholds/leaves hold [q]'s fixed-point integers
+          (as integer-valued floats); [None] for the float path *)
 }
 
 val leaf_marker : int
@@ -95,6 +114,89 @@ val stride_facts : t -> stride_facts
 val memory_bytes : t -> int
 (** Model bytes under this layout, counting thresholds as float32, feature
     indices and shape ids as int16, child pointers as int32 and leaf values
-    as float32 (excludes the LUT, which is shared across models). *)
+    as float32 (excludes the LUT, which is shared across models). Quantized
+    layouts count thresholds and leaf values at [qspec.qbits] instead. *)
 
 val num_slots : t -> int
+
+val reachable_children : t -> int -> int list
+(** Sorted distinct child exits shape [sid]'s LUT row can actually select;
+    the full [0..tile_size] range when the shape id is out of range
+    (conservative on corrupt layouts). Drives resident-prefix codegen and
+    the stride-facts analysis. *)
+
+(** {2 Quantization — the integer fast path's layout half} *)
+
+val quantize_scaled : q_max:int -> float -> int
+(** Bit-for-bit replica of [Tb_analysis.Numeric]'s fixed-point rounding:
+    round-half-away-from-zero, NaN to 0, saturation at [q_max] /
+    [-q_max - 1]. *)
+
+val quantize_threshold : qspec -> feature:int -> float -> float
+(** One threshold under the plan, as an integer-valued float. Infinite
+    thresholds (dummy-tile, hop-tile and padding-lane always/never-true
+    markers) pass through untouched so their comparison bit stays
+    constant even against saturated quantized rows. *)
+
+val quantize_leaf : qspec -> float -> float
+(** One leaf value (or the base score) scaled by [2^leaf_exp], as an
+    integer-valued float. *)
+
+val quantize_row : qspec -> float array -> float array
+(** Per-feature fixed-point rounding of an input row (0 for unused
+    features), as integer-valued floats — the row form the quantized
+    layout's walks compare against. *)
+
+val dequant_scale : qspec -> float
+(** [2^(-leaf_exp)]: multiply an integer-valued accumulator by this to
+    dequantize. Exact (a power of two). *)
+
+val quantize_row_int : qspec -> float array -> int array
+(** {!quantize_row} in the integer domain — same rounding, saturation
+    and unused-feature handling, but producing the int row form the
+    narrow kernels compare against. *)
+
+val quantize_leaf_int : qspec -> float -> int
+(** {!quantize_leaf} in the integer domain (used for the base score). *)
+
+val row_quantizer : qspec -> float array -> int array
+(** Staged {!quantize_row_int}: apply to the spec once to hoist the
+    per-feature scales, then per row. Always produces an array of
+    exactly [Array.length feature_exp] elements (the walk kernels index
+    it by model feature, so extra row columns are dropped and a too-short
+    row raises). The batch entry point of the integer fast path. *)
+
+val quantize : qspec -> t -> t
+(** Rewrite thresholds and leaf values to the plan's fixed-point
+    integers (stored as integer-valued floats) and tag the layout with
+    the spec. {!walk} on the result, fed {!quantize_row} rows, is
+    bit-identical to [Tb_analysis.Numeric]'s integer evaluator on
+    routing-stable rows. @raise Invalid_argument if already quantized or
+    [qbits] is not 8/16. *)
+
+type narrow8 = (int, Bigarray.int8_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+type narrow16 = (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type narrow =
+  | Narrow8 of { thr : narrow8; leaves : narrow8; always : int array }
+  | Narrow16 of { thr : narrow16; leaves : narrow16; always : int array }
+      (** Materialized narrow execution form of a quantized layout:
+          thresholds and leaves at the plan's actual width (same
+          slot-major indexing as the float buffers), plus a per-slot
+          OR-mask of always-true lanes. The ±inf routing markers the
+          narrow elements cannot carry are re-encoded exactly: -inf
+          lanes store [-q_max - 1] (no quantized row is below it, so
+          the comparison is constantly false, as with -inf), and +inf
+          lanes store the same sentinel but set their bit in [always],
+          which the narrow comparison ORs into the LUT index. *)
+
+val narrow : t -> narrow
+(** Materialize the narrow buffers of a quantized layout — what the
+    JIT's integer kernels walk. Routing and results are bit-identical
+    to {!walk} over the float-trick buffers.
+    @raise Invalid_argument on a float layout. *)
+
+val resident_tiles : t -> k:int -> int
+(** Number of tile slots in the first [k] levels across all trees — the
+    working set a resident-prefix register phase keeps out of memory;
+    drives the cost model's register-pressure and code-size terms. *)

@@ -13,8 +13,11 @@ type t = {
   walk_depth : int array;
 }
 
-let assemble (hir : Program.t) mir layout =
+let assemble ?quant (hir : Program.t) mir layout =
   let forest = hir.Program.forest in
+  let layout =
+    match quant with None -> layout | Some q -> Layout.quantize q layout
+  in
   {
     hir;
     mir;
@@ -29,11 +32,11 @@ let assemble (hir : Program.t) mir layout =
       Array.map (fun e -> Tb_hir.Tiled_tree.depth e.Program.tiled) hir.Program.trees;
   }
 
-let lower_hir (hir : Program.t) =
-  assemble hir (Mir.lower hir) (Layout.build hir)
+let lower_hir ?quant (hir : Program.t) =
+  assemble ?quant hir (Mir.lower hir) (Layout.build hir)
 
-let lower ?profiles forest schedule =
-  lower_hir (Program.build ?profiles forest schedule)
+let lower ?profiles ?quant forest schedule =
+  lower_hir ?quant (Program.build ?profiles forest schedule)
 
 let reference_predict t row =
   let out = Array.make t.num_outputs t.base_score in
@@ -42,6 +45,24 @@ let reference_predict t row =
     out.(cls) <- out.(cls) +. Layout.walk t.layout ~tree row
   done;
   out
+
+(* End-to-end integer fast path over the quantized layout buffers: the
+   semantics the quantized JIT must reproduce and the form the
+   differential tests pin against [Tb_analysis.Numeric.qpredict_raw].
+   Accumulation is exact (integer-valued floats below the certified
+   accumulator bound), so tree order cannot change the result. *)
+let reference_qpredict t row =
+  match t.layout.Layout.quant with
+  | None -> invalid_arg "Lower.reference_qpredict: layout is not quantized"
+  | Some q ->
+    let qrow = Layout.quantize_row q row in
+    let out = Array.make t.num_outputs (Layout.quantize_leaf q t.base_score) in
+    for tree = 0 to t.layout.Layout.num_trees - 1 do
+      let cls = t.tree_class.(tree) in
+      out.(cls) <- out.(cls) +. Layout.walk t.layout ~tree qrow
+    done;
+    let scale = Layout.dequant_scale q in
+    Array.map (fun acc -> acc *. scale) out
 
 let dump t =
   let buf = Buffer.create 1024 in

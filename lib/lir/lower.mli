@@ -19,23 +19,35 @@ type t = {
 
 val lower :
   ?profiles:Tb_model.Model_stats.tree_profile array ->
+  ?quant:Layout.qspec ->
   Tb_model.Forest.t ->
   Tb_hir.Schedule.t ->
   t
-(** Run the whole pipeline on a model. *)
+(** Run the whole pipeline on a model. With [?quant], the layout buffers
+    are rewritten to the plan's fixed-point integers
+    ({!Layout.quantize}) — the integer fast path's program form. *)
 
-val lower_hir : Tb_hir.Program.t -> t
+val lower_hir : ?quant:Layout.qspec -> Tb_hir.Program.t -> t
 (** Lower an already-built HIR program (lets callers reuse one HIR across
     experiments). *)
 
-val assemble : Tb_hir.Program.t -> Tb_mir.Mir.t -> Layout.t -> t
+val assemble :
+  ?quant:Layout.qspec -> Tb_hir.Program.t -> Tb_mir.Mir.t -> Layout.t -> t
 (** Bundle already-lowered stages into a backend-ready program — used by
     {!Tb_core.Passman}, which runs the MIR passes one at a time with
-    verification between them instead of calling {!Tb_mir.Mir.lower}. *)
+    verification between them instead of calling {!Tb_mir.Mir.lower}.
+    [?quant] quantizes the supplied (float) layout first. *)
 
 val reference_predict : t -> float array -> float array
 (** Predict by walking the layout directly (no backend) — must equal
     {!Tb_model.Forest.predict_raw}; the anchor for backend tests. *)
+
+val reference_qpredict : t -> float array -> float array
+(** The quantized analogue over a quantized layout: quantize the row,
+    accumulate the integer-valued walk results from the certified base
+    score, dequantize exactly. Must equal
+    [Tb_analysis.Numeric.qpredict_raw] bit for bit; the anchor for the
+    quantized backend tests. @raise Invalid_argument on a float layout. *)
 
 val dump : t -> string
 (** Human-readable dump: schedule, MIR loop nest, walk listing, the

@@ -17,6 +17,12 @@ type meta = {
   us_per_row : float;
 }
 
+type quant = {
+  resident_k : int;
+  dev_bound : float array;
+  tolerance : float;
+}
+
 type t = {
   meta : meta;
   loop_order : Schedule.loop_order;
@@ -28,9 +34,17 @@ type t = {
   groups : group array;
   layout : Layout.t;
   programs : Reg_ir.walk_program array;
+  quant : quant option;
 }
 
-let of_lower ?(model = "") ?(target = "") ?(us_per_row = 0.0) (lp : Lower.t) =
+let of_lower ?(model = "") ?(target = "") ?(us_per_row = 0.0) ?quant
+    (lp : Lower.t) =
+  (match (quant, lp.Lower.layout.Layout.quant) with
+  | Some _, None ->
+    invalid_arg "Pack.of_lower: quant metadata without a quantized layout"
+  | None, Some _ ->
+    invalid_arg "Pack.of_lower: quantized layout without quant metadata"
+  | _ -> ());
   let mir = lp.Lower.mir in
   let groups =
     Array.map
@@ -57,13 +71,14 @@ let of_lower ?(model = "") ?(target = "") ?(us_per_row = 0.0) (lp : Lower.t) =
     groups;
     layout = lp.Lower.layout;
     programs;
+    quant;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Errors                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let format_version = 1
+let format_version = 2
 let magic = "TBPK"
 
 type error = { code : string; message : string }
@@ -259,6 +274,7 @@ let tag_plan = 2
 let tag_trees = 3
 let tag_layout = 4
 let tag_reg = 5
+let tag_quant = 6
 
 let w_block b tag body =
   w_u8 b tag;
@@ -314,6 +330,29 @@ let encode t =
   w_i32 b (Array.length t.programs);
   Array.iter (w_program b) t.programs;
   w_block payload tag_reg b;
+  (* QUANT — optional trailing block; float packs omit it entirely so
+     their encodings stay minimal. *)
+  (match (t.quant, t.layout.Layout.quant) with
+  | Some q, Some spec ->
+    let b = Buffer.create 256 in
+    w_u8 b spec.Layout.qbits;
+    w_i32 b spec.Layout.q_max;
+    w_i32 b spec.Layout.leaf_exp;
+    w_i32 b (Array.length spec.Layout.feature_exp);
+    Array.iter
+      (fun e ->
+        match e with
+        | None -> w_u8 b 0
+        | Some v ->
+          w_u8 b 1;
+          w_i32 b v)
+      spec.Layout.feature_exp;
+    w_i32 b q.resident_k;
+    w_float_array b q.dev_bound;
+    w_f64 b q.tolerance;
+    w_block payload tag_quant b
+  | None, None -> ()
+  | _ -> invalid_arg "Pack.encode: quant metadata and layout disagree");
   (* Header + payload. *)
   let plen = Buffer.length payload in
   let out = Bytes.create (16 + plen) in
@@ -627,7 +666,37 @@ let validate t =
       | ds ->
         fail "A004" "group %d register program fails verification: %s" g
           (D.to_string (List.hd ds)))
-    t.programs
+    t.programs;
+  (* Quantized artifacts: the spec must be sane and every stored value
+     must actually be one of the plan's integers (as integer-valued
+     floats), with infinities kept as always/never-true markers. *)
+  match (t.quant, lay.Layout.quant) with
+  | None, None -> ()
+  | Some _, None -> fail "A004" "quant block without a quantized layout"
+  | None, Some _ -> fail "A004" "quantized layout without a quant block"
+  | Some q, Some spec ->
+    if spec.Layout.qbits <> 8 && spec.Layout.qbits <> 16 then
+      fail "A004" "quantized width %d is not 8 or 16" spec.Layout.qbits;
+    if spec.Layout.q_max <> (1 lsl (spec.Layout.qbits - 1)) - 1 then
+      fail "A004" "q_max %d disagrees with width %d" spec.Layout.q_max
+        spec.Layout.qbits;
+    if q.resident_k < 0 then
+      fail "A004" "negative resident prefix depth %d" q.resident_k;
+    if Array.length q.dev_bound <> t.num_outputs then
+      fail "A004" "deviation bound length %d != %d outputs"
+        (Array.length q.dev_bound) t.num_outputs;
+    if not (Float.is_finite q.tolerance) || q.tolerance < 0.0 then
+      fail "A004" "bad quantization tolerance";
+    let in_range what i v =
+      if Float.is_finite v then
+        if
+          Float.round v <> v
+          || v > float_of_int spec.Layout.q_max
+          || v < float_of_int (-spec.Layout.q_max - 1)
+        then fail "A004" "%s %d value %g is not a quantized integer" what i v
+    in
+    Array.iteri (in_range "threshold") lay.Layout.thresholds;
+    Array.iteri (in_range "leaf") lay.Layout.leaf_values
 
 let decode bytes =
   try
@@ -721,6 +790,7 @@ let decode bytes =
         child_ptr;
         leaf_values;
         lut;
+        quant = None;
       }
     in
     (* REG *)
@@ -729,6 +799,32 @@ let decode bytes =
     need c (15 * num_programs) "register programs";
     let programs = r_seq num_programs (fun () -> r_program c) in
     check_block c blk "reg";
+    (* QUANT — present only for integer-fast-path artifacts. *)
+    let layout, quant =
+      if c.pos = c.limit then (layout, None)
+      else begin
+        let blk = r_block c tag_quant "quant" in
+        let qbits = r_u8 c "qbits" in
+        let q_max = r_i32 c "q_max" in
+        let leaf_exp = r_i32 c "leaf_exp" in
+        let num_features = r_len c "feature_exp count" in
+        need c num_features "feature exponents";
+        let feature_exp =
+          r_seq num_features (fun () ->
+              match r_u8 c "feature_exp flag" with
+              | 0 -> None
+              | 1 -> Some (r_i32 c "feature_exp")
+              | tag -> fail "A004" "unknown feature-exp flag %d" tag)
+        in
+        let resident_k = r_i32 c "resident_k" in
+        let dev_bound = r_float_array c "dev_bound" in
+        let tolerance = r_f64 c "tolerance" in
+        check_block c blk "quant";
+        let spec = { Layout.qbits; q_max; feature_exp; leaf_exp } in
+        ( { layout with Layout.quant = Some spec },
+          Some { resident_k; dev_bound; tolerance } )
+      end
+    in
     if c.pos <> c.limit then
       fail "A004" "trailing garbage: %d undecoded payload bytes"
         (c.limit - c.pos);
@@ -744,6 +840,7 @@ let decode bytes =
         groups;
         layout;
         programs;
+        quant;
       }
     in
     validate t;
@@ -779,6 +876,7 @@ let layout_eq (a : Layout.t) (b : Layout.t) =
   && a.Layout.child_ptr = b.Layout.child_ptr
   && float_array_eq a.Layout.leaf_values b.Layout.leaf_values
   && a.Layout.lut = b.Layout.lut
+  && a.Layout.quant = b.Layout.quant
 
 let equal a b =
   a.meta.model = b.meta.model
@@ -794,5 +892,12 @@ let equal a b =
   && a.groups = b.groups
   && layout_eq a.layout b.layout
   && a.programs = b.programs
+  && (match (a.quant, b.quant) with
+     | None, None -> true
+     | Some qa, Some qb ->
+       qa.resident_k = qb.resident_k
+       && float_array_eq qa.dev_bound qb.dev_bound
+       && float_eq qa.tolerance qb.tolerance
+     | _ -> false)
 
 let size_bytes t = Bytes.length (encode t)

@@ -39,6 +39,21 @@ type meta = {
           ({!Tb_core.Perf.simulate} at pack time); 0 when unknown *)
 }
 
+type quant = {
+  resident_k : int;
+      (** autotuned resident-prefix depth the artifact was compiled for
+          (0 = pure memory-phase walks) *)
+  dev_bound : float array;
+      (** per output class: the certificate's proved N003 deviation bound
+          between quantized and float predictions *)
+  tolerance : float;  (** the tolerance the certificate was checked against *)
+}
+(** Integer-fast-path metadata. Present exactly when [layout.quant] is
+    — the pack carries the serving-side record of {e which} precision
+    tier it implements and what accuracy was proved for it. The
+    fixed-point spec itself ({!Layout.qspec}) is serialized alongside
+    and rehydrated into the layout. *)
+
 type t = {
   meta : meta;
   loop_order : Tb_hir.Schedule.loop_order;
@@ -51,17 +66,24 @@ type t = {
   layout : Layout.t;
   programs : Reg_ir.walk_program array;
       (** per group: the verified single-lane register-IR walk body *)
+  quant : quant option;
+      (** [Some _] iff the layout is quantized (enforced by
+          {!of_lower}/[validate]) *)
 }
 
 val of_lower :
   ?model:string ->
   ?target:string ->
   ?us_per_row:float ->
+  ?quant:quant ->
   Lower.t ->
   t
 (** Artifact construction: project a lowered program onto its packable
     form (drop the HIR/MIR, keep the execution plan) and generate the
-    per-group register programs ({!Reg_codegen.all_variants}). *)
+    per-group register programs ({!Reg_codegen.all_variants}).
+    [?quant] must be given exactly when the lowered layout is quantized.
+    @raise Invalid_argument when the quant metadata and the layout
+    disagree about the precision tier. *)
 
 val format_version : int
 (** Current wire-format version. Bump on any incompatible layout change —

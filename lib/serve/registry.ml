@@ -6,6 +6,10 @@ module Pack = Tb_lir.Pack
 module Jit = Tb_vm.Jit
 module Config = Tb_cpu.Config
 module Perf = Tb_core.Perf
+module Treebeard = Tb_core.Treebeard
+module Numeric = Tb_analysis.Numeric
+module Validate = Tb_analysis.Validate
+module D = Tb_diag.Diagnostic
 module Json = Tb_util.Json
 module Prng = Tb_util.Prng
 module Timer = Tb_util.Timer
@@ -20,6 +24,7 @@ let provenance_string = function
 type compiled = {
   model : string;
   schedule : Schedule.t;
+  tier : Treebeard.tier;
   artifact : Pack.t;
   predict : float array array -> float array array;
   mutable us_per_row : float;
@@ -54,6 +59,11 @@ type t = {
   mutable gc_removed : int;
   mutable clamps : (string * string) list;
   mutable artifact_errors : (string * string) list;
+  (* Per-(model, precision request) memo of the certification gate: the
+     certificate and the quantized stage pair are schedule-light, so one
+     resolution serves every schedule of the model. *)
+  resolutions : (string, Treebeard.resolution) Hashtbl.t;
+  mutable precision_fallbacks : (string * string) list;
   (* Calibration state: multiplicative corrections learned from measured
      dual-clock runs, applied to every subsequent compile's modeled costs.
      1.0 = uncalibrated. *)
@@ -80,6 +90,8 @@ let create ?(target = Config.intel_rocket_lake) ?(policy = Policy.Lru)
     gc_removed = 0;
     clamps = [];
     artifact_errors = [];
+    resolutions = Hashtbl.create 8;
+    precision_fallbacks = [];
     service_scales = Hashtbl.create 8;
     compile_scale = 1.0;
   }
@@ -103,9 +115,13 @@ let models t = List.rev t.order
 let forest t name = (Hashtbl.find t.sources name).forest
 
 (* The cache key must distinguish every schedule field, so use the exact
-   JSON round-trip form rather than the lossy to_string. *)
-let key t name schedule =
-  Printf.sprintf "%s|%s|%s" name t.target.Config.name
+   JSON round-trip form rather than the lossy to_string. The resolved
+   precision tier is a key component too: it selects a different artifact
+   (quantized buffers, quant block), so tiers must never share an entry —
+   and the disk store's filenames inherit the separation. *)
+let key t name tier schedule =
+  Printf.sprintf "%s|%s|%s|%s" name t.target.Config.name
+    (Treebeard.tier_to_string tier)
     (Json.to_string (Schedule.to_json schedule))
 
 (* Modeled compile cost: lowering walks every node once and layout size
@@ -129,21 +145,102 @@ let service_scale t name =
 let artifact_error t name what =
   t.artifact_errors <- (name, what) :: t.artifact_errors
 
-let compile t name schedule =
+(* ------------------------------------------------------------------ *)
+(* Precision resolution: certify once per (model, request)             *)
+
+let tier_of_resolution = function
+  | Treebeard.Float_tier _ -> `Float
+  | Treebeard.Quant_tier cert -> (
+    match cert.Numeric.plan.Numeric.width with
+    | Numeric.I8 -> `Int8
+    | Numeric.I16 -> `Int16)
+
+let tier_of_pack (pk : Pack.t) =
+  match pk.Pack.layout.Layout.quant with
+  | None -> `Float
+  | Some s -> if s.Layout.qbits = 8 then `Int8 else `Int16
+
+let resolution_memo_key name precision =
+  match precision with
+  | `Float -> name ^ "#float"
+  | `Quantized q ->
+    Printf.sprintf "%s#%s#%h" name
+      (Treebeard.precision_to_string precision)
+      q.Treebeard.tolerance
+
+let resolve t name src precision schedule =
+  let mk = resolution_memo_key name precision in
+  match Hashtbl.find_opt t.resolutions mk with
+  | Some r -> r
+  | None ->
+    let r = Treebeard.resolve_precision ~precision src.forest in
+    (* A certified plan still has to clear the quantized stage pair on a
+       real lowering before this registry serves integers — same gate as
+       Treebeard.make, run once per model rather than per compile. *)
+    let r =
+      match r with
+      | Treebeard.Float_tier _ -> r
+      | Treebeard.Quant_tier cert -> (
+        let quant = Treebeard.qspec_of_plan cert.Numeric.plan in
+        let qlowered =
+          Lower.lower ?profiles:src.profiles ~quant src.forest schedule
+        in
+        match Validate.check_quant src.forest cert.Numeric.plan qlowered with
+        | [] -> r
+        | findings -> Treebeard.Float_tier (Validate.to_diagnostics findings))
+    in
+    (match (r, precision) with
+    | Treebeard.Float_tier diags, `Quantized _ ->
+      t.precision_fallbacks <-
+        ( name,
+          String.concat "; " (List.map (fun d -> D.to_string d) diags) )
+        :: t.precision_fallbacks
+    | _ -> ());
+    Hashtbl.replace t.resolutions mk r;
+    r
+
+let compile t name resolution schedule =
   let src = Hashtbl.find t.sources name in
   (* Inlined Treebeard.make pipeline, so the two wall-clock halves of a
      compile — lowering/packing vs closure instantiation — are timed
      separately, and the service-time simulation (a serving-layer concern,
      not compilation) is excluded from both. *)
   let t0 = Timer.now () in
-  let lowered = Lower.lower ?profiles:src.profiles src.forest schedule in
+  let lowered, pack_quant =
+    match resolution with
+    | Treebeard.Float_tier _ ->
+      (Lower.lower ?profiles:src.profiles src.forest schedule, None)
+    | Treebeard.Quant_tier cert ->
+      let quant = Treebeard.qspec_of_plan cert.Numeric.plan in
+      let lowered =
+        Lower.lower ?profiles:src.profiles ~quant src.forest schedule
+      in
+      let resident_k =
+        Treebeard.tune_resident_k ~target:t.target lowered src.sample_rows
+      in
+      ( lowered,
+        Some
+          {
+            Pack.resident_k;
+            dev_bound = Array.copy cert.Numeric.dev_bound;
+            tolerance = cert.Numeric.plan.Numeric.tolerance;
+          } )
+  in
   let packed =
-    Pack.of_lower ~model:name ~target:t.target.Config.name lowered
+    Pack.of_lower ~model:name ~target:t.target.Config.name ?quant:pack_quant
+      lowered
   in
   let t1 = Timer.now () in
   let predict = Jit.instantiate_single_thread packed in
   let t2 = Timer.now () in
-  let perf = Perf.simulate ~target:t.target lowered src.sample_rows in
+  (* Service-time model: simulate on the rows the predictor actually
+     walks — the quantized path's integer rows for a quantized entry. *)
+  let sim_rows =
+    match lowered.Lower.layout.Layout.quant with
+    | None -> src.sample_rows
+    | Some spec -> Array.map (Layout.quantize_row spec) src.sample_rows
+  in
+  let perf = Perf.simulate ~target:t.target lowered sim_rows in
   let artifact =
     {
       packed with
@@ -155,6 +252,7 @@ let compile t name schedule =
   {
     model = name;
     schedule;
+    tier = tier_of_resolution resolution;
     artifact;
     predict;
     us_per_row = perf.Perf.time_per_row_us *. service_scale t name;
@@ -168,7 +266,7 @@ let compile t name schedule =
    predictor. Service and compile cost models are rebuilt from the pack's
    own (uncalibrated) metadata, so hydration touches neither the source
    forest nor the simulator. *)
-let hydrate t name schedule k =
+let hydrate t name tier schedule k =
   match t.store with
   | None -> None
   | Some store -> (
@@ -180,6 +278,14 @@ let hydrate t name schedule k =
     | Error Artifact.Absent -> None
     | Error e ->
       artifact_error t name (Artifact.load_error_to_string e);
+      None
+    | Ok artifact when tier_of_pack artifact <> tier ->
+      (* The key embeds the tier, so this only fires on a store someone
+         mislabeled — treat like any other metadata mismatch. *)
+      artifact_error t name
+        (Printf.sprintf "mismatch: artifact precision tier %s, expected %s"
+           (Treebeard.tier_to_string (tier_of_pack artifact))
+           (Treebeard.tier_to_string tier));
       None
     | Ok artifact ->
       let t1 = Timer.now () in
@@ -193,6 +299,7 @@ let hydrate t name schedule k =
         {
           model = name;
           schedule;
+          tier;
           artifact;
           predict;
           us_per_row = artifact.Pack.meta.Pack.us_per_row *. service_scale t name;
@@ -202,7 +309,7 @@ let hydrate t name schedule k =
           wall_instantiate_us = (t2 -. t1) *. 1e6;
         })
 
-let compiled t ~model ~schedule =
+let compiled ?(precision = `Float) t ~model ~schedule =
   let src =
     match Hashtbl.find_opt t.sources model with
     | Some src -> src
@@ -220,19 +327,21 @@ let compiled t ~model ~schedule =
       ~num_trees:(Array.length src.forest.Forest.trees)
       schedule
   in
-  let k = key t model schedule in
+  let resolution = resolve t model src precision schedule in
+  let tier = tier_of_resolution resolution in
+  let k = key t model tier schedule in
   match Policy.find t.cache k with
   | Some c -> (c, `Hit)
   | None -> (
     (match warning with
     | Some w -> t.clamps <- (model, w) :: t.clamps
     | None -> ());
-    match hydrate t model schedule k with
+    match hydrate t model tier schedule k with
     | Some c ->
       ignore (Policy.put t.cache k c);
       (c, `Disk)
     | None ->
-      let c = compile t model schedule in
+      let c = compile t model resolution schedule in
       Hashtbl.replace t.compiled_keys k ();
       (match t.store with
       | None -> ()
@@ -328,3 +437,4 @@ let foreign_hydration_count t = t.foreign_hydrations
 let gc_removed_count t = t.gc_removed
 let clamp_warnings t = t.clamps
 let artifact_errors t = t.artifact_errors
+let precision_fallbacks t = t.precision_fallbacks

@@ -45,6 +45,10 @@ val provenance_string : provenance -> string
 type compiled = {
   model : string;
   schedule : Tb_hir.Schedule.t;  (** normalized: [num_threads = 1] *)
+  tier : Tb_core.Treebeard.tier;
+      (** the precision tier this entry actually serves — [`Float] for a
+          float compile or a quantized request whose certificate was
+          refuted, [`Int8]/[`Int16] for the integer fast path *)
   artifact : Tb_lir.Pack.t;
       (** the packed form this entry was instantiated from (for [`Compile]
           entries, the pack just constructed and written back to disk) *)
@@ -105,10 +109,21 @@ val forest : t -> string -> Tb_model.Forest.t
 (** @raise Not_found for unregistered names. *)
 
 val compiled :
-  t -> model:string -> schedule:Tb_hir.Schedule.t -> compiled * provenance
+  ?precision:Tb_core.Treebeard.precision ->
+  t ->
+  model:string ->
+  schedule:Tb_hir.Schedule.t ->
+  compiled * provenance
 (** Get-or-hydrate-or-compile; the provenance names the tier that
     answered ([`Hit] in-memory, [`Disk] artifact store, [`Compile]
-    fresh). The schedule is normalized before keying — [num_threads]
+    fresh). [precision] (default [`Float]) requests the integer fast
+    path: the model is certified and differentially validated once per
+    (model, request) — the outcome is memoized — and a refuted request
+    degrades to the float tier, recorded in {!precision_fallbacks}. The
+    {e resolved} tier is part of the cache key (and therefore of the
+    artifact filename), so float and quantized entries never share a
+    cache line or a file, and a fallback shares the plain float entry.
+    The schedule is normalized before keying — [num_threads]
     clamped to 1 (each worker owns its core) and
     {!Tb_hir.Schedule.canonicalize} applied with the model's tree count
     (so e.g. a row-major interleave factor beyond the forest shares the
@@ -179,3 +194,10 @@ val artifact_errors : t -> (string * string) list
     from — read errors, structured [A00x] decode rejections, metadata
     mismatches, failed writes — newest first. Absent files are normal
     cold misses, not errors. *)
+
+val precision_fallbacks : t -> (string * string) list
+(** [(model, findings)] for every quantized-precision request that
+    resolved to the float tier — the certificate was refuted
+    (N001/N003/N004) or the quantized stage pair found a divergence
+    (T005) — newest first. One entry per (model, request), matching the
+    resolution memo. *)

@@ -26,6 +26,7 @@ type config = Shard.config = {
   shed_lo : float;
   shed_hi : float;
   pending_cap : int;
+  precision : Tb_core.Treebeard.precision;
 }
 
 let default_config = Shard.default_config

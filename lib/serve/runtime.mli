@@ -56,8 +56,10 @@ type config = Shard.config = {
   shed_lo : float;
   shed_hi : float;
   pending_cap : int;
+  precision : Tb_core.Treebeard.precision;
 }
-(** See {!Shard.config} for the scheduling / SLO / shedding knobs. *)
+(** See {!Shard.config} for the scheduling / SLO / shedding /
+    precision knobs. *)
 
 val default_config : config
 (** capacity 1024, batch 32, deadline 500µs, 2 workers, 20µs overhead,

@@ -34,6 +34,7 @@ type config = {
   shed_lo : float;
   shed_hi : float;
   pending_cap : int;
+  precision : Tb_core.Treebeard.precision;
 }
 
 let default_config =
@@ -51,6 +52,7 @@ let default_config =
     shed_lo = 2.0;
     shed_hi = 2.0;
     pending_cap = max_int;
+    precision = `Float;
   }
 
 type batch_exec = {
@@ -177,7 +179,8 @@ let earliest_free st =
 
 let dispatch st ~worker (b : request Batcher.batch) =
   let compiled, tier =
-    Registry.compiled st.registry ~model:b.Batcher.model ~schedule:st.schedule
+    Registry.compiled ~precision:st.cfg.precision st.registry
+      ~model:b.Batcher.model ~schedule:st.schedule
   in
   Hashtbl.replace st.by_model b.Batcher.model compiled;
   let w = worker in

@@ -76,6 +76,11 @@ type config = {
   pending_cap : int;
       (** max formed-but-undispatched batches; overflow sheds the
           lowest-priority pending batch *)
+  precision : Tb_core.Treebeard.precision;
+      (** precision tier requested for every compile this engine
+          dispatches (see {!Registry.compiled}): a quantized request
+          serves the integer fast path for models that certify clean and
+          falls back per model otherwise. Default [`Float]. *)
 }
 
 val default_config : config

@@ -145,6 +145,10 @@ let config_to_json (c : config) models =
       ("routing", J.Str (Router.policy_to_string c.routing));
       ( "scheduling",
         J.Str (Scheduler.policy_to_string c.runtime.Runtime.scheduling) );
+      ( "precision",
+        J.Str
+          (Tb_core.Treebeard.precision_to_string c.runtime.Runtime.precision)
+      );
       ("schedule", Schedule.to_json c.schedule);
       ("queue_capacity", J.Num (float_of_int c.runtime.Runtime.queue_capacity));
       ("batch_max", J.Num (float_of_int c.runtime.Runtime.batch_max));
@@ -267,6 +271,26 @@ let run ?calibration (c : config) models =
   let per_model = count_per_model models requests result.Runtime.outputs in
   { config_json = config_to_json c models; result; per_model }
 
+(* Which precision tier actually served each model — per batch the
+   compiled entry knows its resolved tier, so the report can show a
+   quantized fleet's per-model fallbacks at a glance. Sorted by model
+   name for deterministic output. *)
+let tiers_of_batches (batches : Runtime.batch_exec list) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Runtime.batch_exec) ->
+      Hashtbl.replace tbl b.Runtime.compiled.Registry.model
+        b.Runtime.compiled.Registry.tier)
+    batches;
+  Hashtbl.fold (fun m tier acc -> (m, tier) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let tiers_json batches =
+  J.Obj
+    (List.map
+       (fun (m, tier) -> (m, J.Str (Tb_core.Treebeard.tier_to_string tier)))
+       (tiers_of_batches batches))
+
 let report_to_json ?(virtual_only = false) r =
   let res = r.result in
   let m = res.Runtime.metrics in
@@ -283,6 +307,7 @@ let report_to_json ?(virtual_only = false) r =
           (List.map
              (fun (name, n) -> (name, J.Num (float_of_int n)))
              r.per_model) );
+      ("precision_tiers", tiers_json res.Runtime.batches);
       ( "equivalence_failures",
         J.Num (float_of_int res.Runtime.equivalence_failures) );
       ( "equivalent",
@@ -356,6 +381,7 @@ let shard_to_json ~virtual_only (sid, (r : Runtime.result)) =
       ("hydrations", J.Num (float_of_int r.Runtime.hydration_count));
       ( "foreign_hydrations",
         J.Num (float_of_int r.Runtime.foreign_hydration_count) );
+      ("precision_tiers", tiers_json r.Runtime.batches);
       ( "equivalence_failures",
         J.Num (float_of_int r.Runtime.equivalence_failures) );
     ]

@@ -107,8 +107,9 @@ val run : ?calibration:Registry.calibration -> config -> model_spec list -> repo
 
 val report_to_json : ?virtual_only:bool -> report -> Tb_util.Json.t
 (** The serve-sim report: config echo, counts, latency percentiles,
-    batch/queue/cache statistics, throughput, equivalence flag and
-    per-model totals — plus, when the run measured them, the metrics'
+    batch/queue/cache statistics, throughput, equivalence flag,
+    per-model totals and the ["precision_tiers"] map (the tier —
+    float/int8/int16 — that actually served each dispatched model) — plus, when the run measured them, the metrics'
     ["wall"] sub-object and a top-level ["drift"] section (dual mode).
     [~virtual_only:true] omits both, leaving exactly the deterministic
     virtual report (used for determinism diffs of dual runs). *)
@@ -133,5 +134,6 @@ val run_fleet :
 val fleet_report_to_json : ?virtual_only:bool -> fleet_report -> Tb_util.Json.t
 (** The sharded serve-sim report: config echo, the router, the merged
     fleet metrics, a per-shard breakdown (metrics, queue/cache stats,
-    compiles / hydrations / {e foreign} hydrations), fleet totals and the
-    equivalence flag. Virtual-only filtering as {!report_to_json}. *)
+    compiles / hydrations / {e foreign} hydrations and the shard's
+    ["precision_tiers"] map of which tier served each model), fleet
+    totals and the equivalence flag. Virtual-only filtering as {!report_to_json}. *)

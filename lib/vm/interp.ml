@@ -44,7 +44,12 @@ let iload m buffer idx =
   | Feature_ids -> m.lay.Layout.features.(idx)
   | Lut -> m.lay.Layout.lut.(idx / m.lut_width).(idx mod m.lut_width)
   | Tree_roots -> m.lay.Layout.tree_root.(idx)
-  | Thresholds | Leaf_values | Row ->
+  | Row ->
+    (* Resident-prefix programs read the quantized row as integers; the
+       stored values are integer-valued floats (Layout.quantize_row), so
+       the truncation is exact. *)
+    int_of_float m.row.(idx)
+  | Thresholds | Leaf_values ->
     invalid_arg "Interp: integer load from a float buffer"
 
 let fload m buffer idx =

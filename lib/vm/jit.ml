@@ -212,6 +212,605 @@ let jam_rows_unrolled (lay : Layout.t) tree rows i0 count out cls ~depth =
     end
 
 (* ------------------------------------------------------------------ *)
+(* Narrow-walk kernels (quantized fast path)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The quantized walk runs in the integer domain over the layout's
+   materialized narrow buffers ({!Layout.narrow}): quantized rows are
+   int arrays, thresholds and leaves load from int8/int16 Bigarrays,
+   and per-class accumulators are ints. Routing replicates
+   [Layout.comparison_bits] bit for bit — finite thresholds compare as
+   the very integers the float-trick buffers store, +inf marker lanes
+   come from the slot's constant [always] mask, and -inf lanes store
+   the row minimum (constantly false, exactly like comparing against
+   -inf). Integer adds are exact, so tree order is irrelevant and the
+   final dequantize reproduces Lower.reference_qpredict — and hence
+   Numeric.qpredict_raw — bitwise. The step/walk kernels are duplicated
+   per width because Bigarray loads are only single instructions when
+   the element kind is statically known. *)
+
+let nstep8 (lay : Layout.t) (thr : Layout.narrow8) (always : int array) s
+    (qrow : int array) =
+  (* Unsafe loads: slot/lane indices are exactly the ones Lir_check's
+     walk-program bounds pass proves in range, and [Layout.row_quantizer]
+     fixes the row length at the feature count the layout indexes by. *)
+  let nt = lay.Layout.tile_size in
+  let features = lay.Layout.features in
+  let bits = ref always.(s) in
+  for lane = 0 to nt - 1 do
+    let i = (s * nt) + lane in
+    (* Comparison in value position: compiles branchless (setcc), like
+       [Layout.comparison_bits] — a branch per lane would mispredict on
+       ~half the routing decisions and stall every jammed chain. *)
+    let b =
+      if
+        Array.unsafe_get qrow (Array.unsafe_get features i)
+        < Bigarray.Array1.unsafe_get thr i
+      then 1
+      else 0
+    in
+    bits := !bits lor (b lsl (nt - 1 - lane))
+  done;
+  lay.Layout.lut.(lay.Layout.shape_ids.(s)).(!bits)
+
+let nwalk_array8 (lay : Layout.t) thr always base local0 qrow =
+  let fanout = lay.Layout.tile_size + 1 in
+  let rec go local =
+    let s = base + local in
+    if lay.Layout.shape_ids.(s) = Layout.leaf_marker then
+      Bigarray.Array1.get thr (s * lay.Layout.tile_size)
+    else go ((local * fanout) + nstep8 lay thr always s qrow + 1)
+  in
+  go local0
+
+let nwalk_sparse8 (lay : Layout.t) thr (leaves : Layout.narrow8) always s0 qrow =
+  if s0 < 0 then Bigarray.Array1.get leaves (-s0 - 1)
+  else begin
+    let rec go s =
+      let c = nstep8 lay thr always s qrow in
+      let p = lay.Layout.child_ptr.(s) in
+      if p >= 0 then go (p + c) else Bigarray.Array1.get leaves (-p - 1 + c)
+    in
+    go s0
+  end
+
+let nwalk_array_unrolled8 (lay : Layout.t) thr always base qrow ~depth =
+  let fanout = lay.Layout.tile_size + 1 in
+  let local = ref 0 in
+  for _ = 1 to depth do
+    local := (!local * fanout) + nstep8 lay thr always (base + !local) qrow + 1
+  done;
+  Bigarray.Array1.get thr ((base + !local) * lay.Layout.tile_size)
+
+let nwalk_array_peeled8 (lay : Layout.t) thr always base qrow ~peel =
+  let fanout = lay.Layout.tile_size + 1 in
+  let local = ref 0 in
+  for _ = 1 to peel do
+    local := (!local * fanout) + nstep8 lay thr always (base + !local) qrow + 1
+  done;
+  nwalk_array8 lay thr always base !local qrow
+
+let nstep_sparse8 (lay : Layout.t) thr always s qrow =
+  let c = nstep8 lay thr always s qrow in
+  let p = lay.Layout.child_ptr.(s) in
+  if p >= 0 then p + c else -(-p - 1 + c) - 1
+
+let nwalk_sparse_unrolled8 (lay : Layout.t) thr (leaves : Layout.narrow8) always
+    root qrow ~depth =
+  if root < 0 then Bigarray.Array1.get leaves (-root - 1)
+  else begin
+    let s = ref root in
+    for _ = 1 to depth - 1 do
+      s := nstep_sparse8 lay thr always !s qrow
+    done;
+    let last = nstep_sparse8 lay thr always !s qrow in
+    Bigarray.Array1.get leaves (-last - 1)
+  end
+
+let nwalk_sparse_peeled8 (lay : Layout.t) thr (leaves : Layout.narrow8) always
+    root qrow ~peel =
+  if root < 0 then Bigarray.Array1.get leaves (-root - 1)
+  else begin
+    let s = ref root in
+    for _ = 1 to peel do
+      if !s >= 0 then s := nstep_sparse8 lay thr always !s qrow
+    done;
+    nwalk_sparse8 lay thr leaves always !s qrow
+  end
+
+let nstep16 (lay : Layout.t) (thr : Layout.narrow16) (always : int array) s
+    (qrow : int array) =
+  (* Same unsafe-load and branchless-compare notes as {!nstep8}. *)
+  let nt = lay.Layout.tile_size in
+  let features = lay.Layout.features in
+  let bits = ref always.(s) in
+  for lane = 0 to nt - 1 do
+    let i = (s * nt) + lane in
+    let b =
+      if
+        Array.unsafe_get qrow (Array.unsafe_get features i)
+        < Bigarray.Array1.unsafe_get thr i
+      then 1
+      else 0
+    in
+    bits := !bits lor (b lsl (nt - 1 - lane))
+  done;
+  lay.Layout.lut.(lay.Layout.shape_ids.(s)).(!bits)
+
+let nwalk_array16 (lay : Layout.t) thr always base local0 qrow =
+  let fanout = lay.Layout.tile_size + 1 in
+  let rec go local =
+    let s = base + local in
+    if lay.Layout.shape_ids.(s) = Layout.leaf_marker then
+      Bigarray.Array1.get thr (s * lay.Layout.tile_size)
+    else go ((local * fanout) + nstep16 lay thr always s qrow + 1)
+  in
+  go local0
+
+let nwalk_sparse16 (lay : Layout.t) thr (leaves : Layout.narrow16) always s0 qrow =
+  if s0 < 0 then Bigarray.Array1.get leaves (-s0 - 1)
+  else begin
+    let rec go s =
+      let c = nstep16 lay thr always s qrow in
+      let p = lay.Layout.child_ptr.(s) in
+      if p >= 0 then go (p + c) else Bigarray.Array1.get leaves (-p - 1 + c)
+    in
+    go s0
+  end
+
+let nwalk_array_unrolled16 (lay : Layout.t) thr always base qrow ~depth =
+  let fanout = lay.Layout.tile_size + 1 in
+  let local = ref 0 in
+  for _ = 1 to depth do
+    local := (!local * fanout) + nstep16 lay thr always (base + !local) qrow + 1
+  done;
+  Bigarray.Array1.get thr ((base + !local) * lay.Layout.tile_size)
+
+let nwalk_array_peeled16 (lay : Layout.t) thr always base qrow ~peel =
+  let fanout = lay.Layout.tile_size + 1 in
+  let local = ref 0 in
+  for _ = 1 to peel do
+    local := (!local * fanout) + nstep16 lay thr always (base + !local) qrow + 1
+  done;
+  nwalk_array16 lay thr always base !local qrow
+
+let nstep_sparse16 (lay : Layout.t) thr always s qrow =
+  let c = nstep16 lay thr always s qrow in
+  let p = lay.Layout.child_ptr.(s) in
+  if p >= 0 then p + c else -(-p - 1 + c) - 1
+
+let nwalk_sparse_unrolled16 (lay : Layout.t) thr (leaves : Layout.narrow16)
+    always root qrow ~depth =
+  if root < 0 then Bigarray.Array1.get leaves (-root - 1)
+  else begin
+    let s = ref root in
+    for _ = 1 to depth - 1 do
+      s := nstep_sparse16 lay thr always !s qrow
+    done;
+    let last = nstep_sparse16 lay thr always !s qrow in
+    Bigarray.Array1.get leaves (-last - 1)
+  end
+
+let nwalk_sparse_peeled16 (lay : Layout.t) thr (leaves : Layout.narrow16)
+    always root qrow ~peel =
+  if root < 0 then Bigarray.Array1.get leaves (-root - 1)
+  else begin
+    let s = ref root in
+    for _ = 1 to peel do
+      if !s >= 0 then s := nstep_sparse16 lay thr always !s qrow
+    done;
+    nwalk_sparse16 lay thr leaves always !s qrow
+  end
+
+(* One tree, one quantized row, per the group's walk kind — the narrow
+   mirror of {!walk_fn}. *)
+let nwalk_fn8 (lay : Layout.t) thr leaves always (walk : Mir.walk_kind) =
+  let root tree = lay.Layout.tree_root.(tree) in
+  match (lay.Layout.kind, walk) with
+  | Layout.Array_kind, Mir.Loop_walk ->
+    fun tree qrow -> nwalk_array8 lay thr always (root tree) 0 qrow
+  | Layout.Array_kind, Mir.Unrolled_walk { depth } ->
+    fun tree qrow -> nwalk_array_unrolled8 lay thr always (root tree) qrow ~depth
+  | Layout.Array_kind, Mir.Peeled_walk { peel } ->
+    fun tree qrow -> nwalk_array_peeled8 lay thr always (root tree) qrow ~peel
+  | Layout.Sparse_kind, Mir.Loop_walk ->
+    fun tree qrow -> nwalk_sparse8 lay thr leaves always (root tree) qrow
+  | Layout.Sparse_kind, Mir.Unrolled_walk { depth } ->
+    fun tree qrow ->
+      nwalk_sparse_unrolled8 lay thr leaves always (root tree) qrow ~depth
+  | Layout.Sparse_kind, Mir.Peeled_walk { peel } ->
+    fun tree qrow ->
+      nwalk_sparse_peeled8 lay thr leaves always (root tree) qrow ~peel
+
+let nwalk_fn16 (lay : Layout.t) thr leaves always (walk : Mir.walk_kind) =
+  let root tree = lay.Layout.tree_root.(tree) in
+  match (lay.Layout.kind, walk) with
+  | Layout.Array_kind, Mir.Loop_walk ->
+    fun tree qrow -> nwalk_array16 lay thr always (root tree) 0 qrow
+  | Layout.Array_kind, Mir.Unrolled_walk { depth } ->
+    fun tree qrow -> nwalk_array_unrolled16 lay thr always (root tree) qrow ~depth
+  | Layout.Array_kind, Mir.Peeled_walk { peel } ->
+    fun tree qrow -> nwalk_array_peeled16 lay thr always (root tree) qrow ~peel
+  | Layout.Sparse_kind, Mir.Loop_walk ->
+    fun tree qrow -> nwalk_sparse16 lay thr leaves always (root tree) qrow
+  | Layout.Sparse_kind, Mir.Unrolled_walk { depth } ->
+    fun tree qrow ->
+      nwalk_sparse_unrolled16 lay thr leaves always (root tree) qrow ~depth
+  | Layout.Sparse_kind, Mir.Peeled_walk { peel } ->
+    fun tree qrow ->
+      nwalk_sparse_peeled16 lay thr leaves always (root tree) qrow ~peel
+
+(* ------------------------------------------------------------------ *)
+(* Resident-prefix walkers (quantized fast path)                       *)
+(* ------------------------------------------------------------------ *)
+
+let never_taken : int array -> int =
+ fun _ -> invalid_arg "Jit: resident dispatch reached an unreachable child"
+
+(* The top [k] tile levels of one tree become a closure tree with the
+   lane feature ids, integer thresholds and LUT row baked in as
+   immediates — no buffer loads until the walk leaves the resident
+   prefix, where control falls through to [tail] (the narrow
+   memory-phase walk from that cursor; array-kind cursors are slab
+   locals, sparse cursors the slot-or-negative-leaf encoding).
+   Thresholds bake exactly like {!Layout.narrow} encodes them (+inf
+   lanes as a constant OR-mask, -inf as a never-true sentinel), so the
+   prefix depth cannot change any prediction. *)
+let resident_walker (lay : Layout.t) ~k tree ~(tail : int -> int array -> int)
+    ~(leaf_get : int -> int) =
+  let nt = lay.Layout.tile_size in
+  let bake s (children : (int array -> int) array) =
+    let lut_row = lay.Layout.lut.(lay.Layout.shape_ids.(s)) in
+    let feats = Array.init nt (fun l -> lay.Layout.features.((s * nt) + l)) in
+    let always = ref 0 in
+    let thrs =
+      Array.init nt (fun l ->
+          let x = lay.Layout.thresholds.((s * nt) + l) in
+          if x = infinity then begin
+            always := !always lor (1 lsl (nt - 1 - l));
+            min_int
+          end
+          else if x = neg_infinity then min_int
+          else int_of_float x)
+    in
+    let always = !always in
+    fun (qrow : int array) ->
+      let bits = ref always in
+      for l = 0 to nt - 1 do
+        let b = if qrow.(feats.(l)) < thrs.(l) then 1 else 0 in
+        bits := !bits lor (b lsl (nt - 1 - l))
+      done;
+      children.(lut_row.(!bits)) qrow
+  in
+  match lay.Layout.kind with
+  | Layout.Array_kind ->
+    let fanout = nt + 1 in
+    let base = lay.Layout.tree_root.(tree) in
+    let rec build local level =
+      let s = base + local in
+      if level >= k || lay.Layout.shape_ids.(s) < 0 then tail local
+      else begin
+        let reach = Layout.reachable_children lay lay.Layout.shape_ids.(s) in
+        let children =
+          Array.init fanout (fun c ->
+              if List.mem c reach then build ((local * fanout) + c + 1) (level + 1)
+              else never_taken)
+        in
+        bake s children
+      end
+    in
+    build 0 0
+  | Layout.Sparse_kind ->
+    let root = lay.Layout.tree_root.(tree) in
+    let rec build s level =
+      if level >= k then tail s
+      else begin
+        let p = lay.Layout.child_ptr.(s) in
+        let reach = Layout.reachable_children lay lay.Layout.shape_ids.(s) in
+        let children =
+          Array.init (nt + 1) (fun c ->
+              if not (List.mem c reach) then never_taken
+              else if p >= 0 then build (p + c) (level + 1)
+              else begin
+                let v = leaf_get (-p - 1 + c) in
+                fun _ -> v
+              end)
+        in
+        bake s children
+      end
+    in
+    if root < 0 then begin
+      let v = leaf_get (-root - 1) in
+      fun _ -> v
+    end
+    else build root 0
+
+(* ------------------------------------------------------------------ *)
+(* Narrow jammed kernels                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Lockstep row jamming over the narrow buffers — the integer mirror of
+   {!jam_rows_unrolled} / {!jam_rows_generic}. The jam is what buys the
+   quantized path the same memory-latency overlap the float kernels
+   get from interleaving. *)
+
+let njam_unrolled8 (lay : Layout.t) thr (leaves : Layout.narrow8) always tree
+    qrows i0 count (out : int array array) cls ~depth =
+  let nt = lay.Layout.tile_size in
+  match lay.Layout.kind with
+  | Layout.Array_kind ->
+    let fanout = nt + 1 in
+    let base = lay.Layout.tree_root.(tree) in
+    let cursors = Array.make count 0 in
+    for _ = 1 to depth do
+      for j = 0 to count - 1 do
+        cursors.(j) <-
+          (cursors.(j) * fanout)
+          + nstep8 lay thr always (base + cursors.(j)) qrows.(i0 + j)
+          + 1
+      done
+    done;
+    for j = 0 to count - 1 do
+      out.(i0 + j).(cls) <-
+        out.(i0 + j).(cls) + Bigarray.Array1.get thr ((base + cursors.(j)) * nt)
+    done
+  | Layout.Sparse_kind ->
+    let root = lay.Layout.tree_root.(tree) in
+    if root < 0 then begin
+      let v = Bigarray.Array1.get leaves (-root - 1) in
+      for j = 0 to count - 1 do
+        out.(i0 + j).(cls) <- out.(i0 + j).(cls) + v
+      done
+    end
+    else begin
+      let cursors = Array.make count root in
+      for _ = 1 to depth - 1 do
+        for j = 0 to count - 1 do
+          cursors.(j) <- nstep_sparse8 lay thr always cursors.(j) qrows.(i0 + j)
+        done
+      done;
+      for j = 0 to count - 1 do
+        let last = nstep_sparse8 lay thr always cursors.(j) qrows.(i0 + j) in
+        out.(i0 + j).(cls) <-
+          out.(i0 + j).(cls) + Bigarray.Array1.get leaves (-last - 1)
+      done
+    end
+
+let njam_generic8 (lay : Layout.t) thr (leaves : Layout.narrow8) always tree
+    qrows i0 count (out : int array array) cls =
+  let nt = lay.Layout.tile_size in
+  let cursors = Array.make count 0 in
+  let live = Array.make count true in
+  match lay.Layout.kind with
+  | Layout.Array_kind ->
+    let fanout = nt + 1 in
+    let base = lay.Layout.tree_root.(tree) in
+    let remaining = ref count in
+    while !remaining > 0 do
+      for j = 0 to count - 1 do
+        if live.(j) then begin
+          let s = base + cursors.(j) in
+          if lay.Layout.shape_ids.(s) = Layout.leaf_marker then begin
+            out.(i0 + j).(cls) <-
+              out.(i0 + j).(cls) + Bigarray.Array1.get thr (s * nt);
+            live.(j) <- false;
+            decr remaining
+          end
+          else
+            cursors.(j) <-
+              (cursors.(j) * fanout) + nstep8 lay thr always s qrows.(i0 + j) + 1
+        end
+      done
+    done
+  | Layout.Sparse_kind ->
+    let root = lay.Layout.tree_root.(tree) in
+    if root < 0 then begin
+      let v = Bigarray.Array1.get leaves (-root - 1) in
+      for j = 0 to count - 1 do
+        out.(i0 + j).(cls) <- out.(i0 + j).(cls) + v
+      done
+    end
+    else begin
+      Array.fill cursors 0 count root;
+      let remaining = ref count in
+      while !remaining > 0 do
+        for j = 0 to count - 1 do
+          if live.(j) then begin
+            let next = nstep_sparse8 lay thr always cursors.(j) qrows.(i0 + j) in
+            if next >= 0 then cursors.(j) <- next
+            else begin
+              out.(i0 + j).(cls) <-
+                out.(i0 + j).(cls) + Bigarray.Array1.get leaves (-next - 1);
+              live.(j) <- false;
+              decr remaining
+            end
+          end
+        done
+      done
+    end
+
+let njam_unrolled16 (lay : Layout.t) thr (leaves : Layout.narrow16) always tree
+    qrows i0 count (out : int array array) cls ~depth =
+  let nt = lay.Layout.tile_size in
+  match lay.Layout.kind with
+  | Layout.Array_kind ->
+    let fanout = nt + 1 in
+    let base = lay.Layout.tree_root.(tree) in
+    let cursors = Array.make count 0 in
+    for _ = 1 to depth do
+      for j = 0 to count - 1 do
+        cursors.(j) <-
+          (cursors.(j) * fanout)
+          + nstep16 lay thr always (base + cursors.(j)) qrows.(i0 + j)
+          + 1
+      done
+    done;
+    for j = 0 to count - 1 do
+      out.(i0 + j).(cls) <-
+        out.(i0 + j).(cls) + Bigarray.Array1.get thr ((base + cursors.(j)) * nt)
+    done
+  | Layout.Sparse_kind ->
+    let root = lay.Layout.tree_root.(tree) in
+    if root < 0 then begin
+      let v = Bigarray.Array1.get leaves (-root - 1) in
+      for j = 0 to count - 1 do
+        out.(i0 + j).(cls) <- out.(i0 + j).(cls) + v
+      done
+    end
+    else begin
+      let cursors = Array.make count root in
+      for _ = 1 to depth - 1 do
+        for j = 0 to count - 1 do
+          cursors.(j) <- nstep_sparse16 lay thr always cursors.(j) qrows.(i0 + j)
+        done
+      done;
+      for j = 0 to count - 1 do
+        let last = nstep_sparse16 lay thr always cursors.(j) qrows.(i0 + j) in
+        out.(i0 + j).(cls) <-
+          out.(i0 + j).(cls) + Bigarray.Array1.get leaves (-last - 1)
+      done
+    end
+
+let njam_generic16 (lay : Layout.t) thr (leaves : Layout.narrow16) always tree
+    qrows i0 count (out : int array array) cls =
+  let nt = lay.Layout.tile_size in
+  let cursors = Array.make count 0 in
+  let live = Array.make count true in
+  match lay.Layout.kind with
+  | Layout.Array_kind ->
+    let fanout = nt + 1 in
+    let base = lay.Layout.tree_root.(tree) in
+    let remaining = ref count in
+    while !remaining > 0 do
+      for j = 0 to count - 1 do
+        if live.(j) then begin
+          let s = base + cursors.(j) in
+          if lay.Layout.shape_ids.(s) = Layout.leaf_marker then begin
+            out.(i0 + j).(cls) <-
+              out.(i0 + j).(cls) + Bigarray.Array1.get thr (s * nt);
+            live.(j) <- false;
+            decr remaining
+          end
+          else
+            cursors.(j) <-
+              (cursors.(j) * fanout) + nstep16 lay thr always s qrows.(i0 + j) + 1
+        end
+      done
+    done
+  | Layout.Sparse_kind ->
+    let root = lay.Layout.tree_root.(tree) in
+    if root < 0 then begin
+      let v = Bigarray.Array1.get leaves (-root - 1) in
+      for j = 0 to count - 1 do
+        out.(i0 + j).(cls) <- out.(i0 + j).(cls) + v
+      done
+    end
+    else begin
+      Array.fill cursors 0 count root;
+      let remaining = ref count in
+      while !remaining > 0 do
+        for j = 0 to count - 1 do
+          if live.(j) then begin
+            let next = nstep_sparse16 lay thr always cursors.(j) qrows.(i0 + j) in
+            if next >= 0 then cursors.(j) <- next
+            else begin
+              out.(i0 + j).(cls) <-
+                out.(i0 + j).(cls) + Bigarray.Array1.get leaves (-next - 1);
+              live.(j) <- false;
+              decr remaining
+            end
+          end
+        done
+      done
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Quantized runner assembly                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One runner per tree, assembled from the pack's groups. Memory-only
+   trees (k = 0) honor their group's walk kind and interleave (jammed
+   rows, like the float path); resident trees bake the prefix and fall
+   through to the generic narrow walk from the exit cursor. The
+   schedule's loop order is deliberately ignored: integer adds are
+   exact, so tree-at-a-time — the cache-friendliest order — is always
+   bitwise-identical. *)
+let assemble_quant_runner (pk : Pack.t) ~resident_k ~walk_of ~tail_of ~leaf_get
+    ~jam_unrolled ~jam_generic =
+  let lay = pk.Pack.layout in
+  let per_row cls w qrows (out : int array array) lo hi =
+    for i = lo to hi - 1 do
+      out.(i).(cls) <- out.(i).(cls) + w qrows.(i)
+    done
+  in
+  let runners =
+    Array.to_list pk.Pack.groups
+    |> List.concat_map (fun (g : Pack.group) ->
+           Array.to_list g.Pack.positions
+           |> List.map (fun tree ->
+                  let cls = pk.Pack.tree_class.(tree) in
+                  if resident_k > 0 then
+                    per_row cls
+                      (resident_walker lay ~k:resident_k tree
+                         ~tail:(tail_of tree) ~leaf_get)
+                  else begin
+                    let k = g.Pack.interleave in
+                    if k <= 1 then per_row cls (walk_of g.Pack.walk tree)
+                    else
+                      let jam =
+                        match g.Pack.walk with
+                        | Mir.Unrolled_walk { depth } ->
+                          fun qrows i0 count out -> jam_unrolled tree ~depth qrows i0 count out cls
+                        | Mir.Loop_walk | Mir.Peeled_walk _ ->
+                          fun qrows i0 count out -> jam_generic tree qrows i0 count out cls
+                      in
+                      fun qrows out lo hi ->
+                        let i = ref lo in
+                        while !i < hi do
+                          let count = min k (hi - !i) in
+                          jam qrows !i count out;
+                          i := !i + count
+                        done
+                  end))
+  in
+  let runners = Array.of_list runners in
+  fun qrows out lo hi -> Array.iter (fun r -> r qrows out lo hi) runners
+
+let quant_runner (pk : Pack.t) ~resident_k =
+  let lay = pk.Pack.layout in
+  match Layout.narrow lay with
+  | Layout.Narrow8 { thr; leaves; always } ->
+    assemble_quant_runner pk ~resident_k
+      ~walk_of:(fun walk tree -> nwalk_fn8 lay thr leaves always walk tree)
+      ~tail_of:(fun tree ->
+        match lay.Layout.kind with
+        | Layout.Array_kind ->
+          let base = lay.Layout.tree_root.(tree) in
+          fun local qrow -> nwalk_array8 lay thr always base local qrow
+        | Layout.Sparse_kind ->
+          fun s qrow -> nwalk_sparse8 lay thr leaves always s qrow)
+      ~leaf_get:(fun i -> Bigarray.Array1.get leaves i)
+      ~jam_unrolled:(fun tree ~depth qrows i0 count out cls ->
+        njam_unrolled8 lay thr leaves always tree qrows i0 count out cls ~depth)
+      ~jam_generic:(fun tree qrows i0 count out cls ->
+        njam_generic8 lay thr leaves always tree qrows i0 count out cls)
+  | Layout.Narrow16 { thr; leaves; always } ->
+    assemble_quant_runner pk ~resident_k
+      ~walk_of:(fun walk tree -> nwalk_fn16 lay thr leaves always walk tree)
+      ~tail_of:(fun tree ->
+        match lay.Layout.kind with
+        | Layout.Array_kind ->
+          let base = lay.Layout.tree_root.(tree) in
+          fun local qrow -> nwalk_array16 lay thr always base local qrow
+        | Layout.Sparse_kind ->
+          fun s qrow -> nwalk_sparse16 lay thr leaves always s qrow)
+      ~leaf_get:(fun i -> Bigarray.Array1.get leaves i)
+      ~jam_unrolled:(fun tree ~depth qrows i0 count out cls ->
+        njam_unrolled16 lay thr leaves always tree qrows i0 count out cls ~depth)
+      ~jam_generic:(fun tree qrows i0 count out cls ->
+        njam_generic16 lay thr leaves always tree qrows i0 count out cls)
+
+(* ------------------------------------------------------------------ *)
 (* Drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -268,32 +867,55 @@ let run_range (pk : Pack.t) rows out lo hi =
         groups
     done
 
-let instantiate_single_thread (pk : Pack.t) rows =
+(* Tile the row loop by thread count (§IV-C); each domain owns a
+   contiguous block of rows (Mir.row_partition, statically checked
+   disjoint by the analysis), so no synchronization is needed. *)
+let parallel_run ~threads run rows out =
   let n = Array.length rows in
-  let out = Array.init n (fun _ -> Array.make pk.Pack.num_outputs pk.Pack.base_score) in
-  run_range pk rows out 0 n;
-  out
-
-let instantiate pk =
-  let threads = pk.Pack.num_threads in
-  if threads <= 1 then instantiate_single_thread pk
+  if threads <= 1 then run rows out 0 n
   else
+    let domains =
+      Array.to_list (Mir.row_partition ~num_threads:threads ~batch:n)
+      |> List.map (fun (lo, hi) ->
+             if lo >= hi then None
+             else Some (Domain.spawn (fun () -> run rows out lo hi)))
+    in
+    List.iter (function Some d -> Domain.join d | None -> ()) domains
+
+let instantiate_with ~threads (pk : Pack.t) =
+  match pk.Pack.layout.Layout.quant with
+  | None ->
     fun rows ->
       let n = Array.length rows in
       let out =
         Array.init n (fun _ -> Array.make pk.Pack.num_outputs pk.Pack.base_score)
       in
-      (* Tile the row loop by thread count (§IV-C); each domain owns a
-         contiguous block of rows (Mir.row_partition, statically checked
-         disjoint by the analysis), so no synchronization is needed. *)
-      let domains =
-        Array.to_list (Mir.row_partition ~num_threads:threads ~batch:n)
-        |> List.map (fun (lo, hi) ->
-               if lo >= hi then None
-               else Some (Domain.spawn (fun () -> run_range pk rows out lo hi)))
-      in
-      List.iter (function Some d -> Domain.join d | None -> ()) domains;
+      parallel_run ~threads (run_range pk) rows out;
       out
+  | Some q ->
+    (* Integer fast path: quantize the batch into int rows once, walk
+       the narrow buffers (with the resident prefix baked when k > 0)
+       accumulating int sums from the quantized base score, then
+       dequantize exactly. Must equal Lower.reference_qpredict — and
+       hence Numeric.qpredict_raw — bit for bit: routing matches the
+       float-trick buffers comparison for comparison, and both sides'
+       sums are the same integers far below 2^53. *)
+    let resident_k =
+      match pk.Pack.quant with Some m -> m.Pack.resident_k | None -> 0
+    in
+    let run = quant_runner pk ~resident_k in
+    let quantize_row = Layout.row_quantizer q in
+    let qbase = Layout.quantize_leaf_int q pk.Pack.base_score in
+    let scale = Layout.dequant_scale q in
+    fun rows ->
+      let n = Array.length rows in
+      let qrows = Array.map quantize_row rows in
+      let acc = Array.init n (fun _ -> Array.make pk.Pack.num_outputs qbase) in
+      parallel_run ~threads run qrows acc;
+      Array.map (fun o -> Array.map (fun v -> float_of_int v *. scale) o) acc
+
+let instantiate_single_thread (pk : Pack.t) = instantiate_with ~threads:1 pk
+let instantiate (pk : Pack.t) = instantiate_with ~threads:pk.Pack.num_threads pk
 
 let compile_single_thread (lp : Lower.t) = instantiate_single_thread (Pack.of_lower lp)
 let compile (lp : Lower.t) = instantiate (Pack.of_lower lp)

@@ -72,4 +72,28 @@ let () =
   output_bytes oc bytes;
   close_out oc;
   Printf.printf "wrote %s (%d bytes, format v%d)\n" path (Bytes.length bytes)
+    Tb_lir.Pack.format_version;
+  (* And one golden *quantized* artifact: same model, int16 tier, fixed
+     resident depth and tolerance so the quant metadata block and the
+     narrow-layout serialization are pinned too. The plan comes from the
+     deterministic certifier, so the fixture is reproducible from the
+     model cache alone. *)
+  let cert = Tb_analysis.Numeric.certify ~width:Tb_analysis.Numeric.I16 forest in
+  let qspec = Tb_core.Treebeard.qspec_of_plan cert.Tb_analysis.Numeric.plan in
+  let qpack =
+    Tb_lir.Pack.of_lower ~model:"abalone"
+      ~quant:
+        {
+          Tb_lir.Pack.resident_k = 2;
+          dev_bound = Array.copy cert.Tb_analysis.Numeric.dev_bound;
+          tolerance = 0.5;
+        }
+      (Tb_lir.Lower.lower ~quant:qspec forest Schedule.default)
+  in
+  let qbytes = Tb_lir.Pack.encode qpack in
+  let qpath = "test/golden/abalone-int16.tbpack" in
+  let oc = open_out_bin qpath in
+  output_bytes oc qbytes;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes, format v%d)\n" qpath (Bytes.length qbytes)
     Tb_lir.Pack.format_version

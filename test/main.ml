@@ -26,4 +26,5 @@ let () =
       ("artifact", Test_artifact.suite);
       ("soundness", Test_soundness.suite);
       ("numeric", Test_numeric.suite);
+      ("quant", Test_quant.suite);
     ]

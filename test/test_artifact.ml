@@ -392,6 +392,62 @@ let test_golden_artifact_byte_stability () =
         (Bytes.compare fixture (Pack.encode repacked) = 0)
     end
 
+(* The quantized fixture pins the v2 quant metadata block and the
+   narrow-layout serialization the same way the float fixture pins the
+   base format: decode, re-encode byte-identically, and (with the model
+   cache present) reproduce it from scratch through certify -> lower
+   ~quant -> pack. *)
+let test_golden_quant_artifact_byte_stability () =
+  let path = Filename.concat golden_dir "abalone-int16.tbpack" in
+  let fixture =
+    match Artifact.read_file path with
+    | Ok b -> b
+    | Error m -> Alcotest.failf "missing golden quant artifact (%s)" m
+  in
+  let pk =
+    match Pack.decode fixture with
+    | Ok pk -> pk
+    | Error e ->
+      Alcotest.failf
+        "golden quant artifact no longer decodes ([%s] %s) — the wire \
+         format changed; bump Pack.format_version and regenerate with \
+         gen_golden"
+        e.Pack.code e.Pack.message
+  in
+  check_string "golden quant model name" "abalone" pk.Pack.meta.Pack.model;
+  (match pk.Pack.quant with
+  | None -> Alcotest.fail "golden quant artifact lost its quant block"
+  | Some q ->
+    check_int "golden quant resident_k" 2 q.Pack.resident_k;
+    check_float "golden quant tolerance" 0.5 q.Pack.tolerance);
+  (match pk.Pack.layout.Layout.quant with
+  | None -> Alcotest.fail "golden quant artifact rehydrated a float layout"
+  | Some s -> check_int "golden quant qbits" 16 s.Layout.qbits);
+  check_bool "golden quant artifact re-encodes byte-identically" true
+    (Bytes.compare fixture (Pack.encode pk) = 0);
+  match models_dir with
+  | None -> ()
+  | Some dir ->
+    let model_path = Filename.concat dir "abalone.json" in
+    if Sys.file_exists model_path then begin
+      let forest = Tb_model.Serialize.of_file model_path in
+      let module Numeric = Tb_analysis.Numeric in
+      let cert = Numeric.certify ~width:Numeric.I16 forest in
+      let qspec = Tb_core.Treebeard.qspec_of_plan cert.Numeric.plan in
+      let repacked =
+        Pack.of_lower ~model:"abalone"
+          ~quant:
+            {
+              Pack.resident_k = 2;
+              dev_bound = Array.copy cert.Numeric.dev_bound;
+              tolerance = 0.5;
+            }
+          (Lower.lower ~quant:qspec forest Schedule.default)
+      in
+      check_bool "freshly packed quantized abalone matches the fixture" true
+        (Bytes.compare fixture (Pack.encode repacked) = 0)
+    end
+
 let suite =
   [
     qcheck ~count:60
@@ -407,4 +463,6 @@ let suite =
       test_corrupt_artifact_falls_back;
     quick "wall cost split + modeled hydration discount" test_wall_cost_split;
     quick "golden artifact byte stability" test_golden_artifact_byte_stability;
+    quick "golden quantized artifact byte stability"
+      test_golden_quant_artifact_byte_stability;
   ]

@@ -1,0 +1,350 @@
+(* The integer fast path, end to end.
+
+   The quantized backend's contract is *bitwise* agreement with the
+   certified integer evaluator ({!Numeric.qpredict_raw}) on every row —
+   ties, saturated inputs and dead zones included — because both sides
+   quantize identically and integer addition commutes exactly. The
+   properties here replay that contract at each layer: the quantized
+   lowering's reference evaluation, the packed-artifact JIT (memory-only
+   and register-resident prefix), and the Reg_ir resident programs under
+   the interpreter. Divergence from the *float* path is only allowed on
+   rows inside a rounding dead zone, and elsewhere must stay within the
+   certificate's proved deviation bound. *)
+
+open Helpers
+module Prng = Tb_util.Prng
+module Tree = Tb_model.Tree
+module Forest = Tb_model.Forest
+module Schedule = Tb_hir.Schedule
+module Layout = Tb_lir.Layout
+module Lower = Tb_lir.Lower
+module Pack = Tb_lir.Pack
+module Reg_codegen = Tb_lir.Reg_codegen
+module Jit = Tb_vm.Jit
+module Interp = Tb_vm.Interp
+module Numeric = Tb_analysis.Numeric
+module Validate = Tb_analysis.Validate
+module Treebeard = Tb_core.Treebeard
+module D = Tb_diag.Diagnostic
+
+let grid = Array.of_list Schedule.table2_grid
+let bits = Int64.bits_of_float
+
+let bitwise_eq a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> bits x = bits y) a b
+
+(* N002 (threshold collisions) does not refute a certificate — dead-zone
+   routing divergence is permitted by contract. Anything else does. *)
+let refuted (cert : Numeric.certificate) =
+  List.exists (fun d -> d.D.code <> "N002") cert.Numeric.findings
+
+let qspec_of_plan (p : Numeric.plan) =
+  {
+    Layout.qbits = Numeric.bits p.Numeric.width;
+    q_max = p.Numeric.q_max;
+    feature_exp = Array.copy p.Numeric.feature_exp;
+    leaf_exp = p.Numeric.leaf_exp;
+  }
+
+let pack_quant (cert : Numeric.certificate) k =
+  {
+    Pack.resident_k = k;
+    dev_bound = Array.copy cert.Numeric.dev_bound;
+    tolerance = cert.Numeric.plan.Numeric.tolerance;
+  }
+
+(* Ordinary rows plus scaled-up ones that exercise input saturation
+   against the padded (infinite-threshold) dummy lanes. *)
+let probe_rows rng num_features =
+  Array.append
+    (random_rows rng num_features 10)
+    (Array.map
+       (Array.map (fun x -> 1e3 *. x))
+       (random_rows rng num_features 2))
+
+(* Random model with a *sound* plan — only N001 (overflow) makes the
+   quantized execution itself unsound; excess deviation (N003), flip risk
+   (N004) and collisions (N002) don't invalidate the bitwise contract or
+   the proved dev_bound, so such models stay in the sample. A huge
+   tolerance keeps N003 from firing and maximizes coverage. *)
+let certified_model rng =
+  let forest = Test_numeric.random_model rng in
+  let width = if Prng.int rng 2 = 0 then Numeric.I8 else Numeric.I16 in
+  let cert = Numeric.certify ~tolerance:1e12 ~width forest in
+  if List.exists (fun d -> d.D.code = "N001") cert.Numeric.findings then None
+  else Some (forest, cert)
+
+(* ---------------- bitwise differential properties ---------------- *)
+
+let jit_bitwise_property seed =
+  let rng = Prng.create seed in
+  match certified_model rng with
+  | None -> true
+  | Some (forest, cert) ->
+    let plan = cert.Numeric.plan in
+    let qm = Numeric.quantize plan forest in
+    let schedule = grid.(Prng.int rng (Array.length grid)) in
+    let lowered = Lower.lower ~quant:(qspec_of_plan plan) forest schedule in
+    let rows = probe_rows rng forest.Forest.num_features in
+    let want = Array.map (Numeric.qpredict_raw qm) rows in
+    (* The lowering's own reference evaluation... *)
+    Array.iteri
+      (fun i row ->
+        let got = Lower.reference_qpredict lowered row in
+        if not (bitwise_eq got want.(i)) then
+          QCheck2.Test.fail_reportf
+            "reference_qpredict diverged from qpredict_raw on row %d" i)
+      rows;
+    (* ... and the JIT over the packed artifact, with and without a
+       register-resident prefix. *)
+    let instantiate k =
+      Jit.instantiate_single_thread
+        (Pack.of_lower ~quant:(pack_quant cert k) lowered)
+    in
+    let got0 = instantiate 0 rows in
+    let got2 = instantiate 2 rows in
+    Array.iteri
+      (fun i w ->
+        if not (bitwise_eq got0.(i) w) then
+          QCheck2.Test.fail_reportf "memory-only quantized JIT diverged on row %d"
+            i;
+        if not (bitwise_eq got2.(i) w) then
+          QCheck2.Test.fail_reportf "resident-prefix JIT diverged on row %d" i)
+      want;
+    true
+
+let resident_interp_property seed =
+  let rng = Prng.create seed in
+  match certified_model rng with
+  | None -> true
+  | Some (forest, cert) ->
+    let schedule = grid.(Prng.int rng (Array.length grid)) in
+    let lowered =
+      Lower.lower ~quant:(qspec_of_plan cert.Numeric.plan) forest schedule
+    in
+    let lay = lowered.Lower.layout in
+    let spec = Option.get lay.Layout.quant in
+    let k = 1 + Prng.int rng 3 in
+    let rows = random_rows rng forest.Forest.num_features 6 in
+    let num_trees = Array.length lay.Layout.tree_root in
+    for tree = 0 to num_trees - 1 do
+      let p = Reg_codegen.resident_program lay ~k ~tree in
+      Array.iter
+        (fun row ->
+          let qrow = Layout.quantize_row spec row in
+          let got = Interp.run_walk p lowered ~tree ~row:qrow in
+          let want = Layout.walk lay ~tree qrow in
+          if bits got <> bits want then
+            QCheck2.Test.fail_reportf
+              "resident program (k=%d) diverged from Layout.walk on tree %d" k
+              tree)
+        rows
+    done;
+    true
+
+(* Quantized-vs-float contract: outside every dead zone the dequantized
+   output stays within the proved per-class deviation bound of the float
+   reference; dead-zone rows are exempt (routing may differ). *)
+let deviation_contract_property seed =
+  let rng = Prng.create seed in
+  match certified_model rng with
+  | None -> true
+  | Some (forest, cert) ->
+    let plan = cert.Numeric.plan in
+    let qm = Numeric.quantize plan forest in
+    let rows = random_rows rng forest.Forest.num_features 12 in
+    Array.iter
+      (fun row ->
+        if not (Numeric.dead_zone_row plan forest row) then begin
+          let q = Numeric.qpredict_raw qm row in
+          let f = Numeric.reference_raw forest row in
+          Array.iteri
+            (fun c qv ->
+              let dev = Float.abs (qv -. f.(c)) in
+              if dev > cert.Numeric.dev_bound.(c) then
+                QCheck2.Test.fail_reportf
+                  "class %d deviation %g exceeds proved bound %g" c dev
+                  cert.Numeric.dev_bound.(c))
+            q
+        end)
+      rows;
+    true
+
+(* ---------------- pack round-trip ---------------- *)
+
+(* Dyadic thresholds and leaves: quantization is exact, so the
+   certificate is clean at I16 and the proved deviation bound is 0. *)
+let clean_forest () =
+  let node f t l r =
+    Tree.Node
+      { feature = f; threshold = t; left = Tree.Leaf l; right = Tree.Leaf r }
+  in
+  Forest.make ~name:"quant-clean" ~base_score:0.25 ~task:Forest.Regression
+    ~num_features:3
+    [|
+      node 0 0.5 1.0 (-0.5);
+      node 1 (-0.25) 0.75 2.0;
+      node 2 1.5 (-1.0) 0.5;
+    |]
+
+let quantized_lowering ?(schedule = Schedule.default) () =
+  let forest = clean_forest () in
+  let cert = Numeric.certify ~width:Numeric.I16 forest in
+  Alcotest.(check bool) "clean model certifies" true (not (refuted cert));
+  (forest, cert, Lower.lower ~quant:(qspec_of_plan cert.Numeric.plan) forest schedule)
+
+let test_pack_roundtrip () =
+  let _, cert, lowered = quantized_lowering () in
+  let pack = Pack.of_lower ~model:"quant-clean" ~quant:(pack_quant cert 1) lowered in
+  match Pack.decode (Pack.encode pack) with
+  | Error e -> Alcotest.failf "decode failed: %s: %s" e.Pack.code e.Pack.message
+  | Ok got ->
+    Alcotest.(check bool) "round-trips" true (Pack.equal pack got);
+    let q = Option.get got.Pack.quant in
+    check_int "resident_k survives" 1 q.Pack.resident_k;
+    check_float "tolerance survives" cert.Numeric.plan.Numeric.tolerance
+      q.Pack.tolerance;
+    let spec = Option.get got.Pack.layout.Layout.quant in
+    check_int "qbits survives" 16 spec.Layout.qbits
+
+let test_pack_mismatch_raises () =
+  let forest, cert, lowered = quantized_lowering () in
+  let float_lowered = Lower.lower forest Schedule.default in
+  let raises f =
+    match f () with
+    | (_ : Pack.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "quant metadata on a float lowering" true
+    (raises (fun () -> Pack.of_lower ~quant:(pack_quant cert 0) float_lowered));
+  Alcotest.(check bool) "quantized lowering without metadata" true
+    (raises (fun () -> Pack.of_lower lowered))
+
+let test_float_pack_has_no_quant_block () =
+  let forest, _, _ = quantized_lowering () in
+  let lowered = Lower.lower forest Schedule.default in
+  let pack = Pack.of_lower lowered in
+  match Pack.decode (Pack.encode pack) with
+  | Error e -> Alcotest.failf "decode failed: %s" e.Pack.message
+  | Ok got ->
+    Alcotest.(check bool) "no quant metadata" true (got.Pack.quant = None);
+    Alcotest.(check bool) "no quantized layout" true
+      (got.Pack.layout.Layout.quant = None)
+
+(* ---------------- the compile API ---------------- *)
+
+let test_make_int16 () =
+  let forest = clean_forest () in
+  let t =
+    Treebeard.make
+      ~precision:
+        (`Quantized
+           { Treebeard.bits = `I16; tolerance = Numeric.default_tolerance })
+      (`Forest forest)
+  in
+  Alcotest.(check string) "tier" "int16" (Treebeard.tier_to_string t.Treebeard.tier);
+  Alcotest.(check bool) "certificate present" true
+    (t.Treebeard.certificate <> None);
+  Alcotest.(check bool) "no fallback diagnostics" true
+    (t.Treebeard.precision_diags = []);
+  Alcotest.(check bool) "resident depth within cap" true
+    (t.Treebeard.resident_k >= 0 && t.Treebeard.resident_k <= 3);
+  let cert = Option.get t.Treebeard.certificate in
+  let qm = Numeric.quantize cert.Numeric.plan forest in
+  let rng = Prng.create 41 in
+  let rows = probe_rows rng forest.Forest.num_features in
+  let got = Treebeard.predict_forest t rows in
+  Array.iteri
+    (fun i row ->
+      let want = Numeric.qpredict_raw qm row in
+      if not (bitwise_eq got.(i) want) then
+        Alcotest.failf "quantized compile diverged from qpredict_raw on row %d"
+          i)
+    rows
+
+let test_make_fallback () =
+  (* 0.1 is not dyadic, so the proved deviation bound is positive and an
+     impossible tolerance must refute the plan (N003) and degrade the
+     compile to the float tier. *)
+  let forest =
+    Forest.make ~name:"quant-dirty" ~task:Forest.Regression ~num_features:2
+      [|
+        Tree.Node
+          {
+            feature = 0;
+            threshold = 0.3;
+            left = Tree.Leaf 0.1;
+            right = Tree.Leaf 0.7;
+          };
+      |]
+  in
+  let t =
+    Treebeard.make
+      ~precision:(`Quantized { Treebeard.bits = `I16; tolerance = 1e-30 })
+      (`Forest forest)
+  in
+  Alcotest.(check string) "fell back" "float"
+    (Treebeard.tier_to_string t.Treebeard.tier);
+  Alcotest.(check bool) "N005 reported" true
+    (List.exists (fun d -> d.D.code = "N005") t.Treebeard.precision_diags);
+  Alcotest.(check bool) "blocking findings demoted to info" true
+    (not (D.has_errors t.Treebeard.precision_diags));
+  (* The fallback predictor is the float path, bit for bit. *)
+  let plain = Treebeard.make (`Forest forest) in
+  let rng = Prng.create 43 in
+  let rows = random_rows rng forest.Forest.num_features 8 in
+  let got = Treebeard.predict_forest t rows in
+  let want = Treebeard.predict_forest plain rows in
+  Array.iteri
+    (fun i g ->
+      if not (bitwise_eq g want.(i)) then
+        Alcotest.failf "fallback diverged from the float compile on row %d" i)
+    got
+
+let test_precision_strings () =
+  (match Treebeard.precision_of_string "int16" with
+  | Ok p -> check_string "int16" "int16" (Treebeard.precision_to_string p)
+  | Error e -> Alcotest.fail e);
+  (match Treebeard.precision_of_string "float" with
+  | Ok p -> check_string "float" "float" (Treebeard.precision_to_string p)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "bad name rejected" true
+    (Result.is_error (Treebeard.precision_of_string "bf16"))
+
+let test_check_quant_requires_quantized () =
+  let forest = clean_forest () in
+  let cert = Numeric.certify ~width:Numeric.I16 forest in
+  let lowered = Lower.lower forest Schedule.default in
+  match Validate.check_quant forest cert.Numeric.plan lowered with
+  | [ f ] ->
+    Alcotest.(check string) "T005" "T005" f.Validate.code;
+    Alcotest.(check bool) "error severity" true
+      (f.Validate.severity = D.Error)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_check_quant_clean () =
+  let forest, cert, lowered = quantized_lowering () in
+  Alcotest.(check int) "no findings" 0
+    (List.length (Validate.check_quant forest cert.Numeric.plan lowered))
+
+let suite =
+  [
+    qcheck ~count:40 ~name:"quantized lowering+JIT == qpredict_raw (bitwise)"
+      seed_gen jit_bitwise_property;
+    qcheck ~count:25 ~name:"resident Reg_ir programs == Layout.walk (bitwise)"
+      seed_gen resident_interp_property;
+    qcheck ~count:40 ~name:"deviation bound honored outside dead zones"
+      seed_gen deviation_contract_property;
+    quick "pack: quantized round-trip" test_pack_roundtrip;
+    quick "pack: quant/layout mismatch raises" test_pack_mismatch_raises;
+    quick "pack: float artifacts carry no quant block"
+      test_float_pack_has_no_quant_block;
+    quick "make: ~precision int16 resolves and matches qpredict_raw"
+      test_make_int16;
+    quick "make: impossible tolerance falls back to float with N005"
+      test_make_fallback;
+    quick "precision_of_string round-trips" test_precision_strings;
+    quick "check_quant: float lowering is refused" test_check_quant_requires_quantized;
+    quick "check_quant: clean quantized lowering passes" test_check_quant_clean;
+  ]
